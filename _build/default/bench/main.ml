@@ -1,0 +1,376 @@
+(* Benchmark harness: regenerates every table and figure of the paper's
+   evaluation (Sections IV and V) from the simulator, and runs Bechamel
+   micro-benchmarks of the infrastructure itself.
+
+   Usage:
+     dune exec bench/main.exe                 # everything
+     dune exec bench/main.exe -- --table2     # a single experiment
+     dune exec bench/main.exe -- --quick      # Table II on 6 kernels
+     dune exec bench/main.exe -- --micro      # Bechamel micro-benches only
+
+   Shapes to look for (paper vs this reproduction is recorded in
+   EXPERIMENTS.md):
+   - Table II: uc kernels gain >=2.5x specialized on io; long-critical-path
+     or kernels lose to the out-of-order hosts; om/ua kernels are limited
+     by LSQ hazards and squashes (ksack-sm squashes far more than
+     ksack-lg); uc.db kernels beat both OOO widths; adaptive tracks
+     max(T, S).
+   - Figure 9: multithreading helps sgemm; more lanes help bandwidth-bound
+     kernels; covar-or is immune to everything (critical path).
+   - Table V: ~40% area overhead at 4 lanes, roughly linear in lanes. *)
+
+module E = Xloops.Experiments
+module Registry = Xloops.Kernels.Registry
+module Kernel = Xloops.Kernels.Kernel
+
+let quick_kernels =
+  [ "sgemm-uc"; "war-uc"; "kmeans-or"; "adpcm-or"; "ksack-sm-om";
+    "bfs-uc-db" ]
+
+let evals = Hashtbl.create 32
+
+let evaluate (k : Kernel.t) =
+  match Hashtbl.find_opt evals k.name with
+  | Some e -> e
+  | None ->
+    let e = E.evaluate k in
+    Hashtbl.replace evals k.name e;
+    e
+
+let section title =
+  Fmt.pr "@.=== %s ===@.@." title
+
+let kernels_for ~quick =
+  if quick then List.map Registry.find quick_kernels else Registry.table2
+
+let table2 ~quick () =
+  section "Table II: application kernels and cycle-level results";
+  Fmt.pr "%a" E.pp_table2_header ();
+  List.iter
+    (fun k -> Fmt.pr "%a" E.pp_table2_row (E.table2_row (evaluate k)))
+    (kernels_for ~quick)
+
+let fig5 ~quick () =
+  section "Figure 5: speedup summary (normalized to serial on io)";
+  Fmt.pr "%-14s %8s %8s %8s %8s@." "kernel" "io" "ooo2" "ooo4" "ooo2+x:S";
+  List.iter
+    (fun k ->
+       let ev = evaluate k in
+       let io = (E.host ev "io").base.cycles in
+       let rel (r : E.run_data) = float_of_int io /. float_of_int r.cycles in
+       Fmt.pr "%-14s %8.2f %8.2f %8.2f %8.2f@." k.Kernel.name
+         1.0
+         (rel (E.host ev "ooo/2").base)
+         (rel (E.host ev "ooo/4").base)
+         (rel (E.host ev "ooo/2").spec))
+    (kernels_for ~quick)
+
+let fig6 ~quick () =
+  section "Figure 6: LPSU lane-cycle breakdown (specialized on io+x)";
+  Fmt.pr "%a" E.pp_fig6
+    (List.map (fun k -> E.fig6_row (evaluate k)) (kernels_for ~quick))
+
+let fig7 ~quick () =
+  section "Figure 7: specialized vs adaptive on ooo/4+x";
+  Fmt.pr "%-14s %8s %8s@." "kernel" "S" "A";
+  List.iter
+    (fun k ->
+       let ev = evaluate k in
+       let h = E.host ev "ooo/4" in
+       Fmt.pr "%-14s %8.2f %8.2f@." k.Kernel.name
+         (E.speedup h h.spec) (E.speedup h h.adapt))
+    (kernels_for ~quick)
+
+let fig8 ~quick () =
+  section "Figure 8: energy efficiency vs performance (S and A per host)";
+  Fmt.pr "%a" E.pp_fig8
+    (List.concat_map (fun k -> E.fig8_points (evaluate k))
+       (kernels_for ~quick))
+
+let fig9 () =
+  section "Figure 9: LPSU design-space exploration (vs serial on ooo/4)";
+  Fmt.pr "%a" E.pp_fig9 (E.fig9 ())
+
+let table4 () =
+  section "Table IV: case studies (hand-scheduled or / transformed uc)";
+  Fmt.pr "%a" E.pp_table4 (E.table4 ())
+
+let table5 () =
+  section "Table V: VLSI area and cycle time";
+  Fmt.pr "%a" Xloops.Vlsi.Area.pp_table_v (Xloops.Vlsi.Area.table_v ())
+
+let fig10 () =
+  section "Figure 10: VLSI-mode energy efficiency vs performance \
+           (uc kernels, no .xi, uc-only LPSU on io)";
+  Fmt.pr "%a" E.pp_fig10 (E.fig10 ())
+
+(* -- Ablations ---------------------------------------------------------- *)
+
+(* Ablation studies for the internal design decisions DESIGN.md calls
+   out: inter-lane store-to-load forwarding (the paper's "more aggressive
+   implementation" sketch), scan-phase cost, squash penalty, and the
+   out-of-order window of the baseline model. *)
+
+let spec_run name cfg =
+  let r = E.run_checked ~cfg ~mode:Xloops.Sim.Machine.Specialized
+      (Registry.find name) in
+  r
+
+let ablation () =
+  section "Ablation: inter-lane store-to-load forwarding";
+  Fmt.pr "%-14s %22s %26s@." "kernel" "baseline (cyc/viol)"
+    "forwarding (cyc/viol/fwd)";
+  List.iter
+    (fun name ->
+       let b = spec_run name Xloops.Sim.Config.io_x in
+       let f = spec_run name Xloops.Sim.Config.io_x_fwd in
+       Fmt.pr "%-14s %12d /%5d %14d /%5d /%4d@." name
+         b.E.cycles b.E.stats.violations
+         f.E.cycles f.E.stats.violations f.E.stats.lsq_forwards)
+    [ "war-om"; "dynprog-om"; "ksack-sm-om"; "hsort-ua"; "rsort-ua" ];
+  Fmt.pr "@.(forwarding confirms conflicting loads on war-om but amplifies@.squash cascades on tight chains like dynprog)@.";
+
+  section "Ablation: scan-phase cost (cycles per scanned instruction)";
+  Fmt.pr "%-14s" "kernel";
+  List.iter (fun c -> Fmt.pr " %8s" (Printf.sprintf "scan=%d" c))
+    [ 0; 1; 2; 4 ];
+  Fmt.pr "@.";
+  List.iter
+    (fun name ->
+       Fmt.pr "%-14s" name;
+       List.iter
+         (fun per ->
+            let cfg = Xloops.Sim.Config.with_lpsu Xloops.Sim.Config.io
+                (Printf.sprintf "+scan%d" per)
+                ~lpsu:{ Xloops.Sim.Config.default_lpsu
+                        with scan_per_insn = per } in
+            Fmt.pr " %8d" (spec_run name cfg).E.cycles)
+         [ 0; 1; 2; 4 ];
+       Fmt.pr "@.")
+    [ "symm-or"; "covar-or"; "war-uc" ];
+  Fmt.pr "@.(kernels that re-specialize small inner loops are the ones@.sensitive to scan cost)@.";
+
+  section "Ablation: squash penalty";
+  Fmt.pr "%-14s" "kernel";
+  List.iter (fun c -> Fmt.pr " %8s" (Printf.sprintf "sq=%d" c))
+    [ 0; 2; 8; 16 ];
+  Fmt.pr "@.";
+  List.iter
+    (fun name ->
+       Fmt.pr "%-14s" name;
+       List.iter
+         (fun pen ->
+            let cfg = Xloops.Sim.Config.with_lpsu Xloops.Sim.Config.io
+                (Printf.sprintf "+sq%d" pen)
+                ~lpsu:{ Xloops.Sim.Config.default_lpsu
+                        with squash_penalty = pen } in
+            Fmt.pr " %8d" (spec_run name cfg).E.cycles)
+         [ 0; 2; 8; 16 ];
+       Fmt.pr "@.")
+    [ "ksack-sm-om"; "ksack-lg-om"; "hsort-ua" ];
+
+  section "Ablation: dataset vs L1 capacity (element-wise compute)";
+  (* The paper tailors datasets to fit the 16 KB L1 (Section V-A).
+     Sweeping past that point shows what changes: with an L1-resident
+     working set the lanes' win comes from overlapping the per-element
+     compute (bounded by the shared port); once the data spills, misses
+     block each lane and hold the single port, so throughput degrades for
+     both machines — but the lanes still hide the in-order core's
+     serialization of compute behind memory, so a win remains.  Absolute
+     cycles grow ~5x either way, which is the comparison the paper's
+     dataset sizing avoids contaminating Table II with. *)
+  Fmt.pr "%-12s %12s %12s %10s@." "working set" "io (cyc)" "io+x (cyc)"
+    "speedup";
+  List.iter
+    (fun n ->
+       let kernel : Xloops.Compiler.Ast.kernel =
+         let open Xloops.Compiler.Ast.Syntax in
+         let x = "sa".%[v "j"] + "sb".%[v "j"] in
+         let x = (x * i 3) lxor (x asr i 2) in
+         let x = (x + (x lsr i 3)) land i 0xFFFFF in
+         { k_name = "stream";
+           arrays = [ { a_name = "sa"; a_ty = I32; a_len = n };
+                      { a_name = "sb"; a_ty = I32; a_len = n };
+                      { a_name = "sc"; a_ty = I32; a_len = n } ];
+           consts = [ ("n", n) ];
+           k_body =
+             [ Xloops.Compiler.Ast.for_ ~pragma:Unordered "j" (i 0)
+                 (v "n")
+                 [ Xloops.Compiler.Ast.Store ("sc", v "j", x) ] ] }
+       in
+       let run cfg mode =
+         let c = Xloops.Compiler.Compile.compile kernel in
+         let mem = Xloops.Mem.Memory.create ~size:(1 lsl 21) () in
+         (Xloops.Sim.Machine.simulate ~cfg ~mode c.program mem)
+           .Xloops.Sim.Machine.cycles
+       in
+       let t = run Xloops.Sim.Config.io Xloops.Sim.Machine.Traditional in
+       let sp = run Xloops.Sim.Config.io_x Xloops.Sim.Machine.Specialized in
+       Fmt.pr "%8d KB %12d %12d %10.2f@." (n * 12 / 1024) t sp
+         (float_of_int t /. float_of_int sp))
+    [ 256; 1024; 4096; 16384 ];
+
+  section "Ablation: superscalar (dual-issue) lanes";
+  (* The paper's future-work lane microarchitecture: the or kernels are
+     "limited by the inter-iteration critical path", so extra
+     intra-iteration issue bandwidth is where their headroom is. *)
+  Fmt.pr "%-14s %12s %12s %10s@." "kernel" "1-wide (cyc)" "2-wide (cyc)"
+    "gain";
+  List.iter
+    (fun name ->
+       let b = spec_run name Xloops.Sim.Config.io_x in
+       let w2 = spec_run name Xloops.Sim.Config.io_x_ss2 in
+       Fmt.pr "%-14s %12d %12d %9.0f%%@." name b.E.cycles w2.E.cycles
+         (100.0 *. (float_of_int b.E.cycles /. float_of_int w2.E.cycles
+                    -. 1.0)))
+    [ "covar-or"; "adpcm-or"; "sha-or"; "sgemm-uc"; "war-uc"; "kmeans-or" ];
+
+  section "Ablation: out-of-order window (ooo/4 host, serial sgemm)";
+  let k = Registry.find "sgemm-uc" in
+  List.iter
+    (fun window ->
+       let cfg = { Xloops.Sim.Config.ooo4 with
+                   name = Printf.sprintf "ooo/4/w%d" window;
+                   gpp = { Xloops.Sim.Config.ooo4.gpp with
+                           kind = Ooo { width = 4; window } } } in
+       let r = E.run_checked ~target:Xloops.Compiler.Compile.general
+           ~cfg ~mode:Xloops.Sim.Machine.Traditional k in
+       Fmt.pr "window %3d: %8d cycles@." window r.E.cycles)
+    [ 8; 16; 32; 64; 128 ]
+
+(* -- CSV export ---------------------------------------------------------- *)
+
+(* Machine-readable results for plotting: --csv writes results/*.csv with
+   the Table II matrix and the Figure 8 scatter. *)
+
+let csv ~quick () =
+  let dir = "results" in
+  (try Unix.mkdir dir 0o755 with Unix.Unix_error (Unix.EEXIST, _, _) -> ());
+  let write name header rows =
+    let path = Filename.concat dir name in
+    let oc = open_out path in
+    output_string oc (header ^ "\n");
+    List.iter (fun r -> output_string oc (r ^ "\n")) rows;
+    close_out oc;
+    Fmt.pr "wrote %s (%d rows)@." path (List.length rows)
+  in
+  let evals = List.map (fun k -> evaluate k) (kernels_for ~quick) in
+  write "table2.csv"
+    "kernel,suite,type,body_min,body_max,gpi_dyn,xg,host,T,S,A"
+    (List.concat_map
+       (fun ev ->
+          let row = E.table2_row ev in
+          List.map
+            (fun (host, (t, s, a)) ->
+               Printf.sprintf "%s,%s,%s,%d,%d,%d,%.4f,%s,%.4f,%.4f,%.4f"
+                 row.E.t2_name row.t2_suite row.t2_type (fst row.t2_body)
+                 (snd row.t2_body) row.t2_gpi row.t2_xg host t s a)
+            row.t2_speedups)
+       evals);
+  write "fig8.csv" "kernel,host,mode,speedup,energy_eff,rel_power"
+    (List.concat_map
+       (fun ev ->
+          List.map
+            (fun p ->
+               Printf.sprintf "%s,%s,%s,%.4f,%.4f,%.4f" p.E.f8_kernel
+                 p.f8_host p.f8_mode p.f8_speedup p.f8_energy_eff
+                 p.f8_rel_power)
+            (E.fig8_points ev))
+       evals);
+  write "fig6.csv"
+    ("kernel," ^ String.concat ","
+       (List.map fst (snd (E.fig6_row (List.hd evals)))))
+    (List.map
+       (fun ev ->
+          let name, cats = E.fig6_row ev in
+          name ^ ","
+          ^ String.concat ","
+            (List.map (fun (_, f) -> Printf.sprintf "%.4f" f) cats))
+       evals)
+
+(* -- Extensions ---------------------------------------------------------- *)
+
+let extensions () =
+  section "Extension: data-dependent exit (xloop.uc.de, paper future work)";
+  let k = Registry.find "find-de" in
+  Fmt.pr "%-28s %10s %12s@." "run" "cycles" "squashed";
+  List.iter
+    (fun (label, target, cfg, mode) ->
+       let r = E.run_checked ~target ~cfg ~mode k in
+       Fmt.pr "%-28s %10d %12d@." label r.E.cycles
+         r.E.stats.squashed_insns)
+    [ ("serial (general, io)", Xloops.Compiler.Compile.general,
+       Xloops.Sim.Config.io, Xloops.Sim.Machine.Traditional);
+      ("traditional (io)", Xloops.Compiler.Compile.xloops,
+       Xloops.Sim.Config.io, Xloops.Sim.Machine.Traditional);
+      ("specialized (io+x)", Xloops.Compiler.Compile.xloops,
+       Xloops.Sim.Config.io_x, Xloops.Sim.Machine.Specialized);
+      ("specialized (ooo/4+x)", Xloops.Compiler.Compile.xloops,
+       Xloops.Sim.Config.ooo4_x, Xloops.Sim.Machine.Specialized) ];
+  Fmt.pr "@.(iterations past the exit run control-speculatively on the lanes@.and are discarded — the squashed-instruction column)@."
+
+(* -- Bechamel micro-benchmarks ---------------------------------------- *)
+
+let micro () =
+  section "Bechamel micro-benchmarks (simulator infrastructure)";
+  let open Bechamel in
+  let kernel name = Registry.find name in
+  let bench_run name cfg mode k =
+    Test.make ~name (Staged.stage (fun () ->
+        ignore (Kernel.run ~cfg ~mode (kernel k))))
+  in
+  let tests =
+    [ (* one per table/figure family: the work that regenerates it *)
+      bench_run "table2:uc-specialized" Xloops.Sim.Config.io_x
+        Xloops.Sim.Machine.Specialized "war-uc";
+      bench_run "table2:or-specialized" Xloops.Sim.Config.io_x
+        Xloops.Sim.Machine.Specialized "kmeans-or";
+      bench_run "table2:om-speculation" Xloops.Sim.Config.io_x
+        Xloops.Sim.Machine.Specialized "ksack-sm-om";
+      bench_run "fig7:adaptive" Xloops.Sim.Config.ooo4_x
+        Xloops.Sim.Machine.Adaptive "adpcm-or";
+      bench_run "fig5:ooo-baseline" Xloops.Sim.Config.ooo4
+        Xloops.Sim.Machine.Traditional "sgemm-uc";
+      Test.make ~name:"compiler:sgemm"
+        (Staged.stage (fun () ->
+             ignore (Xloops.Compiler.Compile.compile
+                       (kernel "sgemm-uc").Kernel.kernel)));
+      Test.make ~name:"table5:vlsi-model"
+        (Staged.stage (fun () -> ignore (Xloops.Vlsi.Area.table_v ()))) ]
+  in
+  let test = Test.make_grouped ~name:"xloops" tests in
+  let clock = Toolkit.Instance.monotonic_clock in
+  let cfg = Benchmark.cfg ~limit:20 ~quota:(Time.second 0.5) () in
+  let raw = Benchmark.all cfg [ clock ] test in
+  let ols = Analyze.ols ~r_square:false ~bootstrap:0
+      ~predictors:[| Measure.run |] in
+  let results = Analyze.all ols clock raw in
+  Hashtbl.iter
+    (fun name stats ->
+       match Analyze.OLS.estimates stats with
+       | Some (est :: _) -> Fmt.pr "%-36s %12.1f ns/run@." name est
+       | _ -> Fmt.pr "%-36s (no estimate)@." name)
+    results
+
+(* -- Driver ------------------------------------------------------------ *)
+
+let () =
+  let args = Array.to_list Sys.argv |> List.tl in
+  let has f = List.mem f args in
+  let quick = has "--quick" in
+  let all = args = [] || (args = [ "--quick" ]) in
+  let t0 = Unix.gettimeofday () in
+  if all || has "--table2" then table2 ~quick ();
+  if all || has "--fig5" then fig5 ~quick ();
+  if all || has "--fig6" then fig6 ~quick ();
+  if all || has "--fig7" then fig7 ~quick ();
+  if all || has "--fig8" then fig8 ~quick ();
+  if all || has "--fig9" then fig9 ();
+  if all || has "--table4" then table4 ();
+  if all || has "--table5" then table5 ();
+  if all || has "--fig10" then fig10 ();
+  if has "--ablation" then ablation ();
+  if has "--csv" then csv ~quick ();
+  if all || has "--extensions" then extensions ();
+  if has "--micro" then micro ();
+  Fmt.pr "@.[bench completed in %.1f s]@." (Unix.gettimeofday () -. t0)

@@ -1,0 +1,1 @@
+bin/xloops_info.ml: Arg Cmd Cmdliner Fmt List String Term Xloops

@@ -1,0 +1,1 @@
+bin/xloops_run.ml: Arg Cmd Cmdliner Fmt List Term Xloops

@@ -1,0 +1,1 @@
+bin/xloops_run.mli:

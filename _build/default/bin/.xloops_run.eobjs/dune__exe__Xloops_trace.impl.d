@@ -1,0 +1,1 @@
+bin/xloops_trace.ml: Arg Cmd Cmdliner Fmt Term Xloops

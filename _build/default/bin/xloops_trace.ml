@@ -1,0 +1,70 @@
+(* xloops_trace: run a kernel with execution tracing — the gem5-style
+   debug view of what the machine is doing.
+
+     dune exec bin/xloops_trace.exe -- -k kmeans-or -l decisions
+     dune exec bin/xloops_trace.exe -- -k ksack-sm-om -l lanes -n 120
+     dune exec bin/xloops_trace.exe -- -k war-uc -l insns -n 200 *)
+
+open Cmdliner
+module K = Xloops.Kernels
+module Sim = Xloops.Sim
+module C = Xloops.Compiler
+module Memory = Xloops.Mem.Memory
+
+let kernel_arg =
+  let doc = "Kernel name (see xloops_info for the list)." in
+  Arg.(required & opt (some string) None & info [ "k"; "kernel" ] ~doc)
+
+let config_arg =
+  let doc = "Machine configuration (default io+x)." in
+  Arg.(value & opt string "io+x" & info [ "c"; "config" ] ~doc)
+
+let mode_arg =
+  let doc = "Execution mode: T, S or A (default S)." in
+  Arg.(value & opt string "S" & info [ "m"; "mode" ] ~doc)
+
+let level_arg =
+  let doc = "Trace level: decisions, lanes, or insns." in
+  Arg.(value & opt string "decisions" & info [ "l"; "level" ] ~doc)
+
+let limit_arg =
+  let doc = "Stop after this many trace lines (0 = unlimited)." in
+  Arg.(value & opt int 200 & info [ "n"; "limit" ] ~doc)
+
+let parse_mode = function
+  | "T" | "t" -> Sim.Machine.Traditional
+  | "S" | "s" -> Sim.Machine.Specialized
+  | "A" | "a" -> Sim.Machine.Adaptive
+  | m -> invalid_arg ("unknown mode " ^ m)
+
+let parse_level = function
+  | "decisions" -> Sim.Trace.Decisions
+  | "lanes" -> Sim.Trace.Lanes
+  | "insns" -> Sim.Trace.Insns
+  | l -> invalid_arg ("unknown trace level " ^ l)
+
+let run kernel config mode level limit =
+  let k = K.Registry.find kernel in
+  let cfg = Sim.Config.by_name config in
+  let c = C.Compile.compile k.K.Kernel.kernel in
+  let mem = Memory.create () in
+  k.init c.array_base mem;
+  let trace = Sim.Trace.to_stdout ~level:(parse_level level) ~limit () in
+  let r = Sim.Machine.simulate ~trace ~cfg ~mode:(parse_mode mode)
+      c.program mem in
+  if Sim.Trace.exhausted (Some trace) then
+    Fmt.pr "... (trace limit reached)@.";
+  Fmt.pr "@.%s on %s: %d cycles, %d iterations, check %s@."
+    k.name cfg.Sim.Config.name r.cycles r.stats.iterations
+    (match k.check c.array_base mem with
+     | Ok () -> "PASS"
+     | Error m -> "FAIL: " ^ m);
+  0
+
+let cmd =
+  let doc = "trace the execution of an XLOOPS kernel" in
+  Cmd.v (Cmd.info "xloops_trace" ~doc)
+    Term.(const run $ kernel_arg $ config_arg $ mode_arg $ level_arg
+          $ limit_arg)
+
+let () = exit (Cmd.eval' cmd)

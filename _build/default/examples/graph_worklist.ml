@@ -1,0 +1,93 @@
+(* Worklist-driven graph traversal: the dynamic-bound pattern of
+   Figure 1(e).  We build a small graph, write a BFS whose loop bound is
+   the worklist tail pointer (raised by AMO pushes inside the loop), and
+   watch the compiler classify it xloop.uc.db and the LPSU keep dispensing
+   iterations as the bound grows.
+
+   Run with:  dune exec examples/graph_worklist.exe *)
+
+module C = Xloops.Compiler
+module Sim = Xloops.Sim
+module Memory = Xloops.Mem.Memory
+module Insn = Xloops.Isa.Insn
+
+(* A little diamond-ladder graph: node k links to k+1 and k+2. *)
+let nodes = 40
+
+let wl_len = nodes + 4
+
+let kernel : C.Ast.kernel =
+  let open C.Ast.Syntax in
+  { k_name = "ladder-bfs";
+    arrays = [ { a_name = "wl"; a_ty = I32; a_len = wl_len };
+               { a_name = "tail"; a_ty = I32; a_len = 1 };
+               { a_name = "seen"; a_ty = I32; a_len = nodes };
+               { a_name = "hops"; a_ty = I32; a_len = nodes } ];
+    consts = [ ("nodes", nodes) ];
+    k_body =
+      [ for_ ~pragma:Unordered "t" (i 0) ("tail".%[i 0])
+          [ C.Ast.Decl ("node", "wl".%[v "t"]);
+            (* wait for the producer to fill the slot (sentinel -1) *)
+            C.Ast.While (v "node" < i 0,
+                         [ C.Ast.Assign ("node", "wl".%[v "t"]) ]);
+            C.Ast.Decl ("h", "hops".%[v "node"]);
+            (* neighbours: node+1 and node+2 *)
+            for_ "d" (i 1) (i 3)
+              [ C.Ast.Decl ("nb", v "node" + v "d");
+                C.Ast.If
+                  (v "nb" < v "nodes",
+                   [ C.Ast.Decl
+                       ("old", C.Ast.Amo (Axchg, "seen", v "nb", i 1));
+                     C.Ast.If
+                       (v "old" = i 0,
+                        [ C.Ast.Store ("hops", v "nb", v "h" + i 1);
+                          C.Ast.Decl
+                            ("slot", C.Ast.Amo (Aadd, "tail", i 0, i 1));
+                          C.Ast.Store ("wl", v "slot", v "nb") ],
+                        []) ],
+                   []) ] ] ] }
+
+let () =
+  let c = C.Compile.compile ~target:C.Compile.xloops kernel in
+  (* What did the compiler decide? *)
+  Array.iter
+    (fun insn ->
+       match insn with
+       | Insn.Xloop (pat, _, _, _) ->
+         Fmt.pr "compiler classified the loop as: xloop.%a@."
+           Insn.pp_xpat_suffix pat
+       | _ -> ())
+    c.program.insns;
+
+  let mem = Memory.create () in
+  for s = 0 to wl_len - 1 do
+    Memory.set_int mem (c.array_base "wl" + (4 * s)) (-1)
+  done;
+  Memory.set_int mem (c.array_base "wl") 0;      (* seed node 0 *)
+  Memory.set_int mem (c.array_base "tail") 1;
+  Memory.set_int mem (c.array_base "seen") 1;
+
+  let r = Sim.Machine.simulate ~cfg:Sim.Config.ooo2_x
+      ~mode:Sim.Machine.Specialized c.program mem in
+  Fmt.pr "iterations executed: %d (worklist grew from 1 to %d)@."
+    r.stats.iterations
+    (Memory.get_int mem (c.array_base "tail"));
+  Fmt.pr "hops: ";
+  for v = 0 to nodes - 1 do
+    Fmt.pr "%d " (Memory.get_int mem (c.array_base "hops" + (4 * v)))
+  done;
+  Fmt.pr "@.";
+  (* Unordered claiming may label a node through either in-edge (and the
+     drift compounds), so validate the labelling instead of exact
+     distances: every node's count is at least the true shortest
+     (ceil(k/2)) and is exactly one more than the in-neighbour that
+     claimed it. *)
+  let hop v = Memory.get_int mem (c.array_base "hops" + (4 * v)) in
+  let ok = ref true in
+  for v = 1 to nodes - 1 do
+    let h = hop v in
+    if h < (v + 1) / 2 then ok := false;
+    let from_parent p = p >= 0 && hop p = h - 1 in
+    if not (from_parent (v - 1) || from_parent (v - 2)) then ok := false
+  done;
+  Fmt.pr "hop labelling valid: %b@." !ok

@@ -1,0 +1,51 @@
+(* Image pipeline: the paper's introduction motivates specialization with
+   media kernels.  This example chains two of them — RGB->CMYK conversion
+   (unordered) and error-diffusion dithering (ordered through registers) —
+   on every machine configuration, showing how the same binaries move
+   between traditional and specialized execution.
+
+   Run with:  dune exec examples/image_pipeline.exe *)
+
+module K = Xloops.Kernels
+module Sim = Xloops.Sim
+module C = Xloops.Compiler
+
+let stages = [ K.Registry.find "rgb2cmyk-uc"; K.Registry.find "dither-or" ]
+
+let configs =
+  [ (Sim.Config.io, Sim.Machine.Traditional, "io, traditional");
+    (Sim.Config.io_x, Sim.Machine.Specialized, "io+x, specialized");
+    (Sim.Config.ooo2, Sim.Machine.Traditional, "ooo/2, traditional");
+    (Sim.Config.ooo2_x, Sim.Machine.Specialized, "ooo/2+x, specialized") ]
+
+let () =
+  Fmt.pr "%-22s" "stage";
+  List.iter (fun (_, _, label) -> Fmt.pr " %22s" label) configs;
+  Fmt.pr "@.";
+  List.iter
+    (fun (k : K.Kernel.t) ->
+       Fmt.pr "%-22s" k.name;
+       List.iter
+         (fun (cfg, mode, _) ->
+            let r = K.Kernel.run ~cfg ~mode k in
+            (match r.check_result with
+             | Ok () -> ()
+             | Error m -> Fmt.failwith "%s failed: %s" k.name m);
+            Fmt.pr " %14d cycles " r.result.cycles)
+         configs;
+       Fmt.pr "@.")
+    stages;
+  (* And the energy story: specialized execution fetches from the LPSU
+     instruction buffer instead of the I-cache. *)
+  Fmt.pr "@.energy per stage (uJ), io traditional vs io+x specialized:@.";
+  List.iter
+    (fun (k : K.Kernel.t) ->
+       let e cfg mode =
+         let r = K.Kernel.run ~cfg ~mode k in
+         (Xloops.Energy.Model.of_stats cfg r.result.stats).total *. 1e6
+       in
+       let et = e Sim.Config.io Sim.Machine.Traditional in
+       let es = e Sim.Config.io_x Sim.Machine.Specialized in
+       Fmt.pr "  %-14s %.3f -> %.3f (%.2fx more efficient)@."
+         k.name et es (et /. es))
+    stages

@@ -1,0 +1,1 @@
+lib/asm/builder.ml: Array Insn List Printf Program Reg Xloops_isa

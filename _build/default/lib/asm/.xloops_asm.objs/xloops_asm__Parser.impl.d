@@ -1,0 +1,1 @@
+lib/asm/parser.ml: Array Buffer Fmt Insn List Option Program Reg String Xloops_isa

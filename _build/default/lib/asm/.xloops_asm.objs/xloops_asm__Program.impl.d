@@ -1,0 +1,1 @@
+lib/asm/program.ml: Array Fmt List Xloops_isa

@@ -1,0 +1,247 @@
+(** Textual assembly parser: the front end that turns `.s`-style listings
+    into programs, round-tripping with {!Program.pp}.
+
+    Accepted syntax, one instruction or label per line:
+
+    {v
+      loop:                      ; labels end with ':'
+        lw   t0, 4(a0)           # both comment styles work
+        addi t0, t0, 1
+        amo_add t1, (a0), t0
+        xloop.uc t4, t3, loop
+        halt
+    v}
+
+    Registers accept both software names ([t0], [s3], [zero]) and raw
+    [rN].  Branch/jump targets may be symbolic labels or absolute
+    instruction numbers.  Immediates accept decimal and [0x] hex. *)
+
+open Xloops_isa
+
+exception Parse_error of { line : int; msg : string }
+
+let err line fmt =
+  Fmt.kstr (fun msg -> raise (Parse_error { line; msg })) fmt
+
+(* -- Tokenizing --------------------------------------------------------- *)
+
+let strip_comment s =
+  let cut c s =
+    match String.index_opt s c with
+    | Some i -> String.sub s 0 i
+    | None -> s
+  in
+  cut '#' (cut ';' s)
+
+let tokenize line s =
+  (* Split on whitespace and commas; keep '(' ')' as separate tokens so
+     "4(a0)" and "(a0)" parse uniformly. *)
+  let buf = Buffer.create 8 in
+  let out = ref [] in
+  let flush () =
+    if Buffer.length buf > 0 then begin
+      out := Buffer.contents buf :: !out;
+      Buffer.clear buf
+    end
+  in
+  String.iter
+    (fun c ->
+       match c with
+       | ' ' | '\t' | ',' -> flush ()
+       | '(' | ')' ->
+         flush ();
+         out := String.make 1 c :: !out
+       | c -> Buffer.add_char buf c)
+    s;
+  flush ();
+  ignore line;
+  List.rev !out
+
+(* -- Operand parsing ---------------------------------------------------- *)
+
+let reg line s =
+  try Reg.of_name s
+  with Invalid_argument _ | Failure _ -> err line "bad register '%s'" s
+
+let imm line s =
+  match int_of_string_opt s with
+  | Some v -> v
+  | None -> err line "bad immediate '%s'" s
+
+(** Memory operand written as [off(base)] — already tokenized as
+    [off; "("; base; ")"] or ["("; base; ")"] (zero offset). *)
+let mem_operand line = function
+  | [ off; "("; base; ")" ] -> (imm line off, reg line base)
+  | [ "("; base; ")" ] -> (0, reg line base)
+  | toks -> err line "bad memory operand '%s'" (String.concat " " toks)
+
+(* -- Mnemonic tables ---------------------------------------------------- *)
+
+let alu_ops =
+  [ ("add", Insn.Add); ("sub", Sub); ("and", And); ("or_", Or_);
+    ("or", Or_); ("xor", Xor); ("nor", Nor); ("sll", Sll); ("srl", Srl);
+    ("sra", Sra); ("slt", Slt); ("sltu", Sltu); ("mul", Mul);
+    ("mulh", Mulh); ("div", Div); ("rem", Rem) ]
+
+let fpu_ops =
+  [ ("fadd", Insn.Fadd); ("fsub", Fsub); ("fmul", Fmul); ("fdiv", Fdiv);
+    ("fmin", Fmin); ("fmax", Fmax); ("feq", Feq); ("flt", Flt);
+    ("fle", Fle); ("fcvt_sw", Fcvt_sw); ("fcvt_ws", Fcvt_ws) ]
+
+let widths =
+  [ ("b", Insn.B); ("bu", Bu); ("h", H); ("hu", Hu); ("w", W) ]
+
+let amo_ops =
+  [ ("amo_add", Insn.Amo_add); ("amo_and", Amo_and); ("amo_or", Amo_or);
+    ("amo_xchg", Amo_xchg); ("amo_min", Amo_min); ("amo_max", Amo_max) ]
+
+let branch_conds =
+  [ ("beq", Insn.Beq); ("bne", Bne); ("blt", Blt); ("bge", Bge);
+    ("bltu", Bltu); ("bgeu", Bgeu) ]
+
+let xpat_of_suffix line s : Insn.xpat =
+  let dp_of = function
+    | "uc" -> Insn.Uc | "or" -> Or | "om" -> Om | "orm" -> Orm | "ua" -> Ua
+    | d -> err line "unknown xloop pattern '%s'" d
+  in
+  match String.split_on_char '.' s with
+  | [ d ] -> { dp = dp_of d; cp = Fixed }
+  | [ d; "db" ] -> { dp = dp_of d; cp = Dyn }
+  | [ d; "de" ] -> { dp = dp_of d; cp = De }
+  | _ -> err line "unknown xloop suffix '%s'" s
+
+(* -- Instruction parsing ------------------------------------------------- *)
+
+let chop_prefix ~prefix s =
+  let np = String.length prefix in
+  if String.length s > np && String.sub s 0 np = prefix
+  then Some (String.sub s np (String.length s - np))
+  else None
+
+let chop_suffix_i m =
+  (* "addi" -> Add, "slli" -> Sll, ... *)
+  let n = String.length m in
+  if n < 2 || m.[n - 1] <> 'i' then None
+  else List.assoc_opt (String.sub m 0 (n - 1)) alu_ops
+
+let load_store m =
+  match m.[0], String.length m with
+  | 'l', n when n >= 2 ->
+    Option.map (fun w -> `Load w)
+      (List.assoc_opt (String.sub m 1 (n - 1)) widths)
+  | 's', n when n >= 2 && m <> "sync" && m <> "sub" && m <> "sll"
+             && m <> "srl" && m <> "sra" && m <> "slt" && m <> "sltu" ->
+    Option.map (fun w -> `Store w)
+      (List.assoc_opt (String.sub m 1 (n - 1)) widths)
+  | _ -> None
+
+let parse_insn line toks : string Insn.t =
+  let r = reg line and im = imm line in
+  match toks with
+  | [] -> assert false
+  | m :: rest ->
+    (match List.assoc_opt m alu_ops, rest with
+     | Some op, [ rd; rs; rt ] -> Alu (op, r rd, r rs, r rt)
+     | Some _, _ -> err line "%s expects rd, rs, rt" m
+     | None, _ ->
+       match List.assoc_opt m fpu_ops, rest with
+       | Some op, [ rd; rs; rt ] -> Fpu (op, r rd, r rs, r rt)
+       | Some _, _ -> err line "%s expects rd, rs, rt" m
+       | None, _ ->
+         match List.assoc_opt m amo_ops, rest with
+         | Some op, [ rd; "("; rs; ")"; rt ] ->
+           Amo (op, r rd, r rs, r rt)
+         | Some _, _ -> err line "%s expects rd, (rs), rt" m
+         | None, _ ->
+           match List.assoc_opt m branch_conds, rest with
+           | Some c, [ rs; rt; l ] -> Branch (c, r rs, r rt, l)
+           | Some _, _ -> err line "%s expects rs, rt, label" m
+           | None, _ ->
+             match chop_prefix ~prefix:"xloop." m, rest with
+             | Some suffix, [ rs; rt; l ] ->
+               Xloop (xpat_of_suffix line suffix, r rs, r rt, l)
+             | Some _, _ -> err line "xloop expects rs, rt, label"
+             | None, _ ->
+               match m, rest with
+               | "lui", [ rd; v ] -> Lui (r rd, im v)
+               | "li", _ -> err line "li is a pseudo-op; use the builder"
+               | "j", [ l ] -> Jump l
+               | "jal", [ l ] -> Jal l
+               | "jr", [ rs ] -> Jr (r rs)
+               | "addiu.xi", [ rd; rs; v ] -> Xi_addi (r rd, r rs, im v)
+               | "addu.xi", [ rd; rs; rt ] -> Xi_add (r rd, r rs, r rt)
+               | "sync", [] -> Sync
+               | "halt", [] -> Halt
+               | "nop", [] -> Nop
+               | _ ->
+                 (* immediate ALU forms: addi/andi/... and loads/stores *)
+                 match chop_suffix_i m, rest with
+                 | Some op, [ rd; rs; v ] -> Alui (op, r rd, r rs, im v)
+                 | _ ->
+                   match load_store m, rest with
+                   | Some (`Load w), (rd :: mem) ->
+                     let off, base = mem_operand line mem in
+                     Load (w, r rd, base, off)
+                   | Some (`Store w), (rt :: mem) ->
+                     let off, base = mem_operand line mem in
+                     Store (w, r rt, base, off)
+                   | _ -> err line "unknown mnemonic '%s'" m)
+
+(* -- Whole-program parsing ----------------------------------------------- *)
+
+(** Parse an assembly listing into a program.  Lines may carry optional
+    leading "N:" instruction numbers (as printed by {!Program.pp}), which
+    are ignored; branch targets may be symbolic labels or absolute
+    instruction addresses, so [parse] round-trips with {!Program.pp}. *)
+let parse (src : string) : Program.t =
+  let items = ref [] in         (* reversed (string Insn.t) list *)
+  let count = ref 0 in
+  let labels = ref [] in
+  let lines = String.split_on_char '\n' src in
+  List.iteri
+    (fun lineno raw ->
+       let line = lineno + 1 in
+       let s = String.trim (strip_comment raw) in
+       if s <> "" then begin
+         if String.length s > 1 && s.[String.length s - 1] = ':'
+         && not (String.contains s ' ')
+         && int_of_string_opt (String.sub s 0 (String.length s - 1)) = None
+         then begin
+           let name = String.sub s 0 (String.length s - 1) in
+           if List.mem_assoc name !labels then
+             err line "duplicate label %s" name;
+           labels := (name, !count) :: !labels
+         end else begin
+           let toks = tokenize line s in
+           (* optional "N:" prefix from disassembly output *)
+           let toks =
+             match toks with
+             | t :: rest
+               when String.length t > 1 && t.[String.length t - 1] = ':'
+                 && int_of_string_opt
+                      (String.sub t 0 (String.length t - 1)) <> None ->
+               rest
+             | toks -> toks
+           in
+           if toks <> [] then begin
+             items := (line, parse_insn line toks) :: !items;
+             incr count
+           end
+         end
+       end)
+    lines;
+  let resolve line l =
+    match int_of_string_opt l with
+    | Some a -> a
+    | None ->
+      (match List.assoc_opt l !labels with
+       | Some a -> a
+       | None -> err line "undefined label %s" l)
+  in
+  let insns =
+    List.rev_map
+      (fun (line, insn) -> Insn.map_label (resolve line) insn)
+      !items
+    |> Array.of_list
+  in
+  { Program.insns; symbols = List.rev !labels }

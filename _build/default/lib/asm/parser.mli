@@ -1,0 +1,10 @@
+(** Textual assembly parser; round-trips with {!Program.pp}.
+
+    One instruction or label per line; labels end with ':'; comments
+    start with '#' or ';'.  Register operands accept software names and
+    raw [rN]; memory operands are written [off(base)]; branch and xloop
+    targets may be symbolic labels or absolute instruction addresses. *)
+
+exception Parse_error of { line : int; msg : string }
+
+val parse : string -> Program.t

@@ -1,0 +1,34 @@
+(** An assembled XLOOPS program: instructions at word addresses 0..n-1,
+    plus the symbol table kept for disassembly and debugging. *)
+
+type t = {
+  insns : int Xloops_isa.Insn.t array;
+  symbols : (string * int) list;  (** label -> instruction address *)
+}
+
+let length p = Array.length p.insns
+
+let address_of_symbol p name =
+  match List.assoc_opt name p.symbols with
+  | Some a -> a
+  | None -> invalid_arg ("Program.address_of_symbol: " ^ name)
+
+let symbol_at p addr =
+  List.filter_map (fun (n, a) -> if a = addr then Some n else None) p.symbols
+
+(** Disassemble the whole program, one instruction per line, with label
+    definitions interleaved. *)
+let pp ppf p =
+  Array.iteri
+    (fun pc insn ->
+       List.iter (fun s -> Fmt.pf ppf "%s:@." s) (symbol_at p pc);
+       Fmt.pf ppf "  %4d: %a@." pc Xloops_isa.Insn.pp_resolved insn)
+    p.insns
+
+let to_string p = Fmt.str "%a" pp p
+
+(** Encode to flat 32-bit words (loses the symbol table). *)
+let encode p = Xloops_isa.Encode.encode_program p.insns
+
+let decode words =
+  { insns = Xloops_isa.Encode.decode_program words; symbols = [] }

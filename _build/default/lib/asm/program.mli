@@ -1,0 +1,26 @@
+(** An assembled XLOOPS program: instructions at word addresses
+    [0..n-1] plus the symbol table (kept for disassembly). *)
+
+type t = {
+  insns : int Xloops_isa.Insn.t array;
+  symbols : (string * int) list;  (** label -> instruction address *)
+}
+
+val length : t -> int
+
+val address_of_symbol : t -> string -> int
+(** Raises [Invalid_argument] on unknown symbols. *)
+
+val symbol_at : t -> int -> string list
+(** All labels defined at an address. *)
+
+val pp : Format.formatter -> t -> unit
+(** Disassembly listing with interleaved label definitions; re-parseable
+    by {!Parser.parse}. *)
+
+val to_string : t -> string
+
+val encode : t -> int32 array
+(** Flat 32-bit machine words (drops the symbol table). *)
+
+val decode : int32 array -> t

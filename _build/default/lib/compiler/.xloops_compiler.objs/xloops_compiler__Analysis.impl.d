@@ -1,0 +1,1 @@
+lib/compiler/analysis.ml: Ast List Set String Xloops_isa

@@ -1,0 +1,1 @@
+lib/compiler/codegen.ml: Int32 Ir List Xloops_asm Xloops_isa

@@ -1,0 +1,1 @@
+lib/compiler/compile.ml: Array Ast Codegen List Lower Printf Regalloc String Xloops_asm Xloops_isa

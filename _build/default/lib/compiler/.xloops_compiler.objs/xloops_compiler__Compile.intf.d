@@ -1,0 +1,1 @@
+lib/compiler/compile.mli: Ast Lower Xloops_asm

@@ -1,0 +1,1 @@
+lib/compiler/ir.ml: Fmt Insn List String Xloops_isa

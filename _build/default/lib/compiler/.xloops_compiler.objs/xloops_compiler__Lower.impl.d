@@ -1,0 +1,1 @@
+lib/compiler/lower.ml: Analysis Ast Fmt Int32 Ir List Printf String Xloops_isa

@@ -1,0 +1,1 @@
+lib/compiler/regalloc.ml: Array Hashtbl Ir List Reg Xloops_isa

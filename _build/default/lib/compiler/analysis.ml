@@ -1,0 +1,306 @@
+(** Dependence analysis and pattern selection (Section II-B).
+
+    For a loop annotated [ordered] the programmer does not say whether the
+    inter-iteration dependence flows through registers, memory or both; the
+    compiler decides:
+
+    - {b register dependences} are found on the AST use-def structure: a
+      scalar declared outside the loop that is (possibly) read before it is
+      written inside the body carries a value between iterations — it will
+      live in a cross-iteration register (CIR);
+    - {b memory dependences} use the classic ZIV/SIV subscript tests on
+      affine subscripts [a*i + b] of the loop index, with a GCD test for
+      mismatched coefficients and conservative answers for everything the
+      tests cannot prove independent;
+    - loops whose {b bound} is recomputed from state the body updates are
+      classified dynamic-bound ([.db]).
+
+    [unordered] and [atomic] annotations are trusted, as in the paper. *)
+
+open Ast
+
+(* -- Linear-form extraction ------------------------------------------- *)
+
+(** [a*i + rest] where [rest] does not mention [i]; [None] if [e] is not
+    linear in [i]. *)
+type linear = { coeff : int; rest : expr }
+
+let rec mentions var = function
+  | Int _ | Flt _ -> false
+  | Var s -> String.equal s var
+  | Load (_, e) | Cvt_if e | Cvt_fi e -> mentions var e
+  | Bin (_, a, b) -> mentions var a || mentions var b
+  | Amo (_, _, i, v) -> mentions var i || mentions var v
+
+let rec linear_in var (e : expr) : linear option =
+  match e with
+  | Int _ | Flt _ -> Some { coeff = 0; rest = e }
+  | Var s when String.equal s var -> Some { coeff = 1; rest = Int 0 }
+  | Var _ -> Some { coeff = 0; rest = e }
+  | Bin (Add, a, b) ->
+    (match linear_in var a, linear_in var b with
+     | Some la, Some lb ->
+       Some { coeff = la.coeff + lb.coeff; rest = Bin (Add, la.rest, lb.rest) }
+     | _ -> None)
+  | Bin (Sub, a, b) ->
+    (match linear_in var a, linear_in var b with
+     | Some la, Some lb ->
+       Some { coeff = la.coeff - lb.coeff; rest = Bin (Sub, la.rest, lb.rest) }
+     | _ -> None)
+  | Bin (Mul, a, Int c) | Bin (Mul, Int c, a) ->
+    (match linear_in var a with
+     | Some la ->
+       Some { coeff = la.coeff * c; rest = Bin (Mul, la.rest, Int c) }
+     | None -> None)
+  | Bin (Shl, a, Int c) ->
+    (match linear_in var a with
+     | Some la ->
+       Some { coeff = la.coeff * (1 lsl c);
+              rest = Bin (Shl, la.rest, Int c) }
+     | None -> None)
+  | _ -> if mentions var e then None else Some { coeff = 0; rest = e }
+
+(** Constant-fold an expression to an integer if possible. *)
+let rec const_eval : expr -> int option = function
+  | Int n -> Some n
+  | Bin (op, a, b) ->
+    (match const_eval a, const_eval b, op with
+     | Some x, Some y, Add -> Some (x + y)
+     | Some x, Some y, Sub -> Some (x - y)
+     | Some x, Some y, Mul -> Some (x * y)
+     | Some x, Some y, Shl -> Some (x lsl y)
+     | _ -> None)
+  | _ -> None
+
+(* -- Access collection -------------------------------------------------- *)
+
+type access = {
+  acc_array : string;
+  acc_index : expr;
+  acc_write : bool;
+  acc_atomic : bool;
+}
+
+type scalar_use = First_read | First_write
+
+(** Everything the dependence tests need to know about a loop body. *)
+type body_summary = {
+  accesses : access list;
+  (* Scalars declared *outside* the body, with the kind of their first
+     (possible) access on some path through the body. *)
+  scalar_first : (string * scalar_use) list;
+  scalars_written : string list;
+  arrays_written : string list;
+  has_inner_loop : bool;
+}
+
+module S = Set.Make (String)
+
+(** Walk the body tracking, per program point, the set of scalars that
+    {e must} have been written on every path so far.  A read of a scalar
+    not in that set may observe the previous iteration's value
+    ("read-first").  Branch joins intersect the must-written sets; loop
+    bodies ([While], nested [For]) may execute zero times, so their writes
+    never shield later reads. *)
+let summarize (body : block) : body_summary =
+  let accesses = ref [] in
+  let read_first = ref S.empty in
+  let written = ref S.empty in
+  let arrays_w = ref S.empty in
+  let inner = ref false in
+  let rec expr ~locals ~must (e : expr) =
+    match e with
+    | Int _ | Flt _ -> ()
+    | Var s ->
+      if not (S.mem s locals) && not (S.mem s must) then
+        read_first := S.add s !read_first
+    | Load (a, idx) ->
+      expr ~locals ~must idx;
+      accesses := { acc_array = a; acc_index = idx; acc_write = false;
+                    acc_atomic = false } :: !accesses
+    | Bin (_, a, b) -> expr ~locals ~must a; expr ~locals ~must b
+    | Amo (_, a, idx, value) ->
+      expr ~locals ~must idx; expr ~locals ~must value;
+      accesses := { acc_array = a; acc_index = idx; acc_write = true;
+                    acc_atomic = true } :: !accesses;
+      arrays_w := S.add a !arrays_w
+    | Cvt_if e | Cvt_fi e -> expr ~locals ~must e
+  in
+  (* Returns (locals, must) after the statement. *)
+  let rec stmt (locals, must) = function
+    | Decl (x, e) ->
+      expr ~locals ~must e;
+      (S.add x locals, must)
+    | Assign (x, e) ->
+      expr ~locals ~must e;
+      if not (S.mem x locals) then written := S.add x !written;
+      (locals, S.add x must)
+    | Store (a, idx, e) ->
+      expr ~locals ~must idx; expr ~locals ~must e;
+      accesses := { acc_array = a; acc_index = idx; acc_write = true;
+                    acc_atomic = false } :: !accesses;
+      arrays_w := S.add a !arrays_w;
+      (locals, must)
+    | If (c, t, e) ->
+      expr ~locals ~must c;
+      let _, must_t = block (locals, must) t in
+      let _, must_e = block (locals, must) e in
+      (locals, S.inter must_t must_e)
+    | While (c, b) ->
+      expr ~locals ~must c;
+      (* May run zero times: its writes don't shield later reads. *)
+      ignore (block (locals, must) b);
+      (locals, must)
+    | For f ->
+      inner := true;
+      expr ~locals ~must f.lo; expr ~locals ~must f.hi;
+      ignore (block (S.add f.index locals, must) f.body);
+      (locals, must)
+    | For_de f ->
+      inner := true;
+      expr ~locals ~must f.de_lo;
+      let locals' = S.add f.de_index locals in
+      ignore (block (locals', must) f.de_body);
+      expr ~locals:locals' ~must f.de_cond;
+      (locals, must)
+  and block st stmts = List.fold_left stmt st stmts in
+  ignore (block (S.empty, S.empty) body);
+  let scalar_first =
+    S.fold (fun s acc -> (s, First_read) :: acc) !read_first []
+    @ S.fold
+      (fun s acc ->
+         if S.mem s !read_first then acc else (s, First_write) :: acc)
+      !written []
+  in
+  { accesses = List.rev !accesses;
+    scalar_first;
+    scalars_written = S.elements !written;
+    arrays_written = S.elements !arrays_w;
+    has_inner_loop = !inner }
+
+(* -- Dependence tests --------------------------------------------------- *)
+
+(** Conservative cross-iteration dependence test between two subscripts of
+    the same array, relative to loop index [var].  Returns [true] when a
+    dependence between *different* iterations cannot be ruled out. *)
+let cross_iteration_dep ~var (e1 : expr) (e2 : expr) : bool =
+  match linear_in var e1, linear_in var e2 with
+  | None, _ | _, None -> true                      (* nonlinear: assume *)
+  | Some l1, Some l2 ->
+    let b1 = const_eval l1.rest and b2 = const_eval l2.rest in
+    if l1.coeff = 0 && l2.coeff = 0 then begin
+      (* ZIV: both subscripts loop-invariant. *)
+      match b1, b2 with
+      | Some x, Some y -> x = y   (* same fixed cell touched every iter *)
+      | _ -> true                 (* unknown offsets: assume dependence *)
+    end
+    else if l1.coeff = l2.coeff then begin
+      (* Strong SIV: dependence distance d = (b2-b1)/a. *)
+      if expr_equal l1.rest l2.rest then false  (* distance 0: intra only *)
+      else
+        match b1, b2 with
+        | Some x, Some y ->
+          let d = y - x in
+          d <> 0 && d mod l1.coeff = 0
+        | _ -> true
+    end
+    else begin
+      (* Mismatched coefficients: GCD test when both offsets constant. *)
+      match b1, b2 with
+      | Some x, Some y ->
+        let rec gcd a b = if b = 0 then abs a else gcd b (a mod b) in
+        let g = gcd (l1.coeff - l2.coeff) (gcd l1.coeff l2.coeff) in
+        g = 0 || (y - x) mod g = 0
+      | _ -> true
+    end
+
+(** Does array [a] carry a cross-iteration memory dependence in this body?
+    Checks write-read, read-write and write-write pairs.  Atomic accesses
+    ([Amo]) never create an *ordering* requirement by themselves — that is
+    the whole point of AMOs — so pairs where both sides are atomic are
+    skipped. *)
+let array_has_dep ~var (summary : body_summary) a =
+  let accs = List.filter (fun x -> String.equal x.acc_array a)
+      summary.accesses in
+  let pairs = List.concat_map
+      (fun x -> List.filter_map
+          (fun y ->
+             if (x.acc_write || y.acc_write)
+             && not (x.acc_atomic && y.acc_atomic)
+             then Some (x, y) else None)
+          accs)
+      accs
+  in
+  List.exists
+    (fun (x, y) -> cross_iteration_dep ~var x.acc_index y.acc_index)
+    pairs
+
+(* -- Pattern selection --------------------------------------------------- *)
+
+type classification = {
+  pattern : Xloops_isa.Insn.xpat;
+  cir_scalars : string list;   (** loop-carried scalars (become CIRs) *)
+  dep_arrays : string list;    (** arrays carrying memory dependences *)
+  dynamic_bound : bool;
+}
+
+(** Scalars carried between iterations: declared outside, possibly read
+    before written, and written in the body.  The loop index is excluded
+    (handled by the induction machinery). *)
+let carried_scalars ~index (s : body_summary) =
+  List.filter_map
+    (fun (name, first) ->
+       if String.equal name index then None
+       else if first = First_read && List.mem name s.scalars_written
+       then Some name
+       else None)
+    s.scalar_first
+
+(** Is the loop bound recomputed from state the body updates? *)
+let bound_is_dynamic (f : for_loop) (s : body_summary) =
+  let hi_vars = expr_vars [] f.hi in
+  let hi_arrays = expr_arrays [] f.hi in
+  List.exists (fun v -> List.mem v s.scalars_written) hi_vars
+  || List.exists (fun a -> List.mem a s.arrays_written) hi_arrays
+
+let classify (f : for_loop) : classification =
+  let s = summarize f.body in
+  let dynamic_bound = bound_is_dynamic f s in
+  let cp : Xloops_isa.Insn.cpattern = if dynamic_bound then Dyn else Fixed in
+  match f.pragma with
+  | None ->
+    { pattern = { dp = Uc; cp };  (* unreachable for serial loops *)
+      cir_scalars = []; dep_arrays = []; dynamic_bound }
+  | Some Unordered ->
+    { pattern = { dp = Uc; cp }; cir_scalars = []; dep_arrays = [];
+      dynamic_bound }
+  | Some Atomic ->
+    { pattern = { dp = Ua; cp }; cir_scalars = []; dep_arrays = [];
+      dynamic_bound }
+  | Some Ordered ->
+    let cirs = carried_scalars ~index:f.index s in
+    let dep_arrays =
+      List.sort_uniq String.compare
+        (List.filter (fun a -> array_has_dep ~var:f.index s a)
+           (List.sort_uniq String.compare
+              (List.map (fun x -> x.acc_array) s.accesses)))
+    in
+    let dp : Xloops_isa.Insn.dpattern =
+      match cirs, dep_arrays with
+      | [], [] -> Uc       (* provably independent: least restrictive *)
+      | _ :: _, [] -> Or
+      | [], _ :: _ -> Om
+      | _ :: _, _ :: _ -> Orm
+    in
+    { pattern = { dp; cp }; cir_scalars = cirs; dep_arrays; dynamic_bound }
+
+(** Classification for a data-dependent-exit loop: the data pattern is
+    selected exactly as for a counted loop (the continue condition counts
+    as body reads), and the control pattern is always [De]. *)
+let classify_de (f : for_de) : classification =
+  let pseudo : for_loop =
+    { index = f.de_index; lo = f.de_lo; hi = Int 0; pragma = f.de_pragma;
+      body = f.de_body @ [ Decl ("$cond", f.de_cond) ] }
+  in
+  let c = classify pseudo in
+  { c with pattern = { c.pattern with cp = De }; dynamic_bound = false }

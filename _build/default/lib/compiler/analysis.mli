@@ -1,0 +1,67 @@
+(** Dependence analysis and pattern selection (Section II-B of the
+    paper): classifies [ordered] loops into [xloop.{or,om,orm}] from
+    register use-def structure and ZIV/SIV/GCD subscript tests, detects
+    dynamically-raised bounds, and trusts [unordered]/[atomic]
+    annotations as the paper does. *)
+
+(** [a*i + rest] where [rest] does not mention [i]. *)
+type linear = { coeff : int; rest : Ast.expr }
+
+val mentions : string -> Ast.expr -> bool
+
+val linear_in : string -> Ast.expr -> linear option
+(** Linear-form extraction; [None] when the expression is not affine in
+    the variable. *)
+
+val const_eval : Ast.expr -> int option
+(** Constant folding over [+,-,*,<<]. *)
+
+type access = {
+  acc_array : string;
+  acc_index : Ast.expr;
+  acc_write : bool;
+  acc_atomic : bool;
+}
+
+type scalar_use = First_read | First_write
+
+type body_summary = {
+  accesses : access list;
+  scalar_first : (string * scalar_use) list;
+      (** outer scalars with the kind of their first possible access on
+          some path (branch joins intersect must-written sets; loop
+          bodies may run zero times and never shield later reads) *)
+  scalars_written : string list;
+  arrays_written : string list;
+  has_inner_loop : bool;
+}
+
+val summarize : Ast.block -> body_summary
+
+val cross_iteration_dep : var:string -> Ast.expr -> Ast.expr -> bool
+(** Conservative cross-iteration dependence test between two subscripts
+    of the same array: ZIV when both are invariant, strong SIV on equal
+    coefficients (distance-0 pairs are intra-iteration only), a GCD test
+    on mismatched coefficients, and [true] for anything non-affine. *)
+
+val array_has_dep : var:string -> body_summary -> string -> bool
+(** W-R, R-W and W-W pairs, skipping atomic-vs-atomic pairs (AMOs don't
+    order a loop by themselves). *)
+
+type classification = {
+  pattern : Xloops_isa.Insn.xpat;
+  cir_scalars : string list;   (** loop-carried scalars (become CIRs) *)
+  dep_arrays : string list;
+  dynamic_bound : bool;
+}
+
+val carried_scalars : index:string -> body_summary -> string list
+val bound_is_dynamic : Ast.for_loop -> body_summary -> bool
+
+val classify : Ast.for_loop -> classification
+(** [ordered] with no surviving dependence decays to the least
+    restrictive pattern, [uc]. *)
+
+val classify_de : Ast.for_de -> classification
+(** Same data-pattern selection for a data-dependent-exit loop; the
+    control pattern is always [De]. *)

@@ -1,0 +1,267 @@
+(** Loopc: the small typed loop language the XLOOPS kernels are written in.
+
+    Loopc plays the role of the paper's annotated C kernels: structured
+    loops over statically-sized arrays, with [#pragma xloops
+    unordered/ordered/atomic] annotations attached to [For] loops.  The
+    compiler ({!Compile}) lowers it to the XLOOPS ISA (or to the plain
+    general-purpose ISA for the baseline binaries), running the paper's
+    analysis passes on the way:
+
+    - pattern selection: [ordered] loops are classified into
+      [xloop.{or,om,orm}] by register and memory dependence analysis
+      ({!Analysis}); annotated loops whose bound grows get the [.db]
+      suffix;
+    - loop strength reduction that emits [.xi] instructions for mutual
+      induction variables.
+
+    The language is deliberately small: scalars are [int] or [float32],
+    arrays are 1-D with [u8]/[u16]/[i32]/[f32] elements (multi-dimensional
+    arrays are indexed manually, as in the paper's kernels), and control
+    flow is [for]/[while]/[if]. *)
+
+type ty = U8 | U16 | I32 | F32
+
+let ty_name = function U8 -> "u8" | U16 -> "u16" | I32 -> "i32" | F32 -> "f32"
+
+let elem_bytes = function U8 -> 1 | U16 -> 2 | I32 | F32 -> 4
+
+(** Scalar value type: arrays of [U8]/[U16]/[I32] produce [Int] scalars. *)
+type sty = Int | Flt
+
+let sty_of_ty = function U8 | U16 | I32 -> Int | F32 -> Flt
+
+type binop =
+  | Add | Sub | Mul | Div | Rem
+  | And | Or | Xor | Shl | Shr | Sar
+  | Lt | Le | Gt | Ge | Eq | Ne
+  | Min | Max
+
+type amo_kind = Aadd | Aand | Aor | Axchg | Amin | Amax
+
+type expr =
+  | Int of int
+  | Flt of float
+  | Var of string
+  | Load of string * expr                  (** arr[e] *)
+  | Bin of binop * expr * expr
+  | Amo of amo_kind * string * expr * expr (** amo(arr, idx, v): old value *)
+  | Cvt_if of expr                         (** int -> float *)
+  | Cvt_fi of expr                         (** float -> int (trunc) *)
+
+type pragma = Unordered | Ordered | Atomic
+
+type stmt =
+  | Decl of string * expr            (** let x = e — scoped local *)
+  | Assign of string * expr
+  | Store of string * expr * expr    (** arr[e1] = e2 *)
+  | If of expr * block * block
+  | While of expr * block
+  | For of for_loop
+  | For_de of for_de
+      (** counted loop with a data-dependent exit: the body runs at
+          least once, then continues while [de_cond] holds (evaluated at
+          the end of each iteration) — the paper's future-work [.de]
+          control pattern *)
+
+and block = stmt list
+
+and for_loop = {
+  index : string;
+  lo : expr;
+  hi : expr;   (** re-evaluated when the body updates what it reads *)
+  pragma : pragma option;
+  body : block;
+}
+
+and for_de = {
+  de_index : string;
+  de_lo : expr;
+  de_cond : expr;          (** continue while true, checked post-body *)
+  de_pragma : pragma option;
+  de_body : block;
+}
+
+type array_decl = { a_name : string; a_ty : ty; a_len : int }
+
+type kernel = {
+  k_name : string;
+  arrays : array_decl list;
+  (** Compile-time integer parameters usable as [Var] in the body. *)
+  consts : (string * int) list;
+  k_body : block;
+}
+
+(** [for_ i lo hi ?pragma body] — a counted loop from [lo] (inclusive) to
+    [hi] (exclusive) with unit step. *)
+let for_ ?pragma index lo hi body = For { index; lo; hi; pragma; body }
+
+(** [for_de i lo cond body] — a do-while-style counted loop that keeps
+    iterating while [cond] (evaluated after each iteration) holds. *)
+let for_de ?pragma de_index de_lo de_cond de_body =
+  For_de { de_index; de_lo; de_cond; de_pragma = pragma; de_body }
+
+(** Infix constructors for writing kernels.  Open locally
+    ([Ast.Syntax.(...)]) — the operators shadow the integer ones. *)
+module Syntax = struct
+  let ( + ) a b = Bin (Add, a, b)
+  let ( - ) a b = Bin (Sub, a, b)
+  let ( * ) a b = Bin (Mul, a, b)
+  let ( / ) a b = Bin (Div, a, b)
+  let ( % ) a b = Bin (Rem, a, b)
+  let ( < ) a b = Bin (Lt, a, b)
+  let ( <= ) a b = Bin (Le, a, b)
+  let ( > ) a b = Bin (Gt, a, b)
+  let ( >= ) a b = Bin (Ge, a, b)
+  let ( = ) a b = Bin (Eq, a, b)
+  let ( <> ) a b = Bin (Ne, a, b)
+  let ( land ) a b = Bin (And, a, b)
+  let ( lor ) a b = Bin (Or, a, b)
+  let ( lxor ) a b = Bin (Xor, a, b)
+  let ( lsl ) a b = Bin (Shl, a, b)
+  let ( lsr ) a b = Bin (Shr, a, b)
+  let ( asr ) a b = Bin (Sar, a, b)
+  let i n = Int n
+  let v name = Var name
+  let ( .%[] ) arr e = Load (arr, e)
+  let min_ a b = Bin (Min, a, b)
+  let max_ a b = Bin (Max, a, b)
+  let for_ = for_
+  let for_de = for_de
+end
+
+(* -- Pretty printer ---------------------------------------------------- *)
+
+let binop_name = function
+  | Add -> "+" | Sub -> "-" | Mul -> "*" | Div -> "/" | Rem -> "%"
+  | And -> "&" | Or -> "|" | Xor -> "^" | Shl -> "<<" | Shr -> ">>" | Sar -> ">>a"
+  | Lt -> "<" | Le -> "<=" | Gt -> ">" | Ge -> ">=" | Eq -> "==" | Ne -> "!="
+  | Min -> "min" | Max -> "max"
+
+let amo_name = function
+  | Aadd -> "amo_add" | Aand -> "amo_and" | Aor -> "amo_or"
+  | Axchg -> "amo_xchg" | Amin -> "amo_min" | Amax -> "amo_max"
+
+let rec pp_expr ppf : expr -> unit = function
+  | Int n -> Fmt.int ppf n
+  | Flt f -> Fmt.float ppf f
+  | Var s -> Fmt.string ppf s
+  | Load (a, e) -> Fmt.pf ppf "%s[%a]" a pp_expr e
+  | Bin ((Min | Max) as o, a, b) ->
+    Fmt.pf ppf "%s(%a, %a)" (binop_name o) pp_expr a pp_expr b
+  | Bin (o, a, b) ->
+    Fmt.pf ppf "(%a %s %a)" pp_expr a (binop_name o) pp_expr b
+  | Amo (k, a, idx, v) ->
+    Fmt.pf ppf "%s(%s, %a, %a)" (amo_name k) a pp_expr idx pp_expr v
+  | Cvt_if e -> Fmt.pf ppf "(float)%a" pp_expr e
+  | Cvt_fi e -> Fmt.pf ppf "(int)%a" pp_expr e
+
+let pragma_name = function
+  | Unordered -> "unordered" | Ordered -> "ordered" | Atomic -> "atomic"
+
+let rec pp_stmt ppf = function
+  | Decl (x, e) -> Fmt.pf ppf "let %s = %a;" x pp_expr e
+  | Assign (x, e) -> Fmt.pf ppf "%s = %a;" x pp_expr e
+  | Store (a, idx, e) ->
+    Fmt.pf ppf "%s[%a] = %a;" a pp_expr idx pp_expr e
+  | If (c, t, []) ->
+    Fmt.pf ppf "@[<v 2>if %a {@,%a@]@,}" pp_expr c pp_block t
+  | If (c, t, e) ->
+    Fmt.pf ppf "@[<v 2>if %a {@,%a@]@,@[<v 2>} else {@,%a@]@,}"
+      pp_expr c pp_block t pp_block e
+  | While (c, b) ->
+    Fmt.pf ppf "@[<v 2>while %a {@,%a@]@,}" pp_expr c pp_block b
+  | For f ->
+    (match f.pragma with
+     | Some p -> Fmt.pf ppf "#pragma xloops %s@," (pragma_name p)
+     | None -> ());
+    Fmt.pf ppf "@[<v 2>for %s in %a .. %a {@,%a@]@,}"
+      f.index pp_expr f.lo pp_expr f.hi pp_block f.body
+  | For_de f ->
+    (match f.de_pragma with
+     | Some p -> Fmt.pf ppf "#pragma xloops %s@," (pragma_name p)
+     | None -> ());
+    Fmt.pf ppf "@[<v 2>for %s from %a while %a {@,%a@]@,}"
+      f.de_index pp_expr f.de_lo pp_expr f.de_cond pp_block f.de_body
+
+and pp_block ppf b = Fmt.(list ~sep:cut pp_stmt) ppf b
+
+let pp_kernel ppf k =
+  Fmt.pf ppf "@[<v>kernel %s@," k.k_name;
+  List.iter
+    (fun a -> Fmt.pf ppf "array %s : %s[%d]@," a.a_name (ty_name a.a_ty)
+        a.a_len)
+    k.arrays;
+  List.iter (fun (n, v) -> Fmt.pf ppf "const %s = %d@," n v) k.consts;
+  Fmt.pf ppf "%a@]" pp_block k.k_body
+
+(* -- Constant inlining --------------------------------------------------- *)
+
+(** Substitute the kernel's compile-time constants into the body, so the
+    dependence tests and strength reduction see real coefficients (e.g.
+    [a[i*n + j]] becomes affine once [n] is a literal).  Shadowing a
+    constant with a local or a loop index is rejected. *)
+let subst_consts (k : kernel) : kernel =
+  let bound = List.map fst k.consts in
+  let check_shadow x =
+    if List.mem x bound then
+      invalid_arg ("Loopc: local '" ^ x ^ "' shadows a kernel constant")
+  in
+  let rec expr (e : expr) =
+    match e with
+    | Int _ | Flt _ -> e
+    | Var s ->
+      (match List.assoc_opt s k.consts with
+       | Some c -> Int c
+       | None -> e)
+    | Load (a, idx) -> Load (a, expr idx)
+    | Bin (o, a, b) -> Bin (o, expr a, expr b)
+    | Amo (op, a, idx, value) -> Amo (op, a, expr idx, expr value)
+    | Cvt_if e -> Cvt_if (expr e)
+    | Cvt_fi e -> Cvt_fi (expr e)
+  in
+  let rec stmt = function
+    | Decl (x, e) -> check_shadow x; Decl (x, expr e)
+    | Assign (x, e) -> check_shadow x; Assign (x, expr e)
+    | Store (a, idx, e) -> Store (a, expr idx, expr e)
+    | If (c, t, e) -> If (expr c, List.map stmt t, List.map stmt e)
+    | While (c, b) -> While (expr c, List.map stmt b)
+    | For f ->
+      check_shadow f.index;
+      For { f with lo = expr f.lo; hi = expr f.hi;
+                   body = List.map stmt f.body }
+    | For_de f ->
+      check_shadow f.de_index;
+      For_de { f with de_lo = expr f.de_lo; de_cond = expr f.de_cond;
+                      de_body = List.map stmt f.de_body }
+  in
+  { k with k_body = List.map stmt k.k_body; consts = [] }
+
+(* -- Structural helpers used by the analyses --------------------------- *)
+
+let rec expr_vars acc = function
+  | Int _ | Flt _ -> acc
+  | Var s -> s :: acc
+  | Load (_, e) | Cvt_if e | Cvt_fi e -> expr_vars acc e
+  | Bin (_, a, b) -> expr_vars (expr_vars acc a) b
+  | Amo (_, _, i, v) -> expr_vars (expr_vars acc i) v
+
+let rec expr_arrays acc = function
+  | Int _ | Flt _ | Var _ -> acc
+  | Load (a, e) -> expr_arrays (a :: acc) e
+  | Cvt_if e | Cvt_fi e -> expr_arrays acc e
+  | Bin (_, a, b) -> expr_arrays (expr_arrays acc a) b
+  | Amo (_, a, i, v) -> expr_arrays (expr_arrays (a :: acc) i) v
+
+let rec expr_equal (a : expr) (b : expr) =
+  match a, b with
+  | Int x, Int y -> Stdlib.( = ) x y
+  | Flt x, Flt y -> Stdlib.( = ) x y
+  | Var x, Var y -> String.equal x y
+  | Load (x, e1), Load (y, e2) -> String.equal x y && expr_equal e1 e2
+  | Bin (o1, a1, b1), Bin (o2, a2, b2) ->
+    Stdlib.( = ) o1 o2 && expr_equal a1 a2 && expr_equal b1 b2
+  | Amo (k1, x, i1, v1), Amo (k2, y, i2, v2) ->
+    Stdlib.( = ) k1 k2 && String.equal x y && expr_equal i1 i2
+    && expr_equal v1 v2
+  | Cvt_if e1, Cvt_if e2 | Cvt_fi e1, Cvt_fi e2 -> expr_equal e1 e2
+  | _ -> false

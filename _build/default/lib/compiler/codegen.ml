@@ -1,0 +1,30 @@
+(** Code generation: physical-register IR to the assembler.  One IR
+    instruction maps to one machine instruction, except [Li] of wide
+    constants (lui+ori via the builder pseudo-op). *)
+
+module B = Xloops_asm.Builder
+
+(** [emit ~spill_base ir] assembles a complete program.  The prologue
+    initializes the reserved spill-base register; [spill_base] may be 0
+    when no slots are in use. *)
+let emit ?(spill_base = 0) (ir : Ir.instr list) : Xloops_asm.Program.t =
+  let b = B.create () in
+  if spill_base <> 0 then B.li b Xloops_isa.Reg.sp spill_base;
+  List.iter
+    (fun (i : Ir.instr) ->
+       match i with
+       | Li (d, v) -> B.li b d (Int32.to_int v)
+       | Alu (o, d, a, r) -> B.alu b o d a r
+       | Alui (o, d, a, imm) -> B.alui b o d a imm
+       | Fpu (o, d, a, r) -> B.fpu b o d a r
+       | Load (w, d, a, imm) -> B.load b w d a imm
+       | Store (w, v, a, imm) -> B.store b w v a imm
+       | Amo (o, d, a, v) -> B.amo b o d a v
+       | Br (c, a, r, l) -> B.branch b c a r l
+       | Jmp l -> B.jump b l
+       | Label l -> B.label b l
+       | Xloop (p, a, r, l) -> B.xloop b p a r l
+       | Xi_addi (d, a, imm) -> B.xi_addi b d a imm
+       | Halt -> B.halt b)
+    ir;
+  B.assemble b

@@ -1,0 +1,7 @@
+(** Code generation: physical-register IR to the assembler, one machine
+    instruction per IR instruction except wide [Li] constants
+    (lui+ori). *)
+
+val emit : ?spill_base:int -> Ir.instr list -> Xloops_asm.Program.t
+(** The prologue initializes the reserved spill-base register when
+    [spill_base] is nonzero. *)

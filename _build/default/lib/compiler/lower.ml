@@ -1,0 +1,723 @@
+(** Lowering from Loopc to the virtual-register IR.
+
+    The interesting work mirrors the paper's compiler changes:
+
+    - annotated [For] loops lower to the fall-into form (zero-trip guard,
+      body, index update, [xloop] at the bottom) with the pattern chosen by
+      {!Analysis.classify}; dynamic bounds re-evaluate the bound expression
+      at the end of the body so the hardware sees the bound-register write;
+    - {b loop strength reduction}: array subscripts affine in the nearest
+      enclosing loop index become incremented pointers.  Inside an
+      annotated loop (when the target permits [.xi]) the increment is an
+      [addiu.xi] so the LPSU can compute the mutual induction variable in
+      parallel; in serial loops it is a plain add; and when [.xi] is
+      disabled (the paper's RTL evaluation mode) strength reduction is
+      suppressed inside annotated loops, because a plain-add pointer would
+      impose an inter-iteration register dependence the pattern does not
+      declare — addresses are recomputed from the index instead;
+    - loop-invariant subscripts get their address computation hoisted to
+      the preheader. *)
+
+open Ast
+
+exception Compile_error of string
+
+let err fmt = Fmt.kstr (fun s -> raise (Compile_error s)) fmt
+
+type target = {
+  xloops : bool;  (** emit xloop/.xi; false = general-purpose ISA *)
+  use_xi : bool;  (** allow .xi strength reduction in annotated loops *)
+}
+
+let general = { xloops = false; use_xi = false }
+let xloops_isa = { xloops = true; use_xi = true }
+let xloops_no_xi = { xloops = true; use_xi = false }
+
+type array_info = { ai_base : int; ai_ty : ty }
+
+(* A strength-reduced pointer: [array[coeff*i + sym + const]] is addressed
+   as [p + const*elem] where [p] is updated by [coeff*elem] per
+   iteration. *)
+type pointer = {
+  p_array : string;
+  p_coeff : int;
+  p_sym : expr;        (* invariant symbolic remainder; Int 0 if none *)
+  p_vreg : Ir.vreg;
+  p_step : int;        (* byte step per iteration; 0 = hoisted invariant *)
+}
+
+type frame = {
+  fr_index : string;
+  fr_annotated : bool;
+  fr_pointers : pointer list;
+}
+
+type env = {
+  target : target;
+  arrays : (string * array_info) list;
+  consts : (string * int) list;
+  mutable code : Ir.instr list;      (* reversed *)
+  mutable next_vreg : int;
+  mutable next_label : int;
+  mutable scope : (string * (Ir.vreg * sty)) list;
+  mutable frames : frame list;       (* innermost first *)
+  mutable base_regs : (string * Ir.vreg) list;
+      (** array base addresses cached in registers at kernel entry *)
+  mutable annotated_regions : (string * string) list;
+      (** (body label, end label) of each emitted xloop, for diagnostics *)
+}
+
+let emit env i = env.code <- i :: env.code
+
+let fresh env =
+  let v = env.next_vreg in
+  env.next_vreg <- v + 1;
+  v
+
+let fresh_label env prefix =
+  env.next_label <- env.next_label + 1;
+  Printf.sprintf "%s_%d" prefix env.next_label
+
+let array_info env a =
+  match List.assoc_opt a env.arrays with
+  | Some i -> i
+  | None -> err "unknown array %s" a
+
+let width_of_ty : ty -> Xloops_isa.Insn.width = function
+  | U8 -> Bu | U16 -> Hu | I32 | F32 -> W
+
+let shift_of_bytes = function 1 -> 0 | 2 -> 1 | 4 -> 2 | _ -> assert false
+
+let fits_imm16 v = v >= -32768 && v <= 32767
+
+(* -- Expressions -------------------------------------------------------- *)
+
+let lookup_var env x =
+  match List.assoc_opt x env.scope with
+  | Some (v, t) -> `Reg (v, t)
+  | None ->
+    (match List.assoc_opt x env.consts with
+     | Some c -> `Const c
+     | None -> err "unbound variable %s" x)
+
+(** Split an invariant remainder into (symbolic part, constant part). *)
+let rec split_const (e : expr) : expr * int =
+  match e with
+  | Int c -> (Int 0, c)
+  | Bin (Add, a, b) ->
+    let sa, ca = split_const a and sb, cb = split_const b in
+    let sym = match sa, sb with
+      | Int 0, s | s, Int 0 -> s
+      | _ -> Bin (Add, sa, sb)
+    in
+    (sym, ca + cb)
+  | Bin (Sub, a, Int c) ->
+    let sa, ca = split_const a in
+    (sa, ca - c)
+  | _ -> (e, 0)
+
+let rec sty_of env (e : expr) : sty =
+  match e with
+  | Int _ -> Int
+  | Flt _ -> Flt
+  | Var x -> (match lookup_var env x with
+      | `Reg (_, t) -> t
+      | `Const _ -> Int)
+  | Load (a, _) -> sty_of_ty (array_info env a).ai_ty
+  | Bin ((Lt | Le | Gt | Ge | Eq | Ne), _, _) -> Int
+  | Bin (_, a, b) ->
+    (match sty_of env a, sty_of env b with
+     | Flt, _ | _, Flt -> Flt
+     | Int, Int -> Int)
+  | Amo _ -> Int
+  | Cvt_if _ -> Flt
+  | Cvt_fi _ -> Int
+
+let mv env d s = if d <> s then emit env (Ir.Alu (Add, d, s, Ir.vzero))
+
+let li env d v = emit env (Ir.Li (d, Int32.of_int v))
+
+(** The register holding [arr]'s base address (materialized once in the
+    kernel prologue). *)
+let base_reg env arr =
+  match List.assoc_opt arr env.base_regs with
+  | Some v -> v
+  | None ->
+    let v = fresh env in
+    li env v (array_info env arr).ai_base;
+    env.base_regs <- (arr, v) :: env.base_regs;
+    v
+
+(** Variables whose value changes inside [body] (assigned scalars, inner
+    loop indices, locals): an expression mentioning any of them is not
+    invariant in the loop. *)
+let changing_vars (f : for_loop) : string list =
+  let acc = ref [ f.index ] in
+  let rec stmt = function
+    | Decl (x, _) | Assign (x, _) -> acc := x :: !acc
+    | Store _ -> ()
+    | If (_, t, e) -> List.iter stmt t; List.iter stmt e
+    | While (_, b) -> List.iter stmt b
+    | For g ->
+      acc := g.index :: !acc;
+      List.iter stmt g.body
+    | For_de g ->
+      acc := g.de_index :: !acc;
+      List.iter stmt g.de_body
+  in
+  List.iter stmt f.body;
+  !acc
+
+let rec expr_invariant ~changing (e : expr) =
+  match e with
+  | Int _ | Flt _ -> true
+  | Var s -> not (List.mem s changing)
+  | Bin (_, a, b) -> expr_invariant ~changing a && expr_invariant ~changing b
+  | Load _ | Amo _ | Cvt_if _ | Cvt_fi _ -> false
+  (* Loads are conservatively variant: the loop may write the array. *)
+
+(** Find a strength-reduced pointer for access [arr[idx]] in the innermost
+    frame.  Returns the base vreg and a byte offset. *)
+let find_pointer env arr (idx : expr) : (Ir.vreg * int) option =
+  match env.frames with
+  | [] -> None
+  | fr :: _ ->
+    (match Analysis.linear_in fr.fr_index idx with
+     | None -> None
+     | Some { coeff; rest } ->
+       let sym, cst = split_const rest in
+       let elem = elem_bytes (array_info env arr).ai_ty in
+       let off = cst * elem in
+       if not (fits_imm16 off) then None
+       else
+         List.find_map
+           (fun p ->
+              if String.equal p.p_array arr && p.p_coeff = coeff
+              && expr_equal p.p_sym sym
+              then Some (p.p_vreg, off)
+              else None)
+           fr.fr_pointers)
+
+let rec lower_expr env (e : expr) : Ir.vreg =
+  match e with
+  | Int 0 -> Ir.vzero
+  | Int n -> let d = fresh env in li env d n; d
+  | Flt f ->
+    let d = fresh env in
+    emit env (Ir.Li (d, Int32.bits_of_float f));
+    d
+  | Var x ->
+    (match lookup_var env x with
+     | `Reg (v, _) -> v
+     | `Const c -> let d = fresh env in li env d c; d)
+  | Load (arr, idx) ->
+    let info = array_info env arr in
+    let base, off = lower_address env arr idx in
+    let d = fresh env in
+    emit env (Ir.Load (width_of_ty info.ai_ty, d, base, off));
+    d
+  | Bin (op, a, b) ->
+    let dest = fresh env in
+    (match sty_of env a, sty_of env b with
+     | Flt, Flt -> lower_float_bin env ~dest op a b
+     | Int, Int -> lower_int_bin env ~dest op a b
+     | _ -> err "mixed int/float operands in %s (insert a cast)"
+              (binop_name op))
+  | Amo (k, arr, idx, value) ->
+    let info = array_info env arr in
+    if elem_bytes info.ai_ty <> 4 then err "amo on non-word array %s" arr;
+    let base, off = lower_address env arr idx in
+    let addr =
+      if off = 0 then base
+      else begin
+        let t = fresh env in
+        emit env (Ir.Alui (Add, t, base, off));
+        t
+      end
+    in
+    let vv = lower_expr env value in
+    let d = fresh env in
+    let op : Xloops_isa.Insn.amo_op = match k with
+      | Aadd -> Amo_add | Aand -> Amo_and | Aor -> Amo_or
+      | Axchg -> Amo_xchg | Amin -> Amo_min | Amax -> Amo_max
+    in
+    emit env (Ir.Amo (op, d, addr, vv));
+    d
+  | Cvt_if e ->
+    let v = lower_expr env e in
+    let d = fresh env in
+    emit env (Ir.Fpu (Fcvt_sw, d, v, Ir.vzero));
+    d
+  | Cvt_fi e ->
+    let v = lower_expr env e in
+    let d = fresh env in
+    emit env (Ir.Fpu (Fcvt_ws, d, v, Ir.vzero));
+    d
+
+(** Address of [arr[idx]] as (base vreg, byte offset): via a
+    strength-reduced pointer when one exists, otherwise computed inline
+    from the index. *)
+and lower_address env arr (idx : expr) : Ir.vreg * int =
+  match find_pointer env arr idx with
+  | Some (p, off) -> (p, off)
+  | None ->
+    let info = array_info env arr in
+    let elem = elem_bytes info.ai_ty in
+    (match Analysis.const_eval idx with
+     | Some c when fits_imm16 (info.ai_base + (c * elem))
+                && info.ai_base + (c * elem) >= 0 ->
+       (* Constant subscript: absolute addressing off the zero register
+          when it fits; otherwise materialize. *)
+       let d = fresh env in
+       li env d (info.ai_base + (c * elem));
+       (d, 0)
+     | _ ->
+       let iv = lower_expr env idx in
+       let scaled =
+         if elem = 1 then iv
+         else begin
+           let t = fresh env in
+           emit env (Ir.Alui (Sll, t, iv, shift_of_bytes elem));
+           t
+         end
+       in
+       let d = fresh env in
+       emit env (Ir.Alu (Add, d, base_reg env arr, scaled));
+       (d, 0))
+
+and lower_int_bin env ~dest op a b : Ir.vreg =
+  let d = dest in
+  let imm_of e = match Analysis.const_eval e with
+    | Some c when fits_imm16 c -> Some c
+    | _ -> None
+  in
+  let bin (alu : Xloops_isa.Insn.alu_op) =
+    (match imm_of b with
+     | Some c
+       when (match alu with
+           | Add | And | Or_ | Xor | Slt | Sltu -> true | _ -> false) ->
+       let va = lower_expr env a in
+       emit env (Ir.Alui (alu, d, va, c))
+     | _ ->
+       let va = lower_expr env a in
+       let vb = lower_expr env b in
+       emit env (Ir.Alu (alu, d, va, vb)));
+    d
+  in
+  let is_pow2 c = c > 0 && c land (c - 1) = 0 in
+  let log2 c =
+    let rec go n c = if c = 1 then n else go (n + 1) (c asr 1) in
+    go 0 c
+  in
+  match op with
+  | Add -> bin Add
+  | Sub ->
+    (match imm_of b with
+     | Some c when fits_imm16 (-c) ->
+       let va = lower_expr env a in
+       emit env (Ir.Alui (Add, d, va, -c));
+       d
+     | _ -> bin Sub)
+  | Mul ->
+    (match imm_of b, imm_of a with
+     | Some c, _ when is_pow2 c ->
+       let va = lower_expr env a in
+       emit env (Ir.Alui (Sll, d, va, log2 c));
+       d
+     | _, Some c when is_pow2 c ->
+       let vb = lower_expr env b in
+       emit env (Ir.Alui (Sll, d, vb, log2 c));
+       d
+     | _ -> bin Mul)
+  | Div -> bin Div
+  | Rem -> bin Rem
+  | And -> bin And
+  | Or -> bin Or_
+  | Xor -> bin Xor
+  | Shl ->
+    (match imm_of b with
+     | Some c -> let va = lower_expr env a in
+       emit env (Ir.Alui (Sll, d, va, c)); d
+     | None -> bin Sll)
+  | Shr ->
+    (match imm_of b with
+     | Some c -> let va = lower_expr env a in
+       emit env (Ir.Alui (Srl, d, va, c)); d
+     | None -> bin Srl)
+  | Sar ->
+    (match imm_of b with
+     | Some c -> let va = lower_expr env a in
+       emit env (Ir.Alui (Sra, d, va, c)); d
+     | None -> bin Sra)
+  | Lt -> bin Slt
+  | Gt ->
+    let va = lower_expr env a in
+    let vb = lower_expr env b in
+    emit env (Ir.Alu (Slt, d, vb, va));
+    d
+  | Le ->
+    let va = lower_expr env a in
+    let vb = lower_expr env b in
+    emit env (Ir.Alu (Slt, d, vb, va));    (* b < a *)
+    emit env (Ir.Alui (Xor, d, d, 1));     (* !(b < a) *)
+    d
+  | Ge ->
+    let va = lower_expr env a in
+    let vb = lower_expr env b in
+    emit env (Ir.Alu (Slt, d, va, vb));
+    emit env (Ir.Alui (Xor, d, d, 1));
+    d
+  | Eq ->
+    let va = lower_expr env a in
+    let vb = lower_expr env b in
+    let t = fresh env in
+    emit env (Ir.Alu (Sub, t, va, vb));
+    emit env (Ir.Alui (Sltu, d, t, 1));
+    d
+  | Ne ->
+    let va = lower_expr env a in
+    let vb = lower_expr env b in
+    let t = fresh env in
+    emit env (Ir.Alu (Sub, t, va, vb));
+    emit env (Ir.Alu (Sltu, d, Ir.vzero, t));
+    d
+  | Min | Max ->
+    let va = lower_expr env a in
+    let vb = lower_expr env b in
+    (* Always select into a temp and copy once at the end: the temp keeps
+       the branch from clobbering an aliased operand, and the final copy
+       is an unconditional write — important when [d] is a
+       cross-iteration register, whose last static write must execute on
+       every path for the hardware to forward it early. *)
+    let t = fresh env in
+    let skip = fresh_label env "minmax" in
+    mv env t va;
+    (match op with
+     | Min -> emit env (Ir.Br (Bge, vb, va, skip))
+     | Max -> emit env (Ir.Br (Bge, va, vb, skip))
+     | _ -> assert false);
+    mv env t vb;
+    emit env (Ir.Label skip);
+    emit env (Ir.Alu (Add, d, t, Ir.vzero));  (* t <> d: never dropped *)
+    d
+
+and lower_float_bin env ~dest op a b : Ir.vreg =
+  let d = dest in
+  let f (fop : Xloops_isa.Insn.fpu_op) =
+    let va = lower_expr env a in
+    let vb = lower_expr env b in
+    emit env (Ir.Fpu (fop, d, va, vb));
+    d
+  in
+  let f_swapped (fop : Xloops_isa.Insn.fpu_op) =
+    let va = lower_expr env a in
+    let vb = lower_expr env b in
+    emit env (Ir.Fpu (fop, d, vb, va));
+    d
+  in
+  match op with
+  | Add -> f Fadd
+  | Sub -> f Fsub
+  | Mul -> f Fmul
+  | Div -> f Fdiv
+  | Min -> f Fmin
+  | Max -> f Fmax
+  | Lt -> f Flt
+  | Le -> f Fle
+  | Eq -> f Feq
+  | Gt -> f_swapped Flt
+  | Ge -> f_swapped Fle
+  | Ne ->
+    let va = lower_expr env a in
+    let vb = lower_expr env b in
+    emit env (Ir.Fpu (Feq, d, va, vb));
+    emit env (Ir.Alui (Xor, d, d, 1));
+    d
+  | Rem | And | Or | Xor | Shl | Shr | Sar ->
+    err "operator %s undefined on floats" (binop_name op)
+
+(** Lower [e] straight into register [d], avoiding the temp-plus-copy of
+    [lower_expr] for the common statement forms. *)
+and lower_expr_into env d (e : expr) =
+  match e with
+  | Int n -> if n = 0 then mv env d Ir.vzero else li env d n
+  | Flt f -> emit env (Ir.Li (d, Int32.bits_of_float f))
+  | Var x ->
+    (match lookup_var env x with
+     | `Reg (v, _) -> mv env d v
+     | `Const c -> li env d c)
+  | Load (arr, idx) ->
+    let info = array_info env arr in
+    let base, off = lower_address env arr idx in
+    emit env (Ir.Load (width_of_ty info.ai_ty, d, base, off))
+  | Bin (op, a, b) ->
+    (match sty_of env a, sty_of env b with
+     | Flt, Flt -> ignore (lower_float_bin env ~dest:d op a b)
+     | Int, Int -> ignore (lower_int_bin env ~dest:d op a b)
+     | _ -> err "mixed int/float operands in %s (insert a cast)"
+              (binop_name op))
+  | Amo _ | Cvt_if _ | Cvt_fi _ ->
+    let v = lower_expr env e in
+    mv env d v
+
+(* -- Statements --------------------------------------------------------- *)
+
+let rec lower_stmt env (s : stmt) =
+  match s with
+  | Decl (x, e) ->
+    let t = sty_of env e in
+    let v = fresh env in
+    lower_expr_into env v e;   (* [x] still refers to any outer binding *)
+    env.scope <- (x, (v, t)) :: env.scope
+  | Assign (x, e) ->
+    (match lookup_var env x with
+     | `Const _ -> err "cannot assign to constant %s" x
+     | `Reg (v, _) -> lower_expr_into env v e)
+  | Store (arr, idx, e) ->
+    let info = array_info env arr in
+    let ve = lower_expr env e in
+    let base, off = lower_address env arr idx in
+    emit env (Ir.Store (width_of_ty info.ai_ty, ve, base, off))
+  | If (c, t, e) ->
+    let vc = lower_expr env c in
+    let l_else = fresh_label env "else" in
+    let l_end = fresh_label env "endif" in
+    emit env (Ir.Br (Beq, vc, Ir.vzero, (if e = [] then l_end else l_else)));
+    lower_block env t;
+    if e <> [] then begin
+      emit env (Ir.Jmp l_end);
+      emit env (Ir.Label l_else);
+      lower_block env e
+    end;
+    emit env (Ir.Label l_end)
+  | While (c, b) ->
+    let l_head = fresh_label env "while" in
+    let l_end = fresh_label env "endwhile" in
+    emit env (Ir.Label l_head);
+    let vc = lower_expr env c in
+    emit env (Ir.Br (Beq, vc, Ir.vzero, l_end));
+    lower_block env b;
+    emit env (Ir.Jmp l_head);
+    emit env (Ir.Label l_end)
+  | For f -> lower_for env f
+  | For_de f -> lower_for_de env f
+
+and lower_block env (b : block) =
+  let saved = env.scope in
+  List.iter (lower_stmt env) b;
+  env.scope <- saved
+
+(* -- Loops --------------------------------------------------------------- *)
+
+(** Collect candidate strength-reduction accesses of the immediate loop
+    level: subscripts linear in [f.index] with an invariant remainder.
+    Descends into [If]/[While] but not into nested [For]s (which reduce
+    their own accesses). *)
+and collect_sr_accesses env (f : for_loop) : (string * int * expr) list =
+  let changing = changing_vars f in
+  let found = ref [] in
+  let consider arr idx =
+    match Analysis.linear_in f.index idx with
+    | None -> ()
+    | Some { coeff; rest } ->
+      let sym, cst = split_const rest in
+      let elem = elem_bytes (array_info env arr).ai_ty in
+      if expr_invariant ~changing sym && fits_imm16 (cst * elem) then begin
+        let key = (arr, coeff, sym) in
+        if not (List.exists
+                  (fun (a, c, s) ->
+                     String.equal a arr && c = coeff && expr_equal s sym)
+                  !found)
+        then found := key :: !found
+      end
+  in
+  let rec expr (e : expr) =
+    match e with
+    | Int _ | Flt _ | Var _ -> ()
+    | Load (a, idx) -> expr idx; consider a idx
+    | Bin (_, a, b) -> expr a; expr b
+    | Amo (_, a, idx, v) -> expr idx; expr v; consider a idx
+    | Cvt_if e | Cvt_fi e -> expr e
+  in
+  let rec stmt = function
+    | Decl (_, e) | Assign (_, e) -> expr e
+    | Store (a, idx, e) -> expr idx; expr e; consider a idx
+    | If (c, t, e) -> expr c; List.iter stmt t; List.iter stmt e
+    | While (c, b) -> expr c; List.iter stmt b
+    | For _ | For_de _ -> ()  (* inner loops reduce their own accesses *)
+  in
+  List.iter stmt f.body;
+  List.rev !found
+
+(** Initialize strength-reduced pointers for the accesses of [f]'s
+    immediate body: [p = base + (coeff*i + sym) * elem] with [i]'s
+    current value in [vi]. *)
+and init_pointers env (f : for_loop) vi : pointer list =
+  List.map
+    (fun (arr, coeff, sym) ->
+       let info = array_info env arr in
+       let elem = elem_bytes info.ai_ty in
+       let p = fresh env in
+       mv env p (base_reg env arr);
+       let rec lg n c = if c <= 1 then n else lg (n + 1) (c asr 1) in
+       if coeff <> 0 then begin
+         let t = fresh env in
+         (match coeff * elem with
+          | 1 -> mv env t vi
+          | ce when ce > 0 && ce land (ce - 1) = 0 ->
+            emit env (Ir.Alui (Sll, t, vi, lg 0 ce))
+          | ce ->
+            let c = fresh env in
+            li env c ce;
+            emit env (Ir.Alu (Mul, t, vi, c)));
+         emit env (Ir.Alu (Add, p, p, t))
+       end;
+       (match sym with
+        | Int 0 -> ()
+        | _ ->
+          let vs = lower_expr env sym in
+          let t = fresh env in
+          (match elem with
+           | 1 -> mv env t vs
+           | e -> emit env (Ir.Alui (Sll, t, vs, shift_of_bytes e)));
+          emit env (Ir.Alu (Add, p, p, t)));
+       { p_array = arr; p_coeff = coeff; p_sym = sym; p_vreg = p;
+         p_step = coeff * elem })
+    (collect_sr_accesses env f)
+
+(** End-of-body induction updates: pointer steps and the unit index
+    increment, as [.xi] inside annotated loops when the target allows. *)
+and emit_increments env ~annotated pointers vi =
+  List.iter
+    (fun p ->
+       if p.p_step <> 0 then begin
+         if annotated && env.target.use_xi then
+           emit env (Ir.Xi_addi (p.p_vreg, p.p_vreg, p.p_step))
+         else
+           emit env (Ir.Alui (Add, p.p_vreg, p.p_vreg, p.p_step))
+       end)
+    pointers;
+  if annotated && env.target.use_xi then
+    emit env (Ir.Xi_addi (vi, vi, 1))
+  else
+    emit env (Ir.Alui (Add, vi, vi, 1))
+
+and lower_for env (f : for_loop) =
+  let annotated = env.target.xloops && f.pragma <> None in
+  let cls = Analysis.classify f in
+  (* Index and bound. *)
+  let vi = fresh env in
+  lower_expr_into env vi f.lo;
+  env.scope <- (f.index, (vi, Int)) :: env.scope;
+  let vb = fresh env in
+  let eval_bound () = lower_expr_into env vb f.hi in
+  eval_bound ();
+  (* Strength reduction: suppressed inside annotated loops when .xi is
+     unavailable (a plain-add pointer would be an undeclared CIR). *)
+  let do_sr = (not annotated) || env.target.use_xi in
+  let pointers = if not do_sr then [] else init_pointers env f vi in
+  let frame = { fr_index = f.index; fr_annotated = annotated;
+                fr_pointers = pointers } in
+  let increments () = emit_increments env ~annotated pointers vi in
+  if annotated then begin
+    let l_body = fresh_label env "xbody" in
+    let l_end = fresh_label env "xend" in
+    emit env (Ir.Br (Bge, vi, vb, l_end));   (* zero-trip guard *)
+    emit env (Ir.Label l_body);
+    env.frames <- frame :: env.frames;
+    lower_block env f.body;
+    env.frames <- List.tl env.frames;
+    if cls.dynamic_bound then eval_bound ();
+    increments ();
+    emit env (Ir.Xloop (cls.pattern, vi, vb, l_body));
+    emit env (Ir.Label l_end);
+    env.annotated_regions <- (l_body, l_end) :: env.annotated_regions
+  end else begin
+    let l_head = fresh_label env "for" in
+    let l_end = fresh_label env "endfor" in
+    emit env (Ir.Label l_head);
+    if cls.dynamic_bound then eval_bound ();
+    emit env (Ir.Br (Bge, vi, vb, l_end));
+    env.frames <- frame :: env.frames;
+    lower_block env f.body;
+    env.frames <- List.tl env.frames;
+    increments ();
+    emit env (Ir.Jmp l_head);
+    emit env (Ir.Label l_end)
+  end;
+  (* The index variable goes out of scope with the loop. *)
+  env.scope <- List.remove_assoc f.index env.scope
+
+(** Data-dependent-exit loop (do-while flavour: the body always runs
+    once).  Annotated form: body, then the exit flag — the negation of
+    the continue condition — computed into the bound register, then the
+    induction updates, then [xloop.<dp>.de] which branches back while the
+    flag is clear.  Serial form: a plain conditional back-edge. *)
+and lower_for_de env (f : for_de) =
+  let annotated = env.target.xloops && f.de_pragma <> None in
+  let cls = Analysis.classify_de f in
+  let vi = fresh env in
+  lower_expr_into env vi f.de_lo;
+  env.scope <- (f.de_index, (vi, Int)) :: env.scope;
+  (* Strength reduction as for counted loops ([.xi] only when allowed). *)
+  let do_sr = (not annotated) || env.target.use_xi in
+  let pseudo : for_loop =
+    { index = f.de_index; lo = f.de_lo; hi = Int 0; pragma = f.de_pragma;
+      body = f.de_body } in
+  let pointers =
+    if not do_sr then [] else init_pointers env pseudo vi in
+  let frame = { fr_index = f.de_index; fr_annotated = annotated;
+                fr_pointers = pointers } in
+  let increments () = emit_increments env ~annotated pointers vi in
+  let l_body = fresh_label env "xbody" in
+  env.frames <- frame :: env.frames;
+  (* The continue condition may read the body's locals, so the body is
+     lowered without the usual block-scope restore and the whole scope is
+     popped after the condition. *)
+  let saved_scope = env.scope in
+  if annotated then begin
+    let vexit = fresh env in
+    emit env (Ir.Label l_body);
+    List.iter (lower_stmt env) f.de_body;
+    (* exit flag: 1 when the continue condition is false *)
+    lower_expr_into env vexit (Bin (Eq, f.de_cond, Int 0));
+    increments ();
+    emit env (Ir.Xloop ({ dp = cls.pattern.Xloops_isa.Insn.dp; cp = De },
+                        vi, vexit, l_body));
+    env.annotated_regions <-
+      (l_body, l_body) :: env.annotated_regions
+  end else begin
+    emit env (Ir.Label l_body);
+    List.iter (lower_stmt env) f.de_body;
+    let vc = lower_expr env f.de_cond in
+    increments ();
+    emit env (Ir.Br (Bne, vc, Ir.vzero, l_body))
+  end;
+  env.frames <- List.tl env.frames;
+  env.scope <- saved_scope
+
+(* -- Entry point --------------------------------------------------------- *)
+
+type lowered = {
+  ir : Ir.instr list;
+  num_vregs : int;
+  xloop_regions : (string * string) list;
+}
+
+let lower_kernel ~(target : target)
+    ~(arrays : (string * array_info) list) (k : kernel) : lowered =
+  let env = {
+    target; arrays; consts = k.consts;
+    code = []; next_vreg = 1;  (* vreg 0 = zero *)
+    next_label = 0; scope = []; frames = []; base_regs = [];
+    annotated_regions = [];
+  } in
+  (* Prologue: bind every array base to a register once.  Base registers
+     are written only here, so even if one spills, the spill store stays
+     outside any xloop body. *)
+  List.iter (fun (a, _) -> ignore (base_reg env a)) arrays;
+  lower_block env k.k_body;
+  emit env Ir.Halt;
+  { ir = List.rev env.code;
+    num_vregs = env.next_vreg;
+    xloop_regions = env.annotated_regions }

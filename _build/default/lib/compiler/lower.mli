@@ -1,0 +1,32 @@
+(** Lowering from Loopc to the virtual-register IR: annotated loops
+    become fall-into [xloop] regions with the pattern chosen by
+    {!Analysis}; loop strength reduction turns affine subscripts into
+    incremented pointers ([.xi] inside annotated loops when the target
+    allows, suppressed entirely there when it does not); loop-invariant
+    address computation hoists to preheaders; dynamic bounds re-evaluate
+    at the end of the body. *)
+
+exception Compile_error of string
+
+type target = {
+  xloops : bool;  (** emit xloop/.xi; false = general-purpose ISA *)
+  use_xi : bool;  (** allow .xi strength reduction in annotated loops *)
+}
+
+val general : target
+val xloops_isa : target
+val xloops_no_xi : target
+
+type array_info = { ai_base : int; ai_ty : Ast.ty }
+
+type lowered = {
+  ir : Ir.instr list;
+  num_vregs : int;
+  xloop_regions : (string * string) list;
+}
+
+val lower_kernel :
+  target:target -> arrays:(string * array_info) list -> Ast.kernel ->
+  lowered
+(** Raises {!Compile_error} on unbound names, type mismatches, or
+    unsupported constructs. *)

@@ -1,0 +1,259 @@
+(** Register allocation: instruction-level liveness followed by linear
+    scan with spilling.
+
+    Live ranges are conservative "linearized" intervals — a vreg's
+    interval spans from the first position where it is defined or live to
+    the last.  Because a value live around a loop back-edge is live-in at
+    the loop header, its interval automatically covers the whole loop
+    body.  This property matters beyond allocation quality: a
+    cross-iteration register (CIR) or an [.xi] induction pointer keeps its
+    physical register to itself for the entire [xloop] body, so the
+    hardware's scan-phase bit-vector analysis sees exactly the CIRs the
+    compiler intended.
+
+    Spill slots live in a dedicated memory area addressed off the reserved
+    stack register; {!Compile} rejects spill {e stores} inside [xloop]
+    bodies, where lanes would race on the shared slot. *)
+
+open Xloops_isa
+
+exception Too_many_spills of string
+
+(* Allocatable pool: temporaries then saved registers.  ra/sp/at/k0/k1 and
+   the argument registers are reserved (sp = spill base, k0/k1 = spill
+   scratch, a0..a3 free for future calling conventions). *)
+let pool =
+  [ Reg.t0; Reg.t1; Reg.t2; Reg.t3; Reg.t4; Reg.t5; Reg.t6; Reg.t7 ]
+  @ List.init (Reg.alloc_last - Reg.alloc_first + 1)
+    (fun i -> Reg.alloc_first + i)
+
+let num_pool = List.length pool
+
+type location = Phys of Reg.t | Slot of int
+
+type allocation = {
+  loc : location array;       (* indexed by vreg *)
+  num_slots : int;
+}
+
+(* -- Liveness ----------------------------------------------------------- *)
+
+(** Bitset-based backward dataflow over the flat instruction array. *)
+let liveness (code : Ir.instr array) ~num_vregs =
+  let n = Array.length code in
+  let words = (num_vregs + 62) / 63 in
+  let live_in = Array.make_matrix n words 0 in
+  let label_pos = Hashtbl.create 16 in
+  Array.iteri
+    (fun i insn ->
+       match insn with
+       | Ir.Label l -> Hashtbl.replace label_pos l i
+       | _ -> ())
+    code;
+  let succs i =
+    let insn = code.(i) in
+    let next = if i + 1 < n && not (Ir.is_unconditional insn)
+      then [ i + 1 ] else [] in
+    match Ir.branch_target insn with
+    | Some l -> Hashtbl.find label_pos l :: next
+    | None -> next
+  in
+  let set bits v = bits.(v / 63) <- bits.(v / 63) lor (1 lsl (v mod 63)) in
+  let clear bits v =
+    bits.(v / 63) <- bits.(v / 63) land lnot (1 lsl (v mod 63)) in
+  let changed = ref true in
+  let tmp = Array.make words 0 in
+  while !changed do
+    changed := false;
+    for i = n - 1 downto 0 do
+      (* out = union of successor live-ins *)
+      Array.fill tmp 0 words 0;
+      List.iter
+        (fun s ->
+           let sl = live_in.(s) in
+           for w = 0 to words - 1 do tmp.(w) <- tmp.(w) lor sl.(w) done)
+        (succs i);
+      (* in = (out - def) + use *)
+      (match Ir.dest code.(i) with Some d -> clear tmp d | None -> ());
+      List.iter (fun s -> if s <> Ir.vzero then set tmp s)
+        (Ir.sources code.(i));
+      let li = live_in.(i) in
+      let diff = ref false in
+      for w = 0 to words - 1 do
+        if tmp.(w) <> li.(w) then diff := true
+      done;
+      if !diff then begin
+        Array.blit tmp 0 li 0 words;
+        changed := true
+      end
+    done
+  done;
+  live_in
+
+(* -- Intervals ----------------------------------------------------------- *)
+
+type interval = { v : int; i_start : int; i_end : int }
+
+let intervals (code : Ir.instr array) ~num_vregs =
+  let live_in = liveness code ~num_vregs in
+  let n = Array.length code in
+  let first = Array.make num_vregs max_int in
+  let last = Array.make num_vregs (-1) in
+  let touch v i =
+    if v <> Ir.vzero then begin
+      if i < first.(v) then first.(v) <- i;
+      if i > last.(v) then last.(v) <- i
+    end
+  in
+  for i = 0 to n - 1 do
+    (match Ir.dest code.(i) with Some d -> touch d i | None -> ());
+    List.iter (fun s -> touch s i) (Ir.sources code.(i));
+    let li = live_in.(i) in
+    for w = 0 to Array.length li - 1 do
+      let bits = ref li.(w) in
+      while !bits <> 0 do
+        let b = !bits land (- !bits) in
+        let v = (w * 63) + (let rec lg n x = if x = 1 then n
+                             else lg (n + 1) (x lsr 1) in lg 0 b) in
+        if v < num_vregs then touch v i;
+        bits := !bits land lnot b
+      done
+    done
+  done;
+  let acc = ref [] in
+  for v = num_vregs - 1 downto 1 do
+    if last.(v) >= 0 then
+      acc := { v; i_start = first.(v); i_end = last.(v) } :: !acc
+  done;
+  !acc
+
+(* -- Linear scan --------------------------------------------------------- *)
+
+let allocate (code : Ir.instr array) ~num_vregs : allocation =
+  let ivs = List.sort (fun a b -> compare a.i_start b.i_start)
+      (intervals code ~num_vregs) in
+  let loc = Array.make num_vregs (Phys Reg.zero) in
+  let free = ref pool in
+  let active = ref [] in   (* (interval, reg), sorted by i_end asc *)
+  let num_slots = ref 0 in
+  let expire pos =
+    let expired, still =
+      List.partition (fun (iv, _) -> iv.i_end < pos) !active in
+    List.iter (fun (_, r) -> free := r :: !free) expired;
+    active := still
+  in
+  let add_active iv r =
+    active :=
+      List.sort (fun (a, _) (b, _) -> compare a.i_end b.i_end)
+        ((iv, r) :: !active)
+  in
+  let new_slot () =
+    let s = !num_slots in
+    incr num_slots;
+    s
+  in
+  List.iter
+    (fun iv ->
+       expire iv.i_start;
+       match !free with
+       | r :: rest ->
+         free := rest;
+         loc.(iv.v) <- Phys r;
+         add_active iv r
+       | [] ->
+         (* Spill the interval that ends furthest away. *)
+         (match List.rev !active with
+          | (victim, r) :: _ when victim.i_end > iv.i_end ->
+            loc.(victim.v) <- Slot (new_slot ());
+            active := List.filter (fun (a, _) -> a.v <> victim.v) !active;
+            loc.(iv.v) <- Phys r;
+            add_active iv r
+          | _ ->
+            loc.(iv.v) <- Slot (new_slot ())))
+    ivs;
+  { loc = loc; num_slots = !num_slots }
+
+(* -- Rewrite -------------------------------------------------------------- *)
+
+(** Rewrite the code with physical registers, inserting spill loads/stores
+    through the reserved scratch registers [k0]/[k1] and the spill base
+    register [sp]. *)
+let rewrite (code : Ir.instr array) (alloc : allocation) : Ir.instr list =
+  let out = ref [] in
+  let emit i = out := i :: !out in
+  let slot_off s = s * 4 in
+  let src_reg scratch v =
+    if v = Ir.vzero then Reg.zero
+    else match alloc.loc.(v) with
+      | Phys r -> r
+      | Slot s ->
+        emit (Ir.Load (W, scratch, Reg.sp, slot_off s));
+        scratch
+  in
+  let dst_reg v =
+    if v = Ir.vzero then (Reg.zero, None)
+    else match alloc.loc.(v) with
+      | Phys r -> (r, None)
+      | Slot s -> (Reg.k0, Some s)
+  in
+  let finish_dst = function
+    | None -> ()
+    | Some s -> emit (Ir.Store (W, Reg.k0, Reg.sp, slot_off s))
+  in
+  Array.iter
+    (fun insn ->
+       match insn with
+       | Ir.Li (d, v) ->
+         let rd, sp = dst_reg d in
+         emit (Ir.Li (rd, v)); finish_dst sp
+       | Ir.Alu (o, d, a, b) ->
+         let ra = src_reg Reg.k0 a in
+         let rb = src_reg Reg.k1 b in
+         let rd, sp = dst_reg d in
+         emit (Ir.Alu (o, rd, ra, rb)); finish_dst sp
+       | Ir.Alui (o, d, a, imm) ->
+         let ra = src_reg Reg.k0 a in
+         let rd, sp = dst_reg d in
+         emit (Ir.Alui (o, rd, ra, imm)); finish_dst sp
+       | Ir.Fpu (o, d, a, b) ->
+         let ra = src_reg Reg.k0 a in
+         let rb = src_reg Reg.k1 b in
+         let rd, sp = dst_reg d in
+         emit (Ir.Fpu (o, rd, ra, rb)); finish_dst sp
+       | Ir.Load (w, d, a, imm) ->
+         let ra = src_reg Reg.k0 a in
+         let rd, sp = dst_reg d in
+         emit (Ir.Load (w, rd, ra, imm)); finish_dst sp
+       | Ir.Store (w, v, a, imm) ->
+         let rv = src_reg Reg.k0 v in
+         let ra = src_reg Reg.k1 a in
+         emit (Ir.Store (w, rv, ra, imm))
+       | Ir.Amo (o, d, a, v) ->
+         let ra = src_reg Reg.k0 a in
+         let rv = src_reg Reg.k1 v in
+         let rd, sp = dst_reg d in
+         emit (Ir.Amo (o, rd, ra, rv)); finish_dst sp
+       | Ir.Br (c, a, b, l) ->
+         let ra = src_reg Reg.k0 a in
+         let rb = src_reg Reg.k1 b in
+         emit (Ir.Br (c, ra, rb, l))
+       | Ir.Jmp l -> emit (Ir.Jmp l)
+       | Ir.Label l -> emit (Ir.Label l)
+       | Ir.Xloop (p, a, b, l) ->
+         let ra = src_reg Reg.k0 a in
+         let rb = src_reg Reg.k1 b in
+         emit (Ir.Xloop (p, ra, rb, l))
+       | Ir.Xi_addi (d, a, imm) ->
+         let ra = src_reg Reg.k0 a in
+         let rd, sp = dst_reg d in
+         emit (Ir.Xi_addi (rd, ra, imm)); finish_dst sp
+       | Ir.Halt -> emit Ir.Halt)
+    code;
+  List.rev !out
+
+(** Allocate and rewrite; returns physical-register IR plus the number of
+    spill slots used. *)
+let run (ir : Ir.instr list) ~num_vregs : Ir.instr list * int =
+  let code = Array.of_list ir in
+  let alloc = allocate code ~num_vregs in
+  (rewrite code alloc, alloc.num_slots)

@@ -1,0 +1,42 @@
+(** Register allocation: instruction-level liveness followed by linear
+    scan with whole-range spilling.
+
+    Live ranges are conservative linearized intervals; a value live
+    around a loop back-edge covers the whole loop, so a cross-iteration
+    register or [.xi] pointer keeps its physical register to itself for
+    the entire [xloop] body — exactly what the hardware's scan-phase
+    bit-vector analysis needs to rediscover it.
+
+    Spill slots live in memory off the reserved {!Xloops_isa.Reg.sp};
+    {!Compile} rejects spill {e stores} inside xloop bodies. *)
+
+exception Too_many_spills of string
+
+val pool : Xloops_isa.Reg.t list
+(** The allocatable physical registers (t0..t7, s0..s13). *)
+
+val num_pool : int
+
+type location = Phys of Xloops_isa.Reg.t | Slot of int
+
+type allocation = {
+  loc : location array;   (** indexed by vreg *)
+  num_slots : int;
+}
+
+val liveness : Ir.instr array -> num_vregs:int -> int array array
+(** Per-instruction live-in bitsets (63 vregs per word), from backward
+    dataflow over the flat instruction array. *)
+
+type interval = { v : int; i_start : int; i_end : int }
+
+val intervals : Ir.instr array -> num_vregs:int -> interval list
+
+val allocate : Ir.instr array -> num_vregs:int -> allocation
+
+val rewrite : Ir.instr array -> allocation -> Ir.instr list
+(** Physical-register code with spill loads/stores through the [k0]/[k1]
+    scratch registers. *)
+
+val run : Ir.instr list -> num_vregs:int -> Ir.instr list * int
+(** [allocate] + [rewrite]; returns the code and the spill-slot count. *)

@@ -1,0 +1,1 @@
+lib/core/xloops.ml: Experiments Xloops_asm Xloops_compiler Xloops_energy Xloops_isa Xloops_kernels Xloops_mem Xloops_sim Xloops_vlsi

@@ -1,0 +1,1 @@
+lib/core/experiments.ml: Fmt List Xloops_compiler Xloops_energy Xloops_kernels Xloops_sim Xloops_vlsi

@@ -1,0 +1,1 @@
+lib/core/experiments.mli: Format Xloops_compiler Xloops_energy Xloops_kernels Xloops_sim

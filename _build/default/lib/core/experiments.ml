@@ -1,0 +1,316 @@
+(** The evaluation engine: everything needed to regenerate the paper's
+    tables and figures from the simulator.
+
+    An {!eval} bundles, for one application kernel, all twelve runs of
+    Section IV's methodology: the serial (general-purpose ISA) baseline on
+    each of io / ooo2 / ooo4, and the XLOOPS binary in traditional /
+    specialized / adaptive mode on the corresponding +x machine.  Every
+    run self-checks its outputs; a failed check raises, so the tables can
+    never silently report numbers from a broken execution. *)
+
+module Kernel = Xloops_kernels.Kernel
+module Registry = Xloops_kernels.Registry
+module Machine = Xloops_sim.Machine
+module Config = Xloops_sim.Config
+module Stats = Xloops_sim.Stats
+module Compile = Xloops_compiler.Compile
+module Energy = Xloops_energy.Model
+
+type run_data = {
+  cfg : Config.t;
+  mode : Machine.mode;
+  cycles : int;
+  insns : int;
+  stats : Stats.t;
+  energy : Energy.breakdown;
+}
+
+exception Check_failed of { kernel : string; what : string; msg : string }
+
+let run_checked ?(target = Compile.xloops) ~cfg ~mode (k : Kernel.t)
+  : run_data =
+  let r = Kernel.run ~target ~cfg ~mode k in
+  (match r.check_result with
+   | Ok () -> ()
+   | Error msg ->
+     raise (Check_failed
+              { kernel = k.name;
+                what = Fmt.str "%s/%s" cfg.Config.name
+                    (Machine.mode_name mode);
+                msg }));
+  { cfg; mode;
+    cycles = r.result.Machine.cycles;
+    insns = r.result.Machine.insns;
+    stats = r.result.Machine.stats;
+    energy = Energy.of_stats cfg r.result.Machine.stats }
+
+(* The three host pairs of Table II: baseline GPP and its +x machine. *)
+let hosts = [ (Config.io, Config.io_x);
+              (Config.ooo2, Config.ooo2_x);
+              (Config.ooo4, Config.ooo4_x) ]
+
+type host_eval = {
+  base : run_data;          (** serial baseline on the bare GPP *)
+  trad : run_data;          (** XLOOPS binary, traditional *)
+  spec : run_data;          (** XLOOPS binary, specialized *)
+  adapt : run_data;         (** XLOOPS binary, adaptive *)
+}
+
+type eval = {
+  kernel : Kernel.t;
+  gpi_dyn : int;            (** serial dynamic instructions, general ISA *)
+  xli_dyn : int;            (** serial dynamic instructions, XLOOPS ISA *)
+  body_min : int;           (** smallest static xloop body *)
+  body_max : int;
+  per_host : (string * host_eval) list;   (** keyed by GPP name *)
+}
+
+let body_stats (k : Kernel.t) =
+  let c = Compile.compile ~target:Compile.xloops k.kernel in
+  match Compile.xloop_bodies c.program with
+  | [] -> (0, 0)
+  | bodies ->
+    let lens = List.map (fun (_, _, l) -> l) bodies in
+    (List.fold_left min max_int lens, List.fold_left max 0 lens)
+
+(** Run the full Table II methodology for one kernel. *)
+let evaluate ?(hosts = hosts) (k : Kernel.t) : eval =
+  let gpi_dyn = Kernel.dynamic_insns ~target:Compile.general k in
+  let xli_dyn = Kernel.dynamic_insns ~target:Compile.xloops k in
+  let body_min, body_max = body_stats k in
+  let per_host =
+    List.map
+      (fun (gpp, gpp_x) ->
+         (gpp.Config.name,
+          { base = run_checked ~target:Compile.general ~cfg:gpp
+                ~mode:Machine.Traditional k;
+            trad = run_checked ~cfg:gpp_x ~mode:Machine.Traditional k;
+            spec = run_checked ~cfg:gpp_x ~mode:Machine.Specialized k;
+            adapt = run_checked ~cfg:gpp_x ~mode:Machine.Adaptive k }))
+      hosts
+  in
+  { kernel = k; gpi_dyn; xli_dyn; body_min; body_max; per_host }
+
+let host ev name =
+  match List.assoc_opt name ev.per_host with
+  | Some h -> h
+  | None -> invalid_arg ("Experiments.host: " ^ name)
+
+(** Speedup of a run relative to the serial baseline on the same GPP. *)
+let speedup (h : host_eval) (r : run_data) =
+  float_of_int h.base.cycles /. float_of_int r.cycles
+
+(** Energy efficiency relative to the serial baseline on the same GPP
+    (>1 means less energy than the baseline). *)
+let energy_eff (h : host_eval) (r : run_data) =
+  Energy.efficiency ~baseline:h.base.energy r.energy
+
+(** Relative dynamic power (energy/time) vs the baseline. *)
+let rel_power (h : host_eval) (r : run_data) =
+  Energy.power ~cycles:r.cycles r.energy
+  /. Energy.power ~cycles:h.base.cycles h.base.energy
+
+(* ------------------------------------------------------------------ *)
+(* Table II                                                            *)
+(* ------------------------------------------------------------------ *)
+
+type table2_row = {
+  t2_name : string;
+  t2_suite : string;
+  t2_type : string;
+  t2_body : int * int;
+  t2_gpi : int;
+  t2_xg : float;               (** XLI/GPI dynamic-instruction ratio *)
+  (* (T, S, A) per host, in io / ooo2 / ooo4 order *)
+  t2_speedups : (string * (float * float * float)) list;
+}
+
+let table2_row (ev : eval) : table2_row =
+  { t2_name = ev.kernel.name;
+    t2_suite = ev.kernel.suite;
+    t2_type = ev.kernel.dominant;
+    t2_body = (ev.body_min, ev.body_max);
+    t2_gpi = ev.gpi_dyn;
+    t2_xg = float_of_int ev.xli_dyn /. float_of_int ev.gpi_dyn;
+    t2_speedups =
+      List.map
+        (fun (name, h) ->
+           (name, (speedup h h.trad, speedup h h.spec, speedup h h.adapt)))
+        ev.per_host }
+
+let pp_table2_header ppf () =
+  Fmt.pf ppf
+    "%-14s %-3s %-6s %-9s %9s %5s │ %-17s │ %-17s │ %-17s@."
+    "name" "st" "type" "body" "GPI-dyn" "X/G"
+    "io: T    S    A" "ooo2: T   S    A" "ooo4: T   S    A"
+
+let pp_table2_row ppf (r : table2_row) =
+  let tri (t, s, a) = Fmt.str "%4.2f %4.2f %4.2f" t s a in
+  let get n = tri (List.assoc n r.t2_speedups) in
+  Fmt.pf ppf "%-14s %-3s %-6s %4d-%-4d %9d %5.2f │ %s │ %s │ %s@."
+    r.t2_name r.t2_suite r.t2_type (fst r.t2_body) (snd r.t2_body)
+    r.t2_gpi r.t2_xg (get "io") (get "ooo/2") (get "ooo/4")
+
+(* ------------------------------------------------------------------ *)
+(* Figure 6: LPSU lane-cycle breakdown for specialized execution       *)
+(* ------------------------------------------------------------------ *)
+
+let fig6_row (ev : eval) =
+  let h = host ev "io" in
+  (ev.kernel.name, Stats.lane_breakdown h.spec.stats)
+
+let pp_fig6 ppf rows =
+  Fmt.pf ppf "%-14s" "kernel";
+  (match rows with
+   | (_, cats) :: _ ->
+     List.iter (fun (c, _) -> Fmt.pf ppf " %6s" c) cats
+   | [] -> ());
+  Fmt.pf ppf "@.";
+  List.iter
+    (fun (name, cats) ->
+       Fmt.pf ppf "%-14s" name;
+       List.iter (fun (_, f) -> Fmt.pf ppf " %6.3f" f) cats;
+       Fmt.pf ppf "@.")
+    rows
+
+(* ------------------------------------------------------------------ *)
+(* Figure 8: energy efficiency vs performance                          *)
+(* ------------------------------------------------------------------ *)
+
+type fig8_point = {
+  f8_kernel : string;
+  f8_host : string;
+  f8_mode : string;
+  f8_speedup : float;
+  f8_energy_eff : float;
+  f8_rel_power : float;
+}
+
+let fig8_points (ev : eval) : fig8_point list =
+  List.concat_map
+    (fun (name, h) ->
+       List.map
+         (fun (mode, r) ->
+            { f8_kernel = ev.kernel.name; f8_host = name; f8_mode = mode;
+              f8_speedup = speedup h r;
+              f8_energy_eff = energy_eff h r;
+              f8_rel_power = rel_power h r })
+         [ ("S", h.spec); ("A", h.adapt) ])
+    ev.per_host
+
+let pp_fig8 ppf points =
+  Fmt.pf ppf "%-14s %-6s %-2s %8s %8s %8s@." "kernel" "host" "m"
+    "speedup" "en-eff" "power";
+  List.iter
+    (fun p ->
+       Fmt.pf ppf "%-14s %-6s %-2s %8.2f %8.2f %8.2f@."
+         p.f8_kernel p.f8_host p.f8_mode p.f8_speedup p.f8_energy_eff
+         p.f8_rel_power)
+    points
+
+(* ------------------------------------------------------------------ *)
+(* Figure 9: LPSU design-space exploration                             *)
+(* ------------------------------------------------------------------ *)
+
+let fig9_kernels =
+  [ "sgemm-uc"; "viterbi-uc"; "kmeans-or"; "covar-or"; "btree-ua" ]
+
+(** Speedups of specialized execution on each design-space LPSU over the
+    serial baseline on the ooo/4 host. *)
+let fig9 () =
+  List.map
+    (fun name ->
+       let k = Registry.find name in
+       let base = run_checked ~target:Compile.general ~cfg:Config.ooo4
+           ~mode:Machine.Traditional k in
+       let points =
+         List.map
+           (fun cfg ->
+              let r = run_checked ~cfg ~mode:Machine.Specialized k in
+              (cfg.Config.name,
+               float_of_int base.cycles /. float_of_int r.cycles))
+           Config.design_space
+       in
+       (name, points))
+    fig9_kernels
+
+let pp_fig9 ppf rows =
+  (match rows with
+   | (_, points) :: _ ->
+     Fmt.pf ppf "%-14s" "kernel";
+     List.iter (fun (n, _) -> Fmt.pf ppf " %10s" n) points;
+     Fmt.pf ppf "@."
+   | [] -> ());
+  List.iter
+    (fun (name, points) ->
+       Fmt.pf ppf "%-14s" name;
+       List.iter (fun (_, s) -> Fmt.pf ppf " %10.2f" s) points;
+       Fmt.pf ppf "@.")
+    rows
+
+(* ------------------------------------------------------------------ *)
+(* Table IV: case studies                                              *)
+(* ------------------------------------------------------------------ *)
+
+(** Specialized-execution speedups of the Table IV variants on each +x
+    host, relative to the serial baseline of the {e original} algorithm
+    (the paper normalizes to the general-purpose kernels). *)
+let table4 () =
+  List.map
+    (fun (k : Kernel.t) ->
+       let speedups =
+         List.map
+           (fun (gpp, gpp_x) ->
+              let base = run_checked ~target:Compile.general ~cfg:gpp
+                  ~mode:Machine.Traditional k in
+              let spec = run_checked ~cfg:gpp_x ~mode:Machine.Specialized k
+              in
+              (gpp_x.Config.name,
+               float_of_int base.cycles /. float_of_int spec.cycles))
+           hosts
+       in
+       (k.name, k.dominant, speedups))
+    Registry.table4
+
+let pp_table4 ppf rows =
+  Fmt.pf ppf "%-16s %-6s %8s %8s %8s@." "name" "type" "io+x" "ooo2+x"
+    "ooo4+x";
+  List.iter
+    (fun (name, ty, speedups) ->
+       Fmt.pf ppf "%-16s %-6s" name ty;
+       List.iter (fun (_, s) -> Fmt.pf ppf " %8.2f" s) speedups;
+       Fmt.pf ppf "@.")
+    rows
+
+(* ------------------------------------------------------------------ *)
+(* Figure 10: VLSI-mode evaluation (uc kernels, no .xi, uc-only LPSU)  *)
+(* ------------------------------------------------------------------ *)
+
+let fig10_kernels =
+  [ "rgb2cmyk-uc"; "sgemm-uc"; "ssearch-uc"; "symm-uc"; "viterbi-uc";
+    "war-uc" ]
+
+let fig10 () =
+  let rtl_cfg =
+    Config.with_lpsu Config.io "+rtl"
+      ~lpsu:(Xloops_vlsi.Area.rtl_lpsu ~ib_entries:128 ~lanes:4)
+  in
+  List.map
+    (fun name ->
+       let k = Registry.find name in
+       let base = run_checked ~target:Compile.xloops_no_xi ~cfg:Config.io
+           ~mode:Machine.Traditional k in
+       let spec = run_checked ~target:Compile.xloops_no_xi ~cfg:rtl_cfg
+           ~mode:Machine.Specialized k in
+       let eff =
+         Energy.efficiency ~baseline:base.energy spec.energy in
+       (name,
+        float_of_int base.cycles /. float_of_int spec.cycles,
+        eff))
+    fig10_kernels
+
+let pp_fig10 ppf rows =
+  Fmt.pf ppf "%-14s %8s %8s@." "kernel" "speedup" "en-eff";
+  List.iter
+    (fun (name, s, e) -> Fmt.pf ppf "%-14s %8.2f %8.2f@." name s e)
+    rows

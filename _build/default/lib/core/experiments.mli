@@ -1,0 +1,102 @@
+(** The evaluation engine: regenerates the paper's tables and figures
+    from the simulator.  Every run self-checks its architectural outputs
+    against the kernel's OCaml reference; a failed check raises
+    {!Check_failed} instead of producing numbers. *)
+
+module Kernel = Xloops_kernels.Kernel
+module Machine = Xloops_sim.Machine
+module Config = Xloops_sim.Config
+module Stats = Xloops_sim.Stats
+module Compile = Xloops_compiler.Compile
+module Energy = Xloops_energy.Model
+
+type run_data = {
+  cfg : Config.t;
+  mode : Machine.mode;
+  cycles : int;
+  insns : int;
+  stats : Stats.t;
+  energy : Energy.breakdown;
+}
+
+exception Check_failed of { kernel : string; what : string; msg : string }
+
+val run_checked :
+  ?target:Compile.target -> cfg:Config.t -> mode:Machine.mode ->
+  Kernel.t -> run_data
+
+val hosts : (Config.t * Config.t) list
+(** Table II's (baseline GPP, +x machine) pairs. *)
+
+type host_eval = {
+  base : run_data;   (** serial baseline on the bare GPP *)
+  trad : run_data;
+  spec : run_data;
+  adapt : run_data;
+}
+
+type eval = {
+  kernel : Kernel.t;
+  gpi_dyn : int;
+  xli_dyn : int;
+  body_min : int;
+  body_max : int;
+  per_host : (string * host_eval) list;
+}
+
+val body_stats : Kernel.t -> int * int
+val evaluate : ?hosts:(Config.t * Config.t) list -> Kernel.t -> eval
+val host : eval -> string -> host_eval
+
+val speedup : host_eval -> run_data -> float
+(** Relative to the serial baseline on the same GPP. *)
+
+val energy_eff : host_eval -> run_data -> float
+val rel_power : host_eval -> run_data -> float
+
+(** {1 Table II} *)
+
+type table2_row = {
+  t2_name : string;
+  t2_suite : string;
+  t2_type : string;
+  t2_body : int * int;
+  t2_gpi : int;
+  t2_xg : float;
+  t2_speedups : (string * (float * float * float)) list;
+}
+
+val table2_row : eval -> table2_row
+val pp_table2_header : Format.formatter -> unit -> unit
+val pp_table2_row : Format.formatter -> table2_row -> unit
+
+(** {1 Figures 6-10, Table IV} *)
+
+val fig6_row : eval -> string * (string * float) list
+val pp_fig6 :
+  Format.formatter -> (string * (string * float) list) list -> unit
+
+type fig8_point = {
+  f8_kernel : string;
+  f8_host : string;
+  f8_mode : string;
+  f8_speedup : float;
+  f8_energy_eff : float;
+  f8_rel_power : float;
+}
+
+val fig8_points : eval -> fig8_point list
+val pp_fig8 : Format.formatter -> fig8_point list -> unit
+
+val fig9_kernels : string list
+val fig9 : unit -> (string * (string * float) list) list
+val pp_fig9 :
+  Format.formatter -> (string * (string * float) list) list -> unit
+
+val table4 : unit -> (string * string * (string * float) list) list
+val pp_table4 :
+  Format.formatter -> (string * string * (string * float) list) list -> unit
+
+val fig10_kernels : string list
+val fig10 : unit -> (string * float * float) list
+val pp_fig10 : Format.formatter -> (string * float * float) list -> unit

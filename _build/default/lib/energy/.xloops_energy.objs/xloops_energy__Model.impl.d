@@ -1,0 +1,1 @@
+lib/energy/model.ml: Fmt Xloops_sim

@@ -1,0 +1,1 @@
+lib/isa/encode.pp.ml: Array Fmt Insn Int32 Reg

@@ -1,0 +1,1 @@
+lib/isa/insn.pp.mli: Format Reg

@@ -1,0 +1,1 @@
+lib/isa/reg.pp.ml: Fmt Int Printf String

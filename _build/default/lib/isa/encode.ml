@@ -1,0 +1,183 @@
+(** Binary encoding of resolved instructions into 32-bit words.
+
+    The encoding is a fixed 32-bit format in the spirit of the paper's
+    MIPS-like base ISA:
+
+    {v
+      [31:26] opcode
+      [25:21] rd
+      [20:16] rs
+      [15:11] rt
+      [15:0]  imm16 (I-type; overlaps rt for R-type)
+      [10:0]  funct (R-type)
+      [25:0]  imm26 (J-type)
+    v}
+
+    Branch and xloop targets are encoded as signed 16-bit offsets relative
+    to the instruction's own address (in instruction words); jumps use
+    26-bit absolute instruction addresses.  Round-tripping through
+    [to_word]/[of_word] is exact for programs within these ranges, which is
+    property-tested in the test suite. *)
+
+exception Encoding_error of string
+
+let err fmt = Fmt.kstr (fun s -> raise (Encoding_error s)) fmt
+
+let alu_ops =
+  [| Insn.Add; Sub; And; Or_; Xor; Nor; Sll; Srl; Sra; Slt; Sltu;
+     Mul; Mulh; Div; Rem |]
+
+let fpu_ops =
+  [| Insn.Fadd; Fsub; Fmul; Fdiv; Fmin; Fmax; Feq; Flt; Fle;
+     Fcvt_sw; Fcvt_ws |]
+
+let widths = [| Insn.B; Bu; H; Hu; W |]
+
+let amo_ops =
+  [| Insn.Amo_add; Amo_and; Amo_or; Amo_xchg; Amo_min; Amo_max |]
+
+let branch_conds = [| Insn.Beq; Bne; Blt; Bge; Bltu; Bgeu |]
+
+let dpatterns = [| Insn.Uc; Or; Om; Orm; Ua |]
+
+let index_of arr x eq what =
+  let n = Array.length arr in
+  let rec go i =
+    if i >= n then err "unknown %s" what
+    else if eq arr.(i) x then i
+    else go (i + 1)
+  in
+  go 0
+
+(* Opcode space. *)
+let op_alu = 0x00
+let op_fpu = 0x02
+let op_lui = 0x03
+let op_load = 0x04 (* .. 0x08, width in opcode *)
+let op_store = 0x09 (* .. 0x0D *)
+let op_amo = 0x0E
+let op_alui = 0x10 (* .. 0x1E, alu op in opcode *)
+let op_branch = 0x20 (* .. 0x25, cond in opcode *)
+let op_jump = 0x26
+let op_jal = 0x27
+let op_jr = 0x28
+let op_xi_addi = 0x2A
+let op_xi_add = 0x2B
+let op_sync = 0x2C
+let op_halt = 0x2D
+let op_nop = 0x2E
+let op_xloop = 0x30 (* .. 0x3E, pattern in opcode: dp*3 + cp *)
+
+let check_reg r = if not (Reg.is_valid r) then err "bad register %d" r
+
+let check_imm16 imm =
+  if imm < -32768 || imm > 32767 then err "imm16 out of range: %d" imm
+
+let check_uimm16 imm =
+  if imm < 0 || imm > 65535 then err "uimm16 out of range: %d" imm
+
+let sext16 v = if v land 0x8000 <> 0 then v - 0x10000 else v
+
+let pack_r op rd rs rt funct =
+  check_reg rd; check_reg rs; check_reg rt;
+  Int32.of_int
+    ((op lsl 26) lor (rd lsl 21) lor (rs lsl 16) lor (rt lsl 11) lor funct)
+
+let pack_i op rd rs imm =
+  check_reg rd; check_reg rs;
+  Int32.of_int
+    ((op lsl 26) lor (rd lsl 21) lor (rs lsl 16) lor (imm land 0xFFFF))
+
+let pack_j op target =
+  if target < 0 || target >= 1 lsl 26 then err "jump target out of range";
+  Int32.of_int ((op lsl 26) lor target)
+
+(** [to_word pc insn] encodes [insn], located at instruction address [pc],
+    as a 32-bit word. *)
+let to_word pc (i : int Insn.t) : int32 =
+  let rel l =
+    let off = l - pc in
+    check_imm16 off; off
+  in
+  match i with
+  | Alu (op, rd, rs, rt) ->
+    pack_r op_alu rd rs rt (index_of alu_ops op Insn.equal_alu_op "alu op")
+  | Alui (op, rd, rs, imm) ->
+    check_imm16 imm;
+    pack_i (op_alui + index_of alu_ops op Insn.equal_alu_op "alu op") rd rs imm
+  | Fpu (op, rd, rs, rt) ->
+    pack_r op_fpu rd rs rt (index_of fpu_ops op Insn.equal_fpu_op "fpu op")
+  | Lui (rd, imm) -> check_uimm16 imm; pack_i op_lui rd 0 imm
+  | Load (w, rd, rs, imm) ->
+    check_imm16 imm;
+    pack_i (op_load + index_of widths w Insn.equal_width "width") rd rs imm
+  | Store (w, rt, rs, imm) ->
+    check_imm16 imm;
+    pack_i (op_store + index_of widths w Insn.equal_width "width") rt rs imm
+  | Amo (op, rd, rs, rt) ->
+    pack_r op_amo rd rs rt (index_of amo_ops op Insn.equal_amo_op "amo op")
+  | Branch (c, rs, rt, l) ->
+    pack_i (op_branch + index_of branch_conds c Insn.equal_branch_cond "cond")
+      rs rt (rel l)
+  | Jump l -> pack_j op_jump l
+  | Jal l -> pack_j op_jal l
+  | Jr rs -> pack_i op_jr 0 rs 0
+  | Xloop ({ dp; cp }, rs, rt, l) ->
+    let dpi = index_of dpatterns dp Insn.equal_dpattern "dpattern" in
+    let cpi = match cp with Insn.Fixed -> 0 | Dyn -> 1 | De -> 2 in
+    pack_i (op_xloop + (dpi * 3) + cpi) rs rt (rel l)
+  | Xi_addi (rd, rs, imm) -> check_imm16 imm; pack_i op_xi_addi rd rs imm
+  | Xi_add (rd, rs, rt) -> pack_r op_xi_add rd rs rt 0
+  | Sync -> pack_i op_sync 0 0 0
+  | Halt -> pack_i op_halt 0 0 0
+  | Nop -> pack_i op_nop 0 0 0
+
+(** [of_word pc w] decodes word [w] located at instruction address [pc].
+    Raises [Encoding_error] on an unknown opcode. *)
+let of_word pc (w : int32) : int Insn.t =
+  let w = Int32.to_int w land 0xFFFFFFFF in
+  let op = (w lsr 26) land 0x3F in
+  let rd = (w lsr 21) land 0x1F in
+  let rs = (w lsr 16) land 0x1F in
+  let rt = (w lsr 11) land 0x1F in
+  let funct = w land 0x7FF in
+  let imm16 = sext16 (w land 0xFFFF) in
+  let uimm16 = w land 0xFFFF in
+  let imm26 = w land 0x3FFFFFF in
+  let idx arr i what = if i < Array.length arr then arr.(i)
+    else err "bad %s index %d" what i in
+  if op = op_alu then Alu (idx alu_ops funct "alu", rd, rs, rt)
+  else if op = op_fpu then Fpu (idx fpu_ops funct "fpu", rd, rs, rt)
+  else if op = op_lui then Lui (rd, uimm16)
+  else if op >= op_load && op < op_load + 5 then
+    Load (idx widths (op - op_load) "width", rd, rs, imm16)
+  else if op >= op_store && op < op_store + 5 then
+    Store (idx widths (op - op_store) "width", rd, rs, imm16)
+  else if op = op_amo then Amo (idx amo_ops funct "amo", rd, rs, rt)
+  else if op >= op_alui && op < op_alui + Array.length alu_ops then
+    Alui (alu_ops.(op - op_alui), rd, rs, imm16)
+  else if op >= op_branch && op < op_branch + 6 then
+    Branch (branch_conds.(op - op_branch), rd, rs, pc + imm16)
+  else if op = op_jump then Jump imm26
+  else if op = op_jal then Jal imm26
+  else if op = op_jr then Jr rs
+  else if op = op_xi_addi then Xi_addi (rd, rs, imm16)
+  else if op = op_xi_add then Xi_add (rd, rs, rt)
+  else if op = op_sync then Sync
+  else if op = op_halt then Halt
+  else if op = op_nop then Nop
+  else if op >= op_xloop && op < op_xloop + 15 then begin
+    let k = op - op_xloop in
+    let dp = idx dpatterns (k / 3) "dpattern" in
+    let cp = match k mod 3 with
+      | 0 -> Insn.Fixed | 1 -> Dyn | _ -> De in
+    Xloop ({ dp; cp }, rd, rs, pc + imm16)
+  end
+  else err "unknown opcode 0x%02x" op
+
+(** Encode a whole program; instruction [i] lives at address [i]. *)
+let encode_program (prog : int Insn.t array) : int32 array =
+  Array.mapi to_word prog
+
+let decode_program (words : int32 array) : int Insn.t array =
+  Array.mapi of_word words

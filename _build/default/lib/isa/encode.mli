@@ -1,0 +1,21 @@
+(** Binary encoding of resolved instructions into 32-bit words.
+
+    Fixed 32-bit format: 6-bit opcode, 5-bit register fields, signed
+    16-bit immediates.  Branch and [xloop] targets encode as signed
+    PC-relative instruction offsets; jumps use 26-bit absolute
+    instruction addresses.  [to_word]/[of_word] round-trip exactly for
+    programs within these ranges (property-tested in the test suite). *)
+
+exception Encoding_error of string
+
+val to_word : int -> int Insn.t -> int32
+(** [to_word pc insn] encodes [insn] located at instruction address
+    [pc].  Raises {!Encoding_error} on out-of-range immediates or
+    offsets. *)
+
+val of_word : int -> int32 -> int Insn.t
+(** [of_word pc word] decodes [word] located at [pc].  Raises
+    {!Encoding_error} on unknown opcodes. *)
+
+val encode_program : int Insn.t array -> int32 array
+val decode_program : int32 array -> int Insn.t array

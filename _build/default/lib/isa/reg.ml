@@ -1,0 +1,84 @@
+(** Architectural registers of the XLOOPS base ISA.
+
+    The base ISA is a 32-bit RISC machine with a unified 32-entry register
+    file shared by integer and floating-point instructions (Section III of
+    the paper: "a unified register file for integer and floating-point
+    instructions").  Register 0 is hard-wired to zero. *)
+
+type t = int
+(** A register specifier in [0, 31].  [r0] always reads as zero and writes
+    to it are discarded. *)
+
+let num_regs = 32
+
+let zero = 0
+
+(* Conventional software names, used only for disassembly and by the
+   compiler's register allocator.  The ABI is deliberately simple:
+   r0        zero
+   r1        return address (ra)
+   r2        stack pointer (sp)
+   r3        assembler/linker temporary (at)
+   r4..r7    argument registers (a0..a3)
+   r8..r15   caller-saved temporaries (t0..t7)
+   r16..r29  allocatable (s0..s13)
+   r30..r31  reserved scratch for spills (k0..k1) *)
+
+let ra = 1
+let sp = 2
+let at = 3
+let a0 = 4
+let a1 = 5
+let a2 = 6
+let a3 = 7
+let t0 = 8
+let t1 = 9
+let t2 = 10
+let t3 = 11
+let t4 = 12
+let t5 = 13
+let t6 = 14
+let t7 = 15
+
+(** First and last register available to the register allocator. *)
+let alloc_first = 16
+
+let alloc_last = 29
+
+let k0 = 30
+let k1 = 31
+
+let is_valid r = r >= 0 && r < num_regs
+
+let equal : t -> t -> bool = Int.equal
+let compare : t -> t -> int = Int.compare
+
+let name r =
+  if not (is_valid r) then invalid_arg "Reg.name"
+  else if r = 0 then "zero"
+  else if r = 1 then "ra"
+  else if r = 2 then "sp"
+  else if r = 3 then "at"
+  else if r >= 4 && r <= 7 then Printf.sprintf "a%d" (r - 4)
+  else if r >= 8 && r <= 15 then Printf.sprintf "t%d" (r - 8)
+  else if r >= 16 && r <= 29 then Printf.sprintf "s%d" (r - 16)
+  else Printf.sprintf "k%d" (r - 30)
+
+let pp ppf r = Fmt.string ppf (name r)
+
+let of_name s =
+  let starts p = String.length s > String.length p
+                 && String.sub s 0 (String.length p) = p in
+  let suffix p = int_of_string (String.sub s (String.length p)
+                                  (String.length s - String.length p)) in
+  match s with
+  | "zero" -> 0
+  | "ra" -> 1
+  | "sp" -> 2
+  | "at" -> 3
+  | _ when starts "a" -> 4 + suffix "a"
+  | _ when starts "t" -> 8 + suffix "t"
+  | _ when starts "s" -> 16 + suffix "s"
+  | _ when starts "k" -> 30 + suffix "k"
+  | _ when starts "r" -> suffix "r"
+  | _ -> invalid_arg ("Reg.of_name: " ^ s)

@@ -1,0 +1,55 @@
+(** Architectural registers of the XLOOPS base ISA: a unified 32-entry
+    register file shared by integer and floating-point instructions,
+    with register 0 hard-wired to zero. *)
+
+type t = int
+(** A register specifier in [\[0, 31\]]. *)
+
+val num_regs : int
+
+val zero : t
+(** Always reads 0; writes are discarded. *)
+
+(** {1 ABI names}
+
+    [ra] return address, [sp] spill-area base, [at] assembler temporary,
+    [a0]..[a3] arguments, [t0]..[t7] temporaries, [s0]..[s13] the
+    register allocator's pool, [k0]/[k1] spill scratch. *)
+
+val ra : t
+val sp : t
+val at : t
+val a0 : t
+val a1 : t
+val a2 : t
+val a3 : t
+val t0 : t
+val t1 : t
+val t2 : t
+val t3 : t
+val t4 : t
+val t5 : t
+val t6 : t
+val t7 : t
+val k0 : t
+val k1 : t
+
+val alloc_first : t
+(** First register available to the register allocator (s0). *)
+
+val alloc_last : t
+(** Last register available to the register allocator (s13). *)
+
+val is_valid : t -> bool
+val equal : t -> t -> bool
+val compare : t -> t -> int
+
+val name : t -> string
+(** Software name ("t3", "s0", "zero", ...); raises [Invalid_argument]
+    on an out-of-range specifier. *)
+
+val of_name : string -> t
+(** Inverse of {!name}; also accepts raw "rN".  Raises
+    [Invalid_argument] on unknown names. *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,1 @@
+lib/kernels/k_adpcm.ml: Array Ast Kernel Xloops_compiler Xloops_mem

@@ -1,0 +1,1 @@
+lib/kernels/k_bfs.ml: Array Ast Dataset Kernel Printf Queue Xloops_compiler Xloops_mem

@@ -1,0 +1,1 @@
+lib/kernels/k_btree.ml: Array Ast Dataset Kernel List Printf Xloops_compiler Xloops_mem

@@ -1,0 +1,1 @@
+lib/kernels/k_find_de.ml: Array Ast Dataset Kernel Xloops_compiler Xloops_mem

@@ -1,0 +1,1 @@
+lib/kernels/k_kmeans.ml: Array Ast Dataset Kernel String Xloops_compiler Xloops_mem

@@ -1,0 +1,1 @@
+lib/kernels/k_knn.ml: Array Ast Dataset Kernel Xloops_compiler Xloops_mem

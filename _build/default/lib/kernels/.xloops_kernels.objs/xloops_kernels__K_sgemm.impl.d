@@ -1,0 +1,1 @@
+lib/kernels/k_sgemm.ml: Array Ast Dataset Int32 Kernel Xloops_compiler Xloops_mem

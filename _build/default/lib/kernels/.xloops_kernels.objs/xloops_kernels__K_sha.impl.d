@@ -1,0 +1,1 @@
+lib/kernels/k_sha.ml: Array Ast Dataset Int32 Kernel Stdlib Xloops_compiler Xloops_mem

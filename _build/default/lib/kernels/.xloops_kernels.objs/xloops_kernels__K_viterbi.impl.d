@@ -1,0 +1,1 @@
+lib/kernels/k_viterbi.ml: Array Ast Dataset Kernel Xloops_compiler Xloops_mem

@@ -1,0 +1,1 @@
+lib/kernels/kernel.ml: Array Float List Printf Xloops_compiler Xloops_mem Xloops_sim

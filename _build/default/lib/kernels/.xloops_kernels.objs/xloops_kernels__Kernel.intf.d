@@ -1,0 +1,1 @@
+lib/kernels/kernel.mli: Xloops_compiler Xloops_mem Xloops_sim

@@ -1,0 +1,63 @@
+(** Deterministic synthetic datasets.
+
+    The paper evaluates on MiBench/PolyBench/PBBS inputs tailored to fit
+    the 16 KB L1 (Section V-A).  We do not ship those suites; every kernel
+    instead generates a seeded, deterministic input of equivalent shape and
+    size, so runs are reproducible bit-for-bit across machines and
+    configurations. *)
+
+(** Minimal LCG (numerical recipes constants), avoiding any dependence on
+    OCaml's [Random] so datasets never change under us. *)
+type rng = { mutable state : int }
+
+let rng seed = { state = seed land 0x3FFFFFFF }
+
+let next r =
+  r.state <- (r.state * 1664525 + 1013904223) land 0x3FFFFFFF;
+  r.state
+
+(** Uniform integer in [0, bound). *)
+let int r bound = next r mod bound
+
+(** Uniform integer in [lo, hi]. *)
+let range r lo hi = lo + int r (hi - lo + 1)
+
+let float01 r = float_of_int (next r) /. float_of_int 0x40000000
+
+let ints ~seed ~n ~bound =
+  let r = rng seed in
+  Array.init n (fun _ -> int r bound)
+
+let bytes ~seed ~n = ints ~seed ~n ~bound:256
+
+let floats ~seed ~n ~scale =
+  let r = rng seed in
+  Array.init n (fun _ -> (float01 r -. 0.5) *. 2.0 *. scale)
+
+(** Random sparse digraph as flattened adjacency (CSR): returns
+    (row_start array of n+1, edges array).  Deterministic, connected-ish
+    from node 0 (every node i>0 gets an incoming edge from a lower node). *)
+let graph_csr ~seed ~nodes ~avg_degree =
+  let r = rng seed in
+  let adj = Array.make nodes [] in
+  (* Spanning structure: parent edge from a lower-numbered node. *)
+  for i = 1 to nodes - 1 do
+    let p = int r i in
+    adj.(p) <- i :: adj.(p)
+  done;
+  (* Extra random edges. *)
+  let extra = nodes * (avg_degree - 1) in
+  for _ = 1 to max 0 extra do
+    let a = int r nodes and b = int r nodes in
+    if a <> b then adj.(a) <- b :: adj.(a)
+  done;
+  let row_start = Array.make (nodes + 1) 0 in
+  for i = 0 to nodes - 1 do
+    row_start.(i + 1) <- row_start.(i) + List.length adj.(i)
+  done;
+  let edges = Array.make row_start.(nodes) 0 in
+  for i = 0 to nodes - 1 do
+    List.iteri (fun k dst -> edges.(row_start.(i) + k) <- dst)
+      (List.rev adj.(i))
+  done;
+  (row_start, edges)

@@ -1,0 +1,163 @@
+(** adpcm-or (MiBench): IMA ADPCM encoder.  One ordered loop over samples;
+    the predictor state ([valpred], [index]) is carried between iterations
+    in registers, giving a long inter-iteration critical path — the
+    classic hard case for specialized execution that Table IV's
+    hand-scheduled variant improves. *)
+
+open Xloops_compiler
+module Memory = Xloops_mem.Memory
+
+let n = 1200
+
+let step_table =
+  [| 7; 8; 9; 10; 11; 12; 13; 14; 16; 17; 19; 21; 23; 25; 28; 31; 34; 37;
+     41; 45; 50; 55; 60; 66; 73; 80; 88; 97; 107; 118; 130; 143; 157; 173;
+     190; 209; 230; 253; 279; 307; 337; 371; 408; 449; 494; 544; 598; 658;
+     724; 796; 876; 963; 1060; 1166; 1282; 1411; 1552; 1707; 1878; 2066;
+     2272; 2499; 2749; 3024; 3327; 3660; 4026; 4428; 4871; 5358; 5894;
+     6484; 7132; 7845; 8630; 9493; 10442; 11487; 12635; 13899; 15289;
+     16818; 18500; 20350; 22385; 24623; 27086; 29794; 32767 |]
+
+let index_table = [| -1; -1; -1; -1; 2; 4; 6; 8 |]
+
+let num_steps = Array.length step_table
+let max_step_index = num_steps - 1
+
+(* The encoder body, shared by the compiler-scheduled and hand-scheduled
+   variants.  [opt] reorders the statements so the last update of each
+   carried register happens as early as the dataflow allows, shrinking the
+   inter-iteration critical path (Section IV-G). *)
+let body ~opt : Ast.block =
+  let open Ast.Syntax in
+  let common_head =
+    [ Ast.Decl ("sample", "pcm".%[v "s"]);
+      Ast.Decl ("step", "steps".%[v "index"]);
+      Ast.Decl ("diff", v "sample" - v "valpred");
+      Ast.Decl ("sign", i 0);
+      Ast.If (v "diff" < i 0,
+              [ Ast.Assign ("sign", i 8);
+                Ast.Assign ("diff", i 0 - v "diff") ], []);
+      (* delta = quantize(diff / step) in 3 bits, computing vpdiff on the
+         way (reference IMA encoder structure). *)
+      Ast.Decl ("delta", i 0);
+      Ast.Decl ("vpdiff", v "step" lsr i 3);
+      Ast.If (v "diff" >= v "step",
+              [ Ast.Assign ("delta", i 4);
+                Ast.Assign ("diff", v "diff" - v "step");
+                Ast.Assign ("vpdiff", v "vpdiff" + v "step") ], []);
+      Ast.Decl ("step2", v "step" lsr i 1);
+      Ast.If (v "diff" >= v "step2",
+              [ Ast.Assign ("delta", v "delta" lor i 2);
+                Ast.Assign ("diff", v "diff" - v "step2");
+                Ast.Assign ("vpdiff", v "vpdiff" + v "step2") ], []);
+      Ast.If (v "diff" >= (v "step2" lsr i 1),
+              [ Ast.Assign ("delta", v "delta" lor i 1);
+                Ast.Assign ("vpdiff", v "vpdiff" + (v "step2" lsr i 1)) ],
+              []) ]
+  in
+  let update_index =
+    [ Ast.Assign ("index", v "index" + "itab".%[v "delta"]);
+      Ast.If (v "index" < i 0, [ Ast.Assign ("index", i 0) ], []);
+      Ast.If (v "index" >= i num_steps,
+              [ Ast.Assign ("index", i max_step_index) ], []) ]
+  in
+  let update_valpred =
+    [ Ast.If (v "sign" > i 0,
+              [ Ast.Assign ("valpred", v "valpred" - v "vpdiff") ],
+              [ Ast.Assign ("valpred", v "valpred" + v "vpdiff") ]);
+      Ast.If (v "valpred" > i 32767,
+              [ Ast.Assign ("valpred", i 32767) ], []);
+      Ast.If (v "valpred" < i (-32768),
+              [ Ast.Assign ("valpred", i (-32768)) ], []) ]
+  in
+  (* Hand-scheduled updates: the clamps become unconditional min/max so
+     the last write of each carried register always executes (the
+     hardware forwards CIR values at the last-write instruction; a write
+     skipped by a branch only forwards at the end of the iteration). *)
+  let update_index_opt =
+    [ Ast.Assign ("index",
+                  min_ (max_ (v "index" + "itab".%[v "delta"]) (i 0))
+                    (i max_step_index)) ]
+  in
+  let update_valpred_opt =
+    [ Ast.Decl ("vd", v "vpdiff");
+      Ast.If (v "sign" > i 0, [ Ast.Assign ("vd", i 0 - v "vpdiff") ], []);
+      Ast.Assign ("valpred",
+                  min_ (max_ (v "valpred" + v "vd") (i (-32768))) (i 32767))
+    ]
+  in
+  let emit = [ Ast.Store ("out", v "s", v "delta" lor v "sign") ] in
+  if opt then
+    (* Hand-scheduled: carried-register updates first, output store
+       last. *)
+    common_head @ update_index_opt @ update_valpred_opt @ emit
+  else
+    common_head @ emit @ update_valpred @ update_index
+
+let make ~opt : Ast.kernel =
+  let open Ast.Syntax in
+  { k_name = (if opt then "adpcm-or-opt" else "adpcm-or");
+    arrays = [ Kernel.arr "pcm" I32 n; Kernel.arr "out" U8 n;
+               Kernel.arr "steps" I32 num_steps;
+               Kernel.arr "itab" I32 8 ];
+    consts = [ ("n", n) ];
+    k_body =
+      [ Ast.Decl ("valpred", i 0);
+        Ast.Decl ("index", i 0);
+        for_ ~pragma:Ordered "s" (i 0) (v "n") (body ~opt) ] }
+
+let samples =
+  (* A wandering waveform: sums of scaled sines quantized to ints. *)
+  Array.init n (fun t ->
+      let ft = float_of_int t in
+      int_of_float
+        ((8000.0 *. sin (ft /. 9.0)) +. (3000.0 *. sin (ft /. 2.3))))
+
+let reference () =
+  let out = Array.make n 0 in
+  let valpred = ref 0 and index = ref 0 in
+  for s = 0 to n - 1 do
+    let sample = samples.(s) in
+    let step = step_table.(!index) in
+    let diff0 = sample - !valpred in
+    let sign = if diff0 < 0 then 8 else 0 in
+    let diff = ref (abs diff0) in
+    let delta = ref 0 in
+    let vpdiff = ref (step lsr 3) in
+    if !diff >= step then begin
+      delta := 4; diff := !diff - step; vpdiff := !vpdiff + step
+    end;
+    let step2 = step lsr 1 in
+    if !diff >= step2 then begin
+      delta := !delta lor 2; diff := !diff - step2;
+      vpdiff := !vpdiff + step2
+    end;
+    if !diff >= step2 lsr 1 then begin
+      delta := !delta lor 1; vpdiff := !vpdiff + (step2 lsr 1)
+    end;
+    out.(s) <- !delta lor sign;
+    valpred := if sign > 0 then !valpred - !vpdiff else !valpred + !vpdiff;
+    if !valpred > 32767 then valpred := 32767;
+    if !valpred < -32768 then valpred := -32768;
+    index := !index + index_table.(!delta);
+    if !index < 0 then index := 0;
+    if !index >= num_steps then index := num_steps - 1
+  done;
+  out
+
+let init (base : Kernel.bases) mem =
+  Memory.blit_int_array mem ~addr:(base "pcm") samples;
+  Memory.blit_int_array mem ~addr:(base "steps") step_table;
+  Memory.blit_int_array mem ~addr:(base "itab") index_table
+
+let check (base : Kernel.bases) mem =
+  Kernel.check_int_array ~what:"out" ~expected:(reference ())
+    (Memory.read_bytes mem ~addr:(base "out") ~n)
+
+let descriptor : Kernel.t =
+  { name = "adpcm-or"; suite = "M"; dominant = "or";
+    kernel = make ~opt:false; init; check }
+
+let descriptor_opt : Kernel.t =
+  { name = "adpcm-or-opt"; suite = "M"; dominant = "or";
+    kernel = make ~opt:true; init; check }

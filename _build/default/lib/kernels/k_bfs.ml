@@ -1,0 +1,154 @@
+(** bfs-{uc-db,uc} (custom): breadth-first search with a worklist.
+
+    - bfs-uc-db: one dynamically-bounded unordered loop over a growing
+      worklist (Figure 1(e)'s idiom).  Iterations claim unvisited
+      neighbours with [amo_xchg], append them with an [amo_add] on the
+      tail pointer, and reload the loop bound — the compiler detects the
+      bound update and emits [xloop.uc.db].
+    - bfs-uc (Table IV): the split-worklist / level-synchronous transform,
+      a serial outer level loop around a fixed-bound inner [xloop.uc].
+
+    The dynamic variant's distances may differ from true BFS distances
+    under concurrent execution (a legal outcome of unordered claiming), so
+    its check validates the distance labelling: every reachable node is
+    visited, no label beats the true shortest distance, and every edge is
+    relaxed ([dist[w] <= dist[u] + 1]).  The level-synchronous variant is
+    exact. *)
+
+open Xloops_compiler
+module Memory = Xloops_mem.Memory
+
+let nodes = 256
+let avg_degree = 3
+
+let row_start, edges = Dataset.graph_csr ~seed:1601 ~nodes ~avg_degree
+let nedges = Array.length edges
+
+let visit_neighbours : Ast.block =
+  let open Ast.Syntax in
+  [ Ast.Decl ("node", "wl".%[v "t"]);
+    (* The producer publishes the raised bound only after filling the
+       slot, but another lane's bound reload may race ahead of a
+       different producer's slot store; spin until the slot is filled
+       (sentinel -1).  Serial execution never spins. *)
+    Ast.While (v "node" < i 0, [ Ast.Assign ("node", "wl".%[v "t"]) ]);
+    Ast.Decl ("dn", "dist".%[v "node"]);
+    Ast.Decl ("e", "rowstart".%[v "node"]);
+    Ast.Decl ("elim", "rowstart".%[v "node" + i 1]);
+    Ast.While
+      (v "e" < v "elim",
+       [ Ast.Decl ("nb", "adj".%[v "e"]);
+         Ast.Decl ("claimed", Ast.Amo (Axchg, "visited", v "nb", i 1));
+         Ast.If (v "claimed" = i 0,
+                 [ Ast.Store ("dist", v "nb", v "dn" + i 1);
+                   Ast.Decl ("slot", Ast.Amo (Aadd, "tail", i 0, i 1));
+                   Ast.Store ("wl", v "slot", v "nb") ],
+                 []);
+         Ast.Assign ("e", v "e" + i 1) ]) ]
+
+let arrays =
+  [ Kernel.arr "rowstart" I32 (nodes + 1); Kernel.arr "adj" I32 nedges;
+    Kernel.arr "wl" I32 (nodes + 4); Kernel.arr "tail" I32 1;
+    Kernel.arr "visited" I32 nodes; Kernel.arr "dist" I32 nodes ]
+
+let kernel_db : Ast.kernel =
+  let open Ast.Syntax in
+  { k_name = "bfs-uc-db";
+    arrays;
+    consts = [];
+    k_body =
+      [ for_ ~pragma:Unordered "t" (i 0) ("tail".%[i 0]) visit_neighbours ] }
+
+let kernel_level : Ast.kernel =
+  let open Ast.Syntax in
+  { k_name = "bfs-uc";
+    arrays;
+    consts = [];
+    k_body =
+      [ Ast.Decl ("lo", i 0);
+        Ast.Decl ("hi", "tail".%[i 0]);
+        Ast.While
+          (v "lo" < v "hi",
+           [ for_ ~pragma:Unordered "t" (v "lo") (v "hi") visit_neighbours;
+             Ast.Assign ("lo", v "hi");
+             Ast.Assign ("hi", "tail".%[i 0]) ]) ] }
+
+let shortest () =
+  let dist = Array.make nodes (-1) in
+  dist.(0) <- 0;
+  let q = Queue.create () in
+  Queue.add 0 q;
+  while not (Queue.is_empty q) do
+    let u = Queue.pop q in
+    for e = row_start.(u) to row_start.(u + 1) - 1 do
+      let w = edges.(e) in
+      if dist.(w) < 0 then begin
+        dist.(w) <- dist.(u) + 1;
+        Queue.add w q
+      end
+    done
+  done;
+  dist
+
+let init (base : Kernel.bases) mem =
+  Memory.blit_int_array mem ~addr:(base "rowstart") row_start;
+  Memory.blit_int_array mem ~addr:(base "adj") edges;
+  for v = 0 to nodes - 1 do
+    Memory.set_int mem (base "dist" + 4 * v) (-1)
+  done;
+  for s = 0 to nodes + 3 do
+    Memory.set_int mem (base "wl" + 4 * s) (-1)
+  done;
+  (* seed: node 0 *)
+  Memory.set_int mem (base "wl") 0;
+  Memory.set_int mem (base "tail") 1;
+  Memory.set_int mem (base "visited") 1;
+  Memory.set_int mem (base "dist") 0
+
+(* Validity check for unordered claiming: reachable <=> visited, source at
+   0, and the labelling is sandwiched between the true shortest distance
+   and edge-relaxation consistency. *)
+let check_valid (base : Kernel.bases) mem =
+  let sp = shortest () in
+  let dist = Memory.read_int_array mem ~addr:(base "dist") ~n:nodes in
+  let err = ref None in
+  for u = 0 to nodes - 1 do
+    if sp.(u) >= 0 && dist.(u) < 0 then
+      err := Some (Printf.sprintf "node %d reachable but unvisited" u);
+    if sp.(u) < 0 && dist.(u) >= 0 then
+      err := Some (Printf.sprintf "node %d unreachable but visited" u);
+    if sp.(u) >= 0 && dist.(u) >= 0 && dist.(u) < sp.(u) then
+      err := Some (Printf.sprintf "node %d labelled %d < shortest %d"
+                     u dist.(u) sp.(u))
+  done;
+  (* Every visited non-source node was claimed by an in-neighbour whose
+     (frozen) label is exactly one less — i.e. dist is a real path length.
+     Under unordered claiming an edge may legally remain "unrelaxed"
+     (dist[w] > dist[u] + 1), so that is not checked. *)
+  let has_parent = Array.make nodes false in
+  for u = 0 to nodes - 1 do
+    if dist.(u) >= 0 then
+      for e = row_start.(u) to row_start.(u + 1) - 1 do
+        let w = edges.(e) in
+        if dist.(w) = dist.(u) + 1 then has_parent.(w) <- true
+      done
+  done;
+  for w = 0 to nodes - 1 do
+    if w <> 0 && dist.(w) >= 0 && not has_parent.(w) then
+      err := Some (Printf.sprintf "node %d labelled %d with no parent"
+                     w dist.(w))
+  done;
+  match !err with None -> Ok () | Some m -> Error m
+
+(* The level-synchronous variant computes exact BFS distances. *)
+let check_exact (base : Kernel.bases) mem =
+  Kernel.check_int_array ~what:"dist" ~expected:(shortest ())
+    (Memory.read_int_array mem ~addr:(base "dist") ~n:nodes)
+
+let descriptor : Kernel.t =
+  { name = "bfs-uc-db"; suite = "C"; dominant = "uc.db";
+    kernel = kernel_db; init; check = check_valid }
+
+let descriptor_uc : Kernel.t =
+  { name = "bfs-uc"; suite = "C"; dominant = "uc";
+    kernel = kernel_level; init; check = check_exact }

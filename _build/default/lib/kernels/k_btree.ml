@@ -1,0 +1,141 @@
+(** btree-ua (custom): binary-search-tree construction from a stream of
+    integers.  The insert loop is annotated [atomic]: iterations may run
+    in any order as long as each insertion's memory updates (node
+    allocation via AMO, child-pointer write, node initialization) appear
+    atomic.  The traversal's long load chains stress the per-lane LSQs —
+    the structural-hazard behaviour Table II reports for btree-ua. *)
+
+open Xloops_compiler
+module Memory = Xloops_mem.Memory
+
+let nkeys = 180
+let max_nodes = nkeys + 1
+
+let kernel : Ast.kernel =
+  let open Ast.Syntax in
+  { k_name = "btree-ua";
+    arrays = [ Kernel.arr "keys" I32 nkeys;
+               Kernel.arr "nkey" I32 max_nodes;
+               Kernel.arr "nleft" I32 max_nodes;
+               Kernel.arr "nright" I32 max_nodes;
+               Kernel.arr "ncnt" I32 1 ];
+    consts = [ ("nk", nkeys) ];
+    k_body =
+      [ (* The root (node 0) is created at init time; insert the rest. *)
+        for_ ~pragma:Atomic "t" (i 1) (v "nk")
+          [ Ast.Decl ("kv", "keys".%[v "t"]);
+            Ast.Decl ("cur", i 0);
+            Ast.Decl ("going", i 1);
+            Ast.While
+              (v "going" = i 1,
+               [ Ast.Decl ("ck", "nkey".%[v "cur"]);
+                 Ast.If
+                   (v "kv" < v "ck",
+                    [ Ast.Decl ("nxt", "nleft".%[v "cur"]);
+                      Ast.If (v "nxt" < i 0,
+                              [ Ast.Decl ("idx",
+                                          Ast.Amo (Aadd, "ncnt", i 0, i 1));
+                                Ast.Store ("nkey", v "idx", v "kv");
+                                Ast.Store ("nleft", v "idx", i (-1));
+                                Ast.Store ("nright", v "idx", i (-1));
+                                Ast.Store ("nleft", v "cur", v "idx");
+                                Ast.Assign ("going", i 0) ],
+                              [ Ast.Assign ("cur", v "nxt") ]) ],
+                    [ Ast.If
+                        (v "kv" > v "ck",
+                         [ Ast.Decl ("nxt2", "nright".%[v "cur"]);
+                           Ast.If (v "nxt2" < i 0,
+                                   [ Ast.Decl
+                                       ("idx2",
+                                        Ast.Amo (Aadd, "ncnt", i 0, i 1));
+                                     Ast.Store ("nkey", v "idx2", v "kv");
+                                     Ast.Store ("nleft", v "idx2", i (-1));
+                                     Ast.Store ("nright", v "idx2", i (-1));
+                                     Ast.Store ("nright", v "cur", v "idx2");
+                                     Ast.Assign ("going", i 0) ],
+                                   [ Ast.Assign ("cur", v "nxt2") ]) ],
+                         [ (* duplicate key: drop *)
+                           Ast.Assign ("going", i 0) ]) ]) ]) ] ] }
+
+let keys = Dataset.ints ~seed:1217 ~n:nkeys ~bound:4000
+
+(* Serial reference insertion: the LPSU's ua implementation commits
+   iterations in order, so the resulting tree equals the serial one. *)
+let reference () =
+  let nkey = Array.make max_nodes 0 in
+  let nleft = Array.make max_nodes (-1) in
+  let nright = Array.make max_nodes (-1) in
+  nkey.(0) <- keys.(0);
+  let cnt = ref 1 in
+  for t = 1 to nkeys - 1 do
+    let kv = keys.(t) in
+    let cur = ref 0 and going = ref true in
+    while !going do
+      let ck = nkey.(!cur) in
+      if kv < ck then begin
+        if nleft.(!cur) < 0 then begin
+          let idx = !cnt in
+          incr cnt;
+          nkey.(idx) <- kv;
+          nleft.(!cur) <- idx;
+          going := false
+        end else cur := nleft.(!cur)
+      end
+      else if kv > ck then begin
+        if nright.(!cur) < 0 then begin
+          let idx = !cnt in
+          incr cnt;
+          nkey.(idx) <- kv;
+          nright.(!cur) <- idx;
+          going := false
+        end else cur := nright.(!cur)
+      end
+      else going := false
+    done
+  done;
+  (nkey, nleft, nright, !cnt)
+
+let init (base : Kernel.bases) mem =
+  Memory.blit_int_array mem ~addr:(base "keys") keys;
+  (* root *)
+  Memory.set_int mem (base "nkey") keys.(0);
+  Memory.set_int mem (base "nleft") (-1);
+  Memory.set_int mem (base "nright") (-1);
+  Memory.set_int mem (base "ncnt") 1
+
+(* Structural check (valid BST containing exactly the distinct keys) plus
+   exact equality with the serial reference. *)
+let check (base : Kernel.bases) mem =
+  let rkey, rleft, rright, rcnt = reference () in
+  let cnt = Memory.get_int mem (base "ncnt") in
+  if cnt <> rcnt then
+    Error (Printf.sprintf "node count %d, expected %d" cnt rcnt)
+  else begin
+    let nkey = Memory.read_int_array mem ~addr:(base "nkey") ~n:cnt in
+    let nleft = Memory.read_int_array mem ~addr:(base "nleft") ~n:cnt in
+    let nright = Memory.read_int_array mem ~addr:(base "nright") ~n:cnt in
+    (* In-order traversal must produce the sorted distinct keys. *)
+    let collected = ref [] in
+    let rec walk node =
+      if node >= 0 then begin
+        walk nleft.(node);
+        collected := nkey.(node) :: !collected;
+        walk nright.(node)
+      end
+    in
+    walk 0;
+    let inorder = Array.of_list (List.rev !collected) in
+    let distinct = List.sort_uniq compare (Array.to_list keys) in
+    Kernel.all_checks
+      [ Kernel.check_int_array ~what:"inorder"
+          ~expected:(Array.of_list distinct) inorder;
+        Kernel.check_int_array ~what:"nkey"
+          ~expected:(Array.sub rkey 0 cnt) nkey;
+        Kernel.check_int_array ~what:"nleft"
+          ~expected:(Array.sub rleft 0 cnt) nleft;
+        Kernel.check_int_array ~what:"nright"
+          ~expected:(Array.sub rright 0 cnt) nright ]
+  end
+
+let descriptor : Kernel.t =
+  { name = "btree-ua"; suite = "C"; dominant = "ua"; kernel; init; check }

@@ -1,0 +1,84 @@
+(** covar-or (PolyBench): covariance matrix.  The mean-subtraction loops
+    are plain; the dominant annotated loop is the inner accumulation over
+    observations, whose running sum is a register-carried dependence
+    (a one-instruction inter-iteration critical path — one of the [or]
+    kernels where specialized execution does well). *)
+
+open Xloops_compiler
+module Memory = Xloops_mem.Memory
+
+let m = 10   (* variables *)
+let n = 32   (* observations *)
+
+let nm = n * m
+let mm = m * m
+
+let kernel : Ast.kernel =
+  let open Ast.Syntax in
+  { k_name = "covar-or";
+    arrays = [ Kernel.arr "data" I32 nm; Kernel.arr "mean" I32 m;
+               Kernel.arr "cov" I32 mm ];
+    consts = [ ("m", m); ("n", n) ];
+    k_body =
+      [ (* column means (integer division by n) *)
+        for_ "j" (i 0) (v "m")
+          [ Ast.Decl ("s", i 0);
+            for_ "k" (i 0) (v "n")
+              [ Ast.Assign ("s", v "s" + "data".%[(v "k" * v "m") + v "j"]) ];
+            Ast.Store ("mean", v "j", v "s" / v "n") ];
+        (* subtract means *)
+        for_ "k" (i 0) (v "n")
+          [ for_ "j" (i 0) (v "m")
+              [ Ast.Store ("data", (v "k" * v "m") + v "j",
+                           "data".%[(v "k" * v "m") + v "j"]
+                           - "mean".%[v "j"]) ] ];
+        (* covariance: the ordered accumulation loop dominates *)
+        for_ "j1" (i 0) (v "m")
+          [ for_ "j2" (v "j1") (v "m")
+              [ Ast.Decl ("acc", i 0);
+                for_ ~pragma:Ordered "k" (i 0) (v "n")
+                  [ Ast.Assign
+                      ("acc",
+                       v "acc"
+                       + ("data".%[(v "k" * v "m") + v "j1"]
+                          * "data".%[(v "k" * v "m") + v "j2"])) ];
+                Ast.Store ("cov", (v "j1" * v "m") + v "j2", v "acc");
+                Ast.Store ("cov", (v "j2" * v "m") + v "j1", v "acc") ] ] ] }
+
+let input = Dataset.ints ~seed:131 ~n:(n * m) ~bound:50
+
+let reference () =
+  let data = Array.copy input in
+  let mean = Array.make m 0 in
+  for j = 0 to m - 1 do
+    let s = ref 0 in
+    for k = 0 to n - 1 do s := !s + data.((k * m) + j) done;
+    mean.(j) <- !s / n
+  done;
+  for k = 0 to n - 1 do
+    for j = 0 to m - 1 do
+      data.((k * m) + j) <- data.((k * m) + j) - mean.(j)
+    done
+  done;
+  let cov = Array.make (m * m) 0 in
+  for j1 = 0 to m - 1 do
+    for j2 = j1 to m - 1 do
+      let acc = ref 0 in
+      for k = 0 to n - 1 do
+        acc := !acc + (data.((k * m) + j1) * data.((k * m) + j2))
+      done;
+      cov.((j1 * m) + j2) <- !acc;
+      cov.((j2 * m) + j1) <- !acc
+    done
+  done;
+  cov
+
+let init (base : Kernel.bases) mem =
+  Memory.blit_int_array mem ~addr:(base "data") input
+
+let check (base : Kernel.bases) mem =
+  Kernel.check_int_array ~what:"cov" ~expected:(reference ())
+    (Memory.read_int_array mem ~addr:(base "cov") ~n:(m * m))
+
+let descriptor : Kernel.t =
+  { name = "covar-or"; suite = "Po"; dominant = "or"; kernel; init; check }

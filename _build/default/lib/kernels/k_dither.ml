@@ -1,0 +1,92 @@
+(** dither-{or,or-opt,uc} (custom): black-and-white dithering of a
+    grayscale image by error diffusion.
+
+    The serial algorithm diffuses quantization error rightward along each
+    row through a scalar ([err]), so the pixel loop is
+    ordered-through-registers.  Table IV's variants:
+    - [dither-or-opt] hand-schedules the body so the carried error is
+      produced as early as possible;
+    - [dither-uc] is the loop-transformed version that drops the carried
+      error entirely (plain thresholding), trading output quality for an
+      unordered loop — the "privatize/transform" strategy of Section IV-G.
+
+    (The 2-D Floyd-Steinberg down-diffusion is simplified to row-local
+    diffusion so the dominant loop stays [or], matching the paper's
+    kernel type.) *)
+
+open Xloops_compiler
+module Memory = Xloops_mem.Memory
+
+let rows = 24
+let cols = 64
+let npix = rows * cols
+
+let or_body ~opt : Ast.block =
+  let open Ast.Syntax in
+  let quantize =
+    [ Ast.Decl ("lvl", "gray".%[(v "y" * i cols) + v "x"] + v "err");
+      Ast.Decl ("bit", i 0);
+      Ast.If (v "lvl" >= i 128, [ Ast.Assign ("bit", i 255) ], []) ]
+  in
+  let carry = [ Ast.Assign ("err", (v "lvl" - v "bit") asr i 1) ] in
+  let emit = [ Ast.Store ("bw", (v "y" * i cols) + v "x", v "bit") ] in
+  if opt then quantize @ carry @ emit else quantize @ emit @ carry
+
+let make_or ~opt : Ast.kernel =
+  let open Ast.Syntax in
+  { k_name = (if opt then "dither-or-opt" else "dither-or");
+    arrays = [ Kernel.arr "gray" U8 npix; Kernel.arr "bw" U8 npix ];
+    consts = [ ("rows", rows); ("cols", cols) ];
+    k_body =
+      [ for_ "y" (i 0) (v "rows")
+          [ Ast.Decl ("err", i 0);
+            for_ ~pragma:Ordered "x" (i 0) (v "cols") (or_body ~opt) ] ] }
+
+let kernel_uc : Ast.kernel =
+  let open Ast.Syntax in
+  { k_name = "dither-uc";
+    arrays = [ Kernel.arr "gray" U8 npix; Kernel.arr "bw" U8 npix ];
+    consts = [ ("npix", npix) ];
+    k_body =
+      [ for_ ~pragma:Unordered "p" (i 0) (v "npix")
+          [ Ast.Decl ("bit", i 0);
+            Ast.If ("gray".%[v "p"] >= i 128,
+                    [ Ast.Assign ("bit", i 255) ], []);
+            Ast.Store ("bw", v "p", v "bit") ] ] }
+
+let image = Dataset.bytes ~seed:211 ~n:npix
+
+let reference_or () =
+  let bw = Array.make npix 0 in
+  for y = 0 to rows - 1 do
+    let err = ref 0 in
+    for x = 0 to cols - 1 do
+      let lvl = image.((y * cols) + x) + !err in
+      let bit = if lvl >= 128 then 255 else 0 in
+      bw.((y * cols) + x) <- bit;
+      err := (lvl - bit) asr 1
+    done
+  done;
+  bw
+
+let reference_uc () =
+  Array.map (fun p -> if p >= 128 then 255 else 0) image
+
+let init (base : Kernel.bases) mem =
+  Memory.blit_bytes mem ~addr:(base "gray") image
+
+let check_against reference (base : Kernel.bases) mem =
+  Kernel.check_int_array ~what:"bw" ~expected:(reference ())
+    (Memory.read_bytes mem ~addr:(base "bw") ~n:npix)
+
+let descriptor : Kernel.t =
+  { name = "dither-or"; suite = "C"; dominant = "or";
+    kernel = make_or ~opt:false; init; check = check_against reference_or }
+
+let descriptor_opt : Kernel.t =
+  { name = "dither-or-opt"; suite = "C"; dominant = "or";
+    kernel = make_or ~opt:true; init; check = check_against reference_or }
+
+let descriptor_uc : Kernel.t =
+  { name = "dither-uc"; suite = "C"; dominant = "uc";
+    kernel = kernel_uc; init; check = check_against reference_uc }

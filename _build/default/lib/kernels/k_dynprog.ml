@@ -1,0 +1,65 @@
+(** dynprog-om (PolyBench): 2-D dynamic programming table fill.  The inner
+    column loop is annotated ordered; each cell reads its left neighbour
+    (written by the previous iteration of the same loop), so the compiler
+    maps it to [xloop.om] and the hardware rides on memory-dependence
+    speculation with a carried distance of one — mostly serialized, as the
+    paper's dynprog results show. *)
+
+open Xloops_compiler
+module Memory = Xloops_mem.Memory
+
+let n = 34
+
+let nn = n * n
+
+let kernel : Ast.kernel =
+  let open Ast.Syntax in
+  { k_name = "dynprog-om";
+    arrays = [ Kernel.arr "w" I32 nn;      (* costs *)
+               Kernel.arr "tbl" I32 nn ];
+    consts = [ ("n", n) ];
+    k_body =
+      [ (* first row/column: running sums *)
+        Ast.Store ("tbl", i 0, "w".%[i 0]);
+        for_ "j0" (i 1) (v "n")
+          [ Ast.Store ("tbl", v "j0",
+                       "tbl".%[v "j0" - i 1] + "w".%[v "j0"]) ];
+        for_ "i0" (i 1) (v "n")
+          [ Ast.Store ("tbl", v "i0" * v "n",
+                       "tbl".%[(v "i0" - i 1) * v "n"]
+                       + "w".%[v "i0" * v "n"]) ];
+        for_ "r" (i 1) (v "n")
+          [ for_ ~pragma:Ordered "cidx" (i 1) (v "n")
+              [ Ast.Store
+                  ("tbl", (v "r" * v "n") + v "cidx",
+                   min_
+                     ("tbl".%[(v "r" * v "n") + v "cidx" - i 1])
+                     ("tbl".%[((v "r" - i 1) * v "n") + v "cidx"])
+                   + "w".%[(v "r" * v "n") + v "cidx"]) ] ] ] }
+
+let costs = Dataset.ints ~seed:613 ~n:nn ~bound:40
+
+let reference () =
+  let t = Array.make nn 0 in
+  t.(0) <- costs.(0);
+  for j = 1 to n - 1 do t.(j) <- t.(j - 1) + costs.(j) done;
+  for i = 1 to n - 1 do
+    t.(i * n) <- t.((i - 1) * n) + costs.(i * n)
+  done;
+  for i = 1 to n - 1 do
+    for j = 1 to n - 1 do
+      t.((i * n) + j) <-
+        min t.((i * n) + j - 1) t.(((i - 1) * n) + j) + costs.((i * n) + j)
+    done
+  done;
+  t
+
+let init (base : Kernel.bases) mem =
+  Memory.blit_int_array mem ~addr:(base "w") costs
+
+let check (base : Kernel.bases) mem =
+  Kernel.check_int_array ~what:"tbl" ~expected:(reference ())
+    (Memory.read_int_array mem ~addr:(base "tbl") ~n:nn)
+
+let descriptor : Kernel.t =
+  { name = "dynprog-om"; suite = "Po"; dominant = "om"; kernel; init; check }

@@ -1,0 +1,65 @@
+(** find-de (extension): first-match search with a data-dependent exit —
+    the control pattern the paper names as future work (Section VII),
+    implemented here as [xloop.uc.de].
+
+    Each iteration transforms its element ([out[i] = 2*a[i] + 1]) and
+    tests it against the target; the loop exits at the first match.
+    Under specialized execution the lanes run iterations beyond the exit
+    {e control-speculatively}: their buffered stores are discarded when
+    the exiting iteration commits, which the check verifies by insisting
+    [out] is untouched past the exit. *)
+
+open Xloops_compiler
+module Memory = Xloops_mem.Memory
+
+let n = 600
+let target = 777
+
+let kernel : Ast.kernel =
+  let open Ast.Syntax in
+  { k_name = "find-de";
+    arrays = [ Kernel.arr "a" I32 n; Kernel.arr "out" I32 n;
+               Kernel.arr "result" I32 1 ];
+    consts = [ ("n", n); ("target", target) ];
+    k_body =
+      [ Ast.Store ("result", i 0, i (-1));
+        for_de ~pragma:Unordered "idx" (i 0)
+          ((v "hit" = i 0) land (v "idx" < v "n" - i 1))
+          [ Ast.Decl ("x", "a".%[v "idx"]);
+            Ast.Store ("out", v "idx", (v "x" * i 2) + i 1);
+            Ast.Decl ("hit", v "x" = v "target");
+            Ast.If (v "hit" = i 1,
+                    [ Ast.Store ("result", i 0, v "idx") ], []) ] ] }
+
+let input =
+  let a = Dataset.ints ~seed:2203 ~n ~bound:700 in
+  (* Plant the target around two-thirds in. *)
+  a.(2 * n / 3) <- target;
+  a
+
+let exit_index =
+  let rec go i =
+    if i >= n - 1 then n - 1
+    else if input.(i) = target then i
+    else go (i + 1)
+  in
+  go 0
+
+let init (base : Kernel.bases) mem =
+  Memory.blit_int_array mem ~addr:(base "a") input
+
+let check (base : Kernel.bases) mem =
+  let out = Memory.read_int_array mem ~addr:(base "out") ~n in
+  let expected =
+    Array.init n (fun i ->
+        if i <= exit_index then (2 * input.(i)) + 1 else 0)
+  in
+  Kernel.all_checks
+    [ Kernel.check_int_array ~what:"out" ~expected out;
+      Kernel.check_int_array ~what:"result"
+        ~expected:[| (if input.(exit_index) = target then exit_index
+                      else -1) |]
+        (Memory.read_int_array mem ~addr:(base "result") ~n:1) ]
+
+let descriptor : Kernel.t =
+  { name = "find-de"; suite = "C"; dominant = "uc.de"; kernel; init; check }

@@ -1,0 +1,77 @@
+(** hsort-ua (custom): binary-heap construction by repeated insertion.
+    Each iteration reserves a slot with an AMO and sifts the new element
+    up through the shared heap; the [atomic] annotation lets iterations
+    run in any order with atomic memory updates.  A serial extraction
+    phase is left unannotated (it is inherently ordered). *)
+
+open Xloops_compiler
+module Memory = Xloops_mem.Memory
+
+let n = 200
+
+let kernel : Ast.kernel =
+  let open Ast.Syntax in
+  { k_name = "hsort-ua";
+    arrays = [ Kernel.arr "vals" I32 n; Kernel.arr "heap" I32 n;
+               Kernel.arr "hsize" I32 1; Kernel.arr "sorted" I32 n ];
+    consts = [ ("n", n) ];
+    k_body =
+      [ (* phase 1: parallel atomic inserts (min-heap) *)
+        for_ ~pragma:Atomic "t" (i 0) (v "n")
+          [ Ast.Decl ("x", "vals".%[v "t"]);
+            Ast.Decl ("idx", Ast.Amo (Aadd, "hsize", i 0, i 1));
+            Ast.Store ("heap", v "idx", v "x");
+            Ast.Decl ("going", i 1);
+            Ast.While
+              ((v "going" = i 1) land (v "idx" > i 0),
+               [ Ast.Decl ("par", (v "idx" - i 1) lsr i 1);
+                 Ast.Decl ("pv", "heap".%[v "par"]);
+                 Ast.If (v "pv" > v "x",
+                         [ Ast.Store ("heap", v "par", v "x");
+                           Ast.Store ("heap", v "idx", v "pv");
+                           Ast.Assign ("idx", v "par") ],
+                         [ Ast.Assign ("going", i 0) ]) ]) ];
+        (* phase 2: serial extract-min into sorted[] *)
+        for_ "o" (i 0) (v "n")
+          [ Ast.Store ("sorted", v "o", "heap".%[i 0]);
+            Ast.Decl ("last", "hsize".%[i 0] - i 1);
+            Ast.Store ("hsize", i 0, v "last");
+            Ast.Decl ("x2", "heap".%[v "last"]);
+            Ast.Decl ("hole", i 0);
+            Ast.Decl ("going2", i 1);
+            Ast.While
+              (v "going2" = i 1,
+               [ Ast.Decl ("child", (v "hole" * i 2) + i 1);
+                 Ast.If
+                   (v "child" >= v "last",
+                    [ Ast.Assign ("going2", i 0) ],
+                    [ Ast.If ((v "child" + i 1 < v "last")
+                              land ("heap".%[v "child" + i 1]
+                                    < "heap".%[v "child"]),
+                              [ Ast.Assign ("child", v "child" + i 1) ], []);
+                      Ast.If ("heap".%[v "child"] < v "x2",
+                              [ Ast.Store ("heap", v "hole",
+                                           "heap".%[v "child"]);
+                                Ast.Assign ("hole", v "child") ],
+                              [ Ast.Assign ("going2", i 0) ]) ]) ]);
+            Ast.Store ("heap", v "hole", v "x2") ] ] }
+
+let values = Dataset.ints ~seed:1301 ~n ~bound:10000
+
+let reference_sorted () =
+  let s = Array.copy values in
+  Array.sort compare s;
+  s
+
+let init (base : Kernel.bases) mem =
+  Memory.blit_int_array mem ~addr:(base "vals") values
+
+let check (base : Kernel.bases) mem =
+  let sorted = Memory.read_int_array mem ~addr:(base "sorted") ~n in
+  Kernel.all_checks
+    [ Kernel.check_int_array ~what:"sorted" ~expected:(reference_sorted ())
+        sorted;
+      Kernel.check_permutation ~what:"sorted" ~of_:values sorted ]
+
+let descriptor : Kernel.t =
+  { name = "hsort-ua"; suite = "C"; dominant = "ua"; kernel; init; check }

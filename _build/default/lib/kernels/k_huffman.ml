@@ -1,0 +1,137 @@
+(** huffman-ua (custom): Huffman entropy coding.  The dominant loop is the
+    atomic symbol-histogram update over the input stream ([xloop.ua]: any
+    order, atomic read-modify-write of shared counters).  Tree
+    construction (O(n^2) two-minimum selection) and code-length assignment
+    run as serial loops, and the kernel reports the total encoded bit
+    count. *)
+
+open Xloops_compiler
+module Memory = Xloops_mem.Memory
+
+let nsyms = 16
+let input_len = 1400
+let max_nodes = (2 * nsyms) - 1
+let inf = 0x7FFFFFFF
+
+let kernel : Ast.kernel =
+  let open Ast.Syntax in
+  { k_name = "huffman-ua";
+    arrays = [ Kernel.arr "inp" U8 input_len;
+               Kernel.arr "freq" I32 max_nodes;
+               Kernel.arr "parent" I32 max_nodes;
+               Kernel.arr "active" I32 max_nodes;
+               Kernel.arr "codelen" I32 nsyms;
+               Kernel.arr "total_bits" I32 1 ];
+    consts = [ ("len", input_len); ("ns", nsyms);
+               ("maxn", max_nodes); ("inf", inf) ];
+    k_body =
+      [ (* phase 1: atomic histogram *)
+        for_ ~pragma:Atomic "t" (i 0) (v "len")
+          [ Ast.Decl ("sym", "inp".%[v "t"]);
+            Ast.Store ("freq", v "sym", "freq".%[v "sym"] + i 1) ];
+        (* phase 2: serial tree build, two-minimum selection per merge *)
+        Ast.Decl ("next", v "ns");
+        Ast.While
+          (v "next" < v "maxn",
+           [ Ast.Decl ("m1", i (-1));
+             Ast.Decl ("m2", i (-1));
+             Ast.Decl ("f1", v "inf");
+             Ast.Decl ("f2", v "inf");
+             for_ "nd" (i 0) (v "next")
+               [ Ast.If
+                   ("active".%[v "nd"] = i 1,
+                    [ Ast.Decl ("fr", "freq".%[v "nd"]);
+                      Ast.If (v "fr" < v "f1",
+                              [ Ast.Assign ("f2", v "f1");
+                                Ast.Assign ("m2", v "m1");
+                                Ast.Assign ("f1", v "fr");
+                                Ast.Assign ("m1", v "nd") ],
+                              [ Ast.If (v "fr" < v "f2",
+                                        [ Ast.Assign ("f2", v "fr");
+                                          Ast.Assign ("m2", v "nd") ],
+                                        []) ]) ],
+                    []) ];
+             Ast.Store ("freq", v "next", v "f1" + v "f2");
+             Ast.Store ("active", v "next", i 1);
+             Ast.Store ("active", v "m1", i 0);
+             Ast.Store ("active", v "m2", i 0);
+             Ast.Store ("parent", v "m1", v "next");
+             Ast.Store ("parent", v "m2", v "next");
+             Ast.Assign ("next", v "next" + i 1) ]);
+        (* phase 3: code lengths = depth to root; total bits *)
+        Ast.Decl ("bits", i 0);
+        for_ "s" (i 0) (v "ns")
+          [ Ast.Decl ("depth", i 0);
+            Ast.Decl ("cur", v "s");
+            Ast.While (v "cur" <> v "maxn" - i 1,
+                       [ Ast.Assign ("cur", "parent".%[v "cur"]);
+                         Ast.Assign ("depth", v "depth" + i 1) ]);
+            Ast.Store ("codelen", v "s", v "depth");
+            Ast.Assign ("bits", v "bits" + (v "depth" * "freq".%[v "s"])) ];
+        Ast.Store ("total_bits", i 0, v "bits") ] }
+
+let input =
+  (* Skewed symbol distribution so the code is non-trivial. *)
+  let r = Dataset.rng 1409 in
+  Array.init input_len (fun _ ->
+      let x = Dataset.int r 100 in
+      if x < 40 then 0
+      else if x < 60 then 1
+      else if x < 72 then 2
+      else Dataset.int r nsyms)
+
+let reference () =
+  let freq = Array.make max_nodes 0 in
+  Array.iter (fun s -> freq.(s) <- freq.(s) + 1) input;
+  let active = Array.make max_nodes false in
+  for s = 0 to nsyms - 1 do active.(s) <- true done;
+  let parent = Array.make max_nodes 0 in
+  for next = nsyms to max_nodes - 1 do
+    let m1 = ref (-1) and m2 = ref (-1) in
+    let f1 = ref inf and f2 = ref inf in
+    for nd = 0 to next - 1 do
+      if active.(nd) then begin
+        let fr = freq.(nd) in
+        if fr < !f1 then begin
+          f2 := !f1; m2 := !m1; f1 := fr; m1 := nd
+        end else if fr < !f2 then begin
+          f2 := fr; m2 := nd
+        end
+      end
+    done;
+    freq.(next) <- !f1 + !f2;
+    active.(next) <- true;
+    active.(!m1) <- false;
+    active.(!m2) <- false;
+    parent.(!m1) <- next;
+    parent.(!m2) <- next
+  done;
+  let codelen = Array.make nsyms 0 in
+  let bits = ref 0 in
+  for s = 0 to nsyms - 1 do
+    let depth = ref 0 and cur = ref s in
+    while !cur <> max_nodes - 1 do
+      cur := parent.(!cur);
+      incr depth
+    done;
+    codelen.(s) <- !depth;
+    bits := !bits + (!depth * freq.(s))
+  done;
+  (codelen, !bits)
+
+let init (base : Kernel.bases) mem =
+  Memory.blit_bytes mem ~addr:(base "inp") input;
+  for s = 0 to nsyms - 1 do
+    Memory.set_int mem (base "active" + 4 * s) 1
+  done
+
+let check (base : Kernel.bases) mem =
+  let codelen, bits = reference () in
+  Kernel.all_checks
+    [ Kernel.check_int_array ~what:"codelen" ~expected:codelen
+        (Memory.read_int_array mem ~addr:(base "codelen") ~n:nsyms);
+      Kernel.check_int_array ~what:"total_bits" ~expected:[| bits |]
+        (Memory.read_int_array mem ~addr:(base "total_bits") ~n:1) ]
+
+let descriptor : Kernel.t =
+  { name = "huffman-ua"; suite = "C"; dominant = "ua"; kernel; init; check }

@@ -1,0 +1,143 @@
+(** kmeans-{or,uc} (custom): k-means clustering, 2-D integer points.
+
+    Each refinement step has an unordered assignment loop (nearest
+    centroid per point) and a centroid-update accumulation:
+    - kmeans-or accumulates per cluster with an ordered loop over points
+      whose running sums/count are register-carried (the paper's dominant
+      [or] loop with a one-instruction critical path);
+    - kmeans-uc is the privatize-and-reduce transformation of Table IV:
+      one unordered pass accumulating straight into per-cluster arrays
+      with atomic memory operations. *)
+
+open Xloops_compiler
+module Memory = Xloops_mem.Memory
+
+let npts = 80
+let clusters = 4
+let steps = 3
+
+let assignment_loop : Ast.block =
+  let open Ast.Syntax in
+  [ for_ ~pragma:Unordered "p" (i 0) (v "npts")
+      [ Ast.Decl ("x", "px".%[v "p"]);
+        Ast.Decl ("y", "py".%[v "p"]);
+        Ast.Decl ("bestd", i 0x7FFFFFFF);
+        Ast.Decl ("bestc", i 0);
+        for_ "c" (i 0) (v "k")
+          [ Ast.Decl ("dx", v "x" - "cx".%[v "c"]);
+            Ast.Decl ("dy", v "y" - "cy".%[v "c"]);
+            Ast.Decl ("d", (v "dx" * v "dx") + (v "dy" * v "dy"));
+            Ast.If (v "d" < v "bestd",
+                    [ Ast.Assign ("bestd", v "d");
+                      Ast.Assign ("bestc", v "c") ], []) ];
+        Ast.Store ("assign", v "p", v "bestc") ] ]
+
+let recenter : Ast.block =
+  let open Ast.Syntax in
+  [ for_ "c2" (i 0) (v "k")
+      [ Ast.If ("cnt".%[v "c2"] > i 0,
+                [ Ast.Store ("cx", v "c2", "sx".%[v "c2"] / "cnt".%[v "c2"]);
+                  Ast.Store ("cy", v "c2", "sy".%[v "c2"] / "cnt".%[v "c2"]) ],
+                []) ] ]
+
+(* Ordered per-cluster accumulation: sums and count are CIRs. *)
+let update_or : Ast.block =
+  let open Ast.Syntax in
+  [ for_ "c" (i 0) (v "k")
+      [ Ast.Decl ("sumx", i 0);
+        Ast.Decl ("sumy", i 0);
+        Ast.Decl ("num", i 0);
+        for_ ~pragma:Ordered "p" (i 0) (v "npts")
+          [ Ast.If ("assign".%[v "p"] = v "c",
+                    [ Ast.Assign ("sumx", v "sumx" + "px".%[v "p"]);
+                      Ast.Assign ("sumy", v "sumy" + "py".%[v "p"]);
+                      Ast.Assign ("num", v "num" + i 1) ], []) ];
+        Ast.Store ("sx", v "c", v "sumx");
+        Ast.Store ("sy", v "c", v "sumy");
+        Ast.Store ("cnt", v "c", v "num") ] ]
+  @ recenter
+
+(* Unordered accumulation with AMOs (privatize-and-reduce). *)
+let update_uc : Ast.block =
+  let open Ast.Syntax in
+  [ for_ "c" (i 0) (v "k")
+      [ Ast.Store ("sx", v "c", i 0);
+        Ast.Store ("sy", v "c", i 0);
+        Ast.Store ("cnt", v "c", i 0) ];
+    for_ ~pragma:Unordered "p" (i 0) (v "npts")
+      [ Ast.Decl ("c3", "assign".%[v "p"]);
+        Ast.Decl ("_a", Ast.Amo (Aadd, "sx", v "c3", "px".%[v "p"]));
+        Ast.Decl ("_b", Ast.Amo (Aadd, "sy", v "c3", "py".%[v "p"]));
+        Ast.Decl ("_c", Ast.Amo (Aadd, "cnt", v "c3", i 1)) ] ]
+  @ recenter
+
+let make variant : Ast.kernel =
+  let update = if String.equal variant "uc" then update_uc else update_or in
+  let open Ast.Syntax in
+  { k_name = "kmeans-" ^ variant;
+    arrays = [ Kernel.arr "px" I32 npts; Kernel.arr "py" I32 npts;
+               Kernel.arr "cx" I32 clusters; Kernel.arr "cy" I32 clusters;
+               Kernel.arr "sx" I32 clusters; Kernel.arr "sy" I32 clusters;
+               Kernel.arr "cnt" I32 clusters;
+               Kernel.arr "assign" I32 npts ];
+    consts = [ ("npts", npts); ("k", clusters); ("steps", steps) ];
+    k_body = [ for_ "it" (i 0) (v "steps") (assignment_loop @ update) ] }
+
+let xs = Dataset.ints ~seed:401 ~n:npts ~bound:1000
+let ys = Dataset.ints ~seed:409 ~n:npts ~bound:1000
+
+let reference () =
+  let cx = Array.init clusters (fun c -> xs.(c)) in
+  let cy = Array.init clusters (fun c -> ys.(c)) in
+  let assign = Array.make npts 0 in
+  for _ = 1 to steps do
+    for p = 0 to npts - 1 do
+      let bestd = ref max_int and bestc = ref 0 in
+      for c = 0 to clusters - 1 do
+        let dx = xs.(p) - cx.(c) and dy = ys.(p) - cy.(c) in
+        let d = (dx * dx) + (dy * dy) in
+        if d < !bestd then begin bestd := d; bestc := c end
+      done;
+      assign.(p) <- !bestc
+    done;
+    for c = 0 to clusters - 1 do
+      let sx = ref 0 and sy = ref 0 and num = ref 0 in
+      for p = 0 to npts - 1 do
+        if assign.(p) = c then begin
+          sx := !sx + xs.(p); sy := !sy + ys.(p); incr num
+        end
+      done;
+      if !num > 0 then begin
+        cx.(c) <- !sx / !num;
+        cy.(c) <- !sy / !num
+      end
+    done
+  done;
+  (cx, cy, assign)
+
+let init (base : Kernel.bases) mem =
+  Memory.blit_int_array mem ~addr:(base "px") xs;
+  Memory.blit_int_array mem ~addr:(base "py") ys;
+  (* Initial centroids: the first k points. *)
+  for c = 0 to clusters - 1 do
+    Memory.set_int mem (base "cx" + 4 * c) xs.(c);
+    Memory.set_int mem (base "cy" + 4 * c) ys.(c)
+  done
+
+let check (base : Kernel.bases) mem =
+  let cx, cy, assign = reference () in
+  Kernel.all_checks
+    [ Kernel.check_int_array ~what:"cx" ~expected:cx
+        (Memory.read_int_array mem ~addr:(base "cx") ~n:clusters);
+      Kernel.check_int_array ~what:"cy" ~expected:cy
+        (Memory.read_int_array mem ~addr:(base "cy") ~n:clusters);
+      Kernel.check_int_array ~what:"assign" ~expected:assign
+        (Memory.read_int_array mem ~addr:(base "assign") ~n:npts) ]
+
+let descriptor : Kernel.t =
+  { name = "kmeans-or"; suite = "C"; dominant = "or";
+    kernel = make "or"; init; check }
+
+let descriptor_uc : Kernel.t =
+  { name = "kmeans-uc"; suite = "C"; dominant = "uc";
+    kernel = make "uc"; init; check }

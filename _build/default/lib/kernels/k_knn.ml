@@ -1,0 +1,84 @@
+(** knn-om (PBBS): k-nearest neighbours.  For each query the candidate
+    loop maintains a k-best distance list in memory by insertion; the
+    read-modify-write of the shared list is a data-dependent memory
+    dependence, so the annotated loop maps to [xloop.om].  Conflicts only
+    occur when a candidate actually enters the list, so speculation wins
+    back some parallelism on the long no-insert stretches. *)
+
+open Xloops_compiler
+module Memory = Xloops_mem.Memory
+
+let nq = 10      (* queries *)
+let npts = 120
+let kbest = 4
+let inf = 0x7FFFFFFF
+let best_len = nq * kbest
+
+let kernel : Ast.kernel =
+  let open Ast.Syntax in
+  { k_name = "knn-om";
+    arrays = [ Kernel.arr "ptx" I32 npts; Kernel.arr "pty" I32 npts;
+               Kernel.arr "qx" I32 nq; Kernel.arr "qy" I32 nq;
+               Kernel.arr "best" I32 best_len ];
+    consts = [ ("nq", nq); ("npts", npts); ("kb", kbest) ];
+    k_body =
+      [ for_ "q" (i 0) (v "nq")
+          [ Ast.Decl ("qpx", "qx".%[v "q"]);
+            Ast.Decl ("qpy", "qy".%[v "q"]);
+            Ast.Decl ("bb", v "q" * v "kb");
+            for_ ~pragma:Ordered "p" (i 0) (v "npts")
+              [ Ast.Decl ("dx", "ptx".%[v "p"] - v "qpx");
+                Ast.Decl ("dy", "pty".%[v "p"] - v "qpy");
+                Ast.Decl ("d", (v "dx" * v "dx") + (v "dy" * v "dy"));
+                Ast.If
+                  (v "d" < "best".%[v "bb" + v "kb" - i 1],
+                   [ (* insertion: shift larger entries right *)
+                     Ast.Decl ("slot", v "kb" - i 1);
+                     Ast.While
+                       ((v "slot" > i 0)
+                        land ("best".%[v "bb" + v "slot" - i 1] > v "d"),
+                        [ Ast.Store ("best", v "bb" + v "slot",
+                                     "best".%[v "bb" + v "slot" - i 1]);
+                          Ast.Assign ("slot", v "slot" - i 1) ]);
+                     Ast.Store ("best", v "bb" + v "slot", v "d") ],
+                   []) ] ] ] }
+
+let ptx = Dataset.ints ~seed:701 ~n:npts ~bound:1000
+let pty = Dataset.ints ~seed:709 ~n:npts ~bound:1000
+let qx = Dataset.ints ~seed:717 ~n:nq ~bound:1000
+let qy = Dataset.ints ~seed:723 ~n:nq ~bound:1000
+
+let reference () =
+  let best = Array.make (nq * kbest) inf in
+  for q = 0 to nq - 1 do
+    for p = 0 to npts - 1 do
+      let dx = ptx.(p) - qx.(q) and dy = pty.(p) - qy.(q) in
+      let d = (dx * dx) + (dy * dy) in
+      let bb = q * kbest in
+      if d < best.(bb + kbest - 1) then begin
+        let slot = ref (kbest - 1) in
+        while !slot > 0 && best.(bb + !slot - 1) > d do
+          best.(bb + !slot) <- best.(bb + !slot - 1);
+          decr slot
+        done;
+        best.(bb + !slot) <- d
+      end
+    done
+  done;
+  best
+
+let init (base : Kernel.bases) mem =
+  Memory.blit_int_array mem ~addr:(base "ptx") ptx;
+  Memory.blit_int_array mem ~addr:(base "pty") pty;
+  Memory.blit_int_array mem ~addr:(base "qx") qx;
+  Memory.blit_int_array mem ~addr:(base "qy") qy;
+  for j = 0 to (nq * kbest) - 1 do
+    Memory.set_int mem (base "best" + 4 * j) inf
+  done
+
+let check (base : Kernel.bases) mem =
+  Kernel.check_int_array ~what:"best" ~expected:(reference ())
+    (Memory.read_int_array mem ~addr:(base "best") ~n:(nq * kbest))
+
+let descriptor : Kernel.t =
+  { name = "knn-om"; suite = "P"; dominant = "om"; kernel; init; check }

@@ -1,0 +1,76 @@
+(** ksack-{sm,lg}-om (custom): unbounded knapsack dynamic program.  The
+    capacity loop is ordered-through-memory: iteration [c] reads
+    [best[c - w]] for each item weight [w] — a data-dependent dependence
+    distance.  The two variants demonstrate the paper's point about
+    data-dependent speculation behaviour: small weights ([sm]) make nearby
+    iterations conflict and squash constantly, large weights ([lg]) rarely
+    conflict.  Static compiler analysis cannot tell these apart. *)
+
+open Xloops_compiler
+module Memory = Xloops_mem.Memory
+
+let capacity = 96
+let items = 4
+let best_len = capacity + 1
+
+let kernel variant : Ast.kernel =
+  let open Ast.Syntax in
+  { k_name = "ksack-" ^ variant ^ "-om";
+    arrays = [ Kernel.arr "wt" I32 items; Kernel.arr "value" I32 items;
+               Kernel.arr "best" I32 best_len ];
+    consts = [ ("cap", capacity); ("items", items) ];
+    k_body =
+      [ for_ ~pragma:Ordered "c" (i 1) (v "cap" + i 1)
+          [ Ast.Decl ("m", i 0);
+            for_ "it" (i 0) (v "items")
+              [ Ast.Decl ("w", "wt".%[v "it"]);
+                Ast.If (v "w" <= v "c",
+                        [ Ast.Decl ("cand",
+                                    "best".%[v "c" - v "w"]
+                                    + "value".%[v "it"]);
+                          Ast.If (v "cand" > v "m",
+                                  [ Ast.Assign ("m", v "cand") ], []) ],
+                        []) ];
+            Ast.Store ("best", v "c", v "m") ] ] }
+
+let weights variant =
+  let r = Dataset.rng (if variant = "sm" then 811 else 823) in
+  Array.init items (fun _ ->
+      if variant = "sm" then Dataset.range r 1 6
+      else Dataset.range r 11 25)
+
+let values variant =
+  let r = Dataset.rng 907 in
+  let w = weights variant in
+  Array.init items (fun k -> (w.(k) * 3) + Dataset.range r 1 10)
+
+let reference variant =
+  let w = weights variant and value = values variant in
+  let best = Array.make (capacity + 1) 0 in
+  for c = 1 to capacity do
+    let m = ref 0 in
+    for it = 0 to items - 1 do
+      if w.(it) <= c then begin
+        let cand = best.(c - w.(it)) + value.(it) in
+        if cand > !m then m := cand
+      end
+    done;
+    best.(c) <- !m
+  done;
+  best
+
+let init variant (base : Kernel.bases) mem =
+  Memory.blit_int_array mem ~addr:(base "wt") (weights variant);
+  Memory.blit_int_array mem ~addr:(base "value") (values variant)
+
+let check variant (base : Kernel.bases) mem =
+  Kernel.check_int_array ~what:"best" ~expected:(reference variant)
+    (Memory.read_int_array mem ~addr:(base "best") ~n:(capacity + 1))
+
+let descriptor_sm : Kernel.t =
+  { name = "ksack-sm-om"; suite = "C"; dominant = "om";
+    kernel = kernel "sm"; init = init "sm"; check = check "sm" }
+
+let descriptor_lg : Kernel.t =
+  { name = "ksack-lg-om"; suite = "C"; dominant = "om";
+    kernel = kernel "lg"; init = init "lg"; check = check "lg" }

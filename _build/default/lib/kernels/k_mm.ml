@@ -1,0 +1,77 @@
+(** mm-orm (PBBS): greedy maximal matching on an undirected graph —
+    Figure 3 of the paper, verbatim loop structure.  The edge loop carries
+    the output counter [k] in a register and the vertex-match state in
+    memory, so dependence analysis maps it to [xloop.orm]. *)
+
+open Xloops_compiler
+module Memory = Xloops_mem.Memory
+
+let nverts = 192
+let nedges = 640
+
+let kernel : Ast.kernel =
+  let open Ast.Syntax in
+  { k_name = "mm-orm";
+    arrays = [ Kernel.arr "eu" I32 nedges; Kernel.arr "ev" I32 nedges;
+               Kernel.arr "vertices" I32 nverts;
+               Kernel.arr "out" I32 nedges;
+               Kernel.arr "nmatched" I32 1 ];
+    consts = [ ("ne", nedges) ];
+    k_body =
+      [ Ast.Decl ("k", i 0);
+        for_ ~pragma:Ordered "e" (i 0) (v "ne")
+          [ Ast.Decl ("u", "eu".%[v "e"]);
+            Ast.Decl ("w", "ev".%[v "e"]);
+            Ast.If
+              (("vertices".%[v "w"] < i 0) land ("vertices".%[v "u"] < i 0),
+               [ Ast.Store ("vertices", v "w", v "u");
+                 Ast.Store ("vertices", v "u", v "w");
+                 Ast.Store ("out", v "k", v "e");
+                 Ast.Assign ("k", v "k" + i 1) ],
+               []) ];
+        Ast.Store ("nmatched", i 0, v "k") ] }
+
+let edges =
+  let r = Dataset.rng 1009 in
+  Array.init nedges (fun _ ->
+      let u = Dataset.int r nverts in
+      let w = Dataset.int r nverts in
+      if u = w then (u, (w + 1) mod nverts) else (u, w))
+
+let reference () =
+  let vertices = Array.make nverts (-1) in
+  let out = Array.make nedges 0 in
+  let k = ref 0 in
+  Array.iteri
+    (fun e (u, w) ->
+       if vertices.(w) < 0 && vertices.(u) < 0 then begin
+         vertices.(w) <- u;
+         vertices.(u) <- w;
+         out.(!k) <- e;
+         incr k
+       end)
+    edges;
+  (vertices, out, !k)
+
+let init (base : Kernel.bases) mem =
+  Array.iteri
+    (fun e (u, w) ->
+       Memory.set_int mem (base "eu" + 4 * e) u;
+       Memory.set_int mem (base "ev" + 4 * e) w)
+    edges;
+  for v = 0 to nverts - 1 do
+    Memory.set_int mem (base "vertices" + 4 * v) (-1)
+  done
+
+let check (base : Kernel.bases) mem =
+  let vertices, out, k = reference () in
+  Kernel.all_checks
+    [ Kernel.check_int_array ~what:"vertices" ~expected:vertices
+        (Memory.read_int_array mem ~addr:(base "vertices") ~n:nverts);
+      Kernel.check_int_array ~what:"out" ~expected:(Array.sub out 0 k)
+        (Memory.read_int_array mem ~addr:(base "out") ~n:k);
+      Kernel.check_int_array ~what:"nmatched" ~expected:[| k |]
+        (Memory.read_int_array mem ~addr:(base "nmatched") ~n:1) ]
+
+let descriptor : Kernel.t =
+  { name = "mm-orm"; suite = "P"; dominant = "orm"; kernel; init; check }

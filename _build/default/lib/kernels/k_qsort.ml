@@ -1,0 +1,104 @@
+(** qsort-{uc-db,uc} (custom): quicksort driven by a worklist of
+    partitions.
+
+    - qsort-uc-db: one dynamically-bounded unordered loop; each iteration
+      pops a partition, partitions it in place (Lomuto), and pushes the
+      two sub-partitions through an AMO-reserved worklist slot, raising
+      the loop bound ([xloop.uc.db]).  Partitions are disjoint, so
+      iterations never conflict on the data array.
+    - qsort-uc (Table IV): the split-worklist transform — a serial outer
+      round loop over fixed-bound unordered inner loops. *)
+
+open Xloops_compiler
+module Memory = Xloops_mem.Memory
+
+let n = 96
+let max_parts = 2 * n + 8
+
+let process_partition : Ast.block =
+  let open Ast.Syntax in
+  [ (* Producers write wlo then whi; consumers spin on whi (sentinel -1)
+       so both fields are filled before use.  Serial execution never
+       spins. *)
+    Ast.Decl ("phi", "whi".%[v "t"]);
+    Ast.While (v "phi" < i 0, [ Ast.Assign ("phi", "whi".%[v "t"]) ]);
+    Ast.Decl ("plo", "wlo".%[v "t"]);
+    Ast.If
+      (v "phi" - v "plo" >= i 2,
+       [ (* Lomuto partition with pivot = data[phi-1] *)
+         Ast.Decl ("pivot", "data".%[v "phi" - i 1]);
+         Ast.Decl ("mid", v "plo");
+         for_ "j" (v "plo") (v "phi" - i 1)
+           [ Ast.Decl ("dj", "data".%[v "j"]);
+             Ast.If (v "dj" < v "pivot",
+                     [ Ast.Store ("data", v "j", "data".%[v "mid"]);
+                       Ast.Store ("data", v "mid", v "dj");
+                       Ast.Assign ("mid", v "mid" + i 1) ], []) ];
+         Ast.Store ("data", v "phi" - i 1, "data".%[v "mid"]);
+         Ast.Store ("data", v "mid", v "pivot");
+         (* push [plo, mid) and [mid+1, phi) *)
+         Ast.Decl ("slot1", Ast.Amo (Aadd, "tail", i 0, i 1));
+         Ast.Store ("wlo", v "slot1", v "plo");
+         Ast.Store ("whi", v "slot1", v "mid");
+         Ast.Decl ("slot2", Ast.Amo (Aadd, "tail", i 0, i 1));
+         Ast.Store ("wlo", v "slot2", v "mid" + i 1);
+         Ast.Store ("whi", v "slot2", v "phi") ],
+       []) ]
+
+let arrays =
+  [ Kernel.arr "data" I32 n;
+    Kernel.arr "wlo" I32 max_parts; Kernel.arr "whi" I32 max_parts;
+    Kernel.arr "tail" I32 1 ]
+
+let kernel_db : Ast.kernel =
+  let open Ast.Syntax in
+  { k_name = "qsort-uc-db";
+    arrays;
+    consts = [];
+    k_body =
+      [ for_ ~pragma:Unordered "t" (i 0) ("tail".%[i 0])
+          process_partition ] }
+
+let kernel_level : Ast.kernel =
+  let open Ast.Syntax in
+  { k_name = "qsort-uc";
+    arrays;
+    consts = [];
+    k_body =
+      [ Ast.Decl ("lo", i 0);
+        Ast.Decl ("hi", "tail".%[i 0]);
+        Ast.While
+          (v "lo" < v "hi",
+           [ for_ ~pragma:Unordered "t" (v "lo") (v "hi") process_partition;
+             Ast.Assign ("lo", v "hi");
+             Ast.Assign ("hi", "tail".%[i 0]) ]) ] }
+
+let values = Dataset.ints ~seed:1709 ~n ~bound:5000
+
+let reference_sorted () =
+  let s = Array.copy values in
+  Array.sort compare s;
+  s
+
+let init (base : Kernel.bases) mem =
+  Memory.blit_int_array mem ~addr:(base "data") values;
+  for s = 0 to max_parts - 1 do
+    Memory.set_int mem (base "whi" + 4 * s) (-1)
+  done;
+  Memory.set_int mem (base "wlo") 0;
+  Memory.set_int mem (base "whi") n;
+  Memory.set_int mem (base "tail") 1
+
+let check (base : Kernel.bases) mem =
+  let out = Memory.read_int_array mem ~addr:(base "data") ~n in
+  Kernel.all_checks
+    [ Kernel.check_int_array ~what:"data" ~expected:(reference_sorted ()) out;
+      Kernel.check_permutation ~what:"data" ~of_:values out ]
+
+let descriptor : Kernel.t =
+  { name = "qsort-uc-db"; suite = "C"; dominant = "uc.db";
+    kernel = kernel_db; init; check }
+
+let descriptor_uc : Kernel.t =
+  { name = "qsort-uc"; suite = "C"; dominant = "uc";
+    kernel = kernel_level; init; check }

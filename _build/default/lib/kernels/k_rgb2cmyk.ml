@@ -1,0 +1,67 @@
+(** rgb2cmyk-uc (custom): RGB -> CMYK color-space conversion on a test
+    image.  One unordered loop over pixels; each iteration is independent
+    byte arithmetic with a little control flow (the max computation). *)
+
+open Xloops_compiler
+
+let n = 1024  (* pixels *)
+
+let kernel : Ast.kernel =
+  let open Ast.Syntax in
+  { k_name = "rgb2cmyk-uc";
+    arrays = [ Kernel.arr "r" U8 n; Kernel.arr "g" U8 n; Kernel.arr "b" U8 n;
+               Kernel.arr "oc" U8 n; Kernel.arr "om" U8 n;
+               Kernel.arr "oy" U8 n; Kernel.arr "ok" U8 n ];
+    consts = [ ("n", n) ];
+    k_body =
+      [ for_ ~pragma:Unordered "p" (i 0) (v "n")
+          [ Ast.Decl ("cr", "r".%[v "p"]);
+            Ast.Decl ("cg", "g".%[v "p"]);
+            Ast.Decl ("cb", "b".%[v "p"]);
+            Ast.Decl ("w", max_ (v "cr") (max_ (v "cg") (v "cb")));
+            Ast.Store ("ok", v "p", i 255 - v "w");
+            Ast.If (v "w" > i 0,
+                    [ Ast.Store ("oc", v "p",
+                                 (v "w" - v "cr") * i 255 / v "w");
+                      Ast.Store ("om", v "p",
+                                 (v "w" - v "cg") * i 255 / v "w");
+                      Ast.Store ("oy", v "p",
+                                 (v "w" - v "cb") * i 255 / v "w") ],
+                    [ Ast.Store ("oc", v "p", i 0);
+                      Ast.Store ("om", v "p", i 0);
+                      Ast.Store ("oy", v "p", i 0) ]) ] ] }
+
+let input ch = Dataset.bytes ~seed:(17 + ch) ~n
+
+let reference () =
+  let r = input 0 and g = input 1 and b = input 2 in
+  let oc = Array.make n 0 and om = Array.make n 0 in
+  let oy = Array.make n 0 and ok = Array.make n 0 in
+  for p = 0 to n - 1 do
+    let w = max r.(p) (max g.(p) b.(p)) in
+    ok.(p) <- 255 - w;
+    if w > 0 then begin
+      oc.(p) <- (w - r.(p)) * 255 / w;
+      om.(p) <- (w - g.(p)) * 255 / w;
+      oy.(p) <- (w - b.(p)) * 255 / w
+    end
+  done;
+  (oc, om, oy, ok)
+
+let init (base : Kernel.bases) mem =
+  Xloops_mem.Memory.blit_bytes mem ~addr:(base "r") (input 0);
+  Xloops_mem.Memory.blit_bytes mem ~addr:(base "g") (input 1);
+  Xloops_mem.Memory.blit_bytes mem ~addr:(base "b") (input 2)
+
+let check (base : Kernel.bases) mem =
+  let oc, om, oy, ok = reference () in
+  let read name = Xloops_mem.Memory.read_bytes mem ~addr:(base name) ~n in
+  Kernel.all_checks
+    [ Kernel.check_int_array ~what:"c" ~expected:oc (read "oc");
+      Kernel.check_int_array ~what:"m" ~expected:om (read "om");
+      Kernel.check_int_array ~what:"y" ~expected:oy (read "oy");
+      Kernel.check_int_array ~what:"k" ~expected:ok (read "ok") ]
+
+let descriptor : Kernel.t =
+  { name = "rgb2cmyk-uc"; suite = "C"; dominant = "uc";
+    kernel; init; check }

@@ -1,0 +1,101 @@
+(** rsort-{ua,uc} (custom): radix sort.
+
+    - rsort-ua: two 4-bit passes over 8-bit keys.  Each pass updates a
+      digit histogram with an [atomic] loop (the dominant [xloop.ua]),
+      computes bucket offsets with a small serial prefix sum, and scatters
+      with an [ordered] loop (stability requires the serial order, and the
+      read-modify-write of the bucket cursor is a data-dependent memory
+      dependence -> [xloop.om]).
+    - rsort-uc (Table IV): the loop-transformed single-pass variant using
+      256 buckets and AMO-reserved scatter slots — fully unordered, but
+      unstable (fine for plain integers). *)
+
+open Xloops_compiler
+module Memory = Xloops_mem.Memory
+
+let n = 320
+
+(* -- two-pass 4-bit version (ua) -------------------------------------- *)
+
+let pass ~(src : string) ~dst ~shift : Ast.block =
+  let open Ast.Syntax in
+  [ for_ "z" (i 0) (i 16)
+      [ Ast.Store ("hist", v "z", i 0) ];
+    for_ ~pragma:Atomic "t" (i 0) (v "n")
+      [ Ast.Decl ("d", (src.%[v "t"] lsr i shift) land i 15);
+        Ast.Store ("hist", v "d", "hist".%[v "d"] + i 1) ];
+    (* exclusive prefix sum over the 16 buckets *)
+    Ast.Decl ("run", i 0);
+    for_ "z2" (i 0) (i 16)
+      [ Ast.Decl ("h", "hist".%[v "z2"]);
+        Ast.Store ("off", v "z2", v "run");
+        Ast.Assign ("run", v "run" + v "h") ];
+    (* stable scatter: ordered (bucket cursors live in memory) *)
+    for_ ~pragma:Ordered "t2" (i 0) (v "n")
+      [ Ast.Decl ("key", src.%[v "t2"]);
+        Ast.Decl ("d2", (v "key" lsr i shift) land i 15);
+        Ast.Decl ("pos", "off".%[v "d2"]);
+        Ast.Store (dst, v "pos", v "key");
+        Ast.Store ("off", v "d2", v "pos" + i 1) ] ]
+
+let kernel_ua : Ast.kernel =
+  { k_name = "rsort-ua";
+    arrays = [ Kernel.arr "a0" I32 n; Kernel.arr "a1" I32 n;
+               Kernel.arr "hist" I32 16; Kernel.arr "off" I32 16 ];
+    consts = [ ("n", n) ];
+    k_body =
+      pass ~src:"a0" ~dst:"a1" ~shift:0
+      @ pass ~src:"a1" ~dst:"a0" ~shift:4 }
+
+(* -- single-pass 256-bucket version (uc) -------------------------------- *)
+
+let kernel_uc : Ast.kernel =
+  let open Ast.Syntax in
+  { k_name = "rsort-uc";
+    arrays = [ Kernel.arr "a0" I32 n; Kernel.arr "a1" I32 n;
+               Kernel.arr "hist" I32 256; Kernel.arr "off" I32 256 ];
+    consts = [ ("n", n) ];
+    k_body =
+      [ for_ ~pragma:Unordered "t" (i 0) (v "n")
+          [ Ast.Decl ("d", "a0".%[v "t"] land i 255);
+            Ast.Decl ("_h", Ast.Amo (Aadd, "hist", v "d", i 1)) ];
+        Ast.Decl ("run", i 0);
+        for_ "z" (i 0) (i 256)
+          [ Ast.Decl ("h", "hist".%[v "z"]);
+            Ast.Store ("off", v "z", v "run");
+            Ast.Assign ("run", v "run" + v "h") ];
+        for_ ~pragma:Unordered "t2" (i 0) (v "n")
+          [ Ast.Decl ("key", "a0".%[v "t2"]);
+            Ast.Decl ("pos", Ast.Amo (Aadd, "off", v "key" land i 255, i 1));
+            Ast.Store ("a1", v "pos", v "key") ] ] }
+
+let keys = Dataset.ints ~seed:1511 ~n ~bound:256
+
+let reference_sorted () =
+  let s = Array.copy keys in
+  Array.sort compare s;
+  s
+
+let init (base : Kernel.bases) mem =
+  Memory.blit_int_array mem ~addr:(base "a0") keys
+
+let check_ua (base : Kernel.bases) mem =
+  (* After two stable passes the result is back in a0, fully sorted. *)
+  let out = Memory.read_int_array mem ~addr:(base "a0") ~n in
+  Kernel.all_checks
+    [ Kernel.check_int_array ~what:"a0" ~expected:(reference_sorted ()) out;
+      Kernel.check_permutation ~what:"a0" ~of_:keys out ]
+
+let check_uc (base : Kernel.bases) mem =
+  let out = Memory.read_int_array mem ~addr:(base "a1") ~n in
+  Kernel.all_checks
+    [ Kernel.check_sorted ~what:"a1" out;
+      Kernel.check_permutation ~what:"a1" ~of_:keys out ]
+
+let descriptor : Kernel.t =
+  { name = "rsort-ua"; suite = "C"; dominant = "ua";
+    kernel = kernel_ua; init; check = check_ua }
+
+let descriptor_uc : Kernel.t =
+  { name = "rsort-uc"; suite = "C"; dominant = "uc";
+    kernel = kernel_uc; init; check = check_uc }

@@ -1,0 +1,62 @@
+(** sgemm-uc (custom): single-precision matrix multiply for square
+    matrices using the standard triple-nested loops.  The middle (column)
+    loop is unordered; the innermost reduction stays serial inside each
+    iteration.  Exercises FP arithmetic on the shared LLFU and multi-level
+    strength reduction. *)
+
+open Xloops_compiler
+module Memory = Xloops_mem.Memory
+
+let n = 14
+
+let nn = n * n
+
+let kernel : Ast.kernel =
+  let open Ast.Syntax in
+  { k_name = "sgemm-uc";
+    arrays = [ Kernel.arr "ma" F32 nn; Kernel.arr "mb" F32 nn;
+               Kernel.arr "mc" F32 nn ];
+    consts = [ ("n", n) ];
+    k_body =
+      [ for_ "row" (i 0) (v "n")
+          [ for_ ~pragma:Unordered "col" (i 0) (v "n")
+              [ Ast.Decl ("acc", Ast.Flt 0.0);
+                for_ "k" (i 0) (v "n")
+                  [ Ast.Assign
+                      ("acc",
+                       v "acc"
+                       + ("ma".%[(v "row" * v "n") + v "k"]
+                          * "mb".%[(v "k" * v "n") + v "col"])) ];
+                Ast.Store ("mc", (v "row" * v "n") + v "col", v "acc") ] ] ] }
+
+let a_in = Dataset.floats ~seed:31 ~n:(n * n) ~scale:2.0
+let b_in = Dataset.floats ~seed:57 ~n:(n * n) ~scale:2.0
+
+(* The reference mimics float32 rounding by re-rounding after each
+   operation, matching the simulator's FP32 semantics exactly. *)
+let f32 x = Int32.float_of_bits (Int32.bits_of_float x)
+
+let reference () =
+  let c = Array.make (n * n) 0.0 in
+  for r = 0 to n - 1 do
+    for cc = 0 to n - 1 do
+      let acc = ref (f32 0.0) in
+      for k = 0 to n - 1 do
+        let prod = f32 (f32 a_in.((r * n) + k) *. f32 b_in.((k * n) + cc)) in
+        acc := f32 (!acc +. prod)
+      done;
+      c.((r * n) + cc) <- !acc
+    done
+  done;
+  c
+
+let init (base : Kernel.bases) mem =
+  Memory.blit_f32_array mem ~addr:(base "ma") a_in;
+  Memory.blit_f32_array mem ~addr:(base "mb") b_in
+
+let check (base : Kernel.bases) mem =
+  Kernel.check_f32_array ~what:"C" ~expected:(reference ()) ~eps:1e-6
+    (Memory.read_f32_array mem ~addr:(base "mc") ~n:(n * n))
+
+let descriptor : Kernel.t =
+  { name = "sgemm-uc"; suite = "C"; dominant = "uc"; kernel; init; check }

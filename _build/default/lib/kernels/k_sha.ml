@@ -1,0 +1,135 @@
+(** sha-or (MiBench): SHA-1-style block transform.  Per block: a message
+    schedule expansion (an ordered loop carried through memory) followed
+    by the round loop, whose five working variables a..e are all
+    register-carried — a many-CIR [xloop.or] with a long inter-iteration
+    critical path.  The Table IV [-opt] variant hand-schedules the round
+    body so the carried registers are produced as early as possible. *)
+
+open Xloops_compiler
+module Memory = Xloops_mem.Memory
+
+let blocks = 4
+let rounds = 80
+let sched = 80  (* schedule length per block *)
+
+(* Single round function (parity) and constant, keeping the round body in
+   the paper's 6-24 instruction range. *)
+let k_const = 0x6ED9EBA1
+let w_len = blocks * sched
+let digest_len = blocks * 5
+
+let round_body ~opt : Ast.block =
+  let open Ast.Syntax in
+  (* rol n x = (x << n) | (x >>u (32-n)) *)
+  let rol n x =
+    let m = Stdlib.( - ) 32 n in
+    (x lsl i n) lor (x lsr i m)
+  in
+  if not opt then
+    [ Ast.Decl ("tmp",
+                rol 5 (v "a") + (v "b" lxor v "c" lxor v "d") + v "e"
+                + i k_const + "w".%[(v "blk" * i sched) + v "t"]);
+      Ast.Assign ("e", v "d");
+      Ast.Assign ("d", v "c");
+      Ast.Assign ("c", rol 30 (v "b"));
+      Ast.Assign ("b", v "a");
+      Ast.Assign ("a", v "tmp") ]
+  else
+    (* Hand-scheduled: read every carried register up front, produce the
+       new [a] (the longest chain) as early as the dataflow allows, then
+       retire the cheap rotations. *)
+    [ Ast.Decl ("olda", v "a");
+      Ast.Decl ("oldb", v "b");
+      Ast.Assign ("a",
+                  rol 5 (v "olda") + (v "b" lxor v "c" lxor v "d") + v "e"
+                  + i k_const + "w".%[(v "blk" * i sched) + v "t"]);
+      Ast.Assign ("b", v "olda");
+      Ast.Assign ("e", v "d");
+      Ast.Assign ("d", v "c");
+      Ast.Assign ("c", rol 30 (v "oldb")) ]
+
+let make ~opt : Ast.kernel =
+  let open Ast.Syntax in
+  { k_name = (if opt then "sha-or-opt" else "sha-or");
+    arrays = [ Kernel.arr "w" I32 w_len;
+               Kernel.arr "digest" I32 digest_len ];
+    consts = [ ("nb", blocks); ("rounds", rounds); ("sched", sched) ];
+    k_body =
+      [ for_ "blk" (i 0) (v "nb")
+          [ (* message schedule expansion: w[t] depends on w[t-3..t-16] *)
+            for_ ~pragma:Ordered "ts" (i 16) (v "sched")
+              [ Ast.Decl ("base", v "blk" * v "sched");
+                Ast.Store
+                  ("w", v "base" + v "ts",
+                   let wref k =
+                     "w".%[v "base" + v "ts" - i k] in
+                   let x = wref 3 lxor wref 8 lxor wref 14 lxor wref 16 in
+                   (x lsl i 1) lor (x lsr i 31)) ];
+            Ast.Decl ("a", i 0x67452301);
+            Ast.Decl ("b", i 0xEFCDAB89);
+            Ast.Decl ("c", i 0x98BADCFE);
+            Ast.Decl ("d", i 0x10325476);
+            Ast.Decl ("e", i 0xC3D2E1F0);
+            for_ ~pragma:Ordered "t" (i 0) (v "rounds") (round_body ~opt);
+            Ast.Store ("digest", v "blk" * i 5, v "a");
+            Ast.Store ("digest", (v "blk" * i 5) + i 1, v "b");
+            Ast.Store ("digest", (v "blk" * i 5) + i 2, v "c");
+            Ast.Store ("digest", (v "blk" * i 5) + i 3, v "d");
+            Ast.Store ("digest", (v "blk" * i 5) + i 4, v "e") ] ] }
+
+let message =
+  Dataset.ints ~seed:509 ~n:(blocks * 16) ~bound:0x3FFFFFFF
+
+let reference () =
+  let ( +% ) a b = Int32.add a b in
+  let rol n x =
+    Int32.logor (Int32.shift_left x n) (Int32.shift_right_logical x (32 - n))
+  in
+  let digest = Array.make (blocks * 5) 0 in
+  for blk = 0 to blocks - 1 do
+    let w = Array.make sched 0l in
+    for t = 0 to 15 do w.(t) <- Int32.of_int message.((blk * 16) + t) done;
+    for t = 16 to sched - 1 do
+      let x =
+        Int32.logxor w.(t - 3)
+          (Int32.logxor w.(t - 8) (Int32.logxor w.(t - 14) w.(t - 16)))
+      in
+      w.(t) <- rol 1 x
+    done;
+    let a = ref 0x67452301l and b = ref 0xEFCDAB89l in
+    let c = ref 0x98BADCFEl and d = ref 0x10325476l in
+    let e = ref 0xC3D2E1F0l in
+    for t = 0 to rounds - 1 do
+      let tmp =
+        rol 5 !a +% Int32.logxor !b (Int32.logxor !c !d) +% !e
+        +% Int32.of_int k_const +% w.(t)
+      in
+      e := !d; d := !c; c := rol 30 !b; b := !a; a := tmp
+    done;
+    digest.((blk * 5) + 0) <- Int32.to_int !a;
+    digest.((blk * 5) + 1) <- Int32.to_int !b;
+    digest.((blk * 5) + 2) <- Int32.to_int !c;
+    digest.((blk * 5) + 3) <- Int32.to_int !d;
+    digest.((blk * 5) + 4) <- Int32.to_int !e
+  done;
+  digest
+
+let init (base : Kernel.bases) mem =
+  for blk = 0 to blocks - 1 do
+    for t = 0 to 15 do
+      Memory.set_int mem (base "w" + 4 * ((blk * sched) + t))
+        message.((blk * 16) + t)
+    done
+  done
+
+let check (base : Kernel.bases) mem =
+  Kernel.check_int_array ~what:"digest" ~expected:(reference ())
+    (Memory.read_int_array mem ~addr:(base "digest") ~n:(blocks * 5))
+
+let descriptor : Kernel.t =
+  { name = "sha-or"; suite = "M"; dominant = "or";
+    kernel = make ~opt:false; init; check }
+
+let descriptor_opt : Kernel.t =
+  { name = "sha-or-opt"; suite = "M"; dominant = "or";
+    kernel = make ~opt:true; init; check }

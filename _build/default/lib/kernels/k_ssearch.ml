@@ -1,0 +1,94 @@
+(** ssearch-uc (custom): Knuth-Morris-Pratt substring search over a
+    collection of byte streams.  The unordered loop runs one stream per
+    iteration; the KMP automaton (failure function precomputed at dataset
+    build time) runs as an inner serial loop with data-dependent control
+    flow. *)
+
+open Xloops_compiler
+module Memory = Xloops_mem.Memory
+
+let num_streams = 48
+let stream_len = 48
+let pat_len = 4
+
+let total_len = num_streams * stream_len
+
+let kernel : Ast.kernel =
+  let open Ast.Syntax in
+  { k_name = "ssearch-uc";
+    arrays = [ Kernel.arr "streams" U8 total_len;
+               Kernel.arr "pat" U8 pat_len;
+               Kernel.arr "fail" I32 pat_len;
+               Kernel.arr "found" I32 num_streams ];
+    consts = [ ("ns", num_streams); ("len", stream_len); ("m", pat_len) ];
+    k_body =
+      [ for_ ~pragma:Unordered "s" (i 0) (v "ns")
+          [ Ast.Decl ("q", i 0);         (* automaton state *)
+            Ast.Decl ("pos", i (-1));    (* first match position *)
+            Ast.Decl ("j", i 0);
+            Ast.While
+              (v "j" < v "len",
+               [ Ast.Decl ("ch", "streams".%[(v "s" * v "len") + v "j"]);
+                 Ast.While
+                   ((v "q" > i 0) land (v "ch" <> "pat".%[v "q"]),
+                    [ Ast.Assign ("q", "fail".%[v "q" - i 1]) ]);
+                 Ast.If (v "ch" = "pat".%[v "q"],
+                         [ Ast.Assign ("q", v "q" + i 1) ], []);
+                 Ast.If (v "q" = v "m",
+                         [ Ast.If (v "pos" < i 0,
+                                   [ Ast.Assign ("pos",
+                                                 v "j" - v "m" + i 1) ],
+                                   []);
+                           Ast.Assign ("q", i 0) ], []);
+                 Ast.Assign ("j", v "j" + i 1) ]);
+            Ast.Store ("found", v "s", v "pos") ] ] }
+
+let pattern = [| 3; 1; 3; 7 |]
+
+let streams =
+  (* Byte streams over a small alphabet so matches actually occur. *)
+  let raw = Dataset.ints ~seed:91 ~n:(num_streams * stream_len) ~bound:8 in
+  (* Plant the pattern in every third stream. *)
+  Array.mapi
+    (fun idx x ->
+       let s = idx / stream_len and j = idx mod stream_len in
+       if s mod 3 = 0 && j >= 20 && j < 20 + pat_len then
+         pattern.(j - 20)
+       else x)
+    raw
+
+let failure =
+  let f = Array.make pat_len 0 in
+  let k = ref 0 in
+  for q = 1 to pat_len - 1 do
+    while !k > 0 && pattern.(!k) <> pattern.(q) do k := f.(!k - 1) done;
+    if pattern.(!k) = pattern.(q) then incr k;
+    f.(q) <- !k
+  done;
+  f
+
+let reference () =
+  Array.init num_streams (fun s ->
+      let q = ref 0 and pos = ref (-1) in
+      for j = 0 to stream_len - 1 do
+        let ch = streams.((s * stream_len) + j) in
+        while !q > 0 && ch <> pattern.(!q) do q := failure.(!q - 1) done;
+        if ch = pattern.(!q) then incr q;
+        if !q = pat_len then begin
+          if !pos < 0 then pos := j - pat_len + 1;
+          q := 0
+        end
+      done;
+      !pos)
+
+let init (base : Kernel.bases) mem =
+  Memory.blit_bytes mem ~addr:(base "streams") streams;
+  Memory.blit_bytes mem ~addr:(base "pat") pattern;
+  Memory.blit_int_array mem ~addr:(base "fail") failure
+
+let check (base : Kernel.bases) mem =
+  Kernel.check_int_array ~what:"found" ~expected:(reference ())
+    (Memory.read_int_array mem ~addr:(base "found") ~n:num_streams)
+
+let descriptor : Kernel.t =
+  { name = "ssearch-uc"; suite = "C"; dominant = "uc"; kernel; init; check }

@@ -1,0 +1,77 @@
+(** stencil-orm (PBBS-style): in-place Gauss–Seidel 5-point relaxation
+    sweep with a global residual accumulator.  The row loop both reads the
+    previous row's freshly-written values (memory dependence) and carries
+    the residual sum in a register, so it maps to [xloop.orm]; the inner
+    column loop is a plain serial loop. *)
+
+open Xloops_compiler
+module Memory = Xloops_mem.Memory
+
+let n = 18
+let sweeps = 2
+
+let nn = n * n
+
+let kernel : Ast.kernel =
+  let open Ast.Syntax in
+  { k_name = "stencil-orm";
+    arrays = [ Kernel.arr "grid" I32 nn; Kernel.arr "residual" I32 sweeps ];
+    consts = [ ("n", n); ("sweeps", sweeps) ];
+    k_body =
+      [ for_ "s" (i 0) (v "sweeps")
+          [ Ast.Decl ("res", i 0);
+            for_ ~pragma:Ordered "r" (i 1) (v "n" - i 1)
+              [ for_ "c" (i 1) (v "n" - i 1)
+                  [ Ast.Decl ("idx", (v "r" * v "n") + v "c");
+                    Ast.Decl ("old", "grid".%[v "idx"]);
+                    Ast.Decl
+                      ("upd",
+                       (v "old"
+                        + "grid".%[v "idx" - v "n"]
+                        + "grid".%[v "idx" + v "n"]
+                        + "grid".%[v "idx" - i 1]
+                        + "grid".%[v "idx" + i 1])
+                       / i 5);
+                    Ast.Store ("grid", v "idx", v "upd");
+                    Ast.Decl ("dv", v "upd" - v "old");
+                    Ast.If (v "dv" < i 0,
+                            [ Ast.Assign ("dv", i 0 - v "dv") ], []);
+                    Ast.Assign ("res", v "res" + v "dv") ] ];
+            Ast.Store ("residual", v "s", v "res") ] ] }
+
+let input = Dataset.ints ~seed:1103 ~n:nn ~bound:1000
+
+let reference () =
+  let g = Array.copy input in
+  let residual = Array.make sweeps 0 in
+  for s = 0 to sweeps - 1 do
+    let res = ref 0 in
+    for r = 1 to n - 2 do
+      for c = 1 to n - 2 do
+        let idx = (r * n) + c in
+        let old = g.(idx) in
+        let upd =
+          (old + g.(idx - n) + g.(idx + n) + g.(idx - 1) + g.(idx + 1)) / 5
+        in
+        g.(idx) <- upd;
+        res := !res + abs (upd - old)
+      done
+    done;
+    residual.(s) <- !res
+  done;
+  (g, residual)
+
+let init (base : Kernel.bases) mem =
+  Memory.blit_int_array mem ~addr:(base "grid") input
+
+let check (base : Kernel.bases) mem =
+  let g, residual = reference () in
+  Kernel.all_checks
+    [ Kernel.check_int_array ~what:"grid" ~expected:g
+        (Memory.read_int_array mem ~addr:(base "grid") ~n:nn);
+      Kernel.check_int_array ~what:"residual" ~expected:residual
+        (Memory.read_int_array mem ~addr:(base "residual") ~n:sweeps) ]
+
+let descriptor : Kernel.t =
+  { name = "stencil-orm"; suite = "P"; dominant = "orm"; kernel; init;
+    check }

@@ -1,0 +1,90 @@
+(** symm-{uc,or} (PolyBench): symmetric rank-update style kernel,
+    C = alpha*A*B + beta*C with A symmetric (only the lower triangle of A
+    is referenced).
+
+    Two parallelizations, as in Table II:
+    - symm-uc annotates the column loop ([j]): iterations touch disjoint
+      columns, so the loop is unordered;
+    - symm-or annotates the inner [k] loop: the [acc] reduction is a
+      register-carried dependence, and the per-k column updates are
+      independent, so the compiler classifies it ordered-through-registers.
+*)
+
+open Xloops_compiler
+module Memory = Xloops_mem.Memory
+
+let n = 12
+
+let alpha = 3 and beta = 2
+
+(* Integer variant of polybench symm (integers keep the self-check
+   exact while preserving the loop structure). *)
+let body annotate_j : Ast.block =
+  let open Ast.Syntax in
+  let j_pragma = if annotate_j then Some Ast.Unordered else None in
+  let k_pragma = if annotate_j then None else Some Ast.Ordered in
+  [ for_ "ii" (i 0) (v "n")
+      [ for_ ?pragma:j_pragma "j" (i 0) (v "n")
+          [ Ast.Decl ("acc", i 0);
+            for_ ?pragma:k_pragma "k" (i 0) (v "ii")
+              [ Ast.Store ("mc", (v "k" * v "n") + v "j",
+                           "mc".%[(v "k" * v "n") + v "j"]
+                           + (v "alpha" * "mb".%[(v "ii" * v "n") + v "j"]
+                              * "ma".%[(v "ii" * v "n") + v "k"]));
+                Ast.Assign ("acc",
+                            v "acc"
+                            + ("mb".%[(v "k" * v "n") + v "j"]
+                               * "ma".%[(v "ii" * v "n") + v "k"])) ];
+            Ast.Store ("mc", (v "ii" * v "n") + v "j",
+                       (v "beta" * "mc".%[(v "ii" * v "n") + v "j"])
+                       + (v "alpha" * "mb".%[(v "ii" * v "n") + v "j"]
+                          * "ma".%[(v "ii" * v "n") + v "ii"])
+                       + (v "alpha" * v "acc")) ] ] ]
+
+let nn = n * n
+
+let make variant : Ast.kernel =
+  { k_name = "symm-" ^ variant;
+    arrays = [ Kernel.arr "ma" I32 nn; Kernel.arr "mb" I32 nn;
+               Kernel.arr "mc" I32 nn ];
+    consts = [ ("n", n); ("alpha", alpha); ("beta", beta) ];
+    k_body = body (variant = "uc") }
+
+let a_in = Dataset.ints ~seed:11 ~n:(n * n) ~bound:7
+let b_in = Dataset.ints ~seed:23 ~n:(n * n) ~bound:7
+let c_in = Dataset.ints ~seed:37 ~n:(n * n) ~bound:7
+
+let reference () =
+  let c = Array.copy c_in in
+  for ii = 0 to n - 1 do
+    for j = 0 to n - 1 do
+      let acc = ref 0 in
+      for k = 0 to ii - 1 do
+        c.((k * n) + j) <-
+          c.((k * n) + j) + (alpha * b_in.((ii * n) + j) * a_in.((ii * n) + k));
+        acc := !acc + (b_in.((k * n) + j) * a_in.((ii * n) + k))
+      done;
+      c.((ii * n) + j) <-
+        (beta * c.((ii * n) + j))
+        + (alpha * b_in.((ii * n) + j) * a_in.((ii * n) + ii))
+        + (alpha * !acc)
+    done
+  done;
+  c
+
+let init (base : Kernel.bases) mem =
+  Memory.blit_int_array mem ~addr:(base "ma") a_in;
+  Memory.blit_int_array mem ~addr:(base "mb") b_in;
+  Memory.blit_int_array mem ~addr:(base "mc") c_in
+
+let check (base : Kernel.bases) mem =
+  Kernel.check_int_array ~what:"C" ~expected:(reference ())
+    (Memory.read_int_array mem ~addr:(base "mc") ~n:(n * n))
+
+let descriptor_uc : Kernel.t =
+  { name = "symm-uc"; suite = "Po"; dominant = "uc";
+    kernel = make "uc"; init; check }
+
+let descriptor_or : Kernel.t =
+  { name = "symm-or"; suite = "Po"; dominant = "or";
+    kernel = make "or"; init; check }

@@ -1,0 +1,129 @@
+(** viterbi-uc (custom): Viterbi decoding of convolutionally encoded
+    frames.  The unordered loop runs one frame per iteration; inside, the
+    trellis is walked step by step with an add-compare-select over the
+    states of a rate-1/2, K=3 code (4 states).  Each frame uses a private
+    pair of path-metric banks, so the frame loop is fully independent.
+    Branch metrics and predecessor indices are precomputed tables (as a
+    production decoder would), keeping the loop body within the LPSU's
+    instruction buffer. *)
+
+open Xloops_compiler
+module Memory = Xloops_mem.Memory
+
+let num_frames = 10
+let frame_len = 24      (* trellis steps per frame *)
+let num_states = 4
+let big = 1 lsl 20
+
+(* state = last two input bits; next_state s b = ((s << 1) | b) & 3;
+   output bits from generators g0 = 7 (111), g1 = 5 (101). *)
+let parity x = (0x6996 lsr ((x lxor (x lsr 4)) land 0xF)) land 1
+
+let out_bits s b =
+  let reg = (s lsl 1) lor b in  (* 3-bit shift register *)
+  (parity (reg land 7), parity (reg land 5))
+
+let hamming s b obs =
+  let o0, o1 = out_bits s b in
+  ((obs lsr 1) lxor o0) + ((obs land 1) lxor o1)
+
+(* Predecessors of new state sp: p0 = (sp>>1)&1, p1 = p0|2; the consumed
+   input bit is sp&1. *)
+let pred0 sp = (sp lsr 1) land 1
+let pred1 sp = pred0 sp lor 2
+
+(* Per-(new state, observation) branch metrics through each
+   predecessor. *)
+let bm_tbl pred =
+  Array.init (num_states * 4) (fun idx ->
+      let sp = idx / 4 and obs = idx mod 4 in
+      hamming (pred sp) (sp land 1) obs)
+
+let bm0 = bm_tbl pred0
+let bm1 = bm_tbl pred1
+let p0t = Array.init num_states pred0
+let p1t = Array.init num_states pred1
+
+let bm_len = num_states * 4
+let obs_len = num_frames * frame_len
+let bank = 2 * num_states
+let pm_len = num_frames * bank
+
+let kernel : Ast.kernel =
+  let open Ast.Syntax in
+  { k_name = "viterbi-uc";
+    arrays =
+      [ Kernel.arr "obs" U8 obs_len;  (* 2-bit symbols *)
+        Kernel.arr "bm0" I32 bm_len;
+        Kernel.arr "bm1" I32 bm_len;
+        Kernel.arr "p0t" I32 num_states;
+        Kernel.arr "p1t" I32 num_states;
+        Kernel.arr "pm" I32 pm_len;
+        Kernel.arr "best" I32 num_frames ];
+    consts = [ ("nf", num_frames); ("tlen", frame_len);
+               ("ns", num_states); ("big", big) ];
+    k_body =
+      [ for_ ~pragma:Unordered "f" (i 0) (v "nf")
+          [ Ast.Decl ("pmb", v "f" * i bank);
+            Ast.Decl ("bigv", v "big");
+            (* f-linear subscripts strength-reduce to one store each *)
+            Ast.Store ("pm", v "f" * i bank, i 0);
+            Ast.Store ("pm", (v "f" * i bank) + i 1, v "bigv");
+            Ast.Store ("pm", (v "f" * i bank) + i 2, v "bigv");
+            Ast.Store ("pm", (v "f" * i bank) + i 3, v "bigv");
+            Ast.Decl ("cur", i 0);
+            for_ "t" (i 0) (v "tlen")
+              [ Ast.Decl ("ob", "obs".%[(v "f" * v "tlen") + v "t"]);
+                Ast.Decl ("nxt", i 1 - v "cur");
+                Ast.Decl ("pc_", v "pmb" + (v "cur" lsl i 2));
+                Ast.Decl ("pn_", v "pmb" + (v "nxt" lsl i 2));
+                for_ "sp" (i 0) (v "ns")
+                  [ Ast.Decl
+                      ("m0",
+                       "pm".%[v "pc_" + "p0t".%[v "sp"]]
+                       + "bm0".%[(v "sp" lsl i 2) + v "ob"]);
+                    Ast.Decl
+                      ("m1",
+                       "pm".%[v "pc_" + "p1t".%[v "sp"]]
+                       + "bm1".%[(v "sp" lsl i 2) + v "ob"]);
+                    Ast.Store ("pm", v "pn_" + v "sp",
+                               min_ (v "m0") (v "m1")) ];
+                Ast.Assign ("cur", v "nxt") ];
+            Ast.Decl ("fb", v "pmb" + (v "cur" lsl i 2));
+            Ast.Store
+              ("best", v "f",
+               min_ (min_ ("pm".%[v "fb"]) ("pm".%[v "fb" + i 1]))
+                 (min_ ("pm".%[v "fb" + i 2]) ("pm".%[v "fb" + i 3]))) ] ] }
+
+let observations = Dataset.ints ~seed:73 ~n:obs_len ~bound:4
+
+let reference () =
+  Array.init num_frames (fun f ->
+      let pm = Array.make num_states big in
+      pm.(0) <- 0;
+      let cur = ref pm in
+      for t = 0 to frame_len - 1 do
+        let ob = observations.((f * frame_len) + t) in
+        let nxt = Array.make num_states 0 in
+        for sp = 0 to num_states - 1 do
+          let m0 = !cur.(p0t.(sp)) + bm0.((sp * 4) + ob) in
+          let m1 = !cur.(p1t.(sp)) + bm1.((sp * 4) + ob) in
+          nxt.(sp) <- min m0 m1
+        done;
+        cur := nxt
+      done;
+      Array.fold_left min max_int !cur)
+
+let init (base : Kernel.bases) mem =
+  Memory.blit_bytes mem ~addr:(base "obs") observations;
+  Memory.blit_int_array mem ~addr:(base "bm0") bm0;
+  Memory.blit_int_array mem ~addr:(base "bm1") bm1;
+  Memory.blit_int_array mem ~addr:(base "p0t") p0t;
+  Memory.blit_int_array mem ~addr:(base "p1t") p1t
+
+let check (base : Kernel.bases) mem =
+  Kernel.check_int_array ~what:"best" ~expected:(reference ())
+    (Memory.read_int_array mem ~addr:(base "best") ~n:num_frames)
+
+let descriptor : Kernel.t =
+  { name = "viterbi-uc"; suite = "C"; dominant = "uc"; kernel; init; check }

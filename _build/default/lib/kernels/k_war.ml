@@ -1,0 +1,71 @@
+(** war-{uc,om} (PolyBench): Floyd-Warshall all-pairs shortest paths
+    (Figure 2 of the paper).
+
+    - war-om annotates the middle [ii] loop [ordered] and the inner [j]
+      loop [unordered]; dependence analysis maps the middle loop to
+      [xloop.om] (iterations read row [k], which some iteration may also
+      write) — this is the paper's headline compiler example;
+    - war-uc annotates only the inner [j] loop ([unordered]): iterations
+      write disjoint elements of row [ii]. *)
+
+open Xloops_compiler
+module Memory = Xloops_mem.Memory
+
+let n = 14
+let inf = 1 lsl 20
+
+let body ~annotate_middle : Ast.block =
+  let open Ast.Syntax in
+  let mid_pragma = if annotate_middle then Some Ast.Ordered else None in
+  [ for_ "k" (i 0) (v "n")
+      [ for_ ?pragma:mid_pragma "ii" (i 0) (v "n")
+          [ for_ ~pragma:Unordered "j" (i 0) (v "n")
+              [ Ast.Store
+                  ("path", (v "ii" * v "n") + v "j",
+                   min_
+                     ("path".%[(v "ii" * v "n") + v "j"])
+                     ("path".%[(v "ii" * v "n") + v "k"]
+                      + "path".%[(v "k" * v "n") + v "j"])) ] ] ] ]
+
+let nn = n * n
+
+let make variant : Ast.kernel =
+  { k_name = "war-" ^ variant;
+    arrays = [ Kernel.arr "path" I32 nn ];
+    consts = [ ("n", n) ];
+    k_body = body ~annotate_middle:(variant = "om") }
+
+let input =
+  let r = Dataset.rng 101 in
+  Array.init (n * n) (fun idx ->
+      let a = idx / n and b = idx mod n in
+      if a = b then 0
+      else if Dataset.int r 4 < 3 then Dataset.range r 1 20
+      else inf)
+
+let reference () =
+  let p = Array.copy input in
+  for k = 0 to n - 1 do
+    for ii = 0 to n - 1 do
+      for j = 0 to n - 1 do
+        let via = p.((ii * n) + k) + p.((k * n) + j) in
+        if via < p.((ii * n) + j) then p.((ii * n) + j) <- via
+      done
+    done
+  done;
+  p
+
+let init (base : Kernel.bases) mem =
+  Memory.blit_int_array mem ~addr:(base "path") input
+
+let check (base : Kernel.bases) mem =
+  Kernel.check_int_array ~what:"path" ~expected:(reference ())
+    (Memory.read_int_array mem ~addr:(base "path") ~n:(n * n))
+
+let descriptor_uc : Kernel.t =
+  { name = "war-uc"; suite = "Po"; dominant = "uc";
+    kernel = make "uc"; init; check }
+
+let descriptor_om : Kernel.t =
+  { name = "war-om"; suite = "Po"; dominant = "om";
+    kernel = make "om"; init; check }

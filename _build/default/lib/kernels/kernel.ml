@@ -1,0 +1,110 @@
+(** Kernel descriptor: a Loopc program plus its dataset initializer and a
+    self-check against an OCaml-computed reference.  Every Table II / IV
+    application kernel in this library is one of these. *)
+
+module Memory = Xloops_mem.Memory
+
+(** Array base resolver: [base "name"] is the data address the compiler
+    placed the array at. *)
+type bases = string -> int
+
+type t = {
+  name : string;
+  suite : string;           (** Po / M / P / C, as in Table II *)
+  dominant : string;        (** dominant dependence pattern, e.g. "uc" *)
+  kernel : Xloops_compiler.Ast.kernel;
+  init : bases -> Memory.t -> unit;
+  check : bases -> Memory.t -> (unit, string) result;
+}
+
+(** Array declaration shorthand for kernel definitions. *)
+let arr name ty len : Xloops_compiler.Ast.array_decl =
+  { a_name = name; a_ty = ty; a_len = len }
+
+(* -- Check helpers ------------------------------------------------------ *)
+
+let check_int_array ~what ~(expected : int array) (actual : int array) =
+  let n = Array.length expected in
+  if Array.length actual <> n then
+    Error (Printf.sprintf "%s: length %d, expected %d" what
+             (Array.length actual) n)
+  else begin
+    let bad = ref None in
+    for i = n - 1 downto 0 do
+      if expected.(i) <> actual.(i) then bad := Some i
+    done;
+    match !bad with
+    | None -> Ok ()
+    | Some i ->
+      Error (Printf.sprintf "%s[%d] = %d, expected %d" what i actual.(i)
+               expected.(i))
+  end
+
+let check_f32_array ~what ~(expected : float array) ?(eps = 1e-3)
+    (actual : float array) =
+  let n = Array.length expected in
+  let bad = ref None in
+  for i = n - 1 downto 0 do
+    if Float.abs (expected.(i) -. actual.(i)) > eps
+       *. Float.max 1.0 (Float.abs expected.(i))
+    then bad := Some i
+  done;
+  match !bad with
+  | None -> Ok ()
+  | Some i ->
+    Error (Printf.sprintf "%s[%d] = %g, expected %g" what i actual.(i)
+             expected.(i))
+
+let check_sorted ~what (a : int array) =
+  let bad = ref None in
+  for i = 0 to Array.length a - 2 do
+    if a.(i) > a.(i + 1) then bad := Some i
+  done;
+  match !bad with
+  | None -> Ok ()
+  | Some i ->
+    Error (Printf.sprintf "%s not sorted at %d: %d > %d" what i a.(i)
+             a.(i + 1))
+
+let check_permutation ~what ~(of_ : int array) (a : int array) =
+  let sa = Array.copy a and sb = Array.copy of_ in
+  Array.sort compare sa;
+  Array.sort compare sb;
+  if sa = sb then Ok ()
+  else Error (Printf.sprintf "%s is not a permutation of the input" what)
+
+let all_checks cs = List.fold_left (fun acc c ->
+    match acc with Ok () -> c | e -> e) (Ok ()) cs
+
+(* -- Convenience: compile and run a kernel on a config ------------------ *)
+
+module Machine = Xloops_sim.Machine
+module Config = Xloops_sim.Config
+module Compile = Xloops_compiler.Compile
+
+type run = {
+  result : Machine.result;
+  compiled : Compile.compiled;
+  mem : Memory.t;
+  check_result : (unit, string) result;
+}
+
+(** Compile [k] for [target], initialize a fresh memory, simulate on
+    [cfg]/[mode], and self-check the output. *)
+let run ?(target = Compile.xloops) ?(cfg = Config.io)
+    ?(mode = Machine.Traditional) ?adaptive (k : t) : run =
+  let compiled = Compile.compile ~target k.kernel in
+  let mem = Memory.create () in
+  k.init compiled.array_base mem;
+  let result = Machine.simulate ?adaptive ~cfg ~mode compiled.program mem in
+  let check_result = k.check compiled.array_base mem in
+  { result; compiled; mem; check_result }
+
+(** Dynamic instruction count of the serial functional execution —
+    Table II's dynamic-instruction columns. *)
+let dynamic_insns ?(target = Compile.xloops) (k : t) =
+  let compiled = Compile.compile ~target k.kernel in
+  let mem = Memory.create () in
+  k.init compiled.array_base mem;
+  let r = Xloops_sim.Exec.run_serial compiled.program mem in
+  r.dynamic_insns

@@ -1,0 +1,59 @@
+(** The kernel registry: Table II's 25 application kernels and Table IV's
+    hand-optimized / loop-transformed variants. *)
+
+(** Table II kernels, in the paper's order. *)
+let table2 : Kernel.t list = [
+  K_rgb2cmyk.descriptor;
+  K_sgemm.descriptor;
+  K_ssearch.descriptor;
+  K_symm.descriptor_uc;
+  K_viterbi.descriptor;
+  K_war.descriptor_uc;
+  K_adpcm.descriptor;
+  K_covar.descriptor;
+  K_dither.descriptor;
+  K_kmeans.descriptor;
+  K_sha.descriptor;
+  K_symm.descriptor_or;
+  K_dynprog.descriptor;
+  K_knn.descriptor;
+  K_ksack.descriptor_sm;
+  K_ksack.descriptor_lg;
+  K_war.descriptor_om;
+  K_mm.descriptor;
+  K_stencil.descriptor;
+  K_btree.descriptor;
+  K_hsort.descriptor;
+  K_huffman.descriptor;
+  K_rsort.descriptor;
+  K_bfs.descriptor;
+  K_qsort.descriptor;
+]
+
+(** Table IV case-study variants: hand-scheduled [or] kernels and
+    loop-transformed [uc] counterparts. *)
+let table4 : Kernel.t list = [
+  K_adpcm.descriptor_opt;
+  K_dither.descriptor_opt;
+  K_sha.descriptor_opt;
+  K_bfs.descriptor_uc;
+  K_dither.descriptor_uc;
+  K_kmeans.descriptor_uc;
+  K_qsort.descriptor_uc;
+  K_rsort.descriptor_uc;
+]
+
+(** Extension kernels beyond the paper's evaluation: the implemented
+    future-work patterns. *)
+let extensions : Kernel.t list = [
+  K_find_de.descriptor;
+]
+
+let all : Kernel.t list = table2 @ table4 @ extensions
+
+let find name =
+  match List.find_opt (fun (k : Kernel.t) -> k.name = name) all with
+  | Some k -> k
+  | None -> invalid_arg ("Registry.find: unknown kernel " ^ name)
+
+let names = List.map (fun (k : Kernel.t) -> k.name) all

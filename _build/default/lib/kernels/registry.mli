@@ -1,0 +1,19 @@
+(** The kernel registry: Table II's 25 application kernels, Table IV's
+    hand-optimized / loop-transformed variants, and the extension
+    kernels. *)
+
+val table2 : Kernel.t list
+(** The 25 kernels of Table II, in the paper's order. *)
+
+val table4 : Kernel.t list
+(** Table IV case-study variants. *)
+
+val extensions : Kernel.t list
+(** Kernels for the implemented future-work patterns (e.g. find-de). *)
+
+val all : Kernel.t list
+
+val find : string -> Kernel.t
+(** Raises [Invalid_argument] on unknown names. *)
+
+val names : string list

@@ -1,0 +1,1 @@
+lib/mem/memory.ml: Array Bytes Char Insn Int32 Xloops_isa

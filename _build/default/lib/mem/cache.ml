@@ -1,0 +1,59 @@
+(** Set-associative cache timing model (tags only — data lives in
+    {!Memory}).  Used for the 16 KB L1 instruction and data caches of the
+    GPP (Table III / Section V-A: datasets are tailored to fit in the L1,
+    so the model mainly classifies cold misses and the occasional conflict
+    miss).  Writeback/write-allocate with LRU replacement. *)
+
+type t = {
+  sets : int;
+  ways : int;
+  line_bytes : int;
+  tags : int array array;       (* [set].(way) = tag, -1 invalid *)
+  lru : int array array;        (* higher = more recently used *)
+  mutable tick : int;
+  mutable accesses : int;
+  mutable misses : int;
+}
+
+let create ?(size_bytes = 16 * 1024) ?(ways = 2) ?(line_bytes = 32) () =
+  let lines = size_bytes / line_bytes in
+  let sets = lines / ways in
+  if sets <= 0 then invalid_arg "Cache.create: too small";
+  { sets; ways; line_bytes;
+    tags = Array.init sets (fun _ -> Array.make ways (-1));
+    lru = Array.init sets (fun _ -> Array.make ways 0);
+    tick = 0; accesses = 0; misses = 0 }
+
+(** [access t addr] returns [true] on hit.  On a miss the line is filled
+    (victim chosen by LRU). *)
+let access t addr =
+  t.accesses <- t.accesses + 1;
+  t.tick <- t.tick + 1;
+  let line = addr / t.line_bytes in
+  let set = line mod t.sets in
+  let tag = line / t.sets in
+  let tags = t.tags.(set) and lru = t.lru.(set) in
+  let rec find w = if w >= t.ways then None
+    else if tags.(w) = tag then Some w else find (w + 1) in
+  match find 0 with
+  | Some w -> lru.(w) <- t.tick; true
+  | None ->
+    t.misses <- t.misses + 1;
+    (* Fill into the least-recently-used way. *)
+    let victim = ref 0 in
+    for w = 1 to t.ways - 1 do
+      if lru.(w) < lru.(!victim) then victim := w
+    done;
+    tags.(!victim) <- tag;
+    lru.(!victim) <- t.tick;
+    false
+
+let accesses t = t.accesses
+let misses t = t.misses
+
+let miss_rate t =
+  if t.accesses = 0 then 0.0
+  else float_of_int t.misses /. float_of_int t.accesses
+
+let reset_counters t =
+  t.accesses <- 0; t.misses <- 0

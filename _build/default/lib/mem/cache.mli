@@ -1,0 +1,17 @@
+(** Set-associative cache timing model (tags only; data lives in
+    {!Memory}).  Writeback/write-allocate with LRU replacement; used for
+    the 16 KB L1 I/D caches of Table III. *)
+
+type t
+
+val create : ?size_bytes:int -> ?ways:int -> ?line_bytes:int -> unit -> t
+(** Defaults: 16 KiB, 2-way, 32-byte lines. *)
+
+val access : t -> int -> bool
+(** [access t addr] returns [true] on a hit; on a miss the line is
+    filled (LRU victim). *)
+
+val accesses : t -> int
+val misses : t -> int
+val miss_rate : t -> float
+val reset_counters : t -> unit

@@ -1,0 +1,129 @@
+(** Byte-addressable little-endian main memory with atomic memory
+    operations.  This is the architectural memory shared by the GPP and all
+    LPSU lanes; speculative stores are buffered in per-lane LSQs
+    ({!Xloops_sim.Lsq}) and only reach this module when they commit. *)
+
+open Xloops_isa
+
+exception Bad_access of { addr : int; what : string }
+
+type t = {
+  data : Bytes.t;
+  size : int;
+  mutable loads : int;   (* event counters for the energy model *)
+  mutable stores : int;
+  mutable amos : int;
+}
+
+let create ?(size = 1 lsl 20) () =
+  { data = Bytes.make size '\000'; size; loads = 0; stores = 0; amos = 0 }
+
+let size t = t.size
+
+let check t addr bytes what =
+  if addr < 0 || addr + bytes > t.size then
+    raise (Bad_access { addr; what })
+
+let check_align addr bytes what =
+  if addr mod bytes <> 0 then raise (Bad_access { addr; what })
+
+(* Raw accessors (no event counting): used for dataset initialization and
+   for result checking. *)
+
+let get_u8 t addr =
+  check t addr 1 "get_u8";
+  Char.code (Bytes.get t.data addr)
+
+let set_u8 t addr v =
+  check t addr 1 "set_u8";
+  Bytes.set t.data addr (Char.chr (v land 0xFF))
+
+let get_u16 t addr =
+  check t addr 2 "get_u16"; check_align addr 2 "get_u16";
+  Char.code (Bytes.get t.data addr)
+  lor (Char.code (Bytes.get t.data (addr + 1)) lsl 8)
+
+let set_u16 t addr v =
+  check t addr 2 "set_u16"; check_align addr 2 "set_u16";
+  Bytes.set t.data addr (Char.chr (v land 0xFF));
+  Bytes.set t.data (addr + 1) (Char.chr ((v lsr 8) land 0xFF))
+
+let get_i32 t addr : int32 =
+  check t addr 4 "get_i32"; check_align addr 4 "get_i32";
+  Bytes.get_int32_le t.data addr
+
+let set_i32 t addr (v : int32) =
+  check t addr 4 "set_i32"; check_align addr 4 "set_i32";
+  Bytes.set_int32_le t.data addr v
+
+let get_int t addr = Int32.to_int (get_i32 t addr)
+let set_int t addr v = set_i32 t addr (Int32.of_int v)
+
+let get_f32 t addr = Int32.float_of_bits (get_i32 t addr)
+let set_f32 t addr v = set_i32 t addr (Int32.bits_of_float v)
+
+(* Architectural accessors used by the simulators. *)
+
+let sext8 v = if v land 0x80 <> 0 then v - 0x100 else v
+let sext16 v = if v land 0x8000 <> 0 then v - 0x10000 else v
+
+(** [load t width addr] returns the value as a sign/zero-extended int32. *)
+let load t (w : Insn.width) addr : int32 =
+  t.loads <- t.loads + 1;
+  match w with
+  | B -> Int32.of_int (sext8 (get_u8 t addr))
+  | Bu -> Int32.of_int (get_u8 t addr)
+  | H -> Int32.of_int (sext16 (get_u16 t addr))
+  | Hu -> Int32.of_int (get_u16 t addr)
+  | W -> get_i32 t addr
+
+let store t (w : Insn.width) addr (v : int32) =
+  t.stores <- t.stores + 1;
+  match w with
+  | B | Bu -> set_u8 t addr (Int32.to_int v land 0xFF)
+  | H | Hu -> set_u16 t addr (Int32.to_int v land 0xFFFF)
+  | W -> set_i32 t addr v
+
+(** Atomic read-modify-write on a word: returns the old value. *)
+let amo t (op : Insn.amo_op) addr (v : int32) : int32 =
+  t.amos <- t.amos + 1;
+  let old = get_i32 t addr in
+  let nv =
+    match op with
+    | Amo_add -> Int32.add old v
+    | Amo_and -> Int32.logand old v
+    | Amo_or -> Int32.logor old v
+    | Amo_xchg -> v
+    | Amo_min -> if Int32.compare old v <= 0 then old else v
+    | Amo_max -> if Int32.compare old v >= 0 then old else v
+  in
+  set_i32 t addr nv;
+  old
+
+(** Number of bytes a width accesses (for address-overlap checks). *)
+let width_bytes : Insn.width -> int = function
+  | B | Bu -> 1
+  | H | Hu -> 2
+  | W -> 4
+
+(* Bulk helpers for dataset setup / checking. *)
+
+let blit_int_array t ~addr (a : int array) =
+  Array.iteri (fun i v -> set_int t (addr + 4 * i) v) a
+
+let read_int_array t ~addr ~n =
+  Array.init n (fun i -> get_int t (addr + 4 * i))
+
+let blit_f32_array t ~addr (a : float array) =
+  Array.iteri (fun i v -> set_f32 t (addr + 4 * i) v) a
+
+let read_f32_array t ~addr ~n =
+  Array.init n (fun i -> get_f32 t (addr + 4 * i))
+
+let blit_bytes t ~addr (a : int array) =
+  Array.iteri (fun i v -> set_u8 t (addr + i) v) a
+
+let read_bytes t ~addr ~n = Array.init n (fun i -> get_u8 t (addr + i))
+
+let reset_counters t =
+  t.loads <- 0; t.stores <- 0; t.amos <- 0

@@ -1,0 +1,55 @@
+(** Byte-addressable little-endian main memory with atomic memory
+    operations — the architectural memory shared by the GPP and all LPSU
+    lanes (speculative stores live in per-lane LSQs until commit). *)
+
+exception Bad_access of { addr : int; what : string }
+(** Raised on out-of-range or misaligned accesses. *)
+
+type t = {
+  data : Bytes.t;
+  size : int;
+  mutable loads : int;   (** architectural load count (energy model) *)
+  mutable stores : int;
+  mutable amos : int;
+}
+
+val create : ?size:int -> unit -> t
+(** Default size 1 MiB, zero-filled. *)
+
+val size : t -> int
+
+(** {1 Raw accessors} (dataset setup / checking; not event-counted) *)
+
+val get_u8 : t -> int -> int
+val set_u8 : t -> int -> int -> unit
+val get_u16 : t -> int -> int
+val set_u16 : t -> int -> int -> unit
+val get_i32 : t -> int -> int32
+val set_i32 : t -> int -> int32 -> unit
+val get_int : t -> int -> int
+val set_int : t -> int -> int -> unit
+val get_f32 : t -> int -> float
+val set_f32 : t -> int -> float -> unit
+
+(** {1 Architectural accessors} (event-counted) *)
+
+val load : t -> Xloops_isa.Insn.width -> int -> int32
+(** Sign/zero-extends according to the width. *)
+
+val store : t -> Xloops_isa.Insn.width -> int -> int32 -> unit
+
+val amo : t -> Xloops_isa.Insn.amo_op -> int -> int32 -> int32
+(** Atomic read-modify-write on a word; returns the old value. *)
+
+val width_bytes : Xloops_isa.Insn.width -> int
+
+(** {1 Bulk helpers} *)
+
+val blit_int_array : t -> addr:int -> int array -> unit
+val read_int_array : t -> addr:int -> n:int -> int array
+val blit_f32_array : t -> addr:int -> float array -> unit
+val read_f32_array : t -> addr:int -> n:int -> float array
+val blit_bytes : t -> addr:int -> int array -> unit
+val read_bytes : t -> addr:int -> n:int -> int array
+
+val reset_counters : t -> unit

@@ -1,0 +1,21 @@
+(** Shared-resource arbiter: the LPSU lanes and the GPP dynamically
+    arbitrate for the data-memory port and the long-latency functional
+    unit (Figure 4).  A port grants at most [width] requests per cycle;
+    [occupancy] models unpipelined resources (the divider). *)
+
+type t
+
+val create : ?width:int -> string -> t
+
+val try_grant : ?occupancy:int -> t -> now:int -> bool
+(** Attempt to acquire the port at cycle [now]; [occupancy > 1] keeps
+    the whole port busy until [now + occupancy]. *)
+
+val hold : t -> until:int -> unit
+(** Keep the port busy until the given cycle (miss occupancy). *)
+
+val grants : t -> int
+val conflicts : t -> int
+(** Requests that were denied and had to retry. *)
+
+val reset : t -> unit

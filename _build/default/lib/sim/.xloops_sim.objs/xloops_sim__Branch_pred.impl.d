@@ -1,0 +1,1 @@
+lib/sim/branch_pred.ml: Array

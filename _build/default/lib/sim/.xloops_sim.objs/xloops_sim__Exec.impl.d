@@ -1,0 +1,1 @@
+lib/sim/exec.ml: Array Float Insn Int32 Int64 Printf Reg Xloops_asm Xloops_isa Xloops_mem

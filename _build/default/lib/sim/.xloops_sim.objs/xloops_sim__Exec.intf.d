@@ -1,0 +1,1 @@
+lib/sim/exec.mli: Xloops_asm Xloops_isa Xloops_mem

@@ -1,0 +1,1 @@
+lib/sim/gpp_timing.ml: Array Branch_pred Config Exec Hashtbl Insn List Reg Stats Xloops_isa Xloops_mem

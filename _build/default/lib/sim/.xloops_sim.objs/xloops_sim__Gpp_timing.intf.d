@@ -1,0 +1,1 @@
+lib/sim/gpp_timing.mli: Config Exec Stats Xloops_isa Xloops_mem

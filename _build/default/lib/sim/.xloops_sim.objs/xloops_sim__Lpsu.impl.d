@@ -1,0 +1,1 @@
+lib/sim/lpsu.ml: Array Config Exec Gpp_timing Insn Int32 List Lsq Printf Reg Result Scan Stats Trace Xloops_asm Xloops_isa Xloops_mem

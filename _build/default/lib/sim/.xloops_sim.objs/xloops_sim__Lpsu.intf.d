@@ -1,0 +1,1 @@
+lib/sim/lpsu.mli: Config Scan Stats Trace Xloops_asm Xloops_isa Xloops_mem

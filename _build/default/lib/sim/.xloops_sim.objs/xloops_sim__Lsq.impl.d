@@ -1,0 +1,1 @@
+lib/sim/lsq.ml: Insn Int32 List Xloops_isa Xloops_mem

@@ -1,0 +1,1 @@
+lib/sim/lsq.mli: Xloops_isa Xloops_mem

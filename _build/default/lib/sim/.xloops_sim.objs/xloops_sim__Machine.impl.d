@@ -1,0 +1,1 @@
+lib/sim/machine.ml: Config Exec Gpp_timing Hashtbl List Lpsu Printf Scan Stats Trace Xloops_asm Xloops_isa Xloops_mem

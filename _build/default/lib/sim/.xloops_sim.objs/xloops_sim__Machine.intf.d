@@ -1,0 +1,1 @@
+lib/sim/machine.mli: Config Stats Trace Xloops_asm Xloops_mem

@@ -1,0 +1,1 @@
+lib/sim/scan.ml: Array Config Fmt Insn Int32 List Reg Xloops_asm Xloops_isa

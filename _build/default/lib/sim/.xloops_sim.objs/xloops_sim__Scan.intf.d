@@ -1,0 +1,1 @@
+lib/sim/scan.mli: Config Format Xloops_asm Xloops_isa

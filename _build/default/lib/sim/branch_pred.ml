@@ -1,0 +1,31 @@
+(** Bimodal branch predictor (2-bit saturating counters, BTB assumed to
+    always hit) used by the out-of-order GPP timing model. *)
+
+type t = {
+  counters : int array;   (* 0..3; >=2 predicts taken *)
+  mask : int;
+  mutable lookups : int;
+  mutable mispredicts : int;
+}
+
+let create ?(entries = 1024) () =
+  (* Initialize weakly-taken: loop back-edges predict well immediately,
+     like a BTB-resident backward-taken heuristic. *)
+  { counters = Array.make entries 2; mask = entries - 1;
+    lookups = 0; mispredicts = 0 }
+
+(** [predict_update t ~pc ~taken] returns [true] if the prediction was
+    correct, updating the counter. *)
+let predict_update t ~pc ~taken =
+  t.lookups <- t.lookups + 1;
+  let i = pc land t.mask in
+  let c = t.counters.(i) in
+  let predicted = c >= 2 in
+  t.counters.(i) <-
+    (if taken then min 3 (c + 1) else max 0 (c - 1));
+  let correct = predicted = taken in
+  if not correct then t.mispredicts <- t.mispredicts + 1;
+  correct
+
+let mispredicts t = t.mispredicts
+let lookups t = t.lookups

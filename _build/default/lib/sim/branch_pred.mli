@@ -1,0 +1,15 @@
+(** Bimodal branch predictor (2-bit saturating counters, BTB assumed
+    always hitting) for the out-of-order GPP timing model.  Counters
+    start weakly-taken so loop back-edges predict well immediately. *)
+
+type t
+
+val create : ?entries:int -> unit -> t
+(** [entries] must be a power of two (default 1024). *)
+
+val predict_update : t -> pc:int -> taken:bool -> bool
+(** Returns [true] if the prediction was correct; updates the counter
+    either way. *)
+
+val mispredicts : t -> int
+val lookups : t -> int

@@ -1,0 +1,219 @@
+(** Functional (architectural) executor.
+
+    A single implementation of the ISA semantics shared by every timing
+    model: the GPP models execute through it directly, and each LPSU lane
+    wraps it with its own register file and a speculative memory interface.
+    [step] executes one instruction and reports a {!event} describing what
+    happened; timing models consume the event stream. *)
+
+open Xloops_isa
+module Program = Xloops_asm.Program
+
+exception Halted
+exception Trap of string
+
+type hart = {
+  regs : int32 array;
+  mutable pc : int;
+}
+
+let create_hart ?(pc = 0) () = { regs = Array.make Reg.num_regs 0l; pc }
+
+let copy_hart h = { regs = Array.copy h.regs; pc = h.pc }
+
+let get h r = if r = Reg.zero then 0l else h.regs.(r)
+
+let set h r v = if r <> Reg.zero then h.regs.(r) <- v
+
+let get_int h r = Int32.to_int (get h r)
+let set_int h r v = set h r (Int32.of_int v)
+
+(** Memory interface: the GPP binds this straight to {!Xloops_mem.Memory};
+    a speculative LPSU lane binds it to its LSQ overlay. *)
+type mem_iface = {
+  load : Insn.width -> int -> int32;
+  store : Insn.width -> int -> int32 -> unit;
+  amo : Insn.amo_op -> int -> int32 -> int32;
+}
+
+let direct_mem (m : Xloops_mem.Memory.t) : mem_iface = {
+  load = (fun w a -> Xloops_mem.Memory.load m w a);
+  store = (fun w a v -> Xloops_mem.Memory.store m w a v);
+  amo = (fun op a v -> Xloops_mem.Memory.amo m op a v);
+}
+
+(** What one dynamic instruction did; everything a timing or energy model
+    needs to know about it. *)
+type event = {
+  insn : int Insn.t;
+  pc : int;
+  next_pc : int;
+  taken : bool;                   (** control transfer taken *)
+  mem_addr : int;                 (** -1 if not a memory operation *)
+  mem_bytes : int;
+  mem_is_store : bool;
+  mem_is_amo : bool;
+}
+
+let plain insn pc = {
+  insn; pc; next_pc = pc + 1; taken = false;
+  mem_addr = -1; mem_bytes = 0; mem_is_store = false; mem_is_amo = false;
+}
+
+(* -- ALU semantics --------------------------------------------------- *)
+
+let u32 v = Int32.logand v 0xFFFFFFFFl
+
+let alu_eval (op : Insn.alu_op) (a : int32) (b : int32) : int32 =
+  let sh = Int32.to_int b land 31 in
+  match op with
+  | Add -> Int32.add a b
+  | Sub -> Int32.sub a b
+  | And -> Int32.logand a b
+  | Or_ -> Int32.logor a b
+  | Xor -> Int32.logxor a b
+  | Nor -> Int32.lognot (Int32.logor a b)
+  | Sll -> Int32.shift_left a sh
+  | Srl -> Int32.shift_right_logical a sh
+  | Sra -> Int32.shift_right a sh
+  | Slt -> if Int32.compare a b < 0 then 1l else 0l
+  | Sltu -> if Int32.unsigned_compare a b < 0 then 1l else 0l
+  | Mul -> Int32.mul a b
+  | Mulh ->
+    let p = Int64.mul (Int64.of_int32 a) (Int64.of_int32 b) in
+    Int64.to_int32 (Int64.shift_right p 32)
+  | Div ->
+    (* RISC-V-style corner cases: x/0 = -1; min_int / -1 = min_int. *)
+    if b = 0l then -1l
+    else if a = Int32.min_int && b = -1l then Int32.min_int
+    else Int32.div a b
+  | Rem ->
+    if b = 0l then a
+    else if a = Int32.min_int && b = -1l then 0l
+    else Int32.rem a b
+
+let f32 bits = Int32.float_of_bits bits
+let bits_of_f32 f = Int32.bits_of_float f
+
+let fpu_eval (op : Insn.fpu_op) (a : int32) (b : int32) : int32 =
+  let fa = f32 a and fb = f32 b in
+  match op with
+  | Fadd -> bits_of_f32 (fa +. fb)
+  | Fsub -> bits_of_f32 (fa -. fb)
+  | Fmul -> bits_of_f32 (fa *. fb)
+  | Fdiv -> bits_of_f32 (fa /. fb)
+  | Fmin -> bits_of_f32 (Float.min fa fb)
+  | Fmax -> bits_of_f32 (Float.max fa fb)
+  | Feq -> if fa = fb then 1l else 0l
+  | Flt -> if fa < fb then 1l else 0l
+  | Fle -> if fa <= fb then 1l else 0l
+  | Fcvt_sw -> bits_of_f32 (Int32.to_float a)
+  | Fcvt_ws -> Int32.of_float (Float.trunc (f32 a))
+
+let branch_eval (c : Insn.branch_cond) (a : int32) (b : int32) =
+  match c with
+  | Beq -> a = b
+  | Bne -> a <> b
+  | Blt -> Int32.compare a b < 0
+  | Bge -> Int32.compare a b >= 0
+  | Bltu -> Int32.unsigned_compare a b < 0
+  | Bgeu -> Int32.unsigned_compare a b >= 0
+
+(* -- Single-step ------------------------------------------------------ *)
+
+(** Execute the instruction at [h.pc].  Advances the hart; raises {!Halted}
+    on [Halt] (with [h.pc] left pointing at the halt).
+
+    The [Xloop] instruction here implements its *traditional* semantics —
+    a conditional backward branch — which is also the correct
+    architectural meaning inside an LPSU lane, where the lane runtime
+    intercepts the loop-control decision before calling [step]. *)
+let step (prog : Program.t) (h : hart) (mem : mem_iface) : event =
+  let pc = h.pc in
+  if pc < 0 || pc >= Array.length prog.Program.insns then
+    raise (Trap (Printf.sprintf "pc out of range: %d" pc));
+  let insn = prog.Program.insns.(pc) in
+  let ev = plain insn pc in
+  let finish ?(next = pc + 1) ?(taken = false) ev =
+    h.pc <- next;
+    { ev with next_pc = next; taken }
+  in
+  match insn with
+  | Alu (op, rd, rs, rt) ->
+    set h rd (alu_eval op (get h rs) (get h rt));
+    finish ev
+  | Alui (op, rd, rs, imm) ->
+    set h rd (alu_eval op (get h rs) (Int32.of_int imm));
+    finish ev
+  | Fpu (op, rd, rs, rt) ->
+    set h rd (fpu_eval op (get h rs) (get h rt));
+    finish ev
+  | Lui (rd, imm) ->
+    set h rd (u32 (Int32.shift_left (Int32.of_int imm) 16));
+    finish ev
+  | Load (w, rd, rs, imm) ->
+    let addr = get_int h rs + imm in
+    set h rd (mem.load w addr);
+    finish { ev with mem_addr = addr;
+                     mem_bytes = Xloops_mem.Memory.width_bytes w }
+  | Store (w, rt, rs, imm) ->
+    let addr = get_int h rs + imm in
+    mem.store w addr (get h rt);
+    finish { ev with mem_addr = addr;
+                     mem_bytes = Xloops_mem.Memory.width_bytes w;
+                     mem_is_store = true }
+  | Amo (op, rd, rs, rt) ->
+    let addr = get_int h rs in
+    let old = mem.amo op addr (get h rt) in
+    set h rd old;
+    finish { ev with mem_addr = addr; mem_bytes = 4;
+                     mem_is_store = true; mem_is_amo = true }
+  | Branch (c, rs, rt, l) ->
+    if branch_eval c (get h rs) (get h rt)
+    then finish ~next:l ~taken:true ev
+    else finish ev
+  | Jump l -> finish ~next:l ~taken:true ev
+  | Jal l ->
+    set h Reg.ra (Int32.of_int (pc + 1));
+    finish ~next:l ~taken:true ev
+  | Jr rs -> finish ~next:(get_int h rs) ~taken:true ev
+  | Xloop ({ cp; _ }, rs, rt, l) ->
+    let continue_loop =
+      match cp with
+      | De -> get h rt = 0l   (* rt is the exit flag: loop while clear *)
+      | Fixed | Dyn -> Int32.compare (get h rs) (get h rt) < 0
+    in
+    if continue_loop then finish ~next:l ~taken:true ev else finish ev
+  | Xi_addi (rd, rs, imm) ->
+    set h rd (Int32.add (get h rs) (Int32.of_int imm));
+    finish ev
+  | Xi_add (rd, rs, rt) ->
+    set h rd (Int32.add (get h rs) (get h rt));
+    finish ev
+  | Sync -> finish ev
+  | Halt -> raise Halted
+  | Nop -> finish ev
+
+(* -- Whole-program functional run ------------------------------------- *)
+
+type run = {
+  dynamic_insns : int;
+  final : hart;
+}
+
+(** Run the program serially from [entry] until [Halt]; the reference
+    execution used for correctness checks and for the paper's
+    dynamic-instruction-count columns.  [fuel] bounds runaway programs. *)
+let run_serial ?(entry = 0) ?(fuel = 200_000_000) prog
+    (m : Xloops_mem.Memory.t) : run =
+  let h = create_hart ~pc:entry () in
+  let mem = direct_mem m in
+  let count = ref 0 in
+  (try
+     while !count < fuel do
+       ignore (step prog h mem);
+       incr count
+     done;
+     raise (Trap "out of fuel")
+   with Halted -> ());
+  { dynamic_insns = !count; final = h }

@@ -1,0 +1,67 @@
+(** Functional (architectural) executor: the single implementation of
+    the ISA semantics.  GPP timing models execute through it directly;
+    each LPSU lane wraps it with a private register file and a
+    speculative memory interface. *)
+
+module Program = Xloops_asm.Program
+
+exception Halted
+exception Trap of string
+
+type hart = {
+  regs : int32 array;
+  mutable pc : int;
+}
+
+val create_hart : ?pc:int -> unit -> hart
+val copy_hart : hart -> hart
+
+val get : hart -> Xloops_isa.Reg.t -> int32
+val set : hart -> Xloops_isa.Reg.t -> int32 -> unit
+val get_int : hart -> Xloops_isa.Reg.t -> int
+val set_int : hart -> Xloops_isa.Reg.t -> int -> unit
+
+(** Memory interface: bind to {!Xloops_mem.Memory} directly, or to an
+    LSQ overlay for speculative lanes. *)
+type mem_iface = {
+  load : Xloops_isa.Insn.width -> int -> int32;
+  store : Xloops_isa.Insn.width -> int -> int32 -> unit;
+  amo : Xloops_isa.Insn.amo_op -> int -> int32 -> int32;
+}
+
+val direct_mem : Xloops_mem.Memory.t -> mem_iface
+
+(** What one dynamic instruction did. *)
+type event = {
+  insn : int Xloops_isa.Insn.t;
+  pc : int;
+  next_pc : int;
+  taken : bool;
+  mem_addr : int;      (** -1 if not a memory operation *)
+  mem_bytes : int;
+  mem_is_store : bool;
+  mem_is_amo : bool;
+}
+
+val step : Program.t -> hart -> mem_iface -> event
+(** Execute the instruction at [hart.pc] and advance.  [Xloop] executes
+    with its traditional (conditional-branch) semantics.  Raises
+    {!Halted} on [Halt], {!Trap} on bad PCs. *)
+
+(** {1 Pure operator semantics} (exposed for property tests) *)
+
+val alu_eval : Xloops_isa.Insn.alu_op -> int32 -> int32 -> int32
+val fpu_eval : Xloops_isa.Insn.fpu_op -> int32 -> int32 -> int32
+val branch_eval : Xloops_isa.Insn.branch_cond -> int32 -> int32 -> bool
+
+(** {1 Whole-program functional runs} *)
+
+type run = {
+  dynamic_insns : int;
+  final : hart;
+}
+
+val run_serial : ?entry:int -> ?fuel:int -> Program.t ->
+  Xloops_mem.Memory.t -> run
+(** Reference serial execution until [Halt]; the paper's
+    dynamic-instruction-count columns come from here. *)

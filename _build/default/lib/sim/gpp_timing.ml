@@ -1,0 +1,366 @@
+(** GPP timing models.
+
+    Both models consume the committed-instruction event stream produced by
+    {!Exec.step} and maintain a cycle estimate:
+
+    - {b In-order}: a single-issue scoreboard.  An instruction issues when
+      the previous instruction has issued, its source operands are ready
+      and any unpipelined unit (divider) is free; taken branches insert
+      [branch_penalty] bubbles; loads have a load-use latency plus the L1
+      miss penalty.
+
+    - {b Out-of-order}: the classic windowed-dataflow model.  Dispatch is
+      bounded by issue width and reorder-window occupancy; an instruction
+      issues when its operands are ready; loads wait for earlier stores to
+      the same word; AMOs and fences serialize memory; branch mispredicts
+      (bimodal predictor) redirect dispatch to the branch's completion plus
+      the refill penalty.
+
+    This is the same modelling altitude as the paper's gem5 configurations:
+    cycle-approximate, honest about where ILP comes from. *)
+
+open Xloops_isa
+module Cache = Xloops_mem.Cache
+
+type latencies = {
+  alu : int; mul : int; div : int; fpu : int; load_use : int; amo : int;
+}
+
+let latencies_of (g : Config.gpp) = {
+  alu = 1;
+  mul = g.mul_latency;
+  div = g.div_latency;
+  fpu = g.fpu_latency;
+  load_use = g.load_use_latency;
+  amo = g.load_use_latency + 1;
+}
+
+let insn_class_latency lat (i : int Insn.t) =
+  match i with
+  | Alu ((Mul | Mulh), _, _, _) | Alui ((Mul | Mulh), _, _, _) -> lat.mul
+  | Alu ((Div | Rem), _, _, _) | Alui ((Div | Rem), _, _, _) -> lat.div
+  | Fpu (Fdiv, _, _, _) -> lat.div
+  | Fpu (_, _, _, _) -> lat.fpu
+  | _ -> lat.alu
+
+(* ------------------------------------------------------------------ *)
+(*  In-order                                                           *)
+(* ------------------------------------------------------------------ *)
+
+module Inorder = struct
+  type t = {
+    cfg : Config.gpp;
+    lat : latencies;
+    stats : Stats.t;
+    l1i : Cache.t;
+    l1d : Cache.t;
+    reg_ready : int array;
+    mutable last_issue : int;
+    mutable last_complete : int;
+    mutable div_busy_until : int;
+  }
+
+  let create (cfg : Config.gpp) (stats : Stats.t) = {
+    cfg; lat = latencies_of cfg; stats;
+    l1i = Cache.create ~size_bytes:cfg.l1_size ~ways:cfg.l1_ways
+        ~line_bytes:cfg.l1_line ();
+    l1d = Cache.create ~size_bytes:cfg.l1_size ~ways:cfg.l1_ways
+        ~line_bytes:cfg.l1_line ();
+    reg_ready = Array.make Reg.num_regs 0;
+    last_issue = 0; last_complete = 0; div_busy_until = 0;
+  }
+
+  let count_exec_events (s : Stats.t) (i : int Insn.t) =
+    s.decodes <- s.decodes + 1;
+    s.rf_reads <- s.rf_reads + List.length (Insn.sources i);
+    (match Insn.dest i with
+     | Some _ -> s.rf_writes <- s.rf_writes + 1
+     | None -> ());
+    (match i with
+     | Alu ((Mul | Mulh), _, _, _) | Alui ((Mul | Mulh), _, _, _) ->
+       s.mul_ops <- s.mul_ops + 1
+     | Alu ((Div | Rem), _, _, _) | Alui ((Div | Rem), _, _, _) ->
+       s.div_ops <- s.div_ops + 1
+     | Fpu _ -> s.fpu_ops <- s.fpu_ops + 1
+     | Xi_addi _ | Xi_add _ -> s.xi_ops <- s.xi_ops + 1
+     | Amo _ -> s.amo_ops <- s.amo_ops + 1
+     | _ -> s.alu_ops <- s.alu_ops + 1);
+    if Insn.is_branch i then s.branches <- s.branches + 1
+
+  let consume t (ev : Exec.event) =
+    let s = t.stats in
+    s.committed_insns <- s.committed_insns + 1;
+    s.icache_fetches <- s.icache_fetches + 1;
+    count_exec_events s ev.insn;
+    (* Fetch. *)
+    let fetch_extra =
+      if Cache.access t.l1i (ev.pc * 4) then 0
+      else begin
+        s.icache_misses <- s.icache_misses + 1;
+        t.cfg.miss_penalty
+      end
+    in
+    (* Operand readiness. *)
+    let ready =
+      List.fold_left
+        (fun acc r -> max acc t.reg_ready.(r))
+        0 (Insn.sources ev.insn)
+    in
+    let struct_ready =
+      match ev.insn with
+      | Alu ((Div | Rem), _, _, _) | Alui ((Div | Rem), _, _, _)
+      | Fpu (Fdiv, _, _, _) -> t.div_busy_until
+      | _ -> 0
+    in
+    let issue =
+      max (t.last_issue + 1 + fetch_extra) (max ready struct_ready)
+    in
+    (* Completion. *)
+    let miss_stall = ref 0 in
+    let complete =
+      if ev.mem_addr >= 0 then begin
+        s.dcache_accesses <- s.dcache_accesses + 1;
+        let hit = Cache.access t.l1d ev.mem_addr in
+        if not hit then begin
+          s.dcache_misses <- s.dcache_misses + 1;
+          (* A simple in-order core blocks on an L1 miss regardless of
+             whether anything consumes the value. *)
+          miss_stall := t.cfg.miss_penalty
+        end;
+        let base = if ev.mem_is_amo then t.lat.amo
+          else if ev.mem_is_store then 1
+          else t.lat.load_use in
+        issue + base + !miss_stall
+      end else
+        issue + insn_class_latency t.lat ev.insn
+    in
+    (match ev.insn with
+     | Alu ((Div | Rem), _, _, _) | Alui ((Div | Rem), _, _, _)
+     | Fpu (Fdiv, _, _, _) -> t.div_busy_until <- complete
+     | _ -> ());
+    (match Insn.dest ev.insn with
+     | Some rd -> t.reg_ready.(rd) <- complete
+     | None -> ());
+    (* Control flow: taken branches insert fetch bubbles. *)
+    t.last_issue <-
+      issue + !miss_stall
+      + (if ev.taken then t.cfg.branch_penalty else 0);
+    t.last_complete <- max t.last_complete complete
+
+  let now t = max t.last_issue t.last_complete
+
+  (** Drain the pipeline (used before a specialized phase / at halt). *)
+  let barrier t =
+    let c = now t in
+    t.last_issue <- c;
+    t.last_complete <- c
+
+  (** Jump the clock forward (used after a specialized phase). *)
+  let skip_to t cycle =
+    let c = max cycle (now t) in
+    t.last_issue <- c;
+    t.last_complete <- c;
+    Array.fill t.reg_ready 0 (Array.length t.reg_ready) c
+end
+
+(* ------------------------------------------------------------------ *)
+(*  Out-of-order                                                       *)
+(* ------------------------------------------------------------------ *)
+
+module Ooo = struct
+  type t = {
+    cfg : Config.gpp;
+    width : int;
+    window : int;
+    lat : latencies;
+    stats : Stats.t;
+    l1i : Cache.t;
+    l1d : Cache.t;
+    bp : Branch_pred.t;
+    reg_ready : int array;
+    ring : int array;              (* completion times, window ring *)
+    mutable n : int;               (* dynamic instruction number *)
+    mutable dispatch_cycle : int;
+    mutable dispatched_in_cycle : int;
+    mutable redirect : int;        (* front end stalled until this cycle *)
+    mutable mem_serial : int;      (* AMO/fence serialization point *)
+    store_ready : (int, int) Hashtbl.t;  (* word addr -> completion *)
+    mutable max_complete : int;
+  }
+
+  let create (cfg : Config.gpp) (stats : Stats.t) =
+    let width, window =
+      match cfg.kind with
+      | Config.Ooo { width; window } -> width, window
+      | Config.Inorder -> invalid_arg "Gpp_timing.Ooo.create: in-order config"
+    in
+    { cfg; width; window; lat = latencies_of cfg; stats;
+      l1i = Cache.create ~size_bytes:cfg.l1_size ~ways:cfg.l1_ways
+          ~line_bytes:cfg.l1_line ();
+      l1d = Cache.create ~size_bytes:cfg.l1_size ~ways:cfg.l1_ways
+          ~line_bytes:cfg.l1_line ();
+      bp = Branch_pred.create ();
+      reg_ready = Array.make Reg.num_regs 0;
+      ring = Array.make window 0;
+      n = 0; dispatch_cycle = 0; dispatched_in_cycle = 0;
+      redirect = 0; mem_serial = 0;
+      store_ready = Hashtbl.create 64;
+      max_complete = 0 }
+
+  let consume t (ev : Exec.event) =
+    let s = t.stats in
+    s.committed_insns <- s.committed_insns + 1;
+    s.icache_fetches <- s.icache_fetches + 1;
+    s.renames <- s.renames + 1;
+    s.rob_ops <- s.rob_ops + 1;
+    s.iq_ops <- s.iq_ops + 1;
+    Inorder.count_exec_events s ev.insn;
+    (* Fetch-side cache (fetch groups share lines; charge misses only). *)
+    if not (Cache.access t.l1i (ev.pc * 4)) then begin
+      s.icache_misses <- s.icache_misses + 1;
+      t.redirect <- max t.redirect (t.dispatch_cycle + t.cfg.miss_penalty)
+    end;
+    (* Dispatch: width, window, and redirect constraints. *)
+    let window_ready = t.ring.(t.n mod t.window) in
+    let d = max (max t.dispatch_cycle t.redirect) window_ready in
+    if d > t.dispatch_cycle then begin
+      t.dispatch_cycle <- d;
+      t.dispatched_in_cycle <- 0
+    end;
+    if t.dispatched_in_cycle >= t.width then begin
+      t.dispatch_cycle <- t.dispatch_cycle + 1;
+      t.dispatched_in_cycle <- 0
+    end;
+    let dispatch = t.dispatch_cycle in
+    t.dispatched_in_cycle <- t.dispatched_in_cycle + 1;
+    (* Operand readiness. *)
+    let ready =
+      List.fold_left
+        (fun acc r -> max acc t.reg_ready.(r))
+        dispatch (Insn.sources ev.insn)
+    in
+    let issue = max ready t.mem_serial in
+    (* Completion. *)
+    let complete =
+      if ev.mem_addr >= 0 then begin
+        s.dcache_accesses <- s.dcache_accesses + 1;
+        let hit = Cache.access t.l1d ev.mem_addr in
+        if not hit then s.dcache_misses <- s.dcache_misses + 1;
+        let miss = if hit then 0 else t.cfg.miss_penalty in
+        let word = ev.mem_addr / 4 in
+        if ev.mem_is_amo then begin
+          (* Conservative AMO: waits for all earlier memory traffic and
+             serializes later traffic (Section IV-B's "rather
+             conservative" implementation). *)
+          let c = max issue t.mem_serial + t.lat.amo + miss in
+          t.mem_serial <- c;
+          Hashtbl.replace t.store_ready word c;
+          c
+        end else if ev.mem_is_store then begin
+          let c = issue + 1 + miss in
+          Hashtbl.replace t.store_ready word c;
+          c
+        end else begin
+          (* Load: wait for the youngest earlier store to the same word
+             (store-to-load forwarding at its completion). *)
+          let dep =
+            match Hashtbl.find_opt t.store_ready word with
+            | Some c -> c
+            | None -> 0
+          in
+          max issue dep + t.lat.load_use + miss
+        end
+      end else
+        (match ev.insn with
+         | Sync ->
+           let c = max issue t.mem_serial in
+           t.mem_serial <- c;
+           c
+         | _ -> issue + insn_class_latency t.lat ev.insn)
+    in
+    (match Insn.dest ev.insn with
+     | Some rd -> t.reg_ready.(rd) <- complete
+     | None -> ());
+    (* Branch prediction. *)
+    if Insn.is_branch ev.insn then begin
+      let correct =
+        match ev.insn with
+        | Branch _ | Xloop _ ->
+          Branch_pred.predict_update t.bp ~pc:ev.pc ~taken:ev.taken
+        | Jr _ -> true  (* return-address stack assumed perfect *)
+        | _ -> true     (* direct jumps *)
+      in
+      if not correct then begin
+        s.mispredicts <- s.mispredicts + 1;
+        t.redirect <- max t.redirect (complete + t.cfg.branch_penalty)
+      end
+    end;
+    t.ring.(t.n mod t.window) <- complete;
+    t.n <- t.n + 1;
+    t.max_complete <- max t.max_complete complete
+
+  let now t = max t.dispatch_cycle t.max_complete
+
+  let barrier t =
+    let c = now t in
+    t.dispatch_cycle <- c;
+    t.dispatched_in_cycle <- 0;
+    t.redirect <- max t.redirect c;
+    t.mem_serial <- max t.mem_serial c
+
+  let skip_to t cycle =
+    let c = max cycle (now t) in
+    t.dispatch_cycle <- c;
+    t.dispatched_in_cycle <- 0;
+    t.redirect <- c;
+    t.mem_serial <- c;
+    t.max_complete <- c;
+    Array.fill t.reg_ready 0 (Array.length t.reg_ready) c;
+    Array.fill t.ring 0 (Array.length t.ring) c;
+    Hashtbl.reset t.store_ready
+end
+
+(* ------------------------------------------------------------------ *)
+(*  Uniform front door                                                 *)
+(* ------------------------------------------------------------------ *)
+
+type t =
+  | In_order of Inorder.t
+  | Out_of_order of Ooo.t
+
+let create (cfg : Config.gpp) (stats : Stats.t) =
+  match cfg.kind with
+  | Config.Inorder -> In_order (Inorder.create cfg stats)
+  | Config.Ooo _ -> Out_of_order (Ooo.create cfg stats)
+
+let consume = function
+  | In_order m -> Inorder.consume m
+  | Out_of_order m -> Ooo.consume m
+
+let now = function
+  | In_order m -> Inorder.now m
+  | Out_of_order m -> Ooo.now m
+
+let barrier = function
+  | In_order m -> Inorder.barrier m
+  | Out_of_order m -> Ooo.barrier m
+
+let skip_to = function
+  | In_order m -> Inorder.skip_to m
+  | Out_of_order m -> Ooo.skip_to m
+
+(** The GPP's L1 data cache — shared with the LPSU, which arbitrates for
+    the same data-memory port (Figure 4). *)
+let l1d = function
+  | In_order m -> m.Inorder.l1d
+  | Out_of_order m -> m.Ooo.l1d
+
+(** Scan-phase cost model: an out-of-order GPP overlaps part of the scan
+    with draining earlier work (Section II-D), modelled as a smaller fixed
+    overhead. *)
+let scan_cycles t (lpsu : Config.lpsu) ~body_insns =
+  let fixed = match t with
+    | In_order _ -> lpsu.scan_fixed
+    | Out_of_order _ -> max 1 (lpsu.scan_fixed / 2)
+  in
+  fixed + (lpsu.scan_per_insn * body_insns)

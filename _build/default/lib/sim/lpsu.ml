@@ -1,0 +1,808 @@
+(** Cycle-level, execution-driven model of the loop-pattern specialization
+    unit (Section II-D, Figure 4).
+
+    The LPSU contains [lanes] decoupled in-order lanes and a lane
+    management unit (LMU).  Iteration indices are dispensed in order (for
+    [xloop.uc] this degenerates into dynamic load balancing because any
+    idle lane takes the next index).  Each lane executes one iteration at a
+    time through the shared functional executor {!Exec.step}:
+
+    - {b MIVT}: at dispatch of iteration [k] the lane seeds the index
+      register and every mutual induction variable with
+      [base + k * increment] (the narrow-multiplier computation of the
+      paper), so [.xi] instructions execute as cheap single-cycle adds;
+    - {b CIB}: for [xloop.{or,orm}], the first read of a cross-iteration
+      register stalls until the previous iteration has produced its value;
+      the instruction whose PC carries the last-CIR-write bit forwards its
+      result, and iterations that skip it copy the register at loop end;
+    - {b LSQ}: for [xloop.{om,orm,ua}], speculative lanes buffer stores
+      and record load addresses; stores by the non-speculative lane (and
+      drained stores at promotion) are broadcast, and any speculative lane
+      that already loaded from an overlapping address squashes and restarts
+      its iteration;
+    - {b dynamic bounds}: for [xloop.*.db], writes to the bound register
+      are reported to the LMU, which monotonically raises the bound and
+      keeps dispensing indices;
+    - the data-memory port and the long-latency functional unit are shared
+      and arbitrated per cycle ({!Xloops_mem.Port}).
+
+    Squashed iterations really re-execute, so the model is honest about
+    data-dependent violation behaviour (e.g. the paper's ksack-sm vs
+    ksack-lg contrast). *)
+
+open Xloops_isa
+module Program = Xloops_asm.Program
+module Memory = Xloops_mem.Memory
+module Cache = Xloops_mem.Cache
+module Port = Xloops_mem.Port
+
+exception Lane_trap of string
+
+type ctx_state =
+  | Idle
+  | Run           (** executing the iteration body *)
+  | Wait_commit   (** finished, speculative, waiting for promotion *)
+  | Drain_commit  (** finished, promoted, draining buffered stores *)
+
+type ctx = {
+  lane : int;
+  tid : int;
+  hart : Exec.hart;
+  reg_ready : int array;
+  mutable st : ctx_state;
+  mutable iter : int;            (** local iteration number; -1 when idle *)
+  lsq : Lsq.t;
+  mutable drain_q : Lsq.store_entry list;
+  mutable got_cir : bool array;
+  mutable insns_iter : int;
+  mutable next_issue : int;
+  mutable exit_flag : int32;   (** .de: exit-register value at loop end *)
+}
+
+type cib = {
+  cir : Scan.cir;
+  slot : int;
+  (* (consumer iteration, value, ready cycle), newest first.  History is
+     kept (not popped on read) so that orm squashes can roll back. *)
+  mutable hist : (int * int32 * int) list;
+}
+
+type stall = [ `Raw | `Mem | `Llfu | `Cir | `Lsq | `Idle ]
+
+type result = {
+  cycles : int;             (** specialized-execution cycles *)
+  iterations : int;         (** iterations committed *)
+  finished : bool;          (** loop ran to its (final) bound *)
+  next_idx : int32;         (** index value of the next iteration *)
+  bound : int32;            (** final (possibly dynamically-raised) bound *)
+  cir_finals : (Reg.t * int32) list;
+  miv_finals : (Reg.t * int32) list;
+}
+
+type t = {
+  prog : Program.t;
+  mem : Memory.t;
+  dcache : Cache.t;
+  lat : Gpp_timing.latencies;
+  lpsu : Config.lpsu;
+  stats : Stats.t;
+  info : Scan.t;
+  base_regs : int32 array;       (* GPP register snapshot at scan *)
+  idx0 : int32;
+  miv_bases : (Reg.t * int32 * int32) list;  (* reg, base, inc *)
+  ctxs : ctx array;              (* lane-major, then thread *)
+  cibs : cib array;
+  mem_port : Port.t;
+  llfu_port : Port.t;
+  mutable bound : int32;
+  mutable next_k : int;          (* next iteration to dispense *)
+  mutable commit_iter : int;     (* lowest uncommitted iteration *)
+  mutable committed : int;
+  mutable exit_at : int option;  (* .de: iteration that took the exit *)
+  mutable cycle : int;
+  stop_after : int option;
+  spec_pattern : bool;
+  has_cirs : bool;
+  mt_enabled : bool;
+  trace : Trace.t option;
+}
+
+let idx_of t k =
+  Int32.add t.idx0 (Int32.mul (Int32.of_int k) t.info.Scan.idx_step)
+
+let create ~prog ~mem ~dcache ~(cfg : Config.t) ~stats ~(info : Scan.t)
+    ~(regs : int32 array) ~start_cycle ?stop_after ?trace () =
+  let lpsu = match cfg.lpsu with
+    | Some l -> l
+    | None -> invalid_arg "Lpsu.create: config has no LPSU"
+  in
+  let spec_pattern = Scan.is_speculative_pattern info.pat in
+  let has_cirs = Scan.has_cirs info.pat in
+  let mt_enabled =
+    lpsu.threads_per_lane > 1 && info.pat.dp = Insn.Uc in
+  let threads = if mt_enabled then lpsu.threads_per_lane else 1 in
+  let ctxs =
+    Array.init (lpsu.lanes * threads) (fun i ->
+        { lane = i / threads; tid = i mod threads;
+          hart = Exec.create_hart ();
+          reg_ready = Array.make Reg.num_regs 0;
+          st = Idle; iter = -1;
+          lsq = Lsq.create ~max_loads:lpsu.lsq_loads
+              ~max_stores:lpsu.lsq_stores;
+          drain_q = []; got_cir = [||]; insns_iter = 0; next_issue = 0;
+          exit_flag = 0l })
+  in
+  let cibs =
+    Array.of_list
+      (List.mapi
+         (fun slot (c : Scan.cir) ->
+            { cir = c; slot; hist = [ (0, regs.(c.c_reg), start_cycle) ] })
+         info.cirs)
+  in
+  let miv_bases =
+    List.map (fun (m : Scan.miv) -> (m.m_reg, regs.(m.m_reg), m.m_inc))
+      info.mivs
+  in
+  { prog; mem; dcache; lat = Gpp_timing.latencies_of cfg.gpp; lpsu; stats;
+    info; base_regs = Array.copy regs; idx0 = regs.(info.r_idx); miv_bases;
+    ctxs; cibs;
+    mem_port = Port.create ~width:lpsu.mem_ports "dmem";
+    llfu_port = Port.create ~width:lpsu.llfu_ports "llfu";
+    bound = regs.(info.r_bound);
+    next_k = 0; commit_iter = 0; committed = 0; exit_at = None;
+    cycle = start_cycle;
+    stop_after; spec_pattern; has_cirs; mt_enabled; trace }
+
+(* -- Dispatch -------------------------------------------------------- *)
+
+let can_dispense t =
+  (match t.stop_after with Some m -> t.next_k < m | None -> true)
+  && (match t.info.pat.cp with
+      | De -> t.exit_at = None
+      | Fixed | Dyn -> Int32.compare (idx_of t t.next_k) t.bound < 0)
+
+(** Seed a context's register file for iteration [k]: live-ins from the
+    scan snapshot, index and MIVs from the MIVT computation. *)
+let seed_ctx t (c : ctx) k =
+  Array.blit t.base_regs 0 c.hart.regs 0 Reg.num_regs;
+  Exec.set c.hart t.info.r_idx (idx_of t k);
+  List.iter
+    (fun (r, base, inc) ->
+       Exec.set c.hart r (Int32.add base (Int32.mul (Int32.of_int k) inc));
+       t.stats.xi_ops <- t.stats.xi_ops + 1)
+    t.miv_bases;
+  Array.fill c.reg_ready 0 Reg.num_regs t.cycle;
+  c.hart.pc <- t.info.body_start;
+  c.got_cir <- Array.make (Array.length t.cibs) false;
+  c.insns_iter <- 0
+
+let dispatch t (c : ctx) =
+  let k = t.next_k in
+  t.next_k <- k + 1;
+  c.iter <- k;
+  c.st <- Run;
+  seed_ctx t c k;
+  Lsq.clear c.lsq;
+  c.drain_q <- [];
+  c.next_issue <- t.cycle + 1;  (* IDQ dequeue costs a cycle *)
+  t.stats.idq_ops <- t.stats.idq_ops + 1;
+  if Trace.enabled t.trace Lanes then
+    Trace.event t.trace Lanes "[%7d] lane%d.%d dispatch iter=%d idx=%ld"
+      t.cycle c.lane c.tid k (idx_of t k)
+
+(* -- CIB ------------------------------------------------------------- *)
+
+let cib_lookup (cb : cib) k =
+  List.find_opt (fun (i, _, _) -> i = k) cb.hist
+
+let cib_write t (cb : cib) ~producer_iter ~value =
+  cb.hist <- (producer_iter + 1, value, t.cycle + 1) :: cb.hist;
+  t.stats.cib_writes <- t.stats.cib_writes + 1;
+  (* Prune entries no consumer can ever need again. *)
+  let keep_from = t.commit_iter - 1 in
+  if List.length cb.hist > Array.length t.ctxs * 2 + 4 then
+    cb.hist <- List.filter (fun (i, _, _) -> i >= keep_from) cb.hist
+
+let cib_rollback t k_min =
+  Array.iter
+    (fun cb -> cb.hist <- List.filter (fun (i, _, _) -> i <= k_min) cb.hist)
+    t.cibs
+
+(* -- Squash ---------------------------------------------------------- *)
+
+let squash_ctx t (c : ctx) =
+  if Trace.enabled t.trace Lanes then
+    Trace.event t.trace Lanes
+      "[%7d] lane%d.%d SQUASH iter=%d (%d insns thrown away)"
+      t.cycle c.lane c.tid c.iter c.insns_iter;
+  t.stats.violations <- t.stats.violations + 1;
+  t.stats.squashed_insns <- t.stats.squashed_insns + c.insns_iter;
+  (* Transfer this iteration's execute cycles to the squash bucket. *)
+  t.stats.cyc_exec <- t.stats.cyc_exec - c.insns_iter;
+  t.stats.cyc_squash <-
+    t.stats.cyc_squash + c.insns_iter + t.lpsu.squash_penalty;
+  Lsq.clear c.lsq;
+  c.drain_q <- [];
+  seed_ctx t c c.iter;
+  c.st <- Run;
+  c.next_issue <- t.cycle + t.lpsu.squash_penalty
+
+(** Squash [c], plus (recursively) every younger context that forwarded a
+    value from [c]'s iteration — its buffered stores are gone, so any
+    forwarded value is unsubstantiated. *)
+let rec squash_with_forward_cascade t (c : ctx) =
+  let k = c.iter in
+  squash_ctx t c;
+  Array.iter
+    (fun o ->
+       if (o.st = Run || o.st = Wait_commit) && o.iter > k
+       && Lsq.has_forward_from o.lsq k then
+         squash_with_forward_cascade t o)
+    t.ctxs
+
+(** Violation check for a committed [store] by iteration [from_iter].
+    Squashes any speculative context that already loaded from an
+    overlapping address — except loads whose value was forwarded from
+    this very store and is byte-identical.  With CIRs present (orm) the
+    register chain makes every younger iteration dependent, so squashes
+    cascade; with inter-lane forwarding, consumers of a squashed
+    iteration's buffers cascade too. *)
+let broadcast_store t ~from_iter ~(store : Lsq.store_entry) =
+  if t.spec_pattern then begin
+    t.stats.store_broadcasts <- t.stats.store_broadcasts + 1;
+    let addr = store.Lsq.s_addr and bytes = store.Lsq.s_bytes in
+    let violated = ref [] in
+    Array.iter
+      (fun c ->
+         if (c.st = Run || c.st = Wait_commit) && c.iter > from_iter then begin
+           t.stats.lsq_searches <- t.stats.lsq_searches + 1;
+           if Lsq.violated_loads c.lsq ~from_iter ~addr ~bytes ~store <> []
+           then violated := c :: !violated
+         end)
+      t.ctxs;
+    match !violated with
+    | [] -> ()
+    | vs ->
+      let k_min = List.fold_left (fun a c -> min a c.iter) max_int vs in
+      if t.has_cirs then begin
+        (* Cascade: squash every active iteration >= k_min and roll the
+           CIB chains back so iteration k_min can re-read its input. *)
+        Array.iter
+          (fun c ->
+             if (c.st = Run || c.st = Wait_commit) && c.iter >= k_min then
+               squash_ctx t c)
+          t.ctxs;
+        cib_rollback t k_min
+      end else
+        List.iter
+          (fun c ->
+             (* A context may already have been squashed by an earlier
+                cascade step this broadcast; its cleared LSQ makes the
+                recursion idempotent. *)
+             if c.st = Run || c.st = Wait_commit then
+               squash_with_forward_cascade t c)
+          vs
+  end
+
+(* -- Memory interfaces ------------------------------------------------ *)
+
+let direct_iface t : Exec.mem_iface = Exec.direct_mem t.mem
+
+let spec_iface t (c : ctx) : Exec.mem_iface = {
+  load = (fun w a ->
+      Lsq.record_load c.lsq ~addr:a ~bytes:(Memory.width_bytes w);
+      t.stats.lsq_writes <- t.stats.lsq_writes + 1;
+      Lsq.read c.lsq t.mem w a);
+  store = (fun w a v ->
+      Lsq.record_store c.lsq ~addr:a ~bytes:(Memory.width_bytes w) ~value:v;
+      t.stats.lsq_writes <- t.stats.lsq_writes + 1);
+  amo = (fun op a v ->
+      let old = Lsq.read c.lsq t.mem Insn.W a in
+      Lsq.record_load c.lsq ~addr:a ~bytes:4;
+      let nv = match op with
+        | Insn.Amo_add -> Int32.add old v
+        | Amo_and -> Int32.logand old v
+        | Amo_or -> Int32.logor old v
+        | Amo_xchg -> v
+        | Amo_min -> if Int32.compare old v <= 0 then old else v
+        | Amo_max -> if Int32.compare old v >= 0 then old else v
+      in
+      Lsq.record_store c.lsq ~addr:a ~bytes:4 ~value:nv;
+      t.stats.lsq_writes <- t.stats.lsq_writes + 2;
+      old);
+}
+
+(* Sign/zero-extend raw little-endian bytes per access width. *)
+let extend_raw (w : Insn.width) (raw : int32) : int32 =
+  let v = Int32.to_int raw in
+  match w with
+  | B -> Int32.of_int (if v land 0x80 <> 0 then v - 0x100 else v)
+  | H -> Int32.of_int (if v land 0x8000 <> 0 then v - 0x10000 else v)
+  | Bu | Hu -> raw
+  | W -> raw
+
+(** Inter-lane store-to-load forwarding (enabled by
+    [Config.lpsu.inter_lane_fwd]): the youngest older active iteration
+    whose buffered stores fully cover the load supplies the value; the
+    load entry remembers its source so commits can confirm it and
+    squashes can cascade. *)
+let inter_lane_forward t (c : ctx) ~addr ~bytes
+  : Exec.mem_iface option =
+  if not t.lpsu.inter_lane_fwd then None
+  else begin
+    let best = ref None in
+    Array.iter
+      (fun o ->
+         if (o.st = Run || o.st = Wait_commit)
+         && o.iter < c.iter && o.iter >= t.commit_iter then begin
+           t.stats.lsq_searches <- t.stats.lsq_searches + 1;
+           match Lsq.covering_store_value o.lsq ~addr ~bytes with
+           | Some raw ->
+             (match !best with
+              | Some (bi, _) when bi > o.iter -> ()
+              | _ -> best := Some (o.iter, raw))
+           | None -> ()
+         end)
+      t.ctxs;
+    match !best with
+    | None -> None
+    | Some (src, raw) ->
+      t.stats.lsq_forwards <- t.stats.lsq_forwards + 1;
+      Some {
+        Exec.load = (fun w a ->
+            assert (a = addr);
+            Lsq.record_load c.lsq ~addr ~bytes
+              ~fwd:{ Lsq.f_iter = src; f_value = raw };
+            t.stats.lsq_writes <- t.stats.lsq_writes + 1;
+            extend_raw w raw);
+        store = (fun _ _ _ -> assert false);
+        amo = (fun _ _ _ -> assert false);
+      }
+  end
+
+(* An L1 miss is charged to the value's latency, blocks the issuing lane
+   (simple in-order lanes), and holds the shared memory port for the
+   fill — the single port is the structural bottleneck the paper's
+   L1-resident datasets deliberately avoid. *)
+let miss_penalty = 20
+
+let dcache_latency t (c : ctx) ~addr ~base_latency =
+  t.stats.dcache_accesses <- t.stats.dcache_accesses + 1;
+  if Cache.access t.dcache addr then base_latency
+  else begin
+    t.stats.dcache_misses <- t.stats.dcache_misses + 1;
+    c.next_issue <- max c.next_issue (t.cycle + miss_penalty);
+    Port.hold t.mem_port ~until:(t.cycle + miss_penalty);
+    base_latency + miss_penalty
+  end
+
+(* -- Commit ---------------------------------------------------------- *)
+
+(** .de: a committed iteration whose exit flag is set ends the loop;
+    every in-flight younger iteration is control-speculative and is
+    discarded outright (buffered state vanishes, nothing re-dispatches). *)
+let take_exit t (c : ctx) =
+  if Trace.enabled t.trace Decisions then
+    Trace.event t.trace Decisions
+      "[%7d] data-dependent exit taken at iter=%d; discarding younger work"
+      t.cycle c.iter;
+  t.exit_at <- Some c.iter;
+  t.bound <- c.exit_flag;
+  Array.iter
+    (fun o ->
+       if o.st <> Idle && o.iter > c.iter then begin
+         t.stats.squashed_insns <- t.stats.squashed_insns + o.insns_iter;
+         t.stats.cyc_squash <- t.stats.cyc_squash + o.insns_iter;
+         t.stats.cyc_exec <- t.stats.cyc_exec - o.insns_iter;
+         Lsq.clear o.lsq;
+         o.drain_q <- [];
+         o.st <- Idle;
+         o.iter <- -1
+       end)
+    t.ctxs
+
+let commit_iteration t (c : ctx) =
+  if Trace.enabled t.trace Lanes then
+    Trace.event t.trace Lanes "[%7d] lane%d.%d commit iter=%d (%d insns)"
+      t.cycle c.lane c.tid c.iter c.insns_iter;
+  t.committed <- t.committed + 1;
+  t.stats.iterations <- t.stats.iterations + 1;
+  t.stats.committed_insns <- t.stats.committed_insns + c.insns_iter;
+  if t.spec_pattern then t.commit_iter <- t.commit_iter + 1;
+  if t.info.pat.cp = Insn.De && c.exit_flag <> 0l && t.exit_at = None
+  then take_exit t c;
+  c.st <- Idle;
+  c.iter <- -1
+
+(** Promote / commit whatever can make forward progress for free:
+    finished non-speculative iterations with empty store buffers commit
+    immediately; finished iterations with buffered stores move to the
+    draining state; a still-running promoted context gets its drain queue
+    filled so the issue loop empties it before the lane proceeds. *)
+let rec try_commits t =
+  if t.spec_pattern then begin
+    let oldest =
+      Array.fold_left
+        (fun acc c -> if c.iter = t.commit_iter && c.st <> Idle
+          then Some c else acc)
+        None t.ctxs
+    in
+    match oldest with
+    | Some c when c.st = Wait_commit ->
+      if Lsq.n_stores c.lsq = 0 then begin
+        commit_iteration t c;
+        try_commits t
+      end else if c.drain_q = [] then begin
+        c.drain_q <- Lsq.drain_order c.lsq;
+        c.st <- Drain_commit
+      end
+    | Some c when c.st = Run && Lsq.n_stores c.lsq > 0 && c.drain_q = [] ->
+      (* Promoted while still running: drain before continuing. *)
+      c.drain_q <- Lsq.drain_order c.lsq
+    | _ -> ()
+  end
+
+(* -- Issue ----------------------------------------------------------- *)
+
+(** Can the iteration finish now?  Every CIR chain must be forwardable: if
+    the lane executed the last-CIR-write instruction the outgoing value
+    already exists; if that instruction was skipped, the lane copies the
+    CIR value through — but if it never consumed the incoming value it
+    must first wait for the previous iteration to produce it (the copy
+    forwards the {e chain} value, not the lane's stale register). *)
+let cir_finish_ready t (c : ctx) =
+  Array.for_all
+    (fun cb ->
+       match cib_lookup cb (c.iter + 1) with
+       | Some _ -> true  (* already forwarded by the last-write insn *)
+       | None ->
+         c.got_cir.(cb.slot)
+         || (match cib_lookup cb c.iter with
+             | Some (_, _, ready) -> ready <= t.cycle
+             | None -> false))
+    t.cibs
+
+let end_of_iteration t (c : ctx) =
+  (* The implicit xloop at the end of the iteration. *)
+  c.insns_iter <- c.insns_iter + 1;
+  t.stats.ib_fetches <- t.stats.ib_fetches + 1;
+  if t.info.pat.cp = Insn.De then
+    c.exit_flag <- Exec.get c.hart t.info.r_bound;
+  if t.has_cirs then
+    (* End-of-iteration CIR copy for chains whose last-write instruction
+       was skipped by control flow. *)
+    Array.iter
+      (fun cb ->
+         match cib_lookup cb (c.iter + 1) with
+         | Some _ -> ()
+         | None ->
+           let value =
+             if c.got_cir.(cb.slot) then Exec.get c.hart cb.cir.c_reg
+             else
+               match cib_lookup cb c.iter with
+               | Some (_, v, _) -> v
+               | None -> assert false  (* guarded by cir_finish_ready *)
+           in
+           cib_write t cb ~producer_iter:c.iter ~value)
+      t.cibs;
+  if t.spec_pattern && c.iter > t.commit_iter then
+    c.st <- Wait_commit
+  else if t.spec_pattern && Lsq.n_stores c.lsq > 0 then begin
+    c.drain_q <- Lsq.drain_order c.lsq;
+    c.st <- Drain_commit
+  end else
+    commit_iteration t c
+
+(** Attempt to issue one instruction from [c] at the current cycle.
+    Returns [Ok ()] if the lane did useful work, [Error reason] on a
+    stall. *)
+let attempt_issue t (c : ctx) : (unit, stall) Result.t =
+  let now = t.cycle in
+  if now < c.next_issue then Error `Raw
+  else if c.hart.pc = t.info.xloop_pc then begin
+    if t.has_cirs && not (cir_finish_ready t c) then Error `Cir
+    else begin
+      end_of_iteration t c; Ok ()
+    end
+  end else begin
+    if c.hart.pc < t.info.body_start || c.hart.pc > t.info.xloop_pc then
+      raise (Lane_trap
+               (Printf.sprintf "lane pc %d escaped xloop body [%d,%d]"
+                  c.hart.pc t.info.body_start t.info.xloop_pc));
+    let insn = t.prog.Program.insns.(c.hart.pc) in
+    (* CIR consumption: the first read of each CIR waits on the CIB. *)
+    let srcs = Insn.sources insn in
+    let cir_stall = ref false in
+    if t.has_cirs then
+      Array.iter
+        (fun cb ->
+           if (not c.got_cir.(cb.slot))
+           && List.mem cb.cir.c_reg srcs && not !cir_stall then begin
+             match cib_lookup cb c.iter with
+             | Some (_, v, ready) when ready <= now ->
+               Exec.set c.hart cb.cir.c_reg v;
+               c.reg_ready.(cb.cir.c_reg) <- now;
+               c.got_cir.(cb.slot) <- true;
+               t.stats.cib_reads <- t.stats.cib_reads + 1
+             | _ -> cir_stall := true
+           end)
+        t.cibs;
+    if !cir_stall then Error `Cir
+    else begin
+      let ready =
+        List.fold_left (fun acc r -> max acc c.reg_ready.(r)) 0 srcs in
+      if ready > now then Error `Raw
+      else begin
+        let speculative =
+          t.spec_pattern && c.iter > t.commit_iter in
+        (* Resource checks and latency selection, before any side
+           effects. *)
+        let decide : (Exec.mem_iface option * int, stall) Result.t =
+          if Insn.is_llfu insn then begin
+            let occupancy = match insn with
+              | Alu ((Div | Rem), _, _, _) | Alui ((Div | Rem), _, _, _)
+              | Fpu (Fdiv, _, _, _) -> t.lat.div
+              | _ -> 1
+            in
+            if Port.try_grant ~occupancy t.llfu_port ~now then
+              let l = Gpp_timing.insn_class_latency t.lat insn in
+              Ok (None, l)
+            else Error `Llfu
+          end else if Insn.is_mem insn then begin
+            match insn with
+            | Load (w, _, rs, imm) ->
+              let addr = Exec.get_int c.hart rs + imm in
+              let bytes = Memory.width_bytes w in
+              if speculative then begin
+                if Lsq.loads_full c.lsq then Error `Lsq
+                else if Lsq.store_overlaps c.lsq ~addr ~bytes then begin
+                  (* Own-lane store-to-load forwarding: no port needed. *)
+                  t.stats.lsq_searches <- t.stats.lsq_searches + 1;
+                  Ok (Some (spec_iface t c), 1)
+                end else begin
+                  match inter_lane_forward t c ~addr ~bytes with
+                  | Some iface -> Ok (Some iface, 1)
+                  | None ->
+                    if Port.try_grant t.mem_port ~now then begin
+                      t.stats.lsq_searches <- t.stats.lsq_searches + 1;
+                      Ok (Some (spec_iface t c),
+                          dcache_latency t c ~addr
+                            ~base_latency:t.lat.load_use)
+                    end else Error `Mem
+                end
+              end else if Port.try_grant t.mem_port ~now then
+                Ok (Some (direct_iface t),
+                    dcache_latency t c ~addr ~base_latency:t.lat.load_use)
+              else Error `Mem
+            | Store (_, _, rs, imm) ->
+              if speculative then begin
+                if Lsq.stores_full c.lsq then Error `Lsq
+                else Ok (Some (spec_iface t c), 1)
+              end else if Port.try_grant t.mem_port ~now then
+                Ok (Some (direct_iface t),
+                    dcache_latency t c ~addr:(Exec.get_int c.hart rs + imm)
+                      ~base_latency:1)
+              else Error `Mem
+            | Amo (_, _, rs, _) ->
+              let addr = Exec.get_int c.hart rs in
+              if speculative then begin
+                if Lsq.loads_full c.lsq || Lsq.stores_full c.lsq
+                then Error `Lsq
+                else Ok (Some (spec_iface t c), t.lat.amo)
+              end else if Port.try_grant ~occupancy:2 t.mem_port ~now then
+                Ok (Some (direct_iface t),
+                    dcache_latency t c ~addr ~base_latency:t.lat.amo)
+              else Error `Mem
+            | _ -> assert false
+          end else Ok (None, 1)
+        in
+        match decide with
+        | Error _ as e -> e
+        | Ok (iface, latency) ->
+          let iface = match iface with
+            | Some i -> i
+            | None -> direct_iface t  (* non-memory: never used *)
+          in
+          let ev = Exec.step t.prog c.hart iface in
+          if Trace.enabled t.trace Insns then
+            Trace.event t.trace Insns "[%7d] lane%d.%d it=%-4d %4d: %a"
+              t.cycle c.lane c.tid c.iter ev.pc Insn.pp_resolved ev.insn;
+          c.insns_iter <- c.insns_iter + 1;
+          t.stats.ib_fetches <- t.stats.ib_fetches + 1;
+          Gpp_timing.Inorder.count_exec_events t.stats ev.insn;
+          (match Insn.dest ev.insn with
+           | Some rd -> c.reg_ready.(rd) <- now + latency
+           | None -> ());
+          (* Taken branches inside the body cost one fetch bubble. *)
+          if ev.taken then c.next_issue <- now + 2;
+          (* Non-speculative stores are broadcast for violation checks;
+             the just-written memory bytes stand in for the store data. *)
+          if ev.mem_is_store && not (t.spec_pattern && c.iter > t.commit_iter)
+          then begin
+            let raw = ref 0 in
+            for i = ev.mem_bytes - 1 downto 0 do
+              raw := (!raw lsl 8) lor Memory.get_u8 t.mem (ev.mem_addr + i)
+            done;
+            broadcast_store t ~from_iter:c.iter
+              ~store:{ Lsq.s_addr = ev.mem_addr; s_bytes = ev.mem_bytes;
+                       s_value = Int32.of_int !raw }
+          end;
+          (* Dynamic bound: report writes to the bound register. *)
+          if t.info.pat.cp = Insn.Dyn then begin
+            match Insn.dest ev.insn with
+            | Some rd when rd = t.info.r_bound ->
+              let v = Exec.get c.hart t.info.r_bound in
+              if Int32.compare v t.bound > 0 then begin
+                if Trace.enabled t.trace Lanes then
+                  Trace.event t.trace Lanes
+                    "[%7d] lmu bound raised %ld -> %ld (lane%d iter=%d)"
+                    t.cycle t.bound v c.lane c.iter;
+                t.bound <- v
+              end
+            | _ -> ()
+          end;
+          (* Last-CIR-write forwarding; a local write also supersedes the
+             incoming chain value (a write-before-read iteration must not
+             have its value clobbered by a later consumption). *)
+          if t.has_cirs then
+            Array.iter
+              (fun cb ->
+                 (match Insn.dest ev.insn with
+                  | Some rd when rd = cb.cir.c_reg ->
+                    c.got_cir.(cb.slot) <- true
+                  | _ -> ());
+                 if cb.cir.c_last_write_pc = ev.pc then
+                   cib_write t cb ~producer_iter:c.iter
+                     ~value:(Exec.get c.hart cb.cir.c_reg))
+              t.cibs;
+          Ok ()
+      end
+    end
+  end
+
+(** Drain one buffered store to memory through the shared port. *)
+let attempt_drain t (c : ctx) : (unit, stall) Result.t =
+  match c.drain_q with
+  | [] -> assert false
+  | s :: rest ->
+    if Port.try_grant t.mem_port ~now:t.cycle then begin
+      Lsq.apply_store t.mem s;
+      ignore (dcache_latency t c ~addr:s.Lsq.s_addr ~base_latency:1);
+      broadcast_store t ~from_iter:c.iter ~store:s;
+      c.drain_q <- rest;
+      if rest = [] then begin
+        Lsq.clear c.lsq;
+        if c.st = Drain_commit then commit_iteration t c
+        (* A running promoted context just continues non-speculatively. *)
+      end;
+      Ok ()
+    end else Error `Mem
+
+(* -- Main loop -------------------------------------------------------- *)
+
+let account_lane_cycle t issued (reason : stall) =
+  let s = t.stats in
+  if issued then s.cyc_exec <- s.cyc_exec + 1
+  else match reason with
+    | `Raw -> s.cyc_stall_raw <- s.cyc_stall_raw + 1
+    | `Mem -> s.cyc_stall_mem <- s.cyc_stall_mem + 1
+    | `Llfu -> s.cyc_stall_llfu <- s.cyc_stall_llfu + 1
+    | `Cir -> s.cyc_stall_cir <- s.cyc_stall_cir + 1
+    | `Lsq -> s.cyc_stall_lsq <- s.cyc_stall_lsq + 1
+    | `Idle -> s.cyc_idle <- s.cyc_idle + 1
+
+let all_idle t = Array.for_all (fun c -> c.st = Idle) t.ctxs
+
+(** Merge stall priorities: report the most informative reason seen. *)
+let worse (a : stall) (b : stall) =
+  let rank = function
+    | `Idle -> 0 | `Raw -> 1 | `Mem -> 2 | `Llfu -> 3 | `Lsq -> 4
+    | `Cir -> 5 in
+  if rank b > rank a then b else a
+
+let run_to_completion t ~fuel =
+  let threads = Array.length t.ctxs / t.lpsu.lanes in
+  let start = t.cycle in
+  let rotate = ref 0 in
+  while not (all_idle t && not (can_dispense t)) do
+    if t.cycle - start > fuel then
+      raise (Lane_trap "LPSU out of fuel (deadlock or runaway loop?)");
+    (* LMU: dispense iteration indices to idle contexts, in lane order. *)
+    Array.iter
+      (fun c -> if c.st = Idle && can_dispense t then dispatch t c)
+      t.ctxs;
+    try_commits t;
+    (* Each lane owns [lane_issue_width] issue slots per cycle (1 in the
+       paper's simple lanes; 2 models the "superscalar lane" future
+       work).  Vertical multithreading lets the second context use a
+       slot when the first stalls; a context that stalls is not retried
+       within the cycle. *)
+    for li = 0 to t.lpsu.lanes - 1 do
+      let lane = (li + !rotate) mod t.lpsu.lanes in
+      let budget = ref t.lpsu.lane_issue_width in
+      let issued = ref false in
+      let reason = ref (`Idle : stall) in
+      for ti = 0 to threads - 1 do
+        let c = t.ctxs.(lane * threads + ti) in
+        let stalled = ref false in
+        while !budget > 0 && not !stalled do
+          let r =
+            match c.st with
+            | Idle -> Error `Idle
+            | Wait_commit -> Error `Lsq
+            | Drain_commit -> attempt_drain t c
+            | Run ->
+              if c.drain_q <> [] then attempt_drain t c
+              else if t.spec_pattern && c.iter <= t.commit_iter
+                   && Lsq.n_stores c.lsq > 0 then begin
+                (* Promoted since its last issue (possibly mid-cycle):
+                   buffered state must reach memory before the lane may
+                   touch memory directly. *)
+                c.drain_q <- Lsq.drain_order c.lsq;
+                attempt_drain t c
+              end
+              else attempt_issue t c
+          in
+          match r with
+          | Ok () ->
+            issued := true;
+            decr budget
+          | Error e ->
+            stalled := true;
+            reason := worse !reason e
+        done
+      done;
+      account_lane_cycle t !issued !reason
+    done;
+    try_commits t;
+    rotate := !rotate + 1;
+    t.cycle <- t.cycle + 1
+  done
+
+let finals t =
+  let k = Int32.of_int t.committed in
+  let cir_finals =
+    Array.to_list t.cibs
+    |> List.map (fun cb ->
+        match cib_lookup cb t.committed with
+        | Some (_, v, _) -> (cb.cir.c_reg, v)
+        | None ->
+          (* Can only happen for a loop with zero LPSU iterations. *)
+          (cb.cir.c_reg, t.base_regs.(cb.cir.c_reg)))
+  in
+  let miv_finals =
+    List.map (fun (r, base, inc) -> (r, Int32.add base (Int32.mul k inc)))
+      t.miv_bases
+  in
+  (cir_finals, miv_finals)
+
+(** Run specialized execution.  [stop_after] bounds the number of
+    iterations dispatched (used by the adaptive profiling phase); in-flight
+    iterations always drain before returning. *)
+let run ~prog ~mem ~dcache ~cfg ~stats ~info ~regs ~start_cycle ?stop_after
+    ?trace ?(fuel = 500_000_000) () : result =
+  let t = create ~prog ~mem ~dcache ~cfg ~stats ~info ~regs ~start_cycle
+      ?stop_after ?trace () in
+  stats.xloops_specialized <- stats.xloops_specialized + 1;
+  if Trace.enabled trace Decisions then
+    Trace.event trace Decisions
+      "[%7d] lpsu start: xloop.%a body=%d idx0=%ld bound=%ld mivs=%d cirs=%d"
+      start_cycle Insn.pp_xpat_suffix info.Scan.pat info.body_len t.idx0
+      t.bound (List.length info.mivs) (List.length info.cirs);
+  run_to_completion t ~fuel;
+  let cir_finals, miv_finals = finals t in
+  let next_idx = idx_of t t.committed in
+  if Trace.enabled trace Decisions then
+    Trace.event trace Decisions
+      "[%7d] lpsu done: %d iterations in %d cycles, %d violations"
+      t.cycle t.committed (t.cycle - start_cycle) t.stats.violations;
+  { cycles = t.cycle - start_cycle;
+    iterations = t.committed;
+    finished =
+      (match t.info.pat.cp with
+       | Insn.De -> t.exit_at <> None
+       | Fixed | Dyn -> Int32.compare next_idx t.bound >= 0);
+    next_idx;
+    bound = t.bound;
+    cir_finals;
+    miv_finals }

@@ -1,0 +1,42 @@
+(** Cycle-level, execution-driven model of the loop-pattern
+    specialization unit (Section II-D, Figure 4): decoupled in-order
+    lanes fed by an index-dispensing LMU, with the MIVT seeding mutual
+    induction variables per iteration, CIB chains carrying [or/orm]
+    register dependences, per-lane LSQs with store-broadcast violation
+    detection and squash/restart for [om/orm/ua], dynamic-bound updates
+    for [.db], and arbitration for the shared memory port and LLFU.
+
+    Squashed iterations genuinely re-execute, so data-dependent
+    violation behaviour (ksack-sm vs ksack-lg) emerges from execution. *)
+
+exception Lane_trap of string
+
+type result = {
+  cycles : int;             (** specialized-execution cycles *)
+  iterations : int;         (** iterations committed *)
+  finished : bool;          (** ran to the (final) bound *)
+  next_idx : int32;         (** index value of the next iteration *)
+  bound : int32;            (** final, possibly dynamically-raised *)
+  cir_finals : (Xloops_isa.Reg.t * int32) list;
+      (** serial-final CIR values (defined live-outs of [xloop.or]) *)
+  miv_finals : (Xloops_isa.Reg.t * int32) list;
+}
+
+val run :
+  prog:Xloops_asm.Program.t ->
+  mem:Xloops_mem.Memory.t ->
+  dcache:Xloops_mem.Cache.t ->
+  cfg:Config.t ->
+  stats:Stats.t ->
+  info:Scan.t ->
+  regs:int32 array ->
+  start_cycle:int ->
+  ?stop_after:int ->
+  ?trace:Trace.t ->
+  ?fuel:int ->
+  unit -> result
+(** Run specialized execution of the loop described by [info], with GPP
+    register snapshot [regs] (live-ins, MIV bases, initial CIR values).
+    [stop_after] bounds the number of iterations dispatched — the
+    adaptive profiling phase; in-flight iterations always drain before
+    returning.  [dcache] is the GPP's L1D (the LPSU shares its port). *)

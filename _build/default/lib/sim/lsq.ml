@@ -1,0 +1,166 @@
+(** Per-lane load-store queue for speculative execution of
+    [xloop.{om,orm,ua}] (Section II-D).
+
+    A speculative lane buffers its stores here instead of writing memory,
+    records the addresses of its loads for violation detection, and reads
+    through a byte-accurate overlay of its own buffered stores on top of
+    architectural memory (store-to-load forwarding). *)
+
+open Xloops_isa
+module Memory = Xloops_mem.Memory
+
+type store_entry = {
+  s_addr : int;
+  s_bytes : int;
+  s_value : int32;  (* little-endian in the low [s_bytes] bytes *)
+}
+
+type forward_source = {
+  f_iter : int;     (** iteration whose buffered store supplied the value *)
+  f_value : int32;  (** raw little-endian bytes observed at forward time *)
+}
+
+type load_entry = {
+  l_addr : int;
+  l_bytes : int;
+  l_fwd : forward_source option;
+      (** [Some _] when the value came from another lane's LSQ
+          (inter-lane store-to-load forwarding) *)
+}
+
+type t = {
+  max_loads : int;
+  max_stores : int;
+  mutable stores : store_entry list;  (* newest first *)
+  mutable loads : load_entry list;
+  mutable n_stores : int;
+  mutable n_loads : int;
+}
+
+let create ~max_loads ~max_stores =
+  { max_loads; max_stores; stores = []; loads = []; n_stores = 0;
+    n_loads = 0 }
+
+let loads_full t = t.n_loads >= t.max_loads
+let stores_full t = t.n_stores >= t.max_stores
+let n_stores t = t.n_stores
+let is_empty t = t.n_stores = 0 && t.n_loads = 0
+
+let clear t =
+  t.stores <- []; t.loads <- []; t.n_stores <- 0; t.n_loads <- 0
+
+let ranges_overlap a an b bn = a < b + bn && b < a + an
+
+(** Does any buffered store overlap [addr, addr+bytes)?  (Used to decide
+    whether a load can forward without touching the memory port.) *)
+let store_overlaps t ~addr ~bytes =
+  List.exists (fun s -> ranges_overlap s.s_addr s.s_bytes addr bytes) t.stores
+
+(** Has this lane already issued a load overlapping [addr, addr+bytes)?
+    (Violation check against a broadcast store.) *)
+let load_overlaps t ~addr ~bytes =
+  List.exists (fun l -> ranges_overlap l.l_addr l.l_bytes addr bytes) t.loads
+
+let record_load ?fwd t ~addr ~bytes =
+  t.loads <- { l_addr = addr; l_bytes = bytes; l_fwd = fwd } :: t.loads;
+  t.n_loads <- t.n_loads + 1
+
+let record_store t ~addr ~bytes ~value =
+  t.stores <- { s_addr = addr; s_bytes = bytes; s_value = value } :: t.stores;
+  t.n_stores <- t.n_stores + 1
+
+let store_byte_at (s : store_entry) addr =
+  let off = addr - s.s_addr in
+  Int32.to_int (Int32.shift_right_logical s.s_value (off * 8)) land 0xFF
+
+(** Read one byte through the overlay: the youngest buffered store covering
+    the byte wins, otherwise architectural memory. *)
+let read_byte t mem addr =
+  let rec find = function
+    | [] -> Memory.get_u8 mem addr
+    | s :: rest ->
+      if addr >= s.s_addr && addr < s.s_addr + s.s_bytes
+      then store_byte_at s addr
+      else find rest
+  in
+  find t.stores
+
+let sext v bits =
+  let m = 1 lsl (bits - 1) in
+  ((v lxor m) - m)
+
+(** Architectural load through the overlay. *)
+let read t mem (w : Insn.width) addr : int32 =
+  let nbytes = Memory.width_bytes w in
+  let raw = ref 0 in
+  for i = nbytes - 1 downto 0 do
+    raw := (!raw lsl 8) lor read_byte t mem (addr + i)
+  done;
+  match w with
+  | B -> Int32.of_int (sext !raw 8)
+  | H -> Int32.of_int (sext !raw 16)
+  | Bu | Hu -> Int32.of_int !raw
+  | W -> Int32.of_int (sext !raw 32)
+
+(** Buffered stores, oldest first, ready to drain to memory. *)
+let drain_order t = List.rev t.stores
+
+let apply_store mem (s : store_entry) =
+  for i = 0 to s.s_bytes - 1 do
+    Memory.set_u8 mem (s.s_addr + i) (store_byte_at s (s.s_addr + i))
+  done
+
+(** Raw little-endian bytes of the load range, read through the overlay
+    (used to snapshot a forwarded value). *)
+let read_raw t mem ~addr ~bytes =
+  let raw = ref 0 in
+  for i = bytes - 1 downto 0 do
+    raw := (!raw lsl 8) lor read_byte t mem (addr + i)
+  done;
+  Int32.of_int !raw
+
+(** Does some single buffered store fully cover [addr, addr+bytes)?
+    Returns its raw bytes over that range if so — the only case where an
+    inter-lane forward is attempted (partial covers fall back to memory
+    and rely on violation detection). *)
+let covering_store_value t ~addr ~bytes : int32 option =
+  let covers s =
+    s.s_addr <= addr && addr + bytes <= s.s_addr + s.s_bytes in
+  match List.find_opt covers t.stores with
+  | None -> None
+  | Some s ->
+    let raw = ref 0 in
+    for i = bytes - 1 downto 0 do
+      raw := (!raw lsl 8) lor store_byte_at s (addr + i)
+    done;
+    Some (Int32.of_int !raw)
+
+(** Loads that overlap [addr, addr+bytes) and are {e not} satisfied by
+    this very broadcast: an entry forwarded from iteration [from_iter]
+    is innocent iff the committing store still covers it with the same
+    bytes. *)
+let violated_loads t ~from_iter ~addr ~bytes ~(store : store_entry) =
+  List.filter
+    (fun l ->
+       ranges_overlap l.l_addr l.l_bytes addr bytes
+       && (match l.l_fwd with
+           | Some f when f.f_iter = from_iter ->
+             not (store.s_addr <= l.l_addr
+                  && l.l_addr + l.l_bytes <= store.s_addr + store.s_bytes
+                  && (let raw = ref 0 in
+                      for i = l.l_bytes - 1 downto 0 do
+                        raw := (!raw lsl 8)
+                               lor store_byte_at store (l.l_addr + i)
+                      done;
+                      Int32.of_int !raw = f.f_value))
+           | _ -> true))
+    t.loads
+
+(** Any load entry forwarded from iteration [iter] (such entries must be
+    squashed when [iter] itself squashes). *)
+let has_forward_from t iter =
+  List.exists
+    (fun l -> match l.l_fwd with
+       | Some f -> f.f_iter = iter
+       | None -> false)
+    t.loads

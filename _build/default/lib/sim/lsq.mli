@@ -1,0 +1,72 @@
+(** Per-lane load-store queue for speculative execution of
+    [xloop.{om,orm,ua}] (Section II-D): buffers the lane's stores,
+    records its load addresses for violation detection, and serves loads
+    through a byte-accurate overlay of the buffered stores on top of
+    architectural memory (store-to-load forwarding). *)
+
+type store_entry = {
+  s_addr : int;
+  s_bytes : int;
+  s_value : int32;  (** little-endian in the low [s_bytes] bytes *)
+}
+
+type forward_source = {
+  f_iter : int;
+  f_value : int32;
+}
+
+type load_entry = {
+  l_addr : int;
+  l_bytes : int;
+  l_fwd : forward_source option;
+      (** [Some _] when the value came from another lane's LSQ *)
+}
+
+type t
+
+val create : max_loads:int -> max_stores:int -> t
+
+val loads_full : t -> bool
+val stores_full : t -> bool
+val n_stores : t -> int
+val is_empty : t -> bool
+val clear : t -> unit
+
+val record_load : ?fwd:forward_source -> t -> addr:int -> bytes:int -> unit
+val record_store : t -> addr:int -> bytes:int -> value:int32 -> unit
+
+val store_overlaps : t -> addr:int -> bytes:int -> bool
+(** Any buffered store overlapping the range (decides whether a load can
+    forward without the memory port). *)
+
+val load_overlaps : t -> addr:int -> bytes:int -> bool
+(** Any recorded load overlapping the range (violation check against a
+    broadcast store). *)
+
+val read : t -> Xloops_mem.Memory.t -> Xloops_isa.Insn.width -> int -> int32
+(** Architectural load through the overlay: youngest buffered store wins
+    per byte, memory otherwise. *)
+
+val drain_order : t -> store_entry list
+(** Buffered stores, oldest first. *)
+
+val apply_store : Xloops_mem.Memory.t -> store_entry -> unit
+
+(** {1 Inter-lane store-to-load forwarding support} *)
+
+val read_raw : t -> Xloops_mem.Memory.t -> addr:int -> bytes:int -> int32
+(** Raw little-endian bytes of a range through the overlay. *)
+
+val covering_store_value : t -> addr:int -> bytes:int -> int32 option
+(** Bytes of a single buffered store fully covering the range, if any. *)
+
+val violated_loads :
+  t -> from_iter:int -> addr:int -> bytes:int -> store:store_entry ->
+  load_entry list
+(** Load entries violated by a broadcast store — overlapping entries,
+    except those whose forwarded value came from this very iteration and
+    is confirmed byte-identical by the committing store. *)
+
+val has_forward_from : t -> int -> bool
+(** A load entry forwarded from the given iteration exists (such entries
+    squash when that iteration squashes). *)

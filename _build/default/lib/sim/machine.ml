@@ -1,0 +1,271 @@
+(** Top-level machine: a GPP, optionally augmented with an LPSU, executing
+    a program in one of the paper's three execution modes.
+
+    - {b Traditional}: every instruction, including [xloop] and [.xi],
+      executes on the GPP ([xloop] as a conditional branch, [.xi] as an
+      add).
+    - {b Specialized}: when the GPP takes an [xloop] back-edge (i.e. after
+      the first iteration has executed on the GPP, which is how the
+      fall-through encoding works), it scans the body into the LPSU and
+      hands the remaining iterations to specialized execution; on loops the
+      LPSU cannot handle it falls back to traditional execution.
+    - {b Adaptive}: an adaptive profiling table (APT) indexed by the
+      [xloop] PC first measures traditional-execution throughput, then
+      specialized throughput on the same number of iterations, and commits
+      to whichever is faster (Section II-E).  Profiling stretches across
+      dynamic instances of the loop, and a decision, once made, sticks. *)
+
+module Program = Xloops_asm.Program
+module Memory = Xloops_mem.Memory
+
+type mode = Traditional | Specialized | Adaptive
+
+let mode_name = function
+  | Traditional -> "T" | Specialized -> "S" | Adaptive -> "A"
+
+type result = {
+  cycles : int;
+  insns : int;              (** dynamically committed instructions *)
+  stats : Stats.t;
+}
+
+type apt_entry =
+  | Profiling of {
+      mutable iters : int;
+      mutable cycles : int;
+      mutable last_taken : int;   (* -1 between dynamic instances *)
+    }
+  | Decided of {
+      spec : bool;
+      mutable uses : int;   (* dynamic loop instances under this decision *)
+    }
+
+let decided spec = Decided { spec; uses = 0 }
+
+type t = {
+  cfg : Config.t;
+  mode : mode;
+  adaptive : Config.adaptive;
+  lpsu_fuel : int;
+  trace : Trace.t option;
+  prog : Program.t;
+  mem : Memory.t;
+  stats : Stats.t;
+  hart : Exec.hart;
+  timing : Gpp_timing.t;
+  apt : (int, apt_entry) Hashtbl.t;
+  scan_fail : (int, Scan.fallback_reason) Hashtbl.t;
+  mutable insns : int;
+}
+
+let create ?(adaptive = Config.default_adaptive)
+    ?(lpsu_fuel = 500_000_000) ?trace ~cfg ~mode ~prog ~mem
+    ?(entry = 0) () =
+  (match mode, cfg.Config.lpsu with
+   | (Specialized | Adaptive), None ->
+     invalid_arg
+       (Printf.sprintf "Machine.create: config %s has no LPSU" cfg.name)
+   | _ -> ());
+  let stats = Stats.create () in
+  { cfg; mode; adaptive; lpsu_fuel; trace; prog; mem; stats;
+    hart = Exec.create_hart ~pc:entry ();
+    timing = Gpp_timing.create cfg.Config.gpp stats;
+    apt = Hashtbl.create 8;
+    scan_fail = Hashtbl.create 8;
+    insns = 0 }
+
+(* -- Specialized-execution plumbing ---------------------------------- *)
+
+let lpsu_cfg t =
+  match t.cfg.Config.lpsu with Some l -> l | None -> assert false
+
+(** Write the LPSU's architectural results back into the GPP register
+    file: index, (possibly raised) bound, serial-final CIR values and MIV
+    values — exactly the registers whose post-loop values the XLOOPS ISA
+    defines. *)
+let writeback t (info : Scan.t) (r : Lpsu.result) =
+  Exec.set t.hart info.r_idx r.next_idx;
+  Exec.set t.hart info.r_bound r.bound;
+  List.iter (fun (reg, v) -> Exec.set t.hart reg v) r.cir_finals;
+  List.iter (fun (reg, v) -> Exec.set t.hart reg v) r.miv_finals
+
+(** Analyze the xloop at [pc] for specialization, caching the (static)
+    failure reasons so fallback loops do not re-scan on every back-edge. *)
+let analyze t ~pc =
+  match Hashtbl.find_opt t.scan_fail pc with
+  | Some reason -> Error reason
+  | None ->
+    (match Scan.analyze t.prog ~xloop_pc:pc ~regs:t.hart.regs
+             ~lpsu:(lpsu_cfg t) with
+    | Ok info -> Ok info
+    | Error reason ->
+      Hashtbl.replace t.scan_fail pc reason;
+      if not (Hashtbl.mem t.apt pc) then begin
+        if Trace.enabled t.trace Decisions then
+          Trace.event t.trace Decisions
+            "xloop@%d falls back to traditional execution: %a" pc
+            Scan.pp_fallback reason;
+        t.stats.xloops_traditional <- t.stats.xloops_traditional + 1;
+        Hashtbl.replace t.apt pc (decided false)
+      end;
+      Error reason)
+
+(** Run the LPSU over (part of) the xloop described by [info], starting
+    after a scan phase, and bring the GPP state up to date.  Returns the
+    LPSU result. *)
+let run_lpsu ?stop_after t (info : Scan.t) =
+  Gpp_timing.barrier t.timing;
+  let scan = Gpp_timing.scan_cycles t.timing (lpsu_cfg t)
+      ~body_insns:info.body_len in
+  t.stats.scan_insns <- t.stats.scan_insns + info.body_len;
+  t.stats.renames <- t.stats.renames + info.body_len;
+  let start_cycle = Gpp_timing.now t.timing + scan in
+  if Trace.enabled t.trace Decisions then
+    Trace.event t.trace Decisions
+      "[%7d] scan xloop@%d (%d instructions, %d scan cycles)"
+      (Gpp_timing.now t.timing) info.Scan.xloop_pc info.body_len scan;
+  let r = Lpsu.run ~prog:t.prog ~mem:t.mem
+      ~dcache:(Gpp_timing.l1d t.timing) ~cfg:t.cfg ~stats:t.stats
+      ~info ~regs:t.hart.regs ~start_cycle ?stop_after
+      ?trace:t.trace ~fuel:t.lpsu_fuel () in
+  writeback t info r;
+  Gpp_timing.skip_to t.timing (start_cycle + r.cycles);
+  r
+
+let specialize_fully t (info : Scan.t) =
+  let r = run_lpsu t info in
+  assert r.finished;
+  t.hart.pc <- info.xloop_pc + 1
+
+(* -- Adaptive execution ----------------------------------------------- *)
+
+let adaptive_step t ~pc (ev : Exec.event) =
+  let now = Gpp_timing.now t.timing in
+  let entry =
+    match Hashtbl.find_opt t.apt pc with
+    | Some e -> e
+    | None ->
+      let e = Profiling { iters = 0; cycles = 0; last_taken = -1 } in
+      Hashtbl.replace t.apt pc e;
+      e
+  in
+  let reprofile_if_stale uses =
+    (* Future-work extension (Section II-E): optionally reconsider a
+       decision after it has served a number of dynamic loop instances. *)
+    match t.adaptive.reconsider_after with
+    | Some n when uses >= n ->
+      if Trace.enabled t.trace Decisions then
+        Trace.event t.trace Decisions
+          "xloop@%d: decision stale after %d instances; re-profiling" pc
+          uses;
+      Hashtbl.replace t.apt pc
+        (Profiling { iters = 0; cycles = 0; last_taken = -1 })
+    | _ -> ()
+  in
+  match entry with
+  | Decided ({ spec = false; _ } as d) ->
+    (* A traditional instance completes when the xloop falls through. *)
+    if not ev.taken then begin
+      d.uses <- d.uses + 1;
+      reprofile_if_stale d.uses
+    end
+  | Decided ({ spec = true; _ } as d) ->
+    if ev.taken then begin
+      (match analyze t ~pc with
+       | Ok info -> specialize_fully t info
+       | Error _ -> Hashtbl.replace t.apt pc (decided false));
+      d.uses <- d.uses + 1;
+      reprofile_if_stale d.uses
+    end
+  | Profiling p ->
+    if not ev.taken then p.last_taken <- -1
+    else begin
+      if p.last_taken >= 0 then p.cycles <- p.cycles + (now - p.last_taken);
+      p.last_taken <- now;
+      p.iters <- p.iters + 1;
+      if p.iters >= t.adaptive.profile_iters
+      || p.cycles >= t.adaptive.profile_cycles then begin
+        match analyze t ~pc with
+        | Error _ -> Hashtbl.replace t.apt pc (decided false)
+        | Ok info ->
+          (* LPSU profiling phase: same number of iterations as measured
+             traditionally. *)
+          let budget = max 1 p.iters in
+          if Trace.enabled t.trace Decisions then
+            Trace.event t.trace Decisions
+              "xloop@%d: GPP profile done (%d iters, %d cycles); trying                the LPSU" pc p.iters p.cycles;
+          let r = run_lpsu ~stop_after:budget t info in
+          let spec_faster =
+            (* cycles-per-iteration comparison, cross-multiplied. *)
+            r.iterations > 0
+            && r.cycles * p.iters <= p.cycles * r.iterations
+          in
+          if r.finished then begin
+            t.hart.pc <- info.xloop_pc + 1;
+            Hashtbl.replace t.apt pc (decided spec_faster)
+          end else if spec_faster then begin
+            (* Stay on the LPSU for the rest of the loop. *)
+            let r2 = run_lpsu t info in
+            assert r2.finished;
+            t.hart.pc <- info.xloop_pc + 1;
+            Hashtbl.replace t.apt pc (decided true)
+          end else begin
+            (* Migrate back: the GPP finishes the remaining iterations. *)
+            if Trace.enabled t.trace Decisions then
+              Trace.event t.trace Decisions
+                "xloop@%d: specialized slower (%d cyc / %d iters);                  migrating back to the GPP" pc r.cycles r.iterations;
+            t.stats.migrations <- t.stats.migrations + 1;
+            t.hart.pc <- info.body_start;
+            Hashtbl.replace t.apt pc (decided false)
+          end
+      end
+    end
+
+(* -- Main loop --------------------------------------------------------- *)
+
+exception Out_of_fuel
+
+(** Execute the program to completion ([Halt]).  [fuel] bounds the number
+    of GPP-committed instructions. *)
+let run ?(fuel = 500_000_000) t : result =
+  (try
+     let steps = ref 0 in
+     while true do
+       if !steps > fuel then raise Out_of_fuel;
+       incr steps;
+       let ev = Exec.step t.prog t.hart (Exec.direct_mem t.mem) in
+       if Trace.enabled t.trace Insns then
+         Trace.event t.trace Insns "[%7d] gpp      %4d: %a"
+           (Gpp_timing.now t.timing) ev.pc
+           Xloops_isa.Insn.pp_resolved ev.insn;
+       Gpp_timing.consume t.timing ev;
+       (match ev.insn with
+        | Xloop (_, _, _, _) when t.cfg.Config.lpsu <> None ->
+          if ev.taken then t.stats.iterations <- t.stats.iterations + 1;
+          (match t.mode with
+           | Traditional -> ()
+           | Specialized ->
+             if ev.taken then
+               (match analyze t ~pc:ev.pc with
+                | Ok info -> specialize_fully t info
+                | Error _ -> ())
+           | Adaptive ->
+             (* Both edges matter: taken drives profiling/decisions,
+                fall-through marks the end of a dynamic instance. *)
+             adaptive_step t ~pc:ev.pc ev)
+        | Xloop _ when ev.taken ->
+          t.stats.iterations <- t.stats.iterations + 1
+        | _ -> ())
+     done
+   with Exec.Halted -> ());
+  Gpp_timing.barrier t.timing;
+  { cycles = Gpp_timing.now t.timing;
+    insns = t.stats.committed_insns;
+    stats = t.stats }
+
+(** One-call convenience: build a machine and run [prog] on [mem]. *)
+let simulate ?adaptive ?lpsu_fuel ?trace ?entry ?fuel ~cfg ~mode prog mem
+  : result =
+  let t = create ?adaptive ?lpsu_fuel ?trace ~cfg ~mode ~prog ~mem
+      ?entry () in
+  run ?fuel t

@@ -1,0 +1,49 @@
+(** Top-level machine: a GPP, optionally with an LPSU, executing a
+    program in one of the paper's three execution modes.
+
+    - {b Traditional}: [xloop] as a branch, [.xi] as an add — the whole
+      program runs on the GPP.
+    - {b Specialized}: taking an [xloop] back-edge triggers the scan
+      phase and hands the remaining iterations to the LPSU; loops the
+      LPSU cannot handle (oversized body, unsupported pattern, calls)
+      fall back to traditional execution.
+    - {b Adaptive}: an adaptive profiling table (APT) indexed by the
+      [xloop] PC measures traditional throughput, then specialized
+      throughput over the same number of iterations, and commits to the
+      winner (Section II-E); profiling stretches across dynamic
+      instances, and losing loops migrate back to the GPP. *)
+
+type mode = Traditional | Specialized | Adaptive
+
+val mode_name : mode -> string
+(** "T" / "S" / "A", as in Table II's column heads. *)
+
+type result = {
+  cycles : int;
+  insns : int;        (** dynamically committed instructions *)
+  stats : Stats.t;
+}
+
+type t
+
+val create :
+  ?adaptive:Config.adaptive ->
+  ?lpsu_fuel:int ->
+  ?trace:Trace.t ->
+  cfg:Config.t -> mode:mode ->
+  prog:Xloops_asm.Program.t -> mem:Xloops_mem.Memory.t ->
+  ?entry:int -> unit -> t
+(** Raises [Invalid_argument] if [mode] needs an LPSU and [cfg] has
+    none. *)
+
+exception Out_of_fuel
+
+val run : ?fuel:int -> t -> result
+(** Execute to [Halt]. *)
+
+val simulate :
+  ?adaptive:Config.adaptive -> ?lpsu_fuel:int -> ?trace:Trace.t ->
+  ?entry:int -> ?fuel:int ->
+  cfg:Config.t -> mode:mode ->
+  Xloops_asm.Program.t -> Xloops_mem.Memory.t -> result
+(** One-call convenience: {!create} + {!run}. *)

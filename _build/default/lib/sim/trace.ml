@@ -1,0 +1,62 @@
+(** Execution tracing — the debug view a cycle-level simulator ships
+    with (gem5's --debug-flags, PyMTL's line traces).
+
+    A trace is a callback plus a verbosity level; the machine and the
+    LPSU emit through {!event} only when the level admits the event, so
+    tracing costs nothing when disabled.
+
+    - [Decisions]: loop-level events only — scans, specialize/fallback
+      decisions, adaptive profiling verdicts, migrations, loop
+      completions;
+    - [Lanes]: adds per-lane microarchitectural events — dispatches,
+      commits, squashes, drains, CIB traffic, dynamic-bound updates;
+    - [Insns]: adds every instruction issued by every lane and the GPP
+      (very verbose). *)
+
+type level = Decisions | Lanes | Insns
+
+let level_rank = function Decisions -> 0 | Lanes -> 1 | Insns -> 2
+
+type t = {
+  level : level;
+  emit : string -> unit;
+  mutable lines : int;
+  limit : int;   (** stop emitting after this many lines; 0 = unlimited *)
+}
+
+let create ?(level = Decisions) ?(limit = 0) emit =
+  { level; emit; lines = 0; limit }
+
+(** Trace to a [Buffer] (used by the tests). *)
+let to_buffer ?level ?limit buf =
+  create ?level ?limit (fun s ->
+      Buffer.add_string buf s;
+      Buffer.add_char buf '\n')
+
+(** Trace to stdout. *)
+let to_stdout ?level ?limit () = create ?level ?limit print_endline
+
+(** Cheap guard for hot paths: call sites test [enabled] before
+    formatting anything, so a disabled trace costs one comparison. *)
+let enabled (t : t option) lvl =
+  match t with
+  | Some tr ->
+    level_rank lvl <= level_rank tr.level
+    && (tr.limit = 0 || tr.lines < tr.limit)
+  | None -> false
+
+(** [event t lvl fmt] emits one line when [t] admits [lvl] and the line
+    budget is not exhausted.  (Prefer [if enabled .. then event ..] on
+    hot paths: the format arguments are evaluated either way.) *)
+let event (t : t option) lvl fmt =
+  match t with
+  | Some tr
+    when level_rank lvl <= level_rank tr.level
+      && (tr.limit = 0 || tr.lines < tr.limit) ->
+    tr.lines <- tr.lines + 1;
+    Fmt.kstr tr.emit fmt
+  | _ -> Fmt.kstr (fun _ -> ()) fmt
+
+let exhausted = function
+  | Some tr -> tr.limit > 0 && tr.lines >= tr.limit
+  | None -> false

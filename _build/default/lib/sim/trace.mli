@@ -1,0 +1,23 @@
+(** Execution tracing (the gem5-style debug view): a callback plus a
+    verbosity level; emission is free when disabled. *)
+
+type level =
+  | Decisions  (** loop-level: scans, decisions, migrations, completions *)
+  | Lanes      (** + per-lane dispatch/commit/squash/drain/CIB/bound *)
+  | Insns      (** + every instruction issued (very verbose) *)
+
+type t
+
+val create : ?level:level -> ?limit:int -> (string -> unit) -> t
+(** [limit] stops emission after that many lines (0 = unlimited). *)
+
+val to_buffer : ?level:level -> ?limit:int -> Buffer.t -> t
+val to_stdout : ?level:level -> ?limit:int -> unit -> t
+
+val enabled : t option -> level -> bool
+(** Guard hot paths with this before formatting trace arguments. *)
+
+val event :
+  t option -> level -> ('a, Format.formatter, unit, unit) format4 -> 'a
+
+val exhausted : t option -> bool

@@ -1,0 +1,1 @@
+lib/vlsi/area.ml: Fmt List Xloops_isa Xloops_sim

@@ -1,0 +1,1 @@
+lib/vlsi/area.mli: Format Xloops_sim

@@ -1,0 +1,113 @@
+(** Analytic post-place-and-route area and cycle-time model for the LPSU
+    (Section V, Table V), standing in for the paper's Synopsys 40 nm
+    flow + CACTI SRAMs.
+
+    The model is calibrated to the anchor points Table V reports:
+
+    - baseline five-stage GPP with 16 KB I$ + 16 KB D$: 0.25 mm^2;
+    - GPP + lpsu+i128+ln4: 0.36 mm^2 ("only 43% larger");
+    - area overhead 24%..77% as lanes go 2..8 at i128 (roughly linear in
+      the number of lanes);
+    - area overhead 41%..48% as the instruction buffer goes 96..192
+      entries at 4 lanes (a weak dependence);
+    - cycle time growing from ~1.98 ns (2 lanes) to ~2.54 ns (8 lanes),
+      with a small instruction-buffer contribution. *)
+
+module Config = Xloops_sim.Config
+
+type mm2 = float
+
+type area_breakdown = {
+  gpp_logic : mm2;
+  gpp_icache : mm2;
+  gpp_dcache : mm2;
+  lmu : mm2;               (** LMU, index queues, arbiters *)
+  lanes : mm2;             (** lane datapaths and register files *)
+  instr_buffers : mm2;
+  lsq : mm2;
+  total : mm2;
+}
+
+(* Calibrated coefficients (mm^2, 40 nm). *)
+let gpp_logic_area = 0.10
+let cache_area_per_16k = 0.075
+let lmu_area = 0.0167
+let lane_area = 0.0138
+let ib_area_per_entry_per_lane = 0.000052
+let lsq_area_per_entry_per_lane = 0.00008
+
+let gpp_area =
+  gpp_logic_area +. (2.0 *. cache_area_per_16k)
+
+let area (l : Config.lpsu) : area_breakdown =
+  let lanes_f = float_of_int l.lanes in
+  let lanes_a = lanes_f *. lane_area in
+  let ib =
+    lanes_f *. float_of_int l.ib_entries *. ib_area_per_entry_per_lane in
+  let lsq =
+    lanes_f *. float_of_int (l.lsq_loads + l.lsq_stores)
+    *. lsq_area_per_entry_per_lane
+  in
+  let total = gpp_area +. lmu_area +. lanes_a +. ib +. lsq in
+  { gpp_logic = gpp_logic_area;
+    gpp_icache = cache_area_per_16k;
+    gpp_dcache = cache_area_per_16k;
+    lmu = lmu_area; lanes = lanes_a; instr_buffers = ib; lsq;
+    total }
+
+(** Fractional area overhead of the LPSU relative to the bare GPP. *)
+let overhead (l : Config.lpsu) = (area l).total /. gpp_area -. 1.0
+
+(* Cycle time (ns): lane count stresses the shared-port arbitration and
+   broadcast networks; instruction buffer size stresses the fetch path. *)
+let gpp_cycle_time_ns = 1.95
+
+let cycle_time_ns (l : Config.lpsu) =
+  1.80 +. (0.09 *. float_of_int l.lanes)
+  +. (0.0009 *. float_of_int (l.ib_entries - 128))
+
+(** The Table V configuration sweep: vary the instruction buffer at 4
+    lanes, then the lane count at 128 entries.  The basic RTL LPSU
+    supports only [xloop.uc] (Section V-A) and has no LSQs. *)
+let rtl_lpsu ~ib_entries ~lanes : Config.lpsu =
+  { Config.default_lpsu with
+    ib_entries; lanes;
+    lsq_loads = 0; lsq_stores = 0;
+    supported = [ Xloops_isa.Insn.Uc ] }
+
+let table_v_configs =
+  [ ("lpsu+i096+ln4", rtl_lpsu ~ib_entries:96 ~lanes:4);
+    ("lpsu+i128+ln4", rtl_lpsu ~ib_entries:128 ~lanes:4);
+    ("lpsu+i160+ln4", rtl_lpsu ~ib_entries:160 ~lanes:4);
+    ("lpsu+i192+ln4", rtl_lpsu ~ib_entries:192 ~lanes:4);
+    ("lpsu+i128+ln2", rtl_lpsu ~ib_entries:128 ~lanes:2);
+    ("lpsu+i128+ln6", rtl_lpsu ~ib_entries:128 ~lanes:6);
+    ("lpsu+i128+ln8", rtl_lpsu ~ib_entries:128 ~lanes:8) ]
+
+type table_v_row = {
+  name : string;
+  ct_ns : float;
+  total_mm2 : mm2;
+  rel_area : float;       (** total / gpp *)
+  lpsu : Config.lpsu;
+}
+
+let table_v () =
+  { name = "scalar"; ct_ns = gpp_cycle_time_ns; total_mm2 = gpp_area;
+    rel_area = 1.0; lpsu = rtl_lpsu ~ib_entries:0 ~lanes:0 }
+  :: List.map
+    (fun (name, l) ->
+       (* The RTL LPSU has no LSQ area (uc only). *)
+       let a = area l in
+       let total = a.total -. a.lsq in
+       { name; ct_ns = cycle_time_ns l; total_mm2 = total;
+         rel_area = total /. gpp_area; lpsu = l })
+    table_v_configs
+
+let pp_table_v ppf rows =
+  Fmt.pf ppf "%-16s %6s %8s %8s@." "config" "CT(ns)" "mm^2" "area/GPP";
+  List.iter
+    (fun r ->
+       Fmt.pf ppf "%-16s %6.2f %8.3f %8.2f@."
+         r.name r.ct_ns r.total_mm2 r.rel_area)
+    rows

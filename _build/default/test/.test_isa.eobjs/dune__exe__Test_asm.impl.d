@@ -1,0 +1,1 @@
+test/test_asm.ml: Alcotest Array Insn Int List String Xloops_asm Xloops_compiler Xloops_isa Xloops_kernels Xloops_mem Xloops_sim

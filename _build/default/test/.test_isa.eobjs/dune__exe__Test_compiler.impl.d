@@ -1,0 +1,1 @@
+test/test_compiler.ml: Alcotest Analysis Array Ast Compile Fmt List Printf String Xloops_asm Xloops_compiler Xloops_isa Xloops_kernels Xloops_mem Xloops_sim

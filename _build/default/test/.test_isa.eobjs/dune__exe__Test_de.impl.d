@@ -1,0 +1,1 @@
+test/test_de.ml: Alcotest Array Ast Compile Fmt Int List Printf Xloops_asm Xloops_compiler Xloops_isa Xloops_kernels Xloops_mem Xloops_sim

@@ -1,0 +1,1 @@
+test/test_energy.ml: Alcotest Float List Printf Xloops_energy Xloops_kernels Xloops_sim

@@ -1,0 +1,1 @@
+test/test_exec.ml: Alcotest Array Insn Int32 QCheck QCheck_alcotest Reg Xloops_asm Xloops_isa Xloops_mem Xloops_sim

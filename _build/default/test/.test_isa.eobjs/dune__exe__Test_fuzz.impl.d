@@ -1,0 +1,1 @@
+test/test_fuzz.ml: Alcotest Ast Compile Fmt QCheck QCheck_alcotest Xloops_compiler Xloops_kernels Xloops_mem Xloops_sim

@@ -1,0 +1,1 @@
+test/test_isa.ml: Alcotest Array Encode Fmt Insn Int List Printf QCheck QCheck_alcotest Reg Xloops_isa

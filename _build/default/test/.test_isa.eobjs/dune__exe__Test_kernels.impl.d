@@ -1,0 +1,1 @@
+test/test_kernels.ml: Alcotest Array Fmt List String Xloops_compiler Xloops_isa Xloops_kernels Xloops_sim

@@ -1,0 +1,1 @@
+test/test_lower.ml: Alcotest Array Ast Compile Float Int32 List Xloops_compiler Xloops_kernels Xloops_mem Xloops_sim

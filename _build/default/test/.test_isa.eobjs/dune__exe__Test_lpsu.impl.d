@@ -1,0 +1,1 @@
+test/test_lpsu.ml: Alcotest Array Insn List Printf Reg Xloops_asm Xloops_isa Xloops_kernels Xloops_mem Xloops_sim

@@ -1,0 +1,1 @@
+test/test_lsq.ml: Alcotest Insn Int32 List Printf QCheck QCheck_alcotest String Xloops_isa Xloops_mem Xloops_sim

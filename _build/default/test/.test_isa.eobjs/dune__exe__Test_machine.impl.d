@@ -1,0 +1,1 @@
+test/test_machine.ml: Alcotest Array Insn Int32 List Printf Xloops_asm Xloops_compiler Xloops_isa Xloops_kernels Xloops_mem Xloops_sim

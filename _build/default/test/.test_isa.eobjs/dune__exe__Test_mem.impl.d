@@ -1,0 +1,1 @@
+test/test_mem.ml: Alcotest Int32 QCheck QCheck_alcotest Xloops_isa Xloops_mem

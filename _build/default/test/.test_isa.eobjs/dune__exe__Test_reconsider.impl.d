@@ -1,0 +1,1 @@
+test/test_reconsider.ml: Alcotest Array Ast Compile Printf Xloops_compiler Xloops_isa Xloops_kernels Xloops_mem Xloops_sim

@@ -1,0 +1,1 @@
+test/test_regalloc.ml: Alcotest Array Codegen Int32 Ir List Printf Regalloc Xloops_compiler Xloops_isa Xloops_mem Xloops_sim

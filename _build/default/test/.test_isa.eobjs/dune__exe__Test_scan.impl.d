@@ -1,0 +1,1 @@
+test/test_scan.ml: Alcotest Array Insn List Reg Xloops_asm Xloops_isa Xloops_sim

@@ -1,0 +1,1 @@
+test/test_trace.ml: Alcotest Buffer List String Xloops_compiler Xloops_kernels Xloops_mem Xloops_sim

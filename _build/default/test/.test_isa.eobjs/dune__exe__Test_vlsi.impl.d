@@ -1,0 +1,1 @@
+test/test_vlsi.ml: Alcotest Float List Printf Xloops_isa Xloops_sim Xloops_vlsi

@@ -1,0 +1,229 @@
+(* Assembler tests: label resolution, pseudo-instruction expansion, data
+   layout. *)
+
+open Xloops_isa
+module B = Xloops_asm.Builder
+module Program = Xloops_asm.Program
+module Layout = Xloops_asm.Layout
+
+let test_labels () =
+  let b = B.create () in
+  B.label b "start";
+  B.addi b 8 0 1;
+  B.bne b 8 0 "start";
+  B.jump b "end";
+  B.nop b;
+  B.label b "end";
+  B.halt b;
+  let p = B.assemble b in
+  Alcotest.(check int) "length" 5 (Program.length p);
+  (match p.insns.(1) with
+   | Branch (Bne, _, _, 0) -> ()
+   | i -> Alcotest.failf "bad branch: %a" Insn.pp_resolved i);
+  (match p.insns.(2) with
+   | Jump 4 -> ()
+   | i -> Alcotest.failf "bad jump: %a" Insn.pp_resolved i);
+  Alcotest.(check int) "symbol" 4 (Program.address_of_symbol p "end")
+
+let test_undefined_label () =
+  let b = B.create () in
+  B.jump b "nowhere";
+  Alcotest.check_raises "undefined" (B.Undefined_label "nowhere")
+    (fun () -> ignore (B.assemble b))
+
+let test_duplicate_label () =
+  let b = B.create () in
+  B.label b "x";
+  B.nop b;
+  Alcotest.check_raises "duplicate"
+    (Invalid_argument "Builder.label: duplicate label x")
+    (fun () -> B.label b "x")
+
+let test_li_small () =
+  let b = B.create () in
+  B.li b 8 42;
+  B.li b 9 (-100);
+  let p = B.assemble b in
+  Alcotest.(check int) "2 insns" 2 (Program.length p);
+  (match p.insns.(0) with
+   | Alui (Add, 8, 0, 42) -> ()
+   | i -> Alcotest.failf "bad li: %a" Insn.pp_resolved i)
+
+let test_li_large () =
+  let b = B.create () in
+  B.li b 8 0x12345678;
+  let p = B.assemble b in
+  Alcotest.(check int) "lui+ori" 2 (Program.length p);
+  (match p.insns.(0), p.insns.(1) with
+   | Lui (8, 0x1234), Alui (Or_, 8, 8, 0x5678) -> ()
+   | _ -> Alcotest.fail "bad expansion");
+  (* Execute it to be sure. *)
+  let mem = Xloops_mem.Memory.create () in
+  let b2 = B.create () in
+  B.li b2 8 0x12345678;
+  B.halt b2;
+  let p2 = B.assemble b2 in
+  let r = Xloops_sim.Exec.run_serial p2 mem in
+  Alcotest.(check int32) "value" 0x12345678l r.final.regs.(8)
+
+let test_li_negative_large () =
+  let mem = Xloops_mem.Memory.create () in
+  let b = B.create () in
+  B.li b 8 (-123456789);
+  B.halt b;
+  let p = B.assemble b in
+  let r = Xloops_sim.Exec.run_serial p mem in
+  Alcotest.(check int32) "negative" (-123456789l) r.final.regs.(8)
+
+let test_fresh_labels () =
+  let b = B.create () in
+  let l1 = B.fresh_label b "loop" in
+  let l2 = B.fresh_label b "loop" in
+  Alcotest.(check bool) "distinct" true (l1 <> l2)
+
+let test_layout () =
+  let l = Layout.create () in
+  let a = Layout.alloc_words l ~name:"a" ~n:10 in
+  let bb = Layout.alloc l ~name:"b" ~bytes:3 in
+  let c = Layout.alloc_words l ~name:"c" ~n:1 in
+  Alcotest.(check int) "base" 0x1000 a;
+  Alcotest.(check int) "b after a" (0x1000 + 40) bb;
+  Alcotest.(check int) "c aligned" (0x1000 + 44) c;
+  Alcotest.(check int) "find" 0x1000 (Layout.find l "a").base;
+  Alcotest.check_raises "missing" (Invalid_argument "Layout.find: zz")
+    (fun () -> ignore (Layout.find l "zz"))
+
+let test_layout_overflow () =
+  let l = Layout.create ~limit:0x2000 () in
+  ignore (Layout.alloc l ~name:"a" ~bytes:0xf00);
+  Alcotest.(check bool) "raises" true
+    (try ignore (Layout.alloc l ~name:"b" ~bytes:0x1000); false
+     with Invalid_argument _ -> true)
+
+let test_disasm_roundtrip () =
+  let b = B.create () in
+  B.li b 8 7;
+  B.label b "top";
+  B.addi b 8 8 (-1);
+  B.bne b 8 0 "top";
+  B.halt b;
+  let p = B.assemble b in
+  let s = Program.to_string p in
+  let contains hay needle =
+    let nh = String.length hay and nn = String.length needle in
+    let rec go i = i + nn <= nh && (String.sub hay i nn = needle || go (i + 1))
+    in
+    go 0
+  in
+  Alcotest.(check bool) "mentions label" true (contains s "top:");
+  Alcotest.(check bool) "mentions bne" true (contains s "bne")
+
+(* -- parser -------------------------------------------------------------- *)
+
+module Parser = Xloops_asm.Parser
+
+let programs_equal (a : Program.t) (b : Program.t) =
+  Array.length a.insns = Array.length b.insns
+  && Array.for_all2 (Insn.equal Int.equal) a.insns b.insns
+
+let test_parse_loop () =
+  let src = {|
+      addi t0, zero, 5      # counter
+      add  t1, zero, zero   ; sum
+    top:
+      add  t1, t1, t0
+      addi t0, t0, -1
+      bne  t0, zero, top
+      sw   t1, 0x100(zero)
+      halt
+  |} in
+  let p = Parser.parse src in
+  Alcotest.(check int) "length" 7 (Program.length p);
+  let mem = Xloops_mem.Memory.create () in
+  ignore (Xloops_sim.Exec.run_serial p mem);
+  Alcotest.(check int) "sum 5..1" 15 (Xloops_mem.Memory.get_int mem 0x100)
+
+let test_parse_memory_and_amo () =
+  let src = {|
+      addi a0, zero, 64
+      addi t0, zero, 7
+      sw   t0, 0(a0)
+      amo_add t1, (a0), t0
+      lw   t2, 0(a0)
+      lbu  t3, 1(a0)
+      halt
+  |} in
+  let p = Parser.parse src in
+  let mem = Xloops_mem.Memory.create () in
+  let r = Xloops_sim.Exec.run_serial p mem in
+  Alcotest.(check int32) "amo old" 7l r.final.regs.(9);
+  Alcotest.(check int32) "lw" 14l r.final.regs.(10)
+
+let test_parse_xloop () =
+  let src = {|
+    body:
+      addiu.xi t4, t4, 1
+      xloop.uc.db t4, t3, body
+      halt
+  |} in
+  let p = Parser.parse src in
+  (match p.insns.(1) with
+   | Insn.Xloop ({ dp = Uc; cp = Dyn }, 12, 11, 0) -> ()
+   | i -> Alcotest.failf "bad xloop: %a" Insn.pp_resolved i)
+
+let test_parse_errors () =
+  let bad src frag =
+    match Parser.parse src with
+    | exception Parser.Parse_error { msg; _ } ->
+      Alcotest.(check bool) ("mentions " ^ frag) true
+        (let nh = String.length msg and nn = String.length frag in
+         let rec go i =
+           i + nn <= nh && (String.sub msg i nn = frag || go (i + 1)) in
+         nn = 0 || go 0)
+    | _ -> Alcotest.failf "expected parse error for %S" src
+  in
+  bad "frobnicate t0, t1, t2" "unknown mnemonic";
+  bad "add t0, t1" "expects";
+  bad "lw t0, t1" "bad memory operand";
+  bad "add x9, t1, t2" "bad register";
+  bad "addi t0, t1, lots" "bad immediate";
+  bad "j nowhere\nhalt" "undefined label";
+  bad "xloop.zz t0, t1, 0" "unknown xloop pattern"
+
+(* Round-trip: disassembling any compiled kernel and re-parsing it yields
+   the identical program. *)
+let test_parse_roundtrip_kernels () =
+  List.iter
+    (fun name ->
+       let k = Xloops_kernels.Registry.find name in
+       let c = Xloops_compiler.Compile.compile k.kernel in
+       let text = Program.to_string c.program in
+       let p2 = Parser.parse text in
+       Alcotest.(check bool) (name ^ " roundtrip") true
+         (programs_equal c.program p2))
+    [ "war-om"; "sha-or"; "bfs-uc-db"; "mm-orm"; "rsort-ua" ]
+
+let () =
+  Alcotest.run "asm"
+    [ ("builder",
+       [ Alcotest.test_case "labels" `Quick test_labels;
+         Alcotest.test_case "undefined label" `Quick test_undefined_label;
+         Alcotest.test_case "duplicate label" `Quick test_duplicate_label;
+         Alcotest.test_case "li small" `Quick test_li_small;
+         Alcotest.test_case "li large" `Quick test_li_large;
+         Alcotest.test_case "li negative" `Quick test_li_negative_large;
+         Alcotest.test_case "fresh labels" `Quick test_fresh_labels ]);
+      ("layout",
+       [ Alcotest.test_case "alloc" `Quick test_layout;
+         Alcotest.test_case "overflow" `Quick test_layout_overflow ]);
+      ("disasm", [ Alcotest.test_case "labels shown" `Quick
+                     test_disasm_roundtrip ]);
+      ("parser",
+       [ Alcotest.test_case "loop" `Quick test_parse_loop;
+         Alcotest.test_case "memory/amo" `Quick test_parse_memory_and_amo;
+         Alcotest.test_case "xloop" `Quick test_parse_xloop;
+         Alcotest.test_case "errors" `Quick test_parse_errors;
+         Alcotest.test_case "kernel roundtrip" `Quick
+           test_parse_roundtrip_kernels ]);
+    ]
+

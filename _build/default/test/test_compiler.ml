@@ -1,0 +1,521 @@
+(* Compiler tests: dependence analysis / pattern selection, strength
+   reduction (.xi), register allocation, and end-to-end compile+run
+   equivalence across targets and execution modes. *)
+
+open Xloops_compiler
+module Memory = Xloops_mem.Memory
+module Machine = Xloops_sim.Machine
+module Config = Xloops_sim.Config
+module Insn = Xloops_isa.Insn
+
+let arr name ty len = { Ast.a_name = name; a_ty = ty; a_len = len }
+
+(* -- Analysis: linear forms ------------------------------------------- *)
+
+let test_linear_forms () =
+  let open Ast.Syntax in
+  let check e expect_coeff =
+    match Analysis.linear_in "i" e with
+    | Some l -> Alcotest.(check int) "coeff" expect_coeff l.coeff
+    | None -> Alcotest.fail "expected linear"
+  in
+  check (v "i") 1;
+  check (v "i" * i 4 + i 3) 4;
+  check (v "i" lsl i 2) 4;
+  check (v "n" * i 2) 0;
+  check (v "i" * i 3 - v "i") 2;
+  check (v "i" + v "j") 1;
+  (match Analysis.linear_in "i" (v "i" * v "i") with
+   | None -> ()
+   | Some _ -> Alcotest.fail "i*i is not linear")
+
+(* -- Analysis: pattern selection --------------------------------------- *)
+
+let classify_loop body ~pragma ~hi =
+  Analysis.classify { Ast.index = "i"; lo = Ast.Int 0; hi;
+                      pragma = Some pragma; body }
+
+let dp (c : Analysis.classification) = c.pattern.Insn.dp
+let cp (c : Analysis.classification) = c.pattern.Insn.cp
+
+let test_classify_uc () =
+  let open Ast.Syntax in
+  (* a[i] = b[i] + 1 : ordered annotation, but provably independent. *)
+  let c = classify_loop ~pragma:Ordered ~hi:(v "n")
+      [ Ast.Store ("a", v "i", "b".%[v "i"] + i 1) ] in
+  Alcotest.(check bool) "uc" true (Insn.equal_dpattern (dp c) Insn.Uc)
+
+let test_classify_or () =
+  let open Ast.Syntax in
+  (* sum = sum + b[i]; a[i] = sum : register-carried. *)
+  let c = classify_loop ~pragma:Ordered ~hi:(v "n")
+      [ Ast.Assign ("sum", v "sum" + "b".%[v "i"]);
+        Ast.Store ("a", v "i", v "sum") ] in
+  Alcotest.(check bool) "or" true (Insn.equal_dpattern (dp c) Insn.Or);
+  Alcotest.(check (list string)) "cir" [ "sum" ] c.cir_scalars
+
+let test_classify_om () =
+  let open Ast.Syntax in
+  (* a[i] = a[i-1] + 1 : memory-carried, distance 1. *)
+  let c = classify_loop ~pragma:Ordered ~hi:(v "n")
+      [ Ast.Store ("a", v "i", "a".%[v "i" - i 1] + i 1) ] in
+  Alcotest.(check bool) "om" true (Insn.equal_dpattern (dp c) Insn.Om);
+  Alcotest.(check (list string)) "dep arrays" [ "a" ] c.dep_arrays
+
+let test_classify_orm () =
+  let open Ast.Syntax in
+  let c = classify_loop ~pragma:Ordered ~hi:(v "n")
+      [ Ast.Assign ("k", v "k" + i 1);
+        Ast.Store ("a", v "i", "a".%[v "i" - i 1] + v "k") ] in
+  Alcotest.(check bool) "orm" true (Insn.equal_dpattern (dp c) Insn.Orm)
+
+let test_classify_same_subscript_no_dep () =
+  let open Ast.Syntax in
+  (* a[i] = a[i] * 2 : distance 0 is intra-iteration only. *)
+  let c = classify_loop ~pragma:Ordered ~hi:(v "n")
+      [ Ast.Store ("a", v "i", "a".%[v "i"] * i 2) ] in
+  Alcotest.(check bool) "uc (distance 0)" true (Insn.equal_dpattern (dp c) Insn.Uc)
+
+let test_classify_private_scalar () =
+  let open Ast.Syntax in
+  (* let t = b[i]; a[i] = t : t is private, no carry. *)
+  let c = classify_loop ~pragma:Ordered ~hi:(v "n")
+      [ Ast.Decl ("t", "b".%[v "i"]);
+        Ast.Store ("a", v "i", v "t") ] in
+  Alcotest.(check bool) "uc" true (Insn.equal_dpattern (dp c) Insn.Uc)
+
+let test_classify_branch_read () =
+  let open Ast.Syntax in
+  (* if c[i]: s = 1 else: a[i] = s — read on one path only: carried. *)
+  let c = classify_loop ~pragma:Ordered ~hi:(v "n")
+      [ Ast.If ("c".%[v "i"],
+                [ Ast.Assign ("s", i 1) ],
+                [ Ast.Store ("a", v "i", v "s") ]) ] in
+  Alcotest.(check bool) "or" true (Insn.equal_dpattern (dp c) Insn.Or)
+
+let test_classify_dynamic_bound () =
+  let open Ast.Syntax in
+  let c = classify_loop ~pragma:Unordered ~hi:("tail".%[i 0])
+      [ Ast.Store ("tail", i 0, "tail".%[i 0] + i 1) ] in
+  Alcotest.(check bool) "db" true (Insn.equal_cpattern (cp c) Insn.Dyn && Insn.equal_dpattern (dp c) Insn.Uc)
+
+let test_classify_atomic () =
+  let open Ast.Syntax in
+  let c = classify_loop ~pragma:Atomic ~hi:(v "n")
+      [ Ast.Store ("h", "b".%[v "i"], "h".%["b".%[v "i"]] + i 1) ] in
+  Alcotest.(check bool) "ua" true (Insn.equal_dpattern (dp c) Insn.Ua)
+
+let test_amo_pairs_no_dep () =
+  let open Ast.Syntax in
+  (* Two atomic updates of the same cell do not by themselves order the
+     loop. *)
+  let c = classify_loop ~pragma:Ordered ~hi:(v "n")
+      [ Ast.Decl ("_old", Ast.Amo (Aadd, "cnt", i 0, i 1)) ] in
+  Alcotest.(check bool) "uc" true (Insn.equal_dpattern (dp c) Insn.Uc)
+
+(* -- Compilation ------------------------------------------------------- *)
+
+let vadd_kernel n : Ast.kernel =
+  let open Ast.Syntax in
+  {
+  k_name = "vadd";
+  arrays = [ arr "a" I32 n; arr "b" I32 n; arr "c" I32 n ];
+  consts = [ ("n", n) ];
+  k_body =
+    [ for_ ~pragma:Unordered "j" (i 0) (v "n")
+        [ Ast.Store ("c", v "j", "a".%[v "j"] + "b".%[v "j"]) ] ];
+}
+
+let count_insns p pred =
+  Array.fold_left (fun acc i -> if pred i then acc + 1 else acc) 0
+    p.Xloops_asm.Program.insns
+
+let test_targets_differ () =
+  let k = vadd_kernel 16 in
+  let cx = Compile.compile ~target:Compile.xloops k in
+  let cg = Compile.compile ~target:Compile.general k in
+  let cnx = Compile.compile ~target:Compile.xloops_no_xi k in
+  Alcotest.(check bool) "xloops has xloop" true
+    (count_insns cx.program Insn.is_xloop > 0);
+  Alcotest.(check bool) "xloops has xi" true
+    (count_insns cx.program Insn.is_xi > 0);
+  Alcotest.(check int) "general has no xloop" 0
+    (count_insns cg.program Insn.is_xloop);
+  Alcotest.(check int) "general has no xi" 0
+    (count_insns cg.program Insn.is_xi);
+  Alcotest.(check bool) "no-xi has xloop" true
+    (count_insns cnx.program Insn.is_xloop > 0);
+  Alcotest.(check int) "no-xi has no xi" 0
+    (count_insns cnx.program Insn.is_xi)
+
+(* Run a compiled kernel and return an output array. *)
+let run_compiled ?(cfg = Config.io) ?(mode = Machine.Traditional)
+    (c : Compile.compiled) ~init ~out ~out_len =
+  let mem = Memory.create () in
+  init c mem;
+  let r = Machine.simulate ~cfg ~mode c.program mem in
+  (r, Memory.read_int_array mem ~addr:(c.array_base out) ~n:out_len)
+
+let init_vadd n (c : Compile.compiled) mem =
+  for j = 0 to n - 1 do
+    Memory.set_int mem (c.array_base "a" + 4 * j) (j * 2);
+    Memory.set_int mem (c.array_base "b" + 4 * j) (100 - j)
+  done
+
+let test_compile_and_run_vadd () =
+  let n = 20 in
+  let k = vadd_kernel n in
+  let c = Compile.compile ~target:Compile.xloops k in
+  let _, out = run_compiled c ~init:(init_vadd n) ~out:"c" ~out_len:n in
+  Array.iteri
+    (fun j x -> Alcotest.(check int) (Printf.sprintf "c[%d]" j)
+        ((j * 2) + (100 - j)) x)
+    out
+
+let test_target_equivalence_vadd () =
+  let n = 20 in
+  let k = vadd_kernel n in
+  let layout_consistent target =
+    let c = Compile.compile ~target k in
+    let _, out = run_compiled c ~init:(init_vadd n) ~out:"c" ~out_len:n in
+    out
+  in
+  let g = layout_consistent Compile.general in
+  let x = layout_consistent Compile.xloops in
+  let nx = layout_consistent Compile.xloops_no_xi in
+  Alcotest.(check (array int)) "general = xloops" g x;
+  Alcotest.(check (array int)) "general = no-xi" g nx
+
+let test_specialized_run_vadd () =
+  let n = 64 in
+  let k = vadd_kernel n in
+  let c = Compile.compile ~target:Compile.xloops k in
+  let r, out = run_compiled ~cfg:Config.io_x ~mode:Machine.Specialized c
+      ~init:(init_vadd n) ~out:"c" ~out_len:n in
+  Alcotest.(check bool) "specialized" true
+    (r.Machine.stats.xloops_specialized > 0);
+  Array.iteri
+    (fun j x -> Alcotest.(check int) "elem" ((j * 2) + (100 - j)) x)
+    out
+
+(* sgemm: nested loops, inner unordered; exercises multi-level strength
+   reduction and loop-invariant address hoisting. *)
+let sgemm_kernel n : Ast.kernel =
+  let nn = n * n in
+  let open Ast.Syntax in
+  {
+  k_name = "sgemm-test";
+  arrays = [ arr "ma" I32 nn; arr "mb" I32 nn; arr "mc" I32 nn ];
+  consts = [ ("n", n) ];
+  k_body =
+    [ for_ "r" (i 0) (v "n")
+        [ for_ ~pragma:Unordered "cidx" (i 0) (v "n")
+            [ Ast.Decl ("acc", i 0);
+              for_ "k" (i 0) (v "n")
+                [ Ast.Assign
+                    ("acc",
+                     v "acc"
+                     + ("ma".%[(v "r" * v "n") + v "k"]
+                        * "mb".%[(v "k" * v "n") + v "cidx"])) ];
+              Ast.Store ("mc", (v "r" * v "n") + v "cidx", v "acc") ] ] ];
+}
+
+let test_sgemm_correct () =
+  let n = 6 in
+  let k = sgemm_kernel n in
+  let ref_c = Array.make (n * n) 0 in
+  let a_v r c = (r + c + 1) mod 7 and b_v r c = (r * 2 + c) mod 5 in
+  for r = 0 to n - 1 do
+    for c = 0 to n - 1 do
+      let s = ref 0 in
+      for kk = 0 to n - 1 do s := !s + (a_v r kk * b_v kk c) done;
+      ref_c.((r * n) + c) <- !s
+    done
+  done;
+  let init (c : Compile.compiled) mem =
+    for r = 0 to n - 1 do
+      for cc = 0 to n - 1 do
+        Memory.set_int mem (c.array_base "ma" + 4 * ((r * n) + cc))
+          (a_v r cc);
+        Memory.set_int mem (c.array_base "mb" + 4 * ((r * n) + cc))
+          (b_v r cc)
+      done
+    done
+  in
+  List.iter
+    (fun (name, cfg, mode, target) ->
+       let c = Compile.compile ~target k in
+       let _, out = run_compiled ~cfg ~mode c ~init ~out:"mc"
+           ~out_len:(n * n) in
+       Alcotest.(check (array int)) name ref_c out)
+    [ ("general/io", Config.io, Machine.Traditional, Compile.general);
+      ("xloops/trad", Config.io, Machine.Traditional, Compile.xloops);
+      ("xloops/spec", Config.io_x, Machine.Specialized, Compile.xloops);
+      ("noxi/spec", Config.ooo2_x, Machine.Specialized,
+       Compile.xloops_no_xi) ]
+
+(* Ordered prefix sum end-to-end: compiler must choose xloop.or and the
+   LPSU must produce serial results. *)
+let prefix_kernel n : Ast.kernel =
+  let open Ast.Syntax in
+  {
+  k_name = "prefix-test";
+  arrays = [ arr "src" I32 n; arr "dst" I32 n ];
+  consts = [ ("n", n) ];
+  k_body =
+    [ Ast.Decl ("sum", i 0);
+      for_ ~pragma:Ordered "j" (i 0) (v "n")
+        [ Ast.Assign ("sum", v "sum" + "src".%[v "j"]);
+          Ast.Store ("dst", v "j", v "sum") ] ];
+}
+
+let test_prefix_or_end_to_end () =
+  let n = 50 in
+  let c = Compile.compile ~target:Compile.xloops (prefix_kernel n) in
+  (* The xloop must carry the .or pattern. *)
+  let has_or = count_insns c.program (fun insn ->
+      match insn with
+      | Insn.Xloop ({ dp = Or; _ }, _, _, _) -> true
+      | _ -> false) in
+  Alcotest.(check bool) "or pattern emitted" true (has_or > 0);
+  let init (c : Compile.compiled) mem =
+    for j = 0 to n - 1 do
+      Memory.set_int mem (c.array_base "src" + 4 * j) (j + 1)
+    done
+  in
+  let _, out = run_compiled ~cfg:Config.io_x ~mode:Machine.Specialized c
+      ~init ~out:"dst" ~out_len:n in
+  let sum = ref 0 in
+  Array.iteri
+    (fun j x ->
+       sum := !sum + (j + 1);
+       Alcotest.(check int) (Printf.sprintf "dst[%d]" j) !sum x)
+    out
+
+(* Register-pressure: many simultaneously-live scalars force spilling
+   outside loops (works), and inside an annotated body (rejected). *)
+let spilly_kernel : Ast.kernel =
+  let open Ast.Syntax in
+  let decls = List.init 30 (fun j -> Ast.Decl (Printf.sprintf "x%d" j, i j)) in
+  let sum =
+    List.init 30 (fun j -> v (Printf.sprintf "x%d" j))
+    |> List.fold_left (fun acc e -> acc + e) (i 0)
+  in
+  { k_name = "spilly";
+    arrays = [ arr "out" I32 1 ];
+    consts = [];
+    k_body = decls @ [ Ast.Store ("out", i 0, sum) ] }
+
+let test_spill_outside_loops () =
+  let c = Compile.compile ~target:Compile.general spilly_kernel in
+  Alcotest.(check bool) "spilled" true (c.spill_slots > 0);
+  let _, out = run_compiled c ~init:(fun _ _ -> ()) ~out:"out" ~out_len:1 in
+  Alcotest.(check int) "sum 0..29" (30 * 29 / 2) out.(0)
+
+let pressure_kernel : Ast.kernel =
+  let open Ast.Syntax in
+  let decls =
+    List.init 30 (fun j -> Ast.Decl (Printf.sprintf "y%d" j, v "j" + i j)) in
+  let sum =
+    List.init 30 (fun j -> v (Printf.sprintf "y%d" j))
+    |> List.fold_left (fun acc e -> acc + e) (i 0)
+  in
+  { k_name = "pressure";
+    arrays = [ arr "out" I32 64 ];
+    consts = [];
+    k_body =
+      [ for_ ~pragma:Unordered "j" (i 0) (i 64)
+          (decls @ [ Ast.Store ("out", v "j", sum) ]) ] }
+
+let test_spill_inside_xloop_rejected () =
+  Alcotest.(check bool) "rejected" true
+    (try ignore (Compile.compile ~target:Compile.xloops pressure_kernel);
+       false
+     with Compile.Error _ -> true);
+  (* The general-purpose target compiles the same kernel fine. *)
+  let c = Compile.compile ~target:Compile.general pressure_kernel in
+  let _, out = run_compiled c ~init:(fun _ _ -> ()) ~out:"out" ~out_len:64 in
+  Alcotest.(check int) "out[5]"
+    (List.init 30 (fun j -> 5 + j) |> List.fold_left ( + ) 0)
+    out.(5)
+
+(* Control flow inside kernels: while / if. *)
+let collatz_kernel : Ast.kernel =
+  let open Ast.Syntax in
+  { k_name = "ctl";
+    arrays = [ arr "inp" I32 16; arr "outp" I32 16 ];
+    consts = [];
+    k_body =
+      [ for_ ~pragma:Unordered "j" (i 0) (i 16)
+          [ Ast.Decl ("x", "inp".%[v "j"]);
+            Ast.Decl ("c", i 0);
+            Ast.While (v "x" > i 1,
+                       [ Ast.If (v "x" land i 1 = i 0,
+                                 [ Ast.Assign ("x", v "x" lsr i 1) ],
+                                 [ Ast.Assign ("x", v "x" * i 3 + i 1) ]);
+                         Ast.Assign ("c", v "c" + i 1) ]);
+            Ast.Store ("outp", v "j", v "c") ] ] }
+
+let test_control_flow_kernel () =
+  let collatz_steps x =
+    let rec go x c = if x <= 1 then c
+      else if x mod 2 = 0 then go (x / 2) (c + 1)
+      else go ((3 * x) + 1) (c + 1) in
+    go x 0
+  in
+  let init (c : Compile.compiled) mem =
+    for j = 0 to 15 do
+      Memory.set_int mem (c.array_base "inp" + 4 * j) (j + 1)
+    done
+  in
+  List.iter
+    (fun (name, cfg, mode, target) ->
+       let c = Compile.compile ~target collatz_kernel in
+       let _, out = run_compiled ~cfg ~mode c ~init ~out:"outp" ~out_len:16 in
+       Array.iteri
+         (fun j x ->
+            Alcotest.(check int) (Printf.sprintf "%s[%d]" name j)
+              (collatz_steps (j + 1)) x)
+         out)
+    [ ("gen", Config.io, Machine.Traditional, Compile.general);
+      ("spec", Config.io_x, Machine.Specialized, Compile.xloops) ]
+
+let saxpy_kernel : Ast.kernel =
+  let open Ast.Syntax in
+  { k_name = "saxpy";
+    arrays = [ arr "fx" F32 8; arr "fy" F32 8 ];
+    consts = [];
+    k_body =
+      [ for_ ~pragma:Unordered "j" (i 0) (i 8)
+          [ Ast.Store ("fy", v "j",
+                       Ast.Flt 2.5 * "fx".%[v "j"] + "fy".%[v "j"]) ] ] }
+
+let test_float_kernel () =
+  let c = Compile.compile ~target:Compile.xloops saxpy_kernel in
+  let mem = Memory.create () in
+  for j = 0 to 7 do
+    Memory.set_f32 mem (c.array_base "fx" + 4 * j) (float_of_int j);
+    Memory.set_f32 mem (c.array_base "fy" + 4 * j) 1.0
+  done;
+  ignore (Machine.simulate ~cfg:Config.io_x ~mode:Specialized c.program mem);
+  for j = 0 to 7 do
+    Alcotest.(check (float 0.001)) (Printf.sprintf "fy[%d]" j)
+      ((2.5 *. float_of_int j) +. 1.0)
+      (Memory.get_f32 mem (c.array_base "fy" + 4 * j))
+  done
+
+(* -- error paths ---------------------------------------------------------- *)
+
+let expect_error name k =
+  Alcotest.(check bool) name true
+    (try ignore (Compile.compile k); false
+     with Compile.Error _ | Invalid_argument _ -> true)
+
+let test_error_unbound_var () =
+  expect_error "unbound var"
+    { Ast.k_name = "bad"; arrays = []; consts = [];
+      k_body = [ Ast.Decl ("x", Var "nope") ] }
+
+let test_error_unknown_array () =
+  expect_error "unknown array"
+    { Ast.k_name = "bad"; arrays = []; consts = [];
+      k_body = [ Ast.Decl ("x", Load ("ghost", Int 0)) ] }
+
+let test_error_mixed_types () =
+  expect_error "int+float without cast"
+    { Ast.k_name = "bad";
+      arrays = [ arr "f" F32 1 ];
+      consts = [];
+      k_body = [ Ast.Decl ("x", Bin (Add, Load ("f", Int 0), Int 1)) ] }
+
+let test_error_amo_on_bytes () =
+  expect_error "amo on u8 array"
+    { Ast.k_name = "bad";
+      arrays = [ arr "bytes" U8 16 ];
+      consts = [];
+      k_body = [ Ast.Decl ("x", Amo (Aadd, "bytes", Int 0, Int 1)) ] }
+
+let test_error_shadowed_const () =
+  expect_error "local shadows const"
+    { Ast.k_name = "bad";
+      arrays = [];
+      consts = [ ("n", 4) ];
+      k_body = [ Ast.Decl ("n", Int 1) ] }
+
+let test_error_assign_const () =
+  expect_error "assign to const"
+    { Ast.k_name = "bad";
+      arrays = [];
+      consts = [ ("n", 4) ];
+      k_body = [ Ast.Assign ("n", Int 1) ] }
+
+let test_error_float_bitops () =
+  expect_error "float & float"
+    { Ast.k_name = "bad";
+      arrays = [ arr "f" F32 2 ];
+      consts = [];
+      k_body =
+        [ Ast.Decl ("x", Bin (And, Load ("f", Int 0), Load ("f", Int 1)))
+        ] }
+
+(* -- printer smoke -------------------------------------------------------- *)
+
+let test_kernel_printer () =
+  let k = (Xloops_kernels.Registry.find "bfs-uc-db").kernel in
+  let s = Fmt.str "%a" Ast.pp_kernel k in
+  let contains needle =
+    let nh = String.length s and nn = String.length needle in
+    let rec go i = i + nn <= nh && (String.sub s i nn = needle || go (i + 1))
+    in
+    go 0
+  in
+  List.iter
+    (fun frag ->
+       Alcotest.(check bool) ("prints " ^ frag) true (contains frag))
+    [ "#pragma xloops unordered"; "amo_xchg"; "while"; "kernel bfs-uc-db" ]
+
+let () =
+  Alcotest.run "compiler"
+    [ ("linear", [ Alcotest.test_case "forms" `Quick test_linear_forms ]);
+      ("classify",
+       [ Alcotest.test_case "independent -> uc" `Quick test_classify_uc;
+         Alcotest.test_case "scalar carry -> or" `Quick test_classify_or;
+         Alcotest.test_case "memory carry -> om" `Quick test_classify_om;
+         Alcotest.test_case "both -> orm" `Quick test_classify_orm;
+         Alcotest.test_case "distance 0 ok" `Quick
+           test_classify_same_subscript_no_dep;
+         Alcotest.test_case "private scalar" `Quick
+           test_classify_private_scalar;
+         Alcotest.test_case "branch read" `Quick test_classify_branch_read;
+         Alcotest.test_case "dynamic bound" `Quick
+           test_classify_dynamic_bound;
+         Alcotest.test_case "atomic" `Quick test_classify_atomic;
+         Alcotest.test_case "amo pairs" `Quick test_amo_pairs_no_dep ]);
+      ("codegen",
+       [ Alcotest.test_case "targets differ" `Quick test_targets_differ;
+         Alcotest.test_case "vadd runs" `Quick test_compile_and_run_vadd;
+         Alcotest.test_case "target equivalence" `Quick
+           test_target_equivalence_vadd;
+         Alcotest.test_case "vadd specialized" `Quick
+           test_specialized_run_vadd;
+         Alcotest.test_case "sgemm nested" `Quick test_sgemm_correct;
+         Alcotest.test_case "prefix or" `Quick test_prefix_or_end_to_end;
+         Alcotest.test_case "floats" `Quick test_float_kernel;
+         Alcotest.test_case "control flow" `Quick
+           test_control_flow_kernel ]);
+      ("regalloc",
+       [ Alcotest.test_case "spill outside" `Quick test_spill_outside_loops;
+         Alcotest.test_case "spill in xloop rejected" `Quick
+           test_spill_inside_xloop_rejected ]);
+      ("errors",
+       [ Alcotest.test_case "unbound var" `Quick test_error_unbound_var;
+         Alcotest.test_case "unknown array" `Quick test_error_unknown_array;
+         Alcotest.test_case "mixed types" `Quick test_error_mixed_types;
+         Alcotest.test_case "amo on bytes" `Quick test_error_amo_on_bytes;
+         Alcotest.test_case "shadowed const" `Quick
+           test_error_shadowed_const;
+         Alcotest.test_case "assign const" `Quick test_error_assign_const;
+         Alcotest.test_case "float bitops" `Quick test_error_float_bitops ]);
+      ("printer",
+       [ Alcotest.test_case "kernel source" `Quick test_kernel_printer ]);
+    ]

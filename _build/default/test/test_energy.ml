@@ -1,0 +1,127 @@
+(* Energy-model tests: per-event accounting, the instruction-buffer
+   vs I-cache ratio that drives the paper's efficiency story, OOO width
+   scaling, and end-to-end sanity on real kernel runs. *)
+
+module Energy = Xloops_energy.Model
+module Stats = Xloops_sim.Stats
+module Config = Xloops_sim.Config
+module Kernel = Xloops_kernels.Kernel
+module Registry = Xloops_kernels.Registry
+module Machine = Xloops_sim.Machine
+
+let near ?(eps = 1e-9) a b = Float.abs (a -. b) <= eps *. Float.max 1.0 b
+
+let test_empty_stats_zero () =
+  let b = Energy.of_stats Config.io (Stats.create ()) in
+  Alcotest.(check (float 0.0)) "zero" 0.0 b.total
+
+let test_single_events_priced () =
+  let c = Energy.default_costs in
+  let check_event name setter expected_pj =
+    let s = Stats.create () in
+    setter s;
+    let b = Energy.of_stats Config.io s in
+    Alcotest.(check bool)
+      (Printf.sprintf "%s = %.1f pJ (got %.3f)" name expected_pj
+         (b.total *. 1e12))
+      true
+      (near (b.total *. 1e12) expected_pj)
+  in
+  check_event "icache fetch" (fun s -> s.icache_fetches <- 1)
+    c.icache_fetch;
+  check_event "alu" (fun s -> s.alu_ops <- 1) c.alu;
+  check_event "divide" (fun s -> s.div_ops <- 1) c.divide;
+  check_event "dcache" (fun s -> s.dcache_accesses <- 1) c.dcache;
+  check_event "rf read" (fun s -> s.rf_reads <- 1) c.rf_read
+
+let test_ib_ten_times_cheaper () =
+  (* The paper's ASIC flow: LPSU instruction buffer access costs a tenth
+     of an I-cache access. *)
+  let c = Energy.default_costs in
+  Alcotest.(check bool) "10x" true
+    (near (c.icache_fetch /. c.ib_fetch) 10.0)
+
+let test_lmu_overhead () =
+  (* LPSU-side energy carries the paper's 5% LMU/arbiter overhead. *)
+  let s = Stats.create () in
+  s.ib_fetches <- 1000;
+  let b = Energy.of_stats Config.io_x s in
+  let base = 1000.0 *. Energy.default_costs.ib_fetch in
+  Alcotest.(check bool) "5% on ib fetches" true
+    (near (b.total *. 1e12) (base *. 1.05))
+
+let test_ooo_width_scaling () =
+  (* Wider OOO machines pay more per dispatched instruction for rename /
+     IQ / ROB. *)
+  let s = Stats.create () in
+  s.renames <- 1000; s.rob_ops <- 1000; s.iq_ops <- 1000;
+  let e cfg = (Energy.of_stats cfg s).total in
+  Alcotest.(check bool) "ooo2 > io pricing" true
+    (e Config.ooo2 > e Config.io);
+  Alcotest.(check bool) "ooo4 > ooo2 pricing" true
+    (e Config.ooo4 > e Config.ooo2)
+
+let test_power () =
+  let s = Stats.create () in
+  s.alu_ops <- 1_000_000;  (* 3 uJ *)
+  let b = Energy.of_stats Config.io s in
+  (* 3 uJ over 1M cycles at 500 MHz = 2 ms -> 1.5 mW. *)
+  let w = Energy.power ~cycles:1_000_000 b in
+  Alcotest.(check bool) (Printf.sprintf "power %.4f" w) true
+    (near ~eps:1e-6 w 1.5e-3)
+
+let test_efficiency_ratio () =
+  let s1 = Stats.create () and s2 = Stats.create () in
+  s1.alu_ops <- 200; s2.alu_ops <- 100;
+  let b1 = Energy.of_stats Config.io s1 in
+  let b2 = Energy.of_stats Config.io s2 in
+  Alcotest.(check (float 0.001)) "2x" 2.0
+    (Energy.efficiency ~baseline:b1 b2)
+
+(* End-to-end: specialized execution of a uc kernel on io+x must consume
+   less energy than traditional execution of the same binary on io — the
+   instruction-buffer effect (Figures 8 and 10). *)
+let test_specialized_saves_energy () =
+  List.iter
+    (fun name ->
+       let k = Registry.find name in
+       let e cfg mode =
+         let r = Kernel.run ~cfg ~mode k in
+         (Energy.of_stats cfg r.result.stats).total
+       in
+       let et = e Config.io Machine.Traditional in
+       let es = e Config.io_x Machine.Specialized in
+       Alcotest.(check bool)
+         (Printf.sprintf "%s: %.3g < %.3g uJ" name (es *. 1e6) (et *. 1e6))
+         true (es < et))
+    [ "war-uc"; "ssearch-uc"; "kmeans-or" ]
+
+(* The breakdown components must sum to the total. *)
+let test_breakdown_sums () =
+  let k = Registry.find "mm-orm" in
+  let r = Kernel.run ~cfg:Config.ooo2_x ~mode:Machine.Specialized k in
+  let b = Energy.of_stats Config.ooo2_x r.result.stats in
+  let parts_pj =
+    b.fetch +. b.decode_rename +. b.window +. b.regfile +. b.execute
+    +. b.memory +. b.lsq +. b.lpsu_control
+  in
+  Alcotest.(check bool) "components sum to total" true
+    (near (parts_pj *. 1e-12) b.total)
+
+let () =
+  Alcotest.run "energy"
+    [ ("model",
+       [ Alcotest.test_case "empty" `Quick test_empty_stats_zero;
+         Alcotest.test_case "event prices" `Quick test_single_events_priced;
+         Alcotest.test_case "IB 10x cheaper" `Quick
+           test_ib_ten_times_cheaper;
+         Alcotest.test_case "LMU overhead" `Quick test_lmu_overhead;
+         Alcotest.test_case "ooo width scaling" `Quick
+           test_ooo_width_scaling;
+         Alcotest.test_case "power" `Quick test_power;
+         Alcotest.test_case "efficiency" `Quick test_efficiency_ratio ]);
+      ("end-to-end",
+       [ Alcotest.test_case "specialized saves energy" `Quick
+           test_specialized_saves_energy;
+         Alcotest.test_case "breakdown sums" `Quick test_breakdown_sums ]);
+    ]

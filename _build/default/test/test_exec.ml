@@ -1,0 +1,246 @@
+(* Functional executor tests: ALU/FPU semantics (including int32 corner
+   cases), control flow, memory instructions, and whole-program runs. *)
+
+open Xloops_isa
+module B = Xloops_asm.Builder
+module Memory = Xloops_mem.Memory
+module Exec = Xloops_sim.Exec
+
+let run_prog build =
+  let b = B.create () in
+  build b;
+  B.halt b;
+  let p = B.assemble b in
+  let mem = Memory.create () in
+  let r = Exec.run_serial p mem in
+  (r, mem)
+
+let reg (r : Exec.run) n = r.final.regs.(n)
+
+(* -- ALU semantics ------------------------------------------------------ *)
+
+let test_alu_basic () =
+  let r, _ = run_prog (fun b ->
+      B.li b 8 7; B.li b 9 3;
+      B.add b 10 8 9;
+      B.sub b 11 8 9;
+      B.mul b 12 8 9;
+      B.div b 13 8 9;
+      B.rem b 14 8 9;
+      B.and_ b 15 8 9;
+      B.or_ b 16 8 9;
+      B.xor b 17 8 9;
+      B.slt b 18 9 8;
+      B.slt b 19 8 9)
+  in
+  Alcotest.(check int32) "add" 10l (reg r 10);
+  Alcotest.(check int32) "sub" 4l (reg r 11);
+  Alcotest.(check int32) "mul" 21l (reg r 12);
+  Alcotest.(check int32) "div" 2l (reg r 13);
+  Alcotest.(check int32) "rem" 1l (reg r 14);
+  Alcotest.(check int32) "and" 3l (reg r 15);
+  Alcotest.(check int32) "or" 7l (reg r 16);
+  Alcotest.(check int32) "xor" 4l (reg r 17);
+  Alcotest.(check int32) "slt true" 1l (reg r 18);
+  Alcotest.(check int32) "slt false" 0l (reg r 19)
+
+let test_alu_corner_cases () =
+  Alcotest.(check int32) "div by zero" (-1l) (Exec.alu_eval Div 42l 0l);
+  Alcotest.(check int32) "rem by zero" 42l (Exec.alu_eval Rem 42l 0l);
+  Alcotest.(check int32) "min/-1 div" Int32.min_int
+    (Exec.alu_eval Div Int32.min_int (-1l));
+  Alcotest.(check int32) "min/-1 rem" 0l
+    (Exec.alu_eval Rem Int32.min_int (-1l));
+  Alcotest.(check int32) "overflow wraps" Int32.min_int
+    (Exec.alu_eval Add Int32.max_int 1l);
+  Alcotest.(check int32) "mulh" 1l
+    (Exec.alu_eval Mulh 0x10000l 0x10000l);
+  Alcotest.(check int32) "sltu on negative" 1l
+    (Exec.alu_eval Sltu 1l (-1l));
+  Alcotest.(check int32) "sra sign" (-1l)
+    (Exec.alu_eval Sra (-2l) 1l);
+  Alcotest.(check int32) "srl no sign" 0x7FFFFFFFl
+    (Exec.alu_eval Srl (-2l) 1l);
+  Alcotest.(check int32) "nor" (-1l) (Exec.alu_eval Nor 0l 0l);
+  Alcotest.(check int32) "shift amount masked" 2l
+    (Exec.alu_eval Sll 1l 33l)
+
+let test_r0_immutable () =
+  let r, _ = run_prog (fun b ->
+      B.li b 8 5;
+      B.add b 0 8 8;   (* write to r0 discarded *)
+      B.add b 9 0 8)
+  in
+  Alcotest.(check int32) "r0 is 0" 0l (reg r 0);
+  Alcotest.(check int32) "read as 0" 5l (reg r 9)
+
+(* -- FPU ---------------------------------------------------------------- *)
+
+let test_fpu () =
+  let f v = Int32.bits_of_float v in
+  Alcotest.(check int32) "fadd" (f 5.5) (Exec.fpu_eval Fadd (f 2.25) (f 3.25));
+  Alcotest.(check int32) "fmul" (f 7.5) (Exec.fpu_eval Fmul (f 2.5) (f 3.0));
+  Alcotest.(check int32) "fdiv" (f 2.5) (Exec.fpu_eval Fdiv (f 5.0) (f 2.0));
+  Alcotest.(check int32) "flt" 1l (Exec.fpu_eval Flt (f 1.0) (f 2.0));
+  Alcotest.(check int32) "fle eq" 1l (Exec.fpu_eval Fle (f 2.0) (f 2.0));
+  Alcotest.(check int32) "feq" 0l (Exec.fpu_eval Feq (f 1.0) (f 2.0));
+  Alcotest.(check int32) "fmin" (f 1.0) (Exec.fpu_eval Fmin (f 1.0) (f 2.0));
+  Alcotest.(check int32) "fmax" (f 2.0) (Exec.fpu_eval Fmax (f 1.0) (f 2.0));
+  Alcotest.(check int32) "cvt int->f" (f 7.0) (Exec.fpu_eval Fcvt_sw 7l 0l);
+  Alcotest.(check int32) "cvt f->int" 3l (Exec.fpu_eval Fcvt_ws (f 3.9) 0l);
+  Alcotest.(check int32) "cvt f->int neg" (-3l)
+    (Exec.fpu_eval Fcvt_ws (f (-3.9)) 0l)
+
+(* -- control flow -------------------------------------------------------- *)
+
+let test_countdown_loop () =
+  let r, _ = run_prog (fun b ->
+      B.li b 8 10;
+      B.li b 9 0;
+      B.label b "top";
+      B.add b 9 9 8;
+      B.addi b 8 8 (-1);
+      B.bne b 8 0 "top")
+  in
+  Alcotest.(check int32) "sum 10..1" 55l (reg r 9)
+
+let test_jal_jr () =
+  let r, _ = run_prog (fun b ->
+      B.li b 8 1;
+      B.jal b "func";
+      B.addi b 8 8 100;   (* runs after return *)
+      B.jump b "done";
+      B.label b "func";
+      B.addi b 8 8 10;
+      B.jr b Reg.ra;
+      B.label b "done")
+  in
+  Alcotest.(check int32) "call/return" 111l (reg r 8)
+
+let test_xloop_as_branch () =
+  (* Traditional semantics: xloop == blt. *)
+  let r, _ = run_prog (fun b ->
+      B.li b 8 0;   (* idx *)
+      B.li b 9 5;   (* bound *)
+      B.li b 10 0;
+      B.label b "body";
+      B.addi b 10 10 2;
+      B.xi_addi b 8 8 1;
+      B.xloop b { Insn.dp = Uc; cp = Fixed } 8 9 "body")
+  in
+  Alcotest.(check int32) "5 iterations" 10l (reg r 10);
+  Alcotest.(check int32) "idx = bound" 5l (reg r 8)
+
+(* -- memory -------------------------------------------------------------- *)
+
+let test_load_store () =
+  let r, mem = run_prog (fun b ->
+      B.li b 8 0x100;
+      B.li b 9 (-2);
+      B.sw b 9 8 0;
+      B.lw b 10 8 0;
+      B.lb b 11 8 0;     (* 0xFE -> -2 *)
+      B.lbu b 12 8 0;    (* 0xFE -> 254 *)
+      B.lh b 13 8 2;     (* 0xFFFF -> -1 *)
+      B.lhu b 14 8 2)
+  in
+  Alcotest.(check int32) "lw" (-2l) (reg r 10);
+  Alcotest.(check int32) "lb" (-2l) (reg r 11);
+  Alcotest.(check int32) "lbu" 254l (reg r 12);
+  Alcotest.(check int32) "lh" (-1l) (reg r 13);
+  Alcotest.(check int32) "lhu" 65535l (reg r 14);
+  Alcotest.(check int32) "memory" (-2l) (Memory.get_i32 mem 0x100)
+
+let test_amo_insn () =
+  let r, mem = run_prog (fun b ->
+      B.li b 8 0x200;
+      B.li b 9 5;
+      B.sw b 9 8 0;
+      B.li b 10 3;
+      B.amo b Amo_add 11 8 10)
+  in
+  Alcotest.(check int32) "old value" 5l (reg r 11);
+  Alcotest.(check int32) "new value" 8l (Memory.get_i32 mem 0x200)
+
+(* -- run_serial machinery ------------------------------------------------ *)
+
+let test_dynamic_count () =
+  let b = B.create () in
+  B.li b 8 3;
+  B.label b "top";
+  B.addi b 8 8 (-1);
+  B.bne b 8 0 "top";
+  B.halt b;
+  let p = B.assemble b in
+  let r = Exec.run_serial p (Memory.create ()) in
+  (* li + 3*(addi+bne) = 7 *)
+  Alcotest.(check int) "dyn insns" 7 r.dynamic_insns
+
+let test_fuel () =
+  let b = B.create () in
+  B.label b "spin";
+  B.jump b "spin";
+  let p = B.assemble b in
+  Alcotest.(check bool) "traps" true
+    (try ignore (Exec.run_serial ~fuel:1000 p (Memory.create ())); false
+     with Exec.Trap _ -> true)
+
+let test_pc_out_of_range () =
+  let b = B.create () in
+  B.nop b;  (* falls off the end *)
+  let p = B.assemble b in
+  Alcotest.(check bool) "traps" true
+    (try ignore (Exec.run_serial p (Memory.create ())); false
+     with Exec.Trap _ -> true)
+
+(* -- properties ----------------------------------------------------------- *)
+
+let prop_alu_matches_reference =
+  QCheck.Test.make ~name:"add/sub/xor agree with Int32" ~count:1000
+    QCheck.(pair int32 int32)
+    (fun (a, b) ->
+       Exec.alu_eval Add a b = Int32.add a b
+       && Exec.alu_eval Sub a b = Int32.sub a b
+       && Exec.alu_eval Xor a b = Int32.logxor a b
+       && Exec.alu_eval Mul a b = Int32.mul a b)
+
+let prop_slt_antisymmetric =
+  QCheck.Test.make ~name:"slt antisymmetry" ~count:1000
+    QCheck.(pair int32 int32)
+    (fun (a, b) ->
+       let lt = Exec.alu_eval Slt a b = 1l in
+       let gt = Exec.alu_eval Slt b a = 1l in
+       not (lt && gt) && (a = b || lt || gt))
+
+let prop_div_rem_consistent =
+  QCheck.Test.make ~name:"a = b*(a/b) + a%b when b<>0" ~count:1000
+    QCheck.(pair int32 int32)
+    (fun (a, b) ->
+       QCheck.assume (b <> 0l);
+       QCheck.assume (not (a = Int32.min_int && b = -1l));
+       let q = Exec.alu_eval Div a b and r = Exec.alu_eval Rem a b in
+       Int32.add (Int32.mul q b) r = a)
+
+let () =
+  Alcotest.run "exec"
+    [ ("alu",
+       [ Alcotest.test_case "basic" `Quick test_alu_basic;
+         Alcotest.test_case "corner cases" `Quick test_alu_corner_cases;
+         Alcotest.test_case "r0" `Quick test_r0_immutable;
+         QCheck_alcotest.to_alcotest prop_alu_matches_reference;
+         QCheck_alcotest.to_alcotest prop_slt_antisymmetric;
+         QCheck_alcotest.to_alcotest prop_div_rem_consistent ]);
+      ("fpu", [ Alcotest.test_case "ops" `Quick test_fpu ]);
+      ("control",
+       [ Alcotest.test_case "loop" `Quick test_countdown_loop;
+         Alcotest.test_case "jal/jr" `Quick test_jal_jr;
+         Alcotest.test_case "xloop traditional" `Quick
+           test_xloop_as_branch ]);
+      ("memory",
+       [ Alcotest.test_case "load/store" `Quick test_load_store;
+         Alcotest.test_case "amo" `Quick test_amo_insn ]);
+      ("runner",
+       [ Alcotest.test_case "dynamic count" `Quick test_dynamic_count;
+         Alcotest.test_case "fuel" `Quick test_fuel;
+         Alcotest.test_case "pc range" `Quick test_pc_out_of_range ]);
+    ]

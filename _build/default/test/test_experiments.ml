@@ -1,0 +1,143 @@
+(* Experiments-engine tests: the Table II pipeline end-to-end for a few
+   kernels, with structural invariants on the rows it produces, plus the
+   VLSI/energy figure generators. *)
+
+module E = Xloops.Experiments
+module Registry = Xloops.Kernels.Registry
+module Kernel = Xloops.Kernels.Kernel
+
+let eval name = E.evaluate (Registry.find name)
+
+let test_row_invariants () =
+  let ev = eval "war-uc" in
+  let row = E.table2_row ev in
+  (* Traditional execution costs ~nothing (the paper's 5% band, with a
+     little slack for our codegen). *)
+  List.iter
+    (fun (_, (t, _, _)) ->
+       Alcotest.(check bool) (Printf.sprintf "T=%.2f near 1" t) true
+         (t > 0.85 && t < 1.25))
+    row.t2_speedups;
+  (* X/G dynamic-instruction ratio near 1. *)
+  Alcotest.(check bool) (Printf.sprintf "X/G=%.2f" row.t2_xg) true
+    (row.t2_xg > 0.8 && row.t2_xg < 1.2);
+  (* Specialized beats traditional on the in-order host for a uc
+     kernel. *)
+  let _, (t_io, s_io, a_io) = List.hd row.t2_speedups in
+  Alcotest.(check bool) "S > T on io" true (s_io > t_io);
+  Alcotest.(check bool) "A between" true (a_io > 0.8 *. t_io);
+  Alcotest.(check bool) "body stats" true
+    (row.t2_body = (ev.body_min, ev.body_max) && ev.body_min > 0)
+
+let test_host_accessor () =
+  let ev = eval "dither-or" in
+  List.iter
+    (fun name -> ignore (E.host ev name))
+    [ "io"; "ooo/2"; "ooo/4" ];
+  Alcotest.check_raises "unknown host"
+    (Invalid_argument "Experiments.host: zz")
+    (fun () -> ignore (E.host ev "zz"))
+
+let test_speedup_is_baseline_relative () =
+  let ev = eval "dither-or" in
+  let h = E.host ev "io" in
+  Alcotest.(check (float 1e-9)) "definition"
+    (float_of_int h.base.cycles /. float_of_int h.spec.cycles)
+    (E.speedup h h.spec)
+
+let test_energy_eff_positive () =
+  let ev = eval "dither-or" in
+  List.iter
+    (fun p ->
+       Alcotest.(check bool)
+         (Printf.sprintf "%s/%s eff %.2f > 0" p.E.f8_host p.f8_mode
+            p.f8_energy_eff)
+         true (p.f8_energy_eff > 0.0 && p.f8_rel_power > 0.0))
+    (E.fig8_points ev)
+
+let test_fig6_fractions () =
+  let _, cats = E.fig6_row (eval "war-uc") in
+  let total = List.fold_left (fun a (_, f) -> a +. f) 0.0 cats in
+  Alcotest.(check bool) (Printf.sprintf "sums to %.3f" total) true
+    (Float.abs (total -. 1.0) < 1e-6);
+  List.iter
+    (fun (c, f) ->
+       Alcotest.(check bool) (c ^ " in [0,1]") true (f >= 0.0 && f <= 1.0))
+    cats
+
+let test_check_failure_raises () =
+  (* A kernel whose check always fails must abort the pipeline, not
+     produce numbers. *)
+  let k = Registry.find "war-uc" in
+  let broken = { k with Kernel.check = (fun _ _ -> Error "synthetic") } in
+  Alcotest.(check bool) "raises" true
+    (try ignore (E.evaluate broken); false
+     with E.Check_failed { msg = "synthetic"; _ } -> true)
+
+let test_table5_and_fig10_generators () =
+  let rows = Xloops.Vlsi.Area.table_v () in
+  Alcotest.(check int) "8 rows" 8 (List.length rows);
+  let f10 = E.fig10 () in
+  Alcotest.(check int) "6 uc kernels" 6 (List.length f10);
+  List.iter
+    (fun (name, s, e) ->
+       Alcotest.(check bool) (name ^ " sane") true (s >= 0.9 && e >= 0.9))
+    f10
+
+(* Global shape assertions over the full Table II kernel set on the
+   in-order host — the paper's headline claims, asserted in CI. *)
+let test_global_shapes () =
+  let rows =
+    List.map
+      (fun (k : Kernel.t) ->
+         let base = E.run_checked ~target:Xloops.Compiler.Compile.general
+             ~cfg:Xloops.Sim.Config.io ~mode:Xloops.Sim.Machine.Traditional
+             k in
+         let trad = E.run_checked ~cfg:Xloops.Sim.Config.io_x
+             ~mode:Xloops.Sim.Machine.Traditional k in
+         let spec = E.run_checked ~cfg:Xloops.Sim.Config.io_x
+             ~mode:Xloops.Sim.Machine.Specialized k in
+         (k.name,
+          float_of_int base.E.cycles /. float_of_int trad.E.cycles,
+          float_of_int base.E.cycles /. float_of_int spec.E.cycles))
+      Registry.table2
+  in
+  (* Traditional execution is near-free on every kernel. *)
+  List.iter
+    (fun (name, t, _) ->
+       Alcotest.(check bool) (Printf.sprintf "%s T=%.2f in band" name t)
+         true (t > 0.85 && t < 1.25))
+    rows;
+  (* Specialized execution always helps the in-order core (the paper's
+     "specialized execution always benefits the in-order processor"). *)
+  List.iter
+    (fun (name, _, s) ->
+       Alcotest.(check bool) (Printf.sprintf "%s S=%.2f >= 1" name s) true
+         (s >= 0.99))
+    rows;
+  (* And helps substantially (>= 1.75x) on a clear majority. *)
+  let big_wins =
+    List.length (List.filter (fun (_, _, s) -> s >= 1.75) rows) in
+  Alcotest.(check bool)
+    (Printf.sprintf "%d/25 kernels gain >= 1.75x" big_wins) true
+    (big_wins >= 15)
+
+let () =
+  Alcotest.run "experiments"
+    [ ("table2",
+       [ Alcotest.test_case "row invariants" `Quick test_row_invariants;
+         Alcotest.test_case "host accessor" `Quick test_host_accessor;
+         Alcotest.test_case "speedup definition" `Quick
+           test_speedup_is_baseline_relative ]);
+      ("energy",
+       [ Alcotest.test_case "fig8 sanity" `Quick test_energy_eff_positive;
+         Alcotest.test_case "fig6 fractions" `Quick test_fig6_fractions ]);
+      ("robustness",
+       [ Alcotest.test_case "check failure raises" `Quick
+           test_check_failure_raises ]);
+      ("generators",
+       [ Alcotest.test_case "table5 + fig10" `Quick
+           test_table5_and_fig10_generators ]);
+      ("global",
+       [ Alcotest.test_case "table-II shapes" `Slow test_global_shapes ]);
+    ]

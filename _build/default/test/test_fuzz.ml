@@ -1,0 +1,214 @@
+(* Differential fuzzing: generate random Loopc kernels with annotated
+   loops, compile them for both targets, and check that
+
+   - general-ISA serial execution,
+   - XLOOPS traditional execution, and
+   - XLOOPS specialized execution (several machine configurations)
+
+   all produce identical output memory.  Loop bodies combine arithmetic
+   over loop-index subscripts, if/else control flow, reads of input
+   arrays and writes to disjoint output cells (so unordered loops remain
+   race-free by construction); ordered variants add a carried scalar
+   and/or a fixed-distance memory recurrence, exercising the CIB and LSQ
+   machinery against the serial semantics. *)
+
+open Xloops_compiler
+module Memory = Xloops_mem.Memory
+module Machine = Xloops_sim.Machine
+module Config = Xloops_sim.Config
+
+let n = 24  (* elements per array *)
+
+(* -- random expression / statement generation -------------------------- *)
+
+(* Expressions over: the loop index [j], input arrays a/b, locals
+   x0..x2, and (for ordered loops) the carried scalar [acc]. *)
+let gen_expr ~carried depth =
+  let open QCheck.Gen in
+  let rec go depth st =
+    let leaf =
+      oneof
+        ([ return (Ast.Var "j");
+           map (fun c -> Ast.Int (c - 8)) (int_range 0 16);
+           return (Ast.Load ("a", Var "j"));
+           return (Ast.Load ("b", Var "j")) ]
+         @ (if carried then
+              [ return (Ast.Var "acc"); return (Ast.Var "acc2") ]
+            else []))
+    in
+    if depth = 0 then leaf st
+    else
+      oneof
+        [ leaf;
+          (let* op = oneofl Ast.[ Add; Sub; Mul; Div; Rem; And; Or; Xor;
+                                   Min; Max ] in
+           let* l = go (depth - 1) in
+           let* r = go (depth - 1) in
+           return (Ast.Bin (op, l, r)));
+          (let* l = go (depth - 1) in
+           let* s = int_range 1 3 in
+           return (Ast.Bin (Shr, l, Int s)));
+          (* index expressions stay in range via masking *)
+          (let* l = go (depth - 1) in
+           return (Ast.Load ("a", Bin (And, l, Int (n - 1))))) ]
+        st
+  in
+  go depth
+
+let gen_stmts ~carried =
+  let open QCheck.Gen in
+  let expr d = gen_expr ~carried d in
+  let stmt st =
+    oneof
+      ([ (let* e = expr 2 in
+          return (Ast.Decl ("x", e)));
+         (let* e = expr 2 in
+          let* t = expr 1 in
+          let* f = expr 1 in
+          return (Ast.If (Bin (Lt, e, Int 0),
+                          [ Ast.Store ("c", Var "j", t) ],
+                          [ Ast.Store ("c", Var "j", f) ])) );
+         (let* e = expr 2 in
+          return (Ast.Store ("c", Var "j", e))) ]
+       @ (if carried then
+            [ (let* e = expr 1 in
+               return (Ast.Assign ("acc", Bin (Add, Var "acc", e))));
+              (let* e = expr 1 in
+               return (Ast.Assign ("acc2",
+                                   Bin (Add, Bin (Xor, Var "acc2", e),
+                                        Int 1))));
+              (let* e = expr 1 in
+               return (Ast.If (Bin (Gt, e, Int 0),
+                               [ Ast.Assign ("acc",
+                                             Bin (Xor, Var "acc", e)) ],
+                               [ Ast.Assign ("acc2",
+                                             Bin (Sub, Var "acc2", e)) ])))
+            ]
+          else []))
+      st
+  in
+  list_size (int_range 1 4) stmt
+
+type case = {
+  pragma : Ast.pragma;
+  carried : bool;
+  recurrence : bool;   (* c[j] also reads c[j-1]: memory-carried *)
+  de : bool;           (* data-dependent exit instead of a fixed bound *)
+  body : Ast.block;
+  seed_a : int;
+  seed_b : int;
+}
+
+let gen_case =
+  let open QCheck.Gen in
+  let* pragma = oneofl [ Ast.Unordered; Ast.Ordered; Ast.Atomic ] in
+  let carried = pragma = Ast.Ordered in
+  let* recurrence =
+    if pragma = Ast.Ordered then bool else return false in
+  let* de = bool in
+  let* body = gen_stmts ~carried in
+  let* seed_a = int_range 1 10000 in
+  let* seed_b = int_range 1 10000 in
+  return { pragma; carried; recurrence; de; body; seed_a; seed_b }
+
+let kernel_of (c : case) : Ast.kernel =
+  let pre =
+    if c.carried then [ Ast.Decl ("acc", Int 0); Ast.Decl ("acc2", Int 7) ]
+    else [] in
+  let rec_read =
+    if c.recurrence then
+      [ Ast.Store ("c", Var "j",
+                   Bin (Add, Load ("c", Var "j"),
+                        Load ("c", Bin (And, Bin (Sub, Var "j", Int 1),
+                                        Int (n - 1))))) ]
+    else []
+  in
+  let post =
+    if c.carried then
+      [ Ast.Store ("accout", Int 0,
+                   Bin (Xor, Var "acc", Bin (Mul, Var "acc2", Int 31))) ]
+    else []
+  in
+  let loop =
+    if c.de then
+      (* Data-dependent exit: leave when a[j] is divisible by 8, with
+         j = n-1 as the bound that guarantees termination. *)
+      Ast.for_de ~pragma:c.pragma "j" (Int 0)
+        (Bin (And,
+              Bin (Ne, Bin (And, Load ("a", Var "j"), Int 7), Int 0),
+              Bin (Lt, Var "j", Int (n - 1))))
+        (c.body @ rec_read)
+    else
+      Ast.for_ ~pragma:c.pragma "j" (Int 0) (Var "n")
+        (c.body @ rec_read)
+  in
+  { k_name = "fuzz";
+    arrays = [ { a_name = "a"; a_ty = I32; a_len = n };
+               { a_name = "b"; a_ty = I32; a_len = n };
+               { a_name = "c"; a_ty = I32; a_len = n };
+               { a_name = "accout"; a_ty = I32; a_len = 1 } ];
+    consts = [ ("n", n) ];
+    k_body = pre @ [ loop ] @ post }
+
+let arb_case =
+  QCheck.make gen_case
+    ~print:(fun c ->
+        Fmt.str "%a" Ast.pp_kernel (kernel_of c))
+
+let run_case target cfg mode (c : case) =
+  let compiled = Compile.compile ~target (kernel_of c) in
+  let mem = Memory.create () in
+  Memory.blit_int_array mem ~addr:(compiled.array_base "a")
+    (Xloops_kernels.Dataset.ints ~seed:c.seed_a ~n ~bound:1000);
+  Memory.blit_int_array mem ~addr:(compiled.array_base "b")
+    (Xloops_kernels.Dataset.ints ~seed:c.seed_b ~n ~bound:1000);
+  ignore (Machine.simulate ~cfg ~mode compiled.program mem);
+  (Memory.read_int_array mem ~addr:(compiled.array_base "c") ~n,
+   Memory.get_int mem (compiled.array_base "accout"))
+
+let prop_differential =
+  QCheck.Test.make ~name:"serial == traditional == specialized" ~count:150
+    arb_case
+    (fun c ->
+       let reference =
+         run_case Compile.general Config.io Machine.Traditional c in
+       let same (a, acc) (b, acc') = a = b && acc = acc' in
+       same reference
+         (run_case Compile.xloops Config.io Machine.Traditional c)
+       && same reference
+         (run_case Compile.xloops Config.io_x Machine.Specialized c)
+       && same reference
+         (run_case Compile.xloops Config.ooo4_x Machine.Specialized c)
+       && same reference
+         (run_case Compile.xloops_no_xi Config.io_x Machine.Specialized c))
+
+let prop_adaptive_differential =
+  QCheck.Test.make ~name:"adaptive matches serial" ~count:40 arb_case
+    (fun c ->
+       let reference =
+         run_case Compile.general Config.io Machine.Traditional c in
+       reference = run_case Compile.xloops Config.ooo2_x Machine.Adaptive c)
+
+(* Multithreaded lanes and 8-lane LPSUs must agree too. *)
+let prop_design_space_differential =
+  QCheck.Test.make ~name:"design-space configs match serial" ~count:60
+    arb_case
+    (fun c ->
+       let reference =
+         run_case Compile.general Config.io Machine.Traditional c in
+       reference
+       = run_case Compile.xloops Config.ooo4_x4_t Machine.Specialized c
+       && reference
+          = run_case Compile.xloops Config.ooo4_x8_r_m Machine.Specialized c
+       && reference
+          = run_case Compile.xloops Config.io_x_fwd Machine.Specialized c
+       && reference
+          = run_case Compile.xloops Config.io_x_ss2 Machine.Specialized c)
+
+let () =
+  Alcotest.run "fuzz"
+    [ ("differential",
+       [ QCheck_alcotest.to_alcotest prop_differential;
+         QCheck_alcotest.to_alcotest prop_adaptive_differential;
+         QCheck_alcotest.to_alcotest prop_design_space_differential ]);
+    ]

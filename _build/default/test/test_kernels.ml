@@ -1,0 +1,102 @@
+(* Application-kernel correctness across compilation targets and execution
+   modes.  Every Table II / Table IV kernel self-checks its outputs
+   against an OCaml reference after running on:
+   - the general-purpose target, traditionally (the serial baseline);
+   - the XLOOPS target, traditionally (xloop as branch, .xi as add);
+   - the XLOOPS target, specialized on io+x (real LPSU execution);
+   - the XLOOPS target without .xi, specialized (the VLSI-mode binary). *)
+
+module Kernel = Xloops_kernels.Kernel
+module Registry = Xloops_kernels.Registry
+module Machine = Xloops_sim.Machine
+module Config = Xloops_sim.Config
+module Compile = Xloops_compiler.Compile
+
+let check_run name (r : Kernel.run) =
+  match r.check_result with
+  | Ok () -> ()
+  | Error msg -> Alcotest.failf "%s: %s" name msg
+
+let run_case ~target ~cfg ~mode (k : Kernel.t) () =
+  let r = Kernel.run ~target ~cfg ~mode k in
+  check_run k.name r;
+  Alcotest.(check bool) "made progress" true (r.result.cycles > 0)
+
+let cases (k : Kernel.t) =
+  [ Alcotest.test_case (k.name ^ " general/trad") `Quick
+      (run_case ~target:Compile.general ~cfg:Config.io
+         ~mode:Machine.Traditional k);
+    Alcotest.test_case (k.name ^ " xloops/trad") `Quick
+      (run_case ~target:Compile.xloops ~cfg:Config.io
+         ~mode:Machine.Traditional k);
+    Alcotest.test_case (k.name ^ " xloops/spec") `Quick
+      (run_case ~target:Compile.xloops ~cfg:Config.io_x
+         ~mode:Machine.Specialized k);
+    Alcotest.test_case (k.name ^ " noxi/spec") `Quick
+      (run_case ~target:Compile.xloops_no_xi ~cfg:Config.io_x
+         ~mode:Machine.Specialized k) ]
+
+(* A few heavier cross-checks on the out-of-order hosts and adaptive
+   mode, on kernels covering each dependence pattern. *)
+let representative = [ "sgemm-uc"; "adpcm-or"; "ksack-sm-om"; "mm-orm";
+                       "btree-ua"; "bfs-uc-db" ]
+
+let deep_cases name =
+  let k = Registry.find name in
+  [ Alcotest.test_case (name ^ " ooo4+x spec") `Quick
+      (run_case ~target:Compile.xloops ~cfg:Config.ooo4_x
+         ~mode:Machine.Specialized k);
+    Alcotest.test_case (name ^ " ooo2+x adaptive") `Quick
+      (run_case ~target:Compile.xloops ~cfg:Config.ooo2_x
+         ~mode:Machine.Adaptive k) ]
+
+(* Pattern-selection audit: the dominant pattern the kernel advertises
+   must actually appear among the xloops the compiler emitted. *)
+let test_dominant_pattern (k : Kernel.t) () =
+  let c = Compile.compile ~target:Compile.xloops k.kernel in
+  let pats =
+    Array.to_list c.program.insns
+    |> List.filter_map (fun insn ->
+        match insn with
+        | Xloops_isa.Insn.Xloop (p, _, _, _) ->
+          Some (Fmt.str "%a" Xloops_isa.Insn.pp_xpat_suffix p)
+        | _ -> None)
+  in
+  if not (List.mem k.dominant pats) then
+    Alcotest.failf "%s: dominant %s not among emitted patterns [%s]"
+      k.name k.dominant (String.concat "; " pats)
+
+(* Registry invariants: unique names, lookup works, expected counts. *)
+let test_registry () =
+  let names = Registry.names in
+  Alcotest.(check int) "25 Table II kernels" 25
+    (List.length Registry.table2);
+  Alcotest.(check int) "8 Table IV variants" 8
+    (List.length Registry.table4);
+  Alcotest.(check bool) "extensions present" true
+    (List.length Registry.extensions >= 1);
+  Alcotest.(check int) "unique names"
+    (List.length names)
+    (List.length (List.sort_uniq String.compare names));
+  List.iter
+    (fun n -> ignore (Registry.find n))
+    names;
+  Alcotest.(check bool) "unknown rejected" true
+    (try ignore (Registry.find "nope"); false
+     with Invalid_argument _ -> true)
+
+let () =
+  let correctness =
+    List.concat_map cases Registry.all in
+  let deep = List.concat_map deep_cases representative in
+  let patterns =
+    List.map
+      (fun (k : Kernel.t) ->
+         Alcotest.test_case k.name `Quick (test_dominant_pattern k))
+      Registry.all
+  in
+  Alcotest.run "kernels"
+    [ ("registry", [ Alcotest.test_case "invariants" `Quick test_registry ]);
+      ("correctness", correctness);
+      ("deep", deep);
+      ("patterns", patterns) ]

@@ -1,0 +1,204 @@
+(* Operator-lowering semantics: for every Loopc binary operator, compile
+   a kernel that applies it elementwise (c[j] = a[j] op b[j]) for both
+   targets and check the simulated results against OCaml int32/float32
+   reference semantics on random operands.  Also covers the aliasing
+   corner cases of min/max lowering and the int<->float conversions. *)
+
+open Xloops_compiler
+module Memory = Xloops_mem.Memory
+module Machine = Xloops_sim.Machine
+module Config = Xloops_sim.Config
+
+let n = 32
+
+(* -- integer operators --------------------------------------------------- *)
+
+let int_ops : (string * Ast.binop * (int32 -> int32 -> int32)) list =
+  let sh b = Int32.to_int b land 31 in
+  [ ("add", Add, Int32.add);
+    ("sub", Sub, Int32.sub);
+    ("mul", Mul, Int32.mul);
+    ("div", Div,
+     (fun a b ->
+        if b = 0l then -1l
+        else if a = Int32.min_int && b = -1l then Int32.min_int
+        else Int32.div a b));
+    ("rem", Rem,
+     (fun a b ->
+        if b = 0l then a
+        else if a = Int32.min_int && b = -1l then 0l
+        else Int32.rem a b));
+    ("and", And, Int32.logand);
+    ("or", Or, Int32.logor);
+    ("xor", Xor, Int32.logxor);
+    ("shl", Shl, (fun a b -> Int32.shift_left a (sh b)));
+    ("shr", Shr, (fun a b -> Int32.shift_right_logical a (sh b)));
+    ("sar", Sar, (fun a b -> Int32.shift_right a (sh b)));
+    ("lt", Lt, (fun a b -> if Int32.compare a b < 0 then 1l else 0l));
+    ("le", Le, (fun a b -> if Int32.compare a b <= 0 then 1l else 0l));
+    ("gt", Gt, (fun a b -> if Int32.compare a b > 0 then 1l else 0l));
+    ("ge", Ge, (fun a b -> if Int32.compare a b >= 0 then 1l else 0l));
+    ("eq", Eq, (fun a b -> if a = b then 1l else 0l));
+    ("ne", Ne, (fun a b -> if a <> b then 1l else 0l));
+    ("min", Min, (fun a b -> if Int32.compare a b <= 0 then a else b));
+    ("max", Max, (fun a b -> if Int32.compare a b >= 0 then a else b)) ]
+
+let elementwise_kernel op : Ast.kernel =
+  { k_name = "op-test";
+    arrays = [ { a_name = "a"; a_ty = I32; a_len = n };
+               { a_name = "b"; a_ty = I32; a_len = n };
+               { a_name = "c"; a_ty = I32; a_len = n } ];
+    consts = [ ("n", n) ];
+    k_body =
+      [ Ast.for_ ~pragma:Unordered "j" (Int 0) (Var "n")
+          [ Ast.Store ("c", Var "j",
+                       Bin (op, Load ("a", Var "j"), Load ("b", Var "j")))
+          ] ] }
+
+let operands seed =
+  let r = Xloops_kernels.Dataset.rng seed in
+  Array.init n (fun i ->
+      match i with
+      | 0 -> 0l
+      | 1 -> Int32.min_int
+      | 2 -> Int32.max_int
+      | 3 -> -1l
+      | _ ->
+        Int32.of_int
+          ((Xloops_kernels.Dataset.next r lsl 3)
+           lxor Xloops_kernels.Dataset.next r))
+
+let run_op target op =
+  let c = Compile.compile ~target (elementwise_kernel op) in
+  let mem = Memory.create () in
+  let a = operands 11 and b = operands 23 in
+  Array.iteri (fun j v -> Memory.set_i32 mem (c.array_base "a" + 4 * j) v) a;
+  Array.iteri (fun j v -> Memory.set_i32 mem (c.array_base "b" + 4 * j) v) b;
+  ignore (Machine.simulate ~cfg:Config.io ~mode:Machine.Traditional
+            c.program mem);
+  (a, b, Array.init n (fun j -> Memory.get_i32 mem (c.array_base "c" + 4 * j)))
+
+let test_int_op target (name, op, reference) () =
+  let a, b, got = run_op target op in
+  for j = 0 to n - 1 do
+    let want = reference a.(j) b.(j) in
+    if got.(j) <> want then
+      Alcotest.failf "%s: %ld op %ld = %ld, want %ld" name a.(j) b.(j)
+        got.(j) want
+  done
+
+(* -- float operators ------------------------------------------------------ *)
+
+let f32 x = Int32.float_of_bits (Int32.bits_of_float x)
+
+let float_ops : (string * Ast.binop * (float -> float -> float)) list =
+  [ ("fadd", Add, (fun a b -> f32 (a +. b)));
+    ("fsub", Sub, (fun a b -> f32 (a -. b)));
+    ("fmul", Mul, (fun a b -> f32 (a *. b)));
+    ("fdiv", Div, (fun a b -> f32 (a /. b)));
+    ("fmin", Min, Float.min);
+    ("fmax", Max, Float.max) ]
+
+let float_kernel op : Ast.kernel =
+  { k_name = "fop-test";
+    arrays = [ { a_name = "fa"; a_ty = F32; a_len = n };
+               { a_name = "fb"; a_ty = F32; a_len = n };
+               { a_name = "fc"; a_ty = F32; a_len = n } ];
+    consts = [ ("n", n) ];
+    k_body =
+      [ Ast.for_ ~pragma:Unordered "j" (Int 0) (Var "n")
+          [ Ast.Store ("fc", Var "j",
+                       Bin (op, Load ("fa", Var "j"), Load ("fb", Var "j")))
+          ] ] }
+
+let test_float_op (name, op, reference) () =
+  let c = Compile.compile ~target:Compile.xloops (float_kernel op) in
+  let mem = Memory.create () in
+  let fa = Xloops_kernels.Dataset.floats ~seed:31 ~n ~scale:50.0 in
+  let fb = Xloops_kernels.Dataset.floats ~seed:41 ~n ~scale:50.0 in
+  Array.iteri (fun j v -> Memory.set_f32 mem (c.array_base "fa" + 4 * j) v) fa;
+  Array.iteri (fun j v -> Memory.set_f32 mem (c.array_base "fb" + 4 * j) v) fb;
+  ignore (Machine.simulate ~cfg:Config.io_x ~mode:Machine.Specialized
+            c.program mem);
+  for j = 0 to n - 1 do
+    let want = reference (f32 fa.(j)) (f32 fb.(j)) in
+    let got = Memory.get_f32 mem (c.array_base "fc" + 4 * j) in
+    if Float.abs (got -. want) > 1e-6 *. Float.max 1.0 (Float.abs want) then
+      Alcotest.failf "%s[%d]: got %g want %g" name j got want
+  done
+
+(* -- min/max destination aliasing ---------------------------------------- *)
+
+let test_minmax_aliasing () =
+  (* x = min(y, x) and x = max(x, y): the branchy lowering must not
+     clobber an operand before the compare reads it. *)
+  let k : Ast.kernel =
+    { k_name = "alias";
+      arrays = [ { a_name = "out"; a_ty = I32; a_len = 4 } ];
+      consts = [];
+      k_body =
+        [ Ast.Decl ("x", Int 10);
+          Ast.Decl ("y", Int 3);
+          Ast.Assign ("x", Bin (Min, Var "y", Var "x"));  (* x = 3 *)
+          Ast.Store ("out", Int 0, Var "x");
+          Ast.Assign ("x", Bin (Max, Var "x", Int 7));    (* x = 7 *)
+          Ast.Store ("out", Int 1, Var "x");
+          Ast.Assign ("y", Bin (Min, Var "y", Var "y"));  (* y = 3 *)
+          Ast.Store ("out", Int 2, Var "y");
+          Ast.Assign ("x", Bin (Max, Var "y", Var "x"));  (* x = 7 *)
+          Ast.Store ("out", Int 3, Var "x") ] }
+  in
+  let c = Compile.compile k in
+  let mem = Memory.create () in
+  ignore (Machine.simulate ~cfg:Config.io ~mode:Machine.Traditional
+            c.program mem);
+  Alcotest.(check (array int)) "aliasing" [| 3; 7; 3; 7 |]
+    (Memory.read_int_array mem ~addr:(c.array_base "out") ~n:4)
+
+(* -- conversions ----------------------------------------------------------- *)
+
+let test_conversions () =
+  let k : Ast.kernel =
+    { k_name = "cvt";
+      arrays = [ { a_name = "fi"; a_ty = F32; a_len = 4 };
+                 { a_name = "io_"; a_ty = I32; a_len = 4 } ];
+      consts = [];
+      k_body =
+        [ Ast.Store ("fi", Int 0, Cvt_if (Int 7));
+          Ast.Store ("fi", Int 1, Cvt_if (Int (-3)));
+          Ast.Store ("io_", Int 0, Cvt_fi (Flt 9.9));
+          Ast.Store ("io_", Int 1, Cvt_fi (Flt (-9.9))) ] }
+  in
+  let c = Compile.compile k in
+  let mem = Memory.create () in
+  ignore (Machine.simulate ~cfg:Config.io ~mode:Machine.Traditional
+            c.program mem);
+  Alcotest.(check (float 0.001)) "i->f" 7.0
+    (Memory.get_f32 mem (c.array_base "fi"));
+  Alcotest.(check (float 0.001)) "i->f neg" (-3.0)
+    (Memory.get_f32 mem (c.array_base "fi" + 4));
+  Alcotest.(check int) "f->i trunc" 9
+    (Memory.get_int mem (c.array_base "io_"));
+  Alcotest.(check int) "f->i trunc neg" (-9)
+    (Memory.get_int mem (c.array_base "io_" + 4))
+
+let () =
+  let int_cases target label =
+    List.map
+      (fun ((name, _, _) as case) ->
+         Alcotest.test_case (name ^ "/" ^ label) `Quick
+           (test_int_op target case))
+      int_ops
+  in
+  Alcotest.run "lower"
+    [ ("int-ops-general", int_cases Compile.general "general");
+      ("int-ops-xloops", int_cases Compile.xloops "xloops");
+      ("float-ops",
+       List.map
+         (fun ((name, _, _) as case) ->
+            Alcotest.test_case name `Quick (test_float_op case))
+         float_ops);
+      ("corners",
+       [ Alcotest.test_case "min/max aliasing" `Quick test_minmax_aliasing;
+         Alcotest.test_case "conversions" `Quick test_conversions ]);
+    ]

@@ -1,0 +1,120 @@
+(* Adaptive re-profiling (the paper's Section II-E future work,
+   implemented behind Config.adaptive.reconsider_after): a loop whose
+   behaviour changes phase mid-program can flip the APT's decision.
+
+   The workload: one static xloop.om over a memory recurrence
+   a[j] = a[j - d] + 1, where the distance d changes per dynamic
+   instance.  Early instances run with d large (no conflicts: specialized
+   execution flies); later instances run with d = 1 (a serial chain:
+   squashes everywhere, the out-of-order host wins).  Without
+   reconsideration, adaptive execution locks in the early "specialize"
+   verdict and drags it through the serial phase; with reconsideration it
+   re-profiles and migrates back. *)
+
+open Xloops_compiler
+module Memory = Xloops_mem.Memory
+module Machine = Xloops_sim.Machine
+module Config = Xloops_sim.Config
+module K = Xloops_kernels.Kernel
+
+let n = 64            (* recurrence elements per instance *)
+let instances = 24
+let phase1 = 8        (* instances with the parallel-friendly distance *)
+let far = 16          (* phase-1 recurrence distance *)
+
+let kernel : Ast.kernel =
+  let open Ast.Syntax in
+  { k_name = "phase-change";
+    arrays = [ K.arr "a" I32 n; K.arr "dist" I32 instances ];
+    consts = [ ("n", n); ("insts", instances) ];
+    k_body =
+      [ for_ "t" (i 0) (v "insts")
+          [ Ast.Decl ("d", "dist".%[v "t"]);
+            for_ ~pragma:Ordered "j" (v "d") (v "n")
+              [ Ast.Store ("a", v "j", "a".%[v "j" - v "d"] + i 1) ] ] ] }
+
+let distances =
+  Array.init instances (fun t -> if t < phase1 then far else 1)
+
+let reference () =
+  let a = Array.make n 0 in
+  Array.iter
+    (fun d ->
+       for j = d to n - 1 do a.(j) <- a.(j - d) + 1 done)
+    distances;
+  a
+
+let run ?adaptive mode =
+  let c = Compile.compile kernel in
+  let mem = Memory.create () in
+  Memory.blit_int_array mem ~addr:(c.array_base "dist") distances;
+  let r = Machine.simulate ?adaptive ~cfg:Config.ooo2_x ~mode
+      c.program mem in
+  let out = Memory.read_int_array mem ~addr:(c.array_base "a") ~n in
+  (match K.check_int_array ~what:"a" ~expected:(reference ()) out with
+   | Ok () -> ()
+   | Error m -> Alcotest.fail m);
+  r
+
+let test_kernel_is_om () =
+  let c = Compile.compile kernel in
+  let has_om = Array.exists
+      (fun insn -> match insn with
+         | Xloops_isa.Insn.Xloop ({ dp = Om; _ }, _, _, _) -> true
+         | _ -> false)
+      c.program.insns in
+  Alcotest.(check bool) "om emitted" true has_om
+
+let test_phases_behave_differently () =
+  (* Sanity for the premise: pure specialized execution squashes heavily
+     only because of the serial phase. *)
+  let s = run Machine.Specialized in
+  Alcotest.(check bool) "squashes in serial phase" true
+    (s.stats.violations > instances - phase1)
+
+let test_reconsideration_helps () =
+  let sticky = run ~adaptive:Config.default_adaptive Machine.Adaptive in
+  let reconsider =
+    run ~adaptive:{ Config.default_adaptive with reconsider_after = Some 4 }
+      Machine.Adaptive
+  in
+  Alcotest.(check bool)
+    (Printf.sprintf "reconsider %d < sticky %d cycles" reconsider.cycles
+       sticky.cycles)
+    true (reconsider.cycles < sticky.cycles);
+  (* The re-profiler actually flipped: far fewer instances ran
+     specialized once the serial phase was re-measured. *)
+  Alcotest.(check bool)
+    (Printf.sprintf "fewer specialized instances (%d < %d)"
+       reconsider.stats.xloops_specialized
+       sticky.stats.xloops_specialized)
+    true
+    (reconsider.stats.xloops_specialized
+     < sticky.stats.xloops_specialized)
+
+let test_reconsideration_harmless_when_stable () =
+  (* On a phase-free kernel, reconsideration must not change results and
+     should cost little. *)
+  let k = Xloops_kernels.Registry.find "war-uc" in
+  let base = K.run ~cfg:Config.ooo2_x ~mode:Machine.Adaptive k in
+  let rec_ = K.run
+      ~adaptive:{ Config.default_adaptive with reconsider_after = Some 8 }
+      ~cfg:Config.ooo2_x ~mode:Machine.Adaptive k in
+  (match rec_.check_result with Ok () -> () | Error m -> Alcotest.fail m);
+  Alcotest.(check bool)
+    (Printf.sprintf "within 20%% (%d vs %d)" rec_.result.cycles
+       base.result.cycles)
+    true
+    (float_of_int rec_.result.cycles
+     <= 1.2 *. float_of_int base.result.cycles)
+
+let () =
+  Alcotest.run "reconsider"
+    [ ("phase-change",
+       [ Alcotest.test_case "kernel is om" `Quick test_kernel_is_om;
+         Alcotest.test_case "premise" `Quick test_phases_behave_differently;
+         Alcotest.test_case "reconsideration helps" `Quick
+           test_reconsideration_helps;
+         Alcotest.test_case "harmless when stable" `Quick
+           test_reconsideration_harmless_when_stable ]);
+    ]

@@ -1,0 +1,167 @@
+(* Register-allocator tests: liveness dataflow, loop-covering intervals,
+   allocation/rewrite correctness (checked by executing the rewritten
+   code), and IR metadata. *)
+
+open Xloops_compiler
+module Reg = Xloops_isa.Reg
+module Memory = Xloops_mem.Memory
+
+(* -- IR metadata --------------------------------------------------------- *)
+
+let test_ir_sources_dest () =
+  let i : Ir.instr = Alu (Add, 5, 6, 7) in
+  Alcotest.(check (list int)) "srcs" [ 6; 7 ] (Ir.sources i);
+  Alcotest.(check (option int)) "dest" (Some 5) (Ir.dest i);
+  Alcotest.(check (option int)) "store no dest" None
+    (Ir.dest (Store (W, 3, 4, 0)));
+  Alcotest.(check (option int)) "vzero dest hidden" None
+    (Ir.dest (Li (Ir.vzero, 5l)));
+  Alcotest.(check bool) "branch is control" true
+    (Ir.is_control (Br (Beq, 1, 2, "l")));
+  Alcotest.(check bool) "jmp unconditional" true
+    (Ir.is_unconditional (Jmp "l"));
+  Alcotest.(check (option string)) "target" (Some "l")
+    (Ir.branch_target (Xloop ({ dp = Uc; cp = Fixed }, 1, 2, "l")))
+
+let test_ir_map_regs () =
+  let i : Ir.instr = Amo (Amo_add, 3, 4, 5) in
+  (match Ir.map_regs (fun v -> v + 10) i with
+   | Amo (Amo_add, 13, 14, 15) -> ()
+   | _ -> Alcotest.fail "map_regs")
+
+(* -- liveness ------------------------------------------------------------- *)
+
+let live_at code ~num_vregs i v =
+  let li = Regalloc.liveness (Array.of_list code) ~num_vregs in
+  li.(i).(v / 63) land (1 lsl (v mod 63)) <> 0
+
+let test_liveness_straightline () =
+  let code : Ir.instr list =
+    [ Li (1, 5l);            (* 0 *)
+      Alu (Add, 2, 1, 1);    (* 1: last use of v1 *)
+      Alu (Add, 3, 2, 2);    (* 2 *)
+      Halt ]                 (* 3 *)
+  in
+  Alcotest.(check bool) "v1 live at 1" true (live_at code ~num_vregs:4 1 1);
+  Alcotest.(check bool) "v1 dead at 2" false (live_at code ~num_vregs:4 2 1);
+  Alcotest.(check bool) "v2 live at 2" true (live_at code ~num_vregs:4 2 2)
+
+let test_liveness_around_loop () =
+  (* v1 is defined before the loop and used inside it: live throughout
+     the loop, including at the backward branch. *)
+  let code : Ir.instr list =
+    [ Li (1, 5l);            (* 0 *)
+      Li (2, 10l);           (* 1 *)
+      Label "top";           (* 2 *)
+      Alu (Add, 3, 3, 1);    (* 3: uses v1 every iteration *)
+      Alui (Add, 2, 2, -1);  (* 4 *)
+      Br (Bne, 2, 0, "top"); (* 5 *)
+      Halt ]
+  in
+  List.iter
+    (fun i ->
+       Alcotest.(check bool) (Printf.sprintf "v1 live at %d" i) true
+         (live_at code ~num_vregs:4 i 1))
+    [ 2; 3; 4; 5 ]
+
+let test_intervals_cover_loop () =
+  let code : Ir.instr array =
+    [| Li (1, 5l);
+       Label "top";
+       Alu (Add, 2, 2, 1);
+       Br (Bne, 2, 0, "top");
+       Alu (Add, 3, 2, 2);
+       Halt |]
+  in
+  let ivs = Regalloc.intervals code ~num_vregs:4 in
+  let iv v = List.find (fun i -> i.Regalloc.v = v) ivs in
+  Alcotest.(check bool) "v1 covers the loop" true
+    ((iv 1).i_start = 0 && (iv 1).i_end >= 3);
+  Alcotest.(check bool) "v2 reaches its last use" true ((iv 2).i_end = 4)
+
+(* -- allocation ----------------------------------------------------------- *)
+
+let test_no_spills_when_pressure_low () =
+  let code : Ir.instr list =
+    List.init 10 (fun k -> Ir.Li (k + 1, Int32.of_int k)) @ [ Ir.Halt ]
+  in
+  let _, slots = Regalloc.run code ~num_vregs:12 in
+  Alcotest.(check int) "no spills" 0 slots
+
+let test_spills_when_pressure_high () =
+  (* 30 simultaneously-live values > 22 physical registers. *)
+  let n = 30 in
+  let defs = List.init n (fun k -> Ir.Li (k + 1, Int32.of_int k)) in
+  let uses =
+    List.init n (fun k -> Ir.Alu (Add, n + 1, k + 1, k + 1)) in
+  let code = defs @ uses @ [ Ir.Halt ] in
+  let rewritten, slots = Regalloc.run code ~num_vregs:(n + 2) in
+  Alcotest.(check bool) "spilled" true (slots > 0);
+  (* Every physical register in the output is architectural. *)
+  List.iter
+    (fun i ->
+       List.iter
+         (fun r -> Alcotest.(check bool) "valid reg" true (Reg.is_valid r))
+         (Ir.sources i);
+       match Ir.dest i with
+       | Some d -> Alcotest.(check bool) "valid dest" true (Reg.is_valid d)
+       | None -> ())
+    rewritten
+
+(* Execute a high-pressure program end to end: the sum of 30 distinct
+   values survives allocation + spilling. *)
+let test_spill_execution () =
+  let n = 30 in
+  let acc = n + 1 in
+  let code =
+    List.init n (fun k -> Ir.Li (k + 1, Int32.of_int ((k * 7) + 1)))
+    @ [ Ir.Li (acc, 0l) ]
+    @ List.init n (fun k -> Ir.Alu (Add, acc, acc, k + 1))
+    @ [ Ir.Store (W, acc, Ir.vzero, 0x100); Ir.Halt ]
+  in
+  (* vzero is 0, so the store needs an address base: use an absolute
+     register instead. *)
+  let code =
+    List.map
+      (function
+        | Ir.Store (w, v, b, _) when b = Ir.vzero ->
+          Ir.Store (w, v, Ir.vzero, 0x100)
+        | i -> i)
+      code
+  in
+  let rewritten, slots = Regalloc.run code ~num_vregs:(n + 2) in
+  Alcotest.(check bool) "spills happened" true (slots > 0);
+  let prog = Codegen.emit ~spill_base:0x8000 rewritten in
+  let mem = Memory.create () in
+  let _ = Xloops_sim.Exec.run_serial prog mem in
+  let expected = List.init n (fun k -> (k * 7) + 1) |> List.fold_left (+) 0 in
+  Alcotest.(check int) "sum survives spilling" expected
+    (Memory.get_int mem 0x100)
+
+let test_pool_excludes_reserved () =
+  List.iter
+    (fun r ->
+       Alcotest.(check bool) (Reg.name r ^ " not allocatable") true
+         (not (List.mem r Regalloc.pool)))
+    [ Reg.zero; Reg.ra; Reg.sp; Reg.at; Reg.k0; Reg.k1 ];
+  Alcotest.(check int) "22 registers" 22 Regalloc.num_pool
+
+let () =
+  Alcotest.run "regalloc"
+    [ ("ir",
+       [ Alcotest.test_case "sources/dest" `Quick test_ir_sources_dest;
+         Alcotest.test_case "map_regs" `Quick test_ir_map_regs ]);
+      ("liveness",
+       [ Alcotest.test_case "straightline" `Quick
+           test_liveness_straightline;
+         Alcotest.test_case "around loop" `Quick test_liveness_around_loop;
+         Alcotest.test_case "intervals" `Quick test_intervals_cover_loop ]);
+      ("allocate",
+       [ Alcotest.test_case "no spills" `Quick
+           test_no_spills_when_pressure_low;
+         Alcotest.test_case "spills under pressure" `Quick
+           test_spills_when_pressure_high;
+         Alcotest.test_case "spill execution" `Quick test_spill_execution;
+         Alcotest.test_case "reserved registers" `Quick
+           test_pool_excludes_reserved ]);
+    ]

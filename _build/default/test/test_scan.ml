@@ -1,0 +1,227 @@
+(* Scan-phase analysis tests: MIVT construction, CIR discovery via the
+   read-before-write bit-vectors, last-CIR-write placement (including the
+   inner-loop re-execution rule), index-step discovery, and every
+   fallback reason. *)
+
+open Xloops_isa
+module B = Xloops_asm.Builder
+module Scan = Xloops_sim.Scan
+module Config = Xloops_sim.Config
+
+let uc = { Insn.dp = Uc; cp = Fixed }
+let or_ = { Insn.dp = Or; cp = Fixed }
+
+let t0 = Reg.t0 and t1 = Reg.t1 and t2 = Reg.t2 and t3 = Reg.t3
+let t4 = Reg.t4 and s0 = 16 and s1 = 17
+
+(* Build a program whose single xloop is returned along with its pc. *)
+let build f =
+  let b = B.create () in
+  f b;
+  B.halt b;
+  let p = B.assemble b in
+  let xpc = ref (-1) in
+  Array.iteri (fun pc i -> if Insn.is_xloop i then xpc := pc) p.insns;
+  (p, !xpc)
+
+let analyze ?(regs = Array.make 32 0l) ?(lpsu = Config.default_lpsu) p xpc =
+  Scan.analyze p ~xloop_pc:xpc ~regs ~lpsu
+
+let ok = function
+  | Ok info -> info
+  | Error e -> Alcotest.failf "unexpected fallback: %a" Scan.pp_fallback e
+
+let test_mivt () =
+  let p, xpc = build (fun b ->
+      B.label b "body";
+      B.lw b t1 t0 0;
+      B.xi_addi b t0 t0 4;        (* MIV: pointer, +4 *)
+      B.xi_addi b t4 t4 1;        (* index *)
+      B.xloop b uc t4 t3 "body")
+  in
+  let info = ok (analyze p xpc) in
+  Alcotest.(check int32) "idx step" 1l info.idx_step;
+  (match info.mivs with
+   | [ m ] ->
+     Alcotest.(check int) "miv reg" t0 m.m_reg;
+     Alcotest.(check int32) "miv inc" 4l m.m_inc
+   | l -> Alcotest.failf "expected 1 miv, got %d" (List.length l))
+
+let test_xi_add_resolves_register () =
+  let regs = Array.make 32 0l in
+  regs.(t2) <- 12l;   (* loop-invariant increment *)
+  let p, xpc = build (fun b ->
+      B.label b "body";
+      B.xi_add b t0 t0 t2;
+      B.xi_addi b t4 t4 1;
+      B.xloop b uc t4 t3 "body")
+  in
+  let info = ok (analyze ~regs p xpc) in
+  (match info.mivs with
+   | [ m ] -> Alcotest.(check int32) "resolved inc" 12l m.m_inc
+   | _ -> Alcotest.fail "expected 1 miv")
+
+let test_plain_addi_index_step () =
+  (* A plain add updating the index is fine for uc (no .xi needed). *)
+  let p, xpc = build (fun b ->
+      B.label b "body";
+      B.nop b;
+      B.addi b t4 t4 2;
+      B.xloop b uc t4 t3 "body")
+  in
+  let info = ok (analyze p xpc) in
+  Alcotest.(check int32) "step 2" 2l info.idx_step
+
+let test_cir_detection () =
+  let p, xpc = build (fun b ->
+      B.label b "body";
+      B.add b s0 s0 t1;   (* s0: read then written -> CIR *)
+      B.add b t2 t1 t1;   (* t2: written first -> scratch *)
+      B.add b t2 t2 s0;
+      B.xi_addi b t4 t4 1;
+      B.xloop b or_ t4 t3 "body")
+  in
+  let info = ok (analyze p xpc) in
+  (match info.cirs with
+   | [ c ] ->
+     Alcotest.(check int) "cir reg" s0 c.c_reg;
+     Alcotest.(check int) "last write = its add" 0 c.c_last_write_pc
+   | l -> Alcotest.failf "expected 1 cir, got %d" (List.length l))
+
+let test_uc_has_no_cirs () =
+  let p, xpc = build (fun b ->
+      B.label b "body";
+      B.add b s0 s0 t1;
+      B.xi_addi b t4 t4 1;
+      B.xloop b uc t4 t3 "body")
+  in
+  Alcotest.(check int) "no cirs for uc" 0
+    (List.length (ok (analyze p xpc)).cirs)
+
+let test_cir_last_write_in_inner_loop_disabled () =
+  (* A CIR whose last write sits inside an inner loop must not forward
+     early (the write re-executes); the scan clears the last-write bit. *)
+  let p, xpc = build (fun b ->
+      B.label b "body";
+      B.add b s0 s0 t1;          (* CIR read *)
+      B.label b "inner";
+      B.add b s0 s0 t2;          (* CIR write inside the inner loop *)
+      B.addi b t1 t1 1;
+      B.blt b t1 t2 "inner";
+      B.xi_addi b t4 t4 1;
+      B.xloop b or_ t4 t3 "body")
+  in
+  let info = ok (analyze p xpc) in
+  (match List.find_opt (fun c -> c.Scan.c_reg = s0) info.cirs with
+   | Some c -> Alcotest.(check int) "no early forward" (-1) c.c_last_write_pc
+   | None -> Alcotest.fail "s0 should be a CIR")
+
+let test_bound_reg_not_cir () =
+  (* A dynamic bound register is written and read but handled by the
+     LMU, never the CIBs. *)
+  let p, xpc = build (fun b ->
+      B.li b s1 0x4000;
+      B.label b "body";
+      B.add b s0 s0 t3;           (* reads bound-reg t3: fine *)
+      B.lw b t3 s1 0;             (* bound reload *)
+      B.xi_addi b t4 t4 1;
+      B.xloop b { Insn.dp = Or; cp = Dyn } t4 t3 "body")
+  in
+  let info = ok (analyze p xpc) in
+  Alcotest.(check bool) "t3 excluded" true
+    (not (List.exists (fun c -> c.Scan.c_reg = t3) info.cirs))
+
+(* -- fallbacks ---------------------------------------------------------- *)
+
+let expect_fallback name p xpc pred =
+  match analyze p xpc with
+  | Ok _ -> Alcotest.failf "%s: expected fallback" name
+  | Error e ->
+    Alcotest.(check bool) name true (pred e)
+
+let test_fallback_body_too_large () =
+  let p, xpc = build (fun b ->
+      B.label b "body";
+      for _ = 1 to 200 do B.nop b done;
+      B.xi_addi b t4 t4 1;
+      B.xloop b uc t4 t3 "body")
+  in
+  expect_fallback "too large" p xpc
+    (function Scan.Body_too_large n -> n = 201 | _ -> false)
+
+let test_fallback_pattern_unsupported () =
+  let p, xpc = build (fun b ->
+      B.label b "body";
+      B.xi_addi b t4 t4 1;
+      B.xloop b { Insn.dp = Om; cp = Fixed } t4 t3 "body")
+  in
+  match Scan.analyze p ~xloop_pc:xpc ~regs:(Array.make 32 0l)
+          ~lpsu:{ Config.default_lpsu with supported = [ Insn.Uc ] } with
+  | Error (Scan.Pattern_unsupported Insn.Om) -> ()
+  | _ -> Alcotest.fail "expected pattern fallback"
+
+let test_fallback_call () =
+  let p, xpc = build (fun b ->
+      B.label b "body";
+      B.jal b "body";
+      B.xi_addi b t4 t4 1;
+      B.xloop b uc t4 t3 "body")
+  in
+  expect_fallback "call" p xpc (function Scan.Has_call -> true | _ -> false)
+
+let test_fallback_bad_step () =
+  let p, xpc = build (fun b ->
+      B.label b "body";
+      B.nop b;   (* index never updated *)
+      B.xloop b uc t4 t3 "body")
+  in
+  expect_fallback "no step" p xpc
+    (function Scan.Bad_index_step -> true | _ -> false)
+
+let test_fallback_negative_step () =
+  let p, xpc = build (fun b ->
+      B.label b "body";
+      B.addi b t4 t4 (-1);
+      B.xloop b uc t4 t3 "body")
+  in
+  expect_fallback "negative step" p xpc
+    (function Scan.Bad_index_step -> true | _ -> false)
+
+let test_speculative_patterns () =
+  let spec dp = Scan.is_speculative_pattern { Insn.dp; cp = Fixed } in
+  Alcotest.(check bool) "om" true (spec Insn.Om);
+  Alcotest.(check bool) "orm" true (spec Insn.Orm);
+  Alcotest.(check bool) "ua" true (spec Insn.Ua);
+  Alcotest.(check bool) "uc" false (spec Insn.Uc);
+  Alcotest.(check bool) "or" false (spec Insn.Or);
+  let cirs dp = Scan.has_cirs { Insn.dp; cp = Fixed } in
+  Alcotest.(check bool) "or has cirs" true (cirs Insn.Or);
+  Alcotest.(check bool) "orm has cirs" true (cirs Insn.Orm);
+  Alcotest.(check bool) "om no cirs" false (cirs Insn.Om)
+
+let () =
+  Alcotest.run "scan"
+    [ ("mivt",
+       [ Alcotest.test_case "xi_addi" `Quick test_mivt;
+         Alcotest.test_case "xi_add register" `Quick
+           test_xi_add_resolves_register;
+         Alcotest.test_case "plain addi step" `Quick
+           test_plain_addi_index_step ]);
+      ("cir",
+       [ Alcotest.test_case "detection" `Quick test_cir_detection;
+         Alcotest.test_case "uc has none" `Quick test_uc_has_no_cirs;
+         Alcotest.test_case "inner-loop write" `Quick
+           test_cir_last_write_in_inner_loop_disabled;
+         Alcotest.test_case "bound excluded" `Quick test_bound_reg_not_cir ]);
+      ("fallback",
+       [ Alcotest.test_case "body too large" `Quick
+           test_fallback_body_too_large;
+         Alcotest.test_case "pattern" `Quick test_fallback_pattern_unsupported;
+         Alcotest.test_case "call" `Quick test_fallback_call;
+         Alcotest.test_case "no step" `Quick test_fallback_bad_step;
+         Alcotest.test_case "negative step" `Quick
+           test_fallback_negative_step ]);
+      ("classes",
+       [ Alcotest.test_case "speculative/cir classes" `Quick
+           test_speculative_patterns ]);
+    ]

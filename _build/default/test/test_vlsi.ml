@@ -1,0 +1,92 @@
+(* VLSI area/cycle-time model tests: Table V anchor points and scaling
+   behaviour. *)
+
+module Area = Xloops_vlsi.Area
+module Config = Xloops_sim.Config
+
+let within pct a b = Float.abs (a -. b) /. b <= pct
+
+let test_gpp_area () =
+  (* The paper's baseline: 0.25 mm^2. *)
+  Alcotest.(check bool) "0.25 mm^2" true (within 0.02 Area.gpp_area 0.25)
+
+let test_primary_overhead () =
+  (* "only 43% larger than the GPP" for lpsu+i128+ln4 (uc-only RTL LPSU,
+     no LSQ area). *)
+  let rows = Area.table_v () in
+  let primary = List.find (fun r -> r.Area.name = "lpsu+i128+ln4") rows in
+  Alcotest.(check bool)
+    (Printf.sprintf "overhead %.2f in [1.35, 1.48]" primary.rel_area)
+    true
+    (primary.rel_area >= 1.35 && primary.rel_area <= 1.48)
+
+let test_lane_scaling () =
+  (* 2 -> 8 lanes: overhead ~24% -> ~77%, roughly linear. *)
+  let rows = Area.table_v () in
+  let rel n = (List.find (fun r -> r.Area.name = n) rows).Area.rel_area in
+  let l2 = rel "lpsu+i128+ln2" and l4 = rel "lpsu+i128+ln4" in
+  let l6 = rel "lpsu+i128+ln6" and l8 = rel "lpsu+i128+ln8" in
+  Alcotest.(check bool) "monotone" true (l2 < l4 && l4 < l6 && l6 < l8);
+  Alcotest.(check bool) "ln2 ~ +24%" true (l2 >= 1.18 && l2 <= 1.30);
+  Alcotest.(check bool) "ln8 ~ +77%" true (l8 >= 1.60 && l8 <= 1.85);
+  (* Linearity: per-lane increments within 10% of each other. *)
+  let d1 = l4 -. l2 and d2 = l6 -. l4 and d3 = l8 -. l6 in
+  Alcotest.(check bool) "linear in lanes" true
+    (within 0.10 d1 d2 && within 0.10 d2 d3)
+
+let test_ib_weak_dependence () =
+  (* 96 -> 192 entries: overhead 41% -> 48% in the paper — a weak
+     dependence compared to lanes. *)
+  let rows = Area.table_v () in
+  let rel n = (List.find (fun r -> r.Area.name = n) rows).Area.rel_area in
+  let spread = rel "lpsu+i192+ln4" -. rel "lpsu+i096+ln4" in
+  Alcotest.(check bool)
+    (Printf.sprintf "ib spread %.3f < lane spread" spread) true
+    (spread > 0.0
+     && spread < rel "lpsu+i128+ln8" -. rel "lpsu+i128+ln2")
+
+let test_cycle_time () =
+  let ct lanes = Area.cycle_time_ns { Config.default_lpsu with lanes } in
+  Alcotest.(check bool) "grows with lanes" true
+    (ct 2 < ct 4 && ct 4 < ct 8);
+  Alcotest.(check bool) "ln2 ~ 1.98" true (within 0.03 (ct 2) 1.98);
+  Alcotest.(check bool) "ln8 ~ 2.54" true (within 0.03 (ct 8) 2.54);
+  let big_ib =
+    Area.cycle_time_ns { Config.default_lpsu with ib_entries = 192 } in
+  Alcotest.(check bool) "ib slows fetch path" true
+    (big_ib > ct 4)
+
+let test_breakdown_consistency () =
+  let a = Area.area Config.default_lpsu in
+  let parts =
+    a.gpp_logic +. a.gpp_icache +. a.gpp_dcache +. a.lmu +. a.lanes
+    +. a.instr_buffers +. a.lsq
+  in
+  Alcotest.(check (float 1e-9)) "parts sum to total" a.total parts
+
+let test_rtl_lpsu_is_uc_only () =
+  let l = Area.rtl_lpsu ~ib_entries:128 ~lanes:4 in
+  Alcotest.(check bool) "uc only" true
+    (l.Config.supported = [ Xloops_isa.Insn.Uc ]);
+  Alcotest.(check int) "no lsq" 0 (l.lsq_loads + l.lsq_stores)
+
+let test_overhead_helper () =
+  let l = Config.default_lpsu in
+  let o = Area.overhead l in
+  Alcotest.(check (float 1e-9)) "consistent with area"
+    ((Area.area l).total /. Area.gpp_area -. 1.0) o
+
+let () =
+  Alcotest.run "vlsi"
+    [ ("area",
+       [ Alcotest.test_case "gpp baseline" `Quick test_gpp_area;
+         Alcotest.test_case "primary +43%" `Quick test_primary_overhead;
+         Alcotest.test_case "lane scaling" `Quick test_lane_scaling;
+         Alcotest.test_case "ib weak dependence" `Quick
+           test_ib_weak_dependence;
+         Alcotest.test_case "breakdown" `Quick test_breakdown_consistency;
+         Alcotest.test_case "overhead helper" `Quick test_overhead_helper ]);
+      ("timing", [ Alcotest.test_case "cycle time" `Quick test_cycle_time ]);
+      ("rtl", [ Alcotest.test_case "uc-only config" `Quick
+                  test_rtl_lpsu_is_uc_only ]);
+    ]
