@@ -201,7 +201,8 @@ let ablation () =
        let run cfg mode =
          let c = Xloops.Compiler.Compile.compile kernel in
          let mem = Xloops.Mem.Memory.create ~size:(1 lsl 21) () in
-         (Xloops.Sim.Machine.simulate ~cfg ~mode c.program mem)
+         (Xloops.Sim.Machine.ok_exn
+            (Xloops.Sim.Machine.simulate ~cfg ~mode c.program mem))
            .Xloops.Sim.Machine.cycles
        in
        let t = run Xloops.Sim.Config.io Xloops.Sim.Machine.Traditional in

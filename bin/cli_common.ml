@@ -1,0 +1,63 @@
+(* Shared plumbing for the CLI tools: common argument parsers, the
+   robustness flags (--fuel, --watchdog-cycles, --fault-seed, ...), and a
+   top-level guard that turns expected failures — unknown kernel or
+   config, malformed arguments, fuel exhaustion — into a one-line
+   diagnostic on stderr and a nonzero exit instead of a backtrace. *)
+
+open Cmdliner
+module Sim = Xloops.Sim
+module C = Xloops.Compiler
+
+let parse_mode = function
+  | "T" | "t" -> Sim.Machine.Traditional
+  | "S" | "s" -> Sim.Machine.Specialized
+  | "A" | "a" -> Sim.Machine.Adaptive
+  | m -> invalid_arg ("unknown mode " ^ m ^ " (expected T, S or A)")
+
+let parse_target = function
+  | "general" -> C.Compile.general
+  | "xloops" -> C.Compile.xloops
+  | "xloops-no-xi" -> C.Compile.xloops_no_xi
+  | t -> invalid_arg
+           ("unknown target " ^ t
+            ^ " (expected general, xloops or xloops-no-xi)")
+
+let fuel_arg =
+  let doc = "GPP instruction budget; exhausting it is an error." in
+  Arg.(value & opt int 500_000_000 & info [ "fuel" ] ~doc)
+
+let watchdog_arg =
+  let doc = "LPSU no-progress watchdog threshold in cycles (0 = off)." in
+  Arg.(value & opt int 50_000 & info [ "watchdog-cycles" ] ~doc)
+
+let fault_seed_arg =
+  let doc = "Inject a deterministic transient-fault plan with this seed \
+             into every specialized run." in
+  Arg.(value & opt (some int) None & info [ "fault-seed" ] ~doc)
+
+let fault_events_arg =
+  let doc = "Number of fault events in the plan (with --fault-seed)." in
+  Arg.(value & opt int 12 & info [ "fault-events" ] ~doc)
+
+let no_degrade_arg =
+  let doc = "Disable the traditional-fallback safety net: a hung or \
+             faulted specialized run fails the simulation instead of \
+             rolling back." in
+  Arg.(value & flag & info [ "no-degrade" ] ~doc)
+
+let faults_of ~seed ~events =
+  Option.map (fun s -> Sim.Fault.plan ~seed:s ~events ()) seed
+
+(** Print one summary line when fault injection / degradation was live. *)
+let report_robustness (s : Sim.Stats.t) =
+  if s.faults_injected > 0 || s.watchdog_hangs > 0 || s.degradations > 0
+  then
+    Fmt.pr "robust:  %d fault(s) injected, %d hang(s), %d degradation(s)@."
+      s.faults_injected s.watchdog_hangs s.degradations
+
+let guarded f =
+  try f () with
+  | Invalid_argument msg | Failure msg ->
+    Fmt.epr "error: %s@." msg; 2
+  | Sys_error msg ->
+    Fmt.epr "error: %s@." msg; 2

@@ -20,15 +20,11 @@ let source_arg =
   let doc = "Also print the Loopc source." in
   Arg.(value & flag & info [ "s"; "source" ] ~doc)
 
-let parse_target = function
-  | "general" -> C.Compile.general
-  | "xloops" -> C.Compile.xloops
-  | "xloops-no-xi" -> C.Compile.xloops_no_xi
-  | t -> invalid_arg ("unknown target " ^ t)
-
 let run kernel target source =
+  Cli_common.guarded @@ fun () ->
   let k = K.Registry.find kernel in
-  let c = C.Compile.compile ~target:(parse_target target) k.K.Kernel.kernel
+  let c = C.Compile.compile ~target:(Cli_common.parse_target target)
+      k.K.Kernel.kernel
   in
   if source then
     Fmt.pr "── Loopc source ─────────────────────────────@.%a@.@."

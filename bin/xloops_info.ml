@@ -25,8 +25,13 @@ let kernels () =
          |> List.map (fun (_, _, l) -> string_of_int l)
          |> String.concat ","
        in
-       let gpi = K.Kernel.dynamic_insns ~target:C.Compile.general k in
-       let xli = K.Kernel.dynamic_insns ~target:C.Compile.xloops k in
+       let dyn target =
+         match K.Kernel.dynamic_insns ~target k with
+         | Ok n -> n
+         | Error msg -> failwith msg
+       in
+       let gpi = dyn C.Compile.general in
+       let xli = dyn C.Compile.xloops in
        Fmt.pr "%-16s %-3s %-6s %-10s %10d %6.2f@." k.name k.suite
          k.dominant bodies gpi
          (float_of_int xli /. float_of_int gpi))
@@ -52,6 +57,7 @@ let vlsi () =
     a.lmu a.lanes a.instr_buffers a.lsq
 
 let run show_vlsi =
+  Cli_common.guarded @@ fun () ->
   if show_vlsi then vlsi () else kernels ();
   0
 

@@ -33,58 +33,57 @@ let verbose_arg =
   let doc = "Print the full event-counter dump." in
   Arg.(value & flag & info [ "v"; "verbose" ] ~doc)
 
-let parse_mode = function
-  | "T" | "t" -> Sim.Machine.Traditional
-  | "S" | "s" -> Sim.Machine.Specialized
-  | "A" | "a" -> Sim.Machine.Adaptive
-  | m -> invalid_arg ("unknown mode " ^ m)
-
-let parse_target = function
-  | "general" -> C.Compile.general
-  | "xloops" -> C.Compile.xloops
-  | "xloops-no-xi" -> C.Compile.xloops_no_xi
-  | t -> invalid_arg ("unknown target " ^ t)
-
-let run kernel config mode target verbose =
+let run kernel config mode target verbose fuel watchdog fault_seed
+    fault_events no_degrade =
+  Cli_common.guarded @@ fun () ->
   let k = K.Registry.find kernel in
   let cfg = Sim.Config.by_name config in
-  let mode = parse_mode mode in
-  let target = parse_target target in
-  let r = K.Kernel.run ~target ~cfg ~mode k in
-  let res = r.K.Kernel.result in
-  Fmt.pr "kernel:  %s (%s, dominant %s)@." k.name k.suite k.dominant;
-  Fmt.pr "machine: %s, mode %s@." cfg.Sim.Config.name
-    (Sim.Machine.mode_name mode);
-  Fmt.pr "check:   %s@."
-    (match r.check_result with
-     | Ok () -> "PASS"
-     | Error m -> "FAIL: " ^ m);
-  Fmt.pr "cycles:  %d@." res.cycles;
-  Fmt.pr "insns:   %d (IPC %.2f)@." res.insns
-    (float_of_int res.insns /. float_of_int (max 1 res.cycles));
-  Fmt.pr "xloops:  %d specialized, %d iterations, %d violations@."
-    res.stats.xloops_specialized res.stats.iterations
-    res.stats.violations;
-  let e = Energy.of_stats cfg res.stats in
-  Fmt.pr "energy:  %a@." Energy.pp_breakdown e;
-  Fmt.pr "power:   %.1f mW at %.0f MHz@."
-    (Energy.power ~cycles:res.cycles e *. 1e3)
-    (Energy.frequency_hz /. 1e6);
-  if verbose then begin
-    Fmt.pr "@.%a@." Sim.Stats.pp res.stats;
-    (match Sim.Stats.lane_breakdown res.stats with
-     | breakdown when res.stats.ib_fetches > 0 ->
-       Fmt.pr "@.lane cycles:";
-       List.iter (fun (c, f) -> Fmt.pr " %s=%.2f" c f) breakdown;
-       Fmt.pr "@."
-     | _ -> ())
-  end;
-  (match r.check_result with Ok () -> 0 | Error _ -> 1)
+  let mode = Cli_common.parse_mode mode in
+  let target = Cli_common.parse_target target in
+  let faults = Cli_common.faults_of ~seed:fault_seed ~events:fault_events in
+  match K.Kernel.run_result ~target ~cfg ~mode ?faults ~watchdog
+          ~degrade:(not no_degrade) ~fuel k with
+  | Error f ->
+    Fmt.epr "error: %s: %a@." k.name Sim.Machine.pp_failure f;
+    2
+  | Ok r ->
+    let res = r.K.Kernel.result in
+    Fmt.pr "kernel:  %s (%s, dominant %s)@." k.name k.suite k.dominant;
+    Fmt.pr "machine: %s, mode %s@." cfg.Sim.Config.name
+      (Sim.Machine.mode_name mode);
+    Fmt.pr "check:   %s@."
+      (match r.check_result with
+       | Ok () -> "PASS"
+       | Error m -> "FAIL: " ^ m);
+    Fmt.pr "cycles:  %d@." res.cycles;
+    Fmt.pr "insns:   %d (IPC %.2f)@." res.insns
+      (float_of_int res.insns /. float_of_int (max 1 res.cycles));
+    Fmt.pr "xloops:  %d specialized, %d iterations, %d violations@."
+      res.stats.xloops_specialized res.stats.iterations
+      res.stats.violations;
+    Cli_common.report_robustness res.stats;
+    let e = Energy.of_stats cfg res.stats in
+    Fmt.pr "energy:  %a@." Energy.pp_breakdown e;
+    Fmt.pr "power:   %.1f mW at %.0f MHz@."
+      (Energy.power ~cycles:res.cycles e *. 1e3)
+      (Energy.frequency_hz /. 1e6);
+    if verbose then begin
+      Fmt.pr "@.%a@." Sim.Stats.pp res.stats;
+      (match Sim.Stats.lane_breakdown res.stats with
+       | breakdown when res.stats.ib_fetches > 0 ->
+         Fmt.pr "@.lane cycles:";
+         List.iter (fun (c, f) -> Fmt.pr " %s=%.2f" c f) breakdown;
+         Fmt.pr "@."
+       | _ -> ())
+    end;
+    (match r.check_result with Ok () -> 0 | Error _ -> 1)
 
 let cmd =
   let doc = "simulate an XLOOPS application kernel" in
   Cmd.v (Cmd.info "xloops_run" ~doc)
     Term.(const run $ kernel_arg $ config_arg $ mode_arg $ target_arg
-          $ verbose_arg)
+          $ verbose_arg $ Cli_common.fuel_arg $ Cli_common.watchdog_arg
+          $ Cli_common.fault_seed_arg $ Cli_common.fault_events_arg
+          $ Cli_common.no_degrade_arg)
 
 let () = exit (Cmd.eval' cmd)

@@ -31,40 +31,50 @@ let limit_arg =
   let doc = "Stop after this many trace lines (0 = unlimited)." in
   Arg.(value & opt int 200 & info [ "n"; "limit" ] ~doc)
 
-let parse_mode = function
-  | "T" | "t" -> Sim.Machine.Traditional
-  | "S" | "s" -> Sim.Machine.Specialized
-  | "A" | "a" -> Sim.Machine.Adaptive
-  | m -> invalid_arg ("unknown mode " ^ m)
-
 let parse_level = function
   | "decisions" -> Sim.Trace.Decisions
   | "lanes" -> Sim.Trace.Lanes
   | "insns" -> Sim.Trace.Insns
-  | l -> invalid_arg ("unknown trace level " ^ l)
+  | l -> invalid_arg
+           ("unknown trace level " ^ l
+            ^ " (expected decisions, lanes or insns)")
 
-let run kernel config mode level limit =
+let run kernel config mode level limit fuel watchdog fault_seed
+    fault_events no_degrade =
+  Cli_common.guarded @@ fun () ->
   let k = K.Registry.find kernel in
   let cfg = Sim.Config.by_name config in
   let c = C.Compile.compile k.K.Kernel.kernel in
   let mem = Memory.create () in
   k.init c.array_base mem;
   let trace = Sim.Trace.to_stdout ~level:(parse_level level) ~limit () in
-  let r = Sim.Machine.simulate ~trace ~cfg ~mode:(parse_mode mode)
-      c.program mem in
+  let faults = Cli_common.faults_of ~seed:fault_seed ~events:fault_events in
+  let outcome =
+    Sim.Machine.simulate ~trace ~cfg ~mode:(Cli_common.parse_mode mode)
+      ?faults ~watchdog ~degrade:(not no_degrade) ~fuel
+      c.program mem
+  in
   if Sim.Trace.exhausted (Some trace) then
     Fmt.pr "... (trace limit reached)@.";
-  Fmt.pr "@.%s on %s: %d cycles, %d iterations, check %s@."
-    k.name cfg.Sim.Config.name r.cycles r.stats.iterations
-    (match k.check c.array_base mem with
-     | Ok () -> "PASS"
-     | Error m -> "FAIL: " ^ m);
-  0
+  match outcome with
+  | Error f ->
+    Fmt.epr "error: %s: %a@." k.name Sim.Machine.pp_failure f;
+    2
+  | Ok r ->
+    Fmt.pr "@.%s on %s: %d cycles, %d iterations, check %s@."
+      k.name cfg.Sim.Config.name r.cycles r.stats.iterations
+      (match k.check c.array_base mem with
+       | Ok () -> "PASS"
+       | Error m -> "FAIL: " ^ m);
+    Cli_common.report_robustness r.stats;
+    0
 
 let cmd =
   let doc = "trace the execution of an XLOOPS kernel" in
   Cmd.v (Cmd.info "xloops_trace" ~doc)
     Term.(const run $ kernel_arg $ config_arg $ mode_arg $ level_arg
-          $ limit_arg)
+          $ limit_arg $ Cli_common.fuel_arg $ Cli_common.watchdog_arg
+          $ Cli_common.fault_seed_arg $ Cli_common.fault_events_arg
+          $ Cli_common.no_degrade_arg)
 
 let () = exit (Cmd.eval' cmd)

@@ -67,8 +67,9 @@ let () =
   Memory.set_int mem (c.array_base "tail") 1;
   Memory.set_int mem (c.array_base "seen") 1;
 
-  let r = Sim.Machine.simulate ~cfg:Sim.Config.ooo2_x
-      ~mode:Sim.Machine.Specialized c.program mem in
+  let r = Sim.Machine.ok_exn
+      (Sim.Machine.simulate ~cfg:Sim.Config.ooo2_x
+         ~mode:Sim.Machine.Specialized c.program mem) in
   Fmt.pr "iterations executed: %d (worklist grew from 1 to %d)@."
     r.stats.iterations
     (Memory.get_int mem (c.array_base "tail"));

@@ -44,13 +44,15 @@ let () =
 
   (* Run traditionally (xloop executes as a branch) on the in-order GPP. *)
   let mem_t = fresh_memory c in
-  let trad = Sim.Machine.simulate ~cfg:Sim.Config.io
-      ~mode:Sim.Machine.Traditional c.program mem_t in
+  let trad = Sim.Machine.ok_exn
+      (Sim.Machine.simulate ~cfg:Sim.Config.io
+         ~mode:Sim.Machine.Traditional c.program mem_t) in
 
   (* Run specialized on the same GPP with a 4-lane LPSU attached. *)
   let mem_s = fresh_memory c in
-  let spec = Sim.Machine.simulate ~cfg:Sim.Config.io_x
-      ~mode:Sim.Machine.Specialized c.program mem_s in
+  let spec = Sim.Machine.ok_exn
+      (Sim.Machine.simulate ~cfg:Sim.Config.io_x
+         ~mode:Sim.Machine.Specialized c.program mem_s) in
 
   (* Both executions produce the same memory. *)
   let ok = ref true in

@@ -75,8 +75,13 @@ let body_stats (k : Kernel.t) =
 
 (** Run the full Table II methodology for one kernel. *)
 let evaluate ?(hosts = hosts) (k : Kernel.t) : eval =
-  let gpi_dyn = Kernel.dynamic_insns ~target:Compile.general k in
-  let xli_dyn = Kernel.dynamic_insns ~target:Compile.xloops k in
+  let dyn target =
+    match Kernel.dynamic_insns ~target k with
+    | Ok n -> n
+    | Error msg -> failwith ("Experiments.evaluate: " ^ msg)
+  in
+  let gpi_dyn = dyn Compile.general in
+  let xli_dyn = dyn Compile.xloops in
   let body_min, body_max = body_stats k in
   let per_host =
     List.map

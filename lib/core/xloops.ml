@@ -37,3 +37,4 @@ module Energy = Xloops_energy
 module Vlsi = Xloops_vlsi
 module Kernels = Xloops_kernels
 module Experiments = Experiments
+module Differential = Differential

@@ -90,15 +90,31 @@ type run = {
 }
 
 (** Compile [k] for [target], initialize a fresh memory, simulate on
-    [cfg]/[mode], and self-check the output. *)
-let run ?(target = Compile.xloops) ?(cfg = Config.io)
-    ?(mode = Machine.Traditional) ?adaptive (k : t) : run =
+    [cfg]/[mode], and self-check the output.  A simulation failure (fuel,
+    un-degraded hang) comes back as [Error]. *)
+let run_result ?(target = Compile.xloops) ?(cfg = Config.io)
+    ?(mode = Machine.Traditional) ?adaptive ?faults ?watchdog ?degrade
+    ?fuel (k : t) : (run, Machine.failure) result =
   let compiled = Compile.compile ~target k.kernel in
   let mem = Memory.create () in
   k.init compiled.array_base mem;
-  let result = Machine.simulate ?adaptive ~cfg ~mode compiled.program mem in
-  let check_result = k.check compiled.array_base mem in
-  { result; compiled; mem; check_result }
+  match Machine.simulate ?adaptive ?faults ?watchdog ?degrade ?fuel
+          ~cfg ~mode compiled.program mem with
+  | Error f -> Error f
+  | Ok result ->
+    let check_result = k.check compiled.array_base mem in
+    Ok { result; compiled; mem; check_result }
+
+(** Like {!run_result}, raising [Failure] on a simulation failure — the
+    convenience form for tests and experiments where kernels are expected
+    to complete. *)
+let run ?target ?cfg ?mode ?adaptive ?faults ?watchdog ?degrade ?fuel
+    (k : t) : run =
+  match run_result ?target ?cfg ?mode ?adaptive ?faults ?watchdog
+          ?degrade ?fuel k with
+  | Ok r -> r
+  | Error f -> failwith (Fmt.str "Kernel.run %s: %a" k.name
+                           Machine.pp_failure f)
 
 (** Dynamic instruction count of the serial functional execution —
     Table II's dynamic-instruction columns. *)
@@ -106,5 +122,6 @@ let dynamic_insns ?(target = Compile.xloops) (k : t) =
   let compiled = Compile.compile ~target k.kernel in
   let mem = Memory.create () in
   k.init compiled.array_base mem;
-  let r = Xloops_sim.Exec.run_serial compiled.program mem in
-  r.dynamic_insns
+  match Xloops_sim.Exec.run_serial compiled.program mem with
+  | Ok r -> Ok r.dynamic_insns
+  | Error stop -> Error (Fmt.str "%s: %a" k.name Xloops_sim.Exec.pp_stop stop)

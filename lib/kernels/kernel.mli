@@ -49,11 +49,22 @@ type run = {
   check_result : (unit, string) result;
 }
 
+val run_result :
+  ?target:Compile.target -> ?cfg:Config.t -> ?mode:Machine.mode ->
+  ?adaptive:Config.adaptive -> ?faults:Xloops_sim.Fault.t ->
+  ?watchdog:int -> ?degrade:bool -> ?fuel:int ->
+  t -> (run, Machine.failure) result
+(** Compile, initialize a fresh memory, simulate and self-check.  A
+    simulation failure (fuel exhaustion, un-degraded LPSU hang) is
+    [Error]. *)
+
 val run :
   ?target:Compile.target -> ?cfg:Config.t -> ?mode:Machine.mode ->
-  ?adaptive:Config.adaptive -> t -> run
-(** Compile, initialize a fresh memory, simulate and self-check. *)
+  ?adaptive:Config.adaptive -> ?faults:Xloops_sim.Fault.t ->
+  ?watchdog:int -> ?degrade:bool -> ?fuel:int -> t -> run
+(** {!run_result}, raising [Failure] on a simulation failure. *)
 
-val dynamic_insns : ?target:Compile.target -> t -> int
+val dynamic_insns : ?target:Compile.target -> t -> (int, string) result
 (** Dynamic instruction count of the serial functional execution —
-    Table II's GPI/XLI columns. *)
+    Table II's GPI/XLI columns.  [Error] if the kernel exhausts the
+    functional model's fuel. *)

@@ -13,12 +13,54 @@ type t = {
   mutable loads : int;   (* event counters for the energy model *)
   mutable stores : int;
   mutable amos : int;
+  mutable journal : (int, char) Hashtbl.t option;
+      (* pre-image of every byte written since [journal_begin]; rollback
+         support for the machine's specialized-loop checkpoints *)
 }
 
 let create ?(size = 1 lsl 20) () =
-  { data = Bytes.make size '\000'; size; loads = 0; stores = 0; amos = 0 }
+  { data = Bytes.make size '\000'; size; loads = 0; stores = 0; amos = 0;
+    journal = None }
 
 let size t = t.size
+
+(* -- Write journal ----------------------------------------------------- *)
+
+(* The journal records the first pre-image of each byte written while
+   active; aborting restores them, committing discards them.  This is the
+   memory half of the architectural checkpoint the machine takes at
+   specialized-loop entry (registers being the other half), so a faulted
+   or hung LPSU run can be rolled back and re-executed traditionally. *)
+
+let journal_active t = t.journal <> None
+
+let journal_begin t =
+  if journal_active t then
+    invalid_arg "Memory.journal_begin: journal already active";
+  t.journal <- Some (Hashtbl.create 64)
+
+let journal_commit t =
+  if not (journal_active t) then
+    invalid_arg "Memory.journal_commit: no active journal";
+  t.journal <- None
+
+let journal_abort t =
+  match t.journal with
+  | None -> invalid_arg "Memory.journal_abort: no active journal"
+  | Some j ->
+    Hashtbl.iter (fun addr old -> Bytes.set t.data addr old) j;
+    t.journal <- None
+
+let journal_size t =
+  match t.journal with None -> 0 | Some j -> Hashtbl.length j
+
+let note_write t addr bytes =
+  match t.journal with
+  | None -> ()
+  | Some j ->
+    for a = addr to addr + bytes - 1 do
+      if not (Hashtbl.mem j a) then Hashtbl.add j a (Bytes.get t.data a)
+    done
 
 let check t addr bytes what =
   if addr < 0 || addr + bytes > t.size then
@@ -36,6 +78,7 @@ let get_u8 t addr =
 
 let set_u8 t addr v =
   check t addr 1 "set_u8";
+  note_write t addr 1;
   Bytes.set t.data addr (Char.chr (v land 0xFF))
 
 let get_u16 t addr =
@@ -45,6 +88,7 @@ let get_u16 t addr =
 
 let set_u16 t addr v =
   check t addr 2 "set_u16"; check_align addr 2 "set_u16";
+  note_write t addr 2;
   Bytes.set t.data addr (Char.chr (v land 0xFF));
   Bytes.set t.data (addr + 1) (Char.chr ((v lsr 8) land 0xFF))
 
@@ -54,6 +98,7 @@ let get_i32 t addr : int32 =
 
 let set_i32 t addr (v : int32) =
   check t addr 4 "set_i32"; check_align addr 4 "set_i32";
+  note_write t addr 4;
   Bytes.set_int32_le t.data addr v
 
 let get_int t addr = Int32.to_int (get_i32 t addr)

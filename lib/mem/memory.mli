@@ -11,12 +11,38 @@ type t = {
   mutable loads : int;   (** architectural load count (energy model) *)
   mutable stores : int;
   mutable amos : int;
+  mutable journal : (int, char) Hashtbl.t option;
+      (** pre-images of bytes written while a journal is active *)
 }
 
 val create : ?size:int -> unit -> t
 (** Default size 1 MiB, zero-filled. *)
 
 val size : t -> int
+
+(** {1 Write journal}
+
+    Checkpoint/rollback support for graceful degradation: the machine
+    begins a journal before handing a loop to the LPSU; every byte
+    written records its pre-image, so a faulted or hung specialized run
+    can be rolled back ({!journal_abort}) and the loop re-executed
+    traditionally, or the journal discarded ({!journal_commit}) on a
+    clean finish.  Journals do not nest. *)
+
+val journal_begin : t -> unit
+(** Raises [Invalid_argument] if a journal is already active. *)
+
+val journal_commit : t -> unit
+(** Keep the writes, drop the pre-images.  Raises [Invalid_argument]
+    if no journal is active. *)
+
+val journal_abort : t -> unit
+(** Restore every journalled byte to its pre-image.  Raises
+    [Invalid_argument] if no journal is active. *)
+
+val journal_active : t -> bool
+val journal_size : t -> int
+(** Number of distinct bytes the active journal covers (0 if none). *)
 
 (** {1 Raw accessors} (dataset setup / checking; not event-counted) *)
 

@@ -12,11 +12,12 @@ type t = {
   mutable busy_until : int;          (* for unpipelined occupancy *)
   mutable grants : int;              (* total grants (stats) *)
   mutable conflicts : int;           (* requests that had to retry (stats) *)
+  mutable injected_stalls : int;     (* fault-injected busy windows *)
 }
 
 let create ?(width = 1) name =
   { name; width; cycle = -1; granted = 0; busy_until = 0;
-    grants = 0; conflicts = 0 }
+    grants = 0; conflicts = 0; injected_stalls = 0 }
 
 let sync_cycle t now =
   if now <> t.cycle then begin
@@ -43,9 +44,17 @@ let try_grant ?(occupancy = 1) t ~now =
     memory port until the fill returns). *)
 let hold t ~until = if until > t.busy_until then t.busy_until <- until
 
+(** Fault-injection hook: jam the port for [cycles] starting at [now],
+    as if an external agent held the resource (a transient timeout).
+    Requesters see ordinary conflicts; only the stall's origin differs. *)
+let inject_stall t ~now ~cycles =
+  hold t ~until:(now + cycles);
+  t.injected_stalls <- t.injected_stalls + 1
+
 let grants t = t.grants
 let conflicts t = t.conflicts
+let injected_stalls t = t.injected_stalls
 
 let reset t =
   t.cycle <- -1; t.granted <- 0; t.busy_until <- 0;
-  t.grants <- 0; t.conflicts <- 0
+  t.grants <- 0; t.conflicts <- 0; t.injected_stalls <- 0

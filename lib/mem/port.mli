@@ -14,8 +14,16 @@ val try_grant : ?occupancy:int -> t -> now:int -> bool
 val hold : t -> until:int -> unit
 (** Keep the port busy until the given cycle (miss occupancy). *)
 
+val inject_stall : t -> now:int -> cycles:int -> unit
+(** Fault-injection hook: jam the port for [cycles] starting at [now],
+    modelling a transient resource timeout.  Requesters see ordinary
+    conflicts. *)
+
 val grants : t -> int
 val conflicts : t -> int
 (** Requests that were denied and had to retry. *)
+
+val injected_stalls : t -> int
+(** Number of {!inject_stall} events applied. *)
 
 val reset : t -> unit

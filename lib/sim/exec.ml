@@ -201,19 +201,28 @@ type run = {
   final : hart;
 }
 
+type stop = Out_of_fuel of { pc : int; insns : int; cycle : int }
+
+let pp_stop ppf (Out_of_fuel { pc; insns; cycle }) =
+  Fmt.pf ppf "out of fuel at pc %d after %d instructions (cycle %d)"
+    pc insns cycle
+
 (** Run the program serially from [entry] until [Halt]; the reference
     execution used for correctness checks and for the paper's
-    dynamic-instruction-count columns.  [fuel] bounds runaway programs. *)
+    dynamic-instruction-count columns.  [fuel] bounds runaway programs:
+    exhausting it is a structured [Error], not an exception, so callers
+    report instead of crash. *)
 let run_serial ?(entry = 0) ?(fuel = 200_000_000) prog
-    (m : Xloops_mem.Memory.t) : run =
+    (m : Xloops_mem.Memory.t) : (run, stop) result =
   let h = create_hart ~pc:entry () in
   let mem = direct_mem m in
   let count = ref 0 in
-  (try
-     while !count < fuel do
-       ignore (step prog h mem);
-       incr count
-     done;
-     raise (Trap "out of fuel")
-   with Halted -> ());
-  { dynamic_insns = !count; final = h }
+  try
+    while !count < fuel do
+      ignore (step prog h mem);
+      incr count
+    done;
+    (* The functional model retires one instruction per step, so the
+       instruction count doubles as its cycle count. *)
+    Error (Out_of_fuel { pc = h.pc; insns = !count; cycle = !count })
+  with Halted -> Ok { dynamic_insns = !count; final = h }

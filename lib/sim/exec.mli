@@ -61,7 +61,14 @@ type run = {
   final : hart;
 }
 
+type stop = Out_of_fuel of { pc : int; insns : int; cycle : int }
+(** Structured termination reason for a run that exhausted its fuel
+    (for the functional model, [cycle] = [insns]). *)
+
+val pp_stop : Format.formatter -> stop -> unit
+
 val run_serial : ?entry:int -> ?fuel:int -> Program.t ->
-  Xloops_mem.Memory.t -> run
+  Xloops_mem.Memory.t -> (run, stop) result
 (** Reference serial execution until [Halt]; the paper's
-    dynamic-instruction-count columns come from here. *)
+    dynamic-instruction-count columns come from here.  Fuel exhaustion
+    is reported as [Error], not raised. *)

@@ -57,6 +57,7 @@ type ctx = {
   mutable insns_iter : int;
   mutable next_issue : int;
   mutable exit_flag : int32;   (** .de: exit-register value at loop end *)
+  mutable frozen_until : int;  (** injected lane freeze; [max_int] = dead *)
 }
 
 type cib = {
@@ -67,7 +68,7 @@ type cib = {
   mutable hist : (int * int32 * int) list;
 }
 
-type stall = [ `Raw | `Mem | `Llfu | `Cir | `Lsq | `Idle ]
+type stall = [ `Raw | `Mem | `Llfu | `Cir | `Lsq | `Idle | `Frozen ]
 
 type result = {
   cycles : int;             (** specialized-execution cycles *)
@@ -105,13 +106,20 @@ type t = {
   has_cirs : bool;
   mt_enabled : bool;
   trace : Trace.t option;
+  (* Robustness machinery *)
+  faults : Fault.t option;
+  watchdog : int;                (* no-progress cycles before a hang; 0=off *)
+  mutable last_progress : int;   (* cycle of the last dispatch or commit *)
+  mutable drop_broadcasts : int; (* injected: swallow this many broadcasts *)
+  lane_reason : stall array;     (* last cycle's stall reason per lane *)
 }
 
 let idx_of t k =
   Int32.add t.idx0 (Int32.mul (Int32.of_int k) t.info.Scan.idx_step)
 
 let create ~prog ~mem ~dcache ~(cfg : Config.t) ~stats ~(info : Scan.t)
-    ~(regs : int32 array) ~start_cycle ?stop_after ?trace () =
+    ~(regs : int32 array) ~start_cycle ?stop_after ?trace ?faults
+    ?(watchdog = 0) () =
   let lpsu = match cfg.lpsu with
     | Some l -> l
     | None -> invalid_arg "Lpsu.create: config has no LPSU"
@@ -130,7 +138,7 @@ let create ~prog ~mem ~dcache ~(cfg : Config.t) ~stats ~(info : Scan.t)
           lsq = Lsq.create ~max_loads:lpsu.lsq_loads
               ~max_stores:lpsu.lsq_stores;
           drain_q = []; got_cir = [||]; insns_iter = 0; next_issue = 0;
-          exit_flag = 0l })
+          exit_flag = 0l; frozen_until = 0 })
   in
   let cibs =
     Array.of_list
@@ -151,7 +159,9 @@ let create ~prog ~mem ~dcache ~(cfg : Config.t) ~stats ~(info : Scan.t)
     bound = regs.(info.r_bound);
     next_k = 0; commit_iter = 0; committed = 0; exit_at = None;
     cycle = start_cycle;
-    stop_after; spec_pattern; has_cirs; mt_enabled; trace }
+    stop_after; spec_pattern; has_cirs; mt_enabled; trace;
+    faults; watchdog; last_progress = start_cycle; drop_broadcasts = 0;
+    lane_reason = Array.make lpsu.lanes (`Idle : stall) }
 
 (* -- Dispatch -------------------------------------------------------- *)
 
@@ -176,11 +186,14 @@ let seed_ctx t (c : ctx) k =
   c.got_cir <- Array.make (Array.length t.cibs) false;
   c.insns_iter <- 0
 
+let frozen (t : t) (c : ctx) = t.cycle < c.frozen_until
+
 let dispatch t (c : ctx) =
   let k = t.next_k in
   t.next_k <- k + 1;
   c.iter <- k;
   c.st <- Run;
+  t.last_progress <- t.cycle;
   seed_ctx t c k;
   Lsq.clear c.lsq;
   c.drain_q <- [];
@@ -248,7 +261,16 @@ let rec squash_with_forward_cascade t (c : ctx) =
     cascade; with inter-lane forwarding, consumers of a squashed
     iteration's buffers cascade too. *)
 let broadcast_store t ~from_iter ~(store : Lsq.store_entry) =
-  if t.spec_pattern then begin
+  if t.drop_broadcasts > 0 then begin
+    (* Injected fault: the broadcast is swallowed — speculative lanes
+       that already loaded from the range never hear about the store. *)
+    t.drop_broadcasts <- t.drop_broadcasts - 1;
+    if Trace.enabled t.trace Lanes then
+      Trace.event t.trace Lanes
+        "[%7d] FAULT broadcast of store @%d swallowed" t.cycle
+        store.Lsq.s_addr
+  end
+  else if t.spec_pattern then begin
     t.stats.store_broadcasts <- t.stats.store_broadcasts + 1;
     let addr = store.Lsq.s_addr and bytes = store.Lsq.s_bytes in
     let violated = ref [] in
@@ -406,6 +428,7 @@ let commit_iteration t (c : ctx) =
     Trace.event t.trace Lanes "[%7d] lane%d.%d commit iter=%d (%d insns)"
       t.cycle c.lane c.tid c.iter c.insns_iter;
   t.committed <- t.committed + 1;
+  t.last_progress <- t.cycle;
   t.stats.iterations <- t.stats.iterations + 1;
   t.stats.committed_insns <- t.stats.committed_insns + c.insns_iter;
   if t.spec_pattern then t.commit_iter <- t.commit_iter + 1;
@@ -678,6 +701,72 @@ let attempt_drain t (c : ctx) : (unit, stall) Result.t =
       Ok ()
     end else Error `Mem
 
+(* -- Fault injection --------------------------------------------------- *)
+
+(** First context at or after [lane] (wrapping) satisfying [pred] — fault
+    events name a lane, but the structure they target may live elsewhere
+    this cycle. *)
+let pick_ctx t lane pred =
+  let n = Array.length t.ctxs in
+  let rec go i =
+    if i = n then None
+    else
+      let c = t.ctxs.((lane + i) mod n) in
+      if pred c then Some c else go (i + 1)
+  in
+  go 0
+
+let active c = c.st = Run || c.st = Wait_commit
+
+(** Apply one fault event.  Returns [true] if a target existed; an event
+    with no applicable target is deferred and retried later. *)
+let apply_fault t (e : Fault.event) =
+  match e.ev_kind with
+  | Cib_drop ->
+    Array.length t.cibs > 0
+    && (let cb = t.cibs.(e.ev_lane mod Array.length t.cibs) in
+        match cb.hist with
+        | _ :: (_ :: _ as rest) -> cb.hist <- rest; true
+        | _ -> false)
+  | Cib_dup ->
+    Array.length t.cibs > 0
+    && (let cb = t.cibs.(e.ev_lane mod Array.length t.cibs) in
+        match cb.hist with
+        | (i, v, r) :: _ when cib_lookup cb (i + 1) = None ->
+          cb.hist <- (i + 1, v, r) :: cb.hist; true
+        | _ -> false)
+  | Lsq_drop_load ->
+    (match pick_ctx t e.ev_lane (fun c -> active c && not (Lsq.is_empty c.lsq))
+     with
+     | Some c -> Lsq.drop_newest_load c.lsq
+     | None -> false)
+  | Lsq_lost_broadcast ->
+    t.spec_pattern
+    && (t.drop_broadcasts <- t.drop_broadcasts + 1; true)
+  | Idq_corrupt ->
+    (match pick_ctx t e.ev_lane (fun c -> c.st = Run) with
+     | Some c ->
+       (* A bit-flip in the dispensed index: the iteration computes with
+          a wrong induction value (the LMU's own count is unaffected, so
+          the loop still terminates — the damage is purely data). *)
+       Exec.set c.hart t.info.r_idx
+         (Int32.logxor (Exec.get c.hart t.info.r_idx) 0x40l);
+       true
+     | None -> false)
+  | Mivt_stale ->
+    (match t.miv_bases, pick_ctx t e.ev_lane (fun c -> c.st = Run) with
+     | (r, base, _) :: _, Some c -> Exec.set c.hart r base; true
+     | _ -> false)
+  | Port_stall ->
+    Port.inject_stall t.mem_port ~now:t.cycle
+      ~cycles:(32 + 16 * (e.ev_lane land 3));
+    true
+  | Lane_freeze ->
+    (match pick_ctx t e.ev_lane
+             (fun c -> c.st <> Idle && c.frozen_until < max_int) with
+     | Some c -> c.frozen_until <- max_int; true
+     | None -> false)
+
 (* -- Main loop -------------------------------------------------------- *)
 
 let account_lane_cycle t issued (reason : stall) =
@@ -689,7 +778,7 @@ let account_lane_cycle t issued (reason : stall) =
     | `Llfu -> s.cyc_stall_llfu <- s.cyc_stall_llfu + 1
     | `Cir -> s.cyc_stall_cir <- s.cyc_stall_cir + 1
     | `Lsq -> s.cyc_stall_lsq <- s.cyc_stall_lsq + 1
-    | `Idle -> s.cyc_idle <- s.cyc_idle + 1
+    | `Idle | `Frozen -> s.cyc_idle <- s.cyc_idle + 1
 
 let all_idle t = Array.for_all (fun c -> c.st = Idle) t.ctxs
 
@@ -697,19 +786,76 @@ let all_idle t = Array.for_all (fun c -> c.st = Idle) t.ctxs
 let worse (a : stall) (b : stall) =
   let rank = function
     | `Idle -> 0 | `Raw -> 1 | `Mem -> 2 | `Llfu -> 3 | `Lsq -> 4
-    | `Cir -> 5 in
+    | `Cir -> 5 | `Frozen -> 6 in
   if rank b > rank a then b else a
 
-let run_to_completion t ~fuel =
+(** Name the resource the LPSU is blocked on, from the per-lane stall
+    reasons of the last simulated cycle — the watchdog's diagnosis. *)
+let classify_hang t : Fault.hang =
+  let count p = Array.fold_left (fun n r -> if p r then n + 1 else n) 0
+      t.lane_reason in
+  let frozen_lanes =
+    Array.fold_left (fun n c -> if frozen t c then n + 1 else n) 0 t.ctxs in
+  let resource, detail =
+    if frozen_lanes > 0 then
+      Fault.Lane_frozen,
+      Printf.sprintf "%d lane(s) frozen; commit point pinned at iter %d"
+        frozen_lanes t.commit_iter
+    else if count (fun r -> r = `Cir) > 0 then
+      Fault.Cib_chain,
+      Printf.sprintf "%d lane(s) waiting on a CIB value for iter >= %d"
+        (count (fun r -> r = `Cir)) t.commit_iter
+    else if count (fun r -> r = `Lsq) > 0 then
+      Fault.Lsq_full,
+      Printf.sprintf "%d lane(s) LSQ-bound; oldest uncommitted iter %d"
+        (count (fun r -> r = `Lsq)) t.commit_iter
+    else if count (fun r -> r = `Mem) > 0 then
+      Fault.Port_starved,
+      Printf.sprintf "%d lane(s) denied the shared memory port"
+        (count (fun r -> r = `Mem))
+    else
+      Fault.No_progress,
+      Printf.sprintf "no commit or dispatch for %d cycles"
+        (t.cycle - t.last_progress)
+  in
+  { h_resource = resource; h_cycle = t.cycle; h_committed = t.committed;
+    h_detail = detail }
+
+let run_to_completion t ~fuel : (unit, Fault.hang) Stdlib.result =
   let threads = Array.length t.ctxs / t.lpsu.lanes in
   let start = t.cycle in
   let rotate = ref 0 in
-  while not (all_idle t && not (can_dispense t)) do
+  let failure = ref None in
+  while !failure = None && not (all_idle t && not (can_dispense t)) do
     if t.cycle - start > fuel then
-      raise (Lane_trap "LPSU out of fuel (deadlock or runaway loop?)");
-    (* LMU: dispense iteration indices to idle contexts, in lane order. *)
+      failure := Some { Fault.h_resource = Fault.Fuel; h_cycle = t.cycle;
+                        h_committed = t.committed;
+                        h_detail =
+                          Printf.sprintf "cycle budget %d exhausted" fuel }
+    else if t.watchdog > 0 && t.cycle - t.last_progress > t.watchdog then begin
+      t.stats.watchdog_hangs <- t.stats.watchdog_hangs + 1;
+      failure := Some (classify_hang t)
+    end else begin
+    (match t.faults with
+     | None -> ()
+     | Some plan ->
+       List.iter
+         (fun (e : Fault.event) ->
+            if apply_fault t e then begin
+              Fault.record plan e.ev_kind ~cycle:t.cycle;
+              t.stats.faults_injected <- t.stats.faults_injected + 1;
+              if Trace.enabled t.trace Lanes then
+                Trace.event t.trace Lanes
+                  "[%7d] FAULT inject %a (lane %d)" t.cycle Fault.pp_kind
+                  e.ev_kind e.ev_lane
+            end else Fault.defer plan e)
+         (Fault.due plan ~rel:(t.cycle - start)));
+    (* LMU: dispense iteration indices to idle contexts, in lane order.
+       Frozen contexts take no new work. *)
     Array.iter
-      (fun c -> if c.st = Idle && can_dispense t then dispatch t c)
+      (fun c ->
+         if c.st = Idle && not (frozen t c) && can_dispense t then
+           dispatch t c)
       t.ctxs;
     try_commits t;
     (* Each lane owns [lane_issue_width] issue slots per cycle (1 in the
@@ -727,7 +873,8 @@ let run_to_completion t ~fuel =
         let stalled = ref false in
         while !budget > 0 && not !stalled do
           let r =
-            match c.st with
+            if frozen t c && c.st <> Idle then Error `Frozen
+            else match c.st with
             | Idle -> Error `Idle
             | Wait_commit -> Error `Lsq
             | Drain_commit -> attempt_drain t c
@@ -752,12 +899,15 @@ let run_to_completion t ~fuel =
             reason := worse !reason e
         done
       done;
+      t.lane_reason.(lane) <- (if !issued then `Idle else !reason);
       account_lane_cycle t !issued !reason
     done;
     try_commits t;
     rotate := !rotate + 1;
     t.cycle <- t.cycle + 1
-  done
+    end
+  done;
+  match !failure with None -> Ok () | Some h -> Error h
 
 let finals t =
   let k = Int32.of_int t.committed in
@@ -778,31 +928,59 @@ let finals t =
 
 (** Run specialized execution.  [stop_after] bounds the number of
     iterations dispatched (used by the adaptive profiling phase); in-flight
-    iterations always drain before returning. *)
+    iterations always drain before returning.
+
+    Hangs (watchdog trips and fuel exhaustion) come back as [Error] so the
+    machine can roll back and degrade to traditional execution instead of
+    crashing.  When a fault plan is active, architectural traps raised by a
+    corrupted lane are converted to hangs too — an injected fault must never
+    escape as an exception. *)
 let run ~prog ~mem ~dcache ~cfg ~stats ~info ~regs ~start_cycle ?stop_after
-    ?trace ?(fuel = 500_000_000) () : result =
+    ?trace ?faults ?(watchdog = 0) ?(fuel = 500_000_000) ()
+  : (result, Fault.hang) Stdlib.result =
   let t = create ~prog ~mem ~dcache ~cfg ~stats ~info ~regs ~start_cycle
-      ?stop_after ?trace () in
+      ?stop_after ?trace ?faults ~watchdog () in
   stats.xloops_specialized <- stats.xloops_specialized + 1;
   if Trace.enabled trace Decisions then
     Trace.event trace Decisions
       "[%7d] lpsu start: xloop.%a body=%d idx0=%ld bound=%ld mivs=%d cirs=%d"
       start_cycle Insn.pp_xpat_suffix info.Scan.pat info.body_len t.idx0
       t.bound (List.length info.mivs) (List.length info.cirs);
-  run_to_completion t ~fuel;
-  let cir_finals, miv_finals = finals t in
-  let next_idx = idx_of t t.committed in
-  if Trace.enabled trace Decisions then
-    Trace.event trace Decisions
-      "[%7d] lpsu done: %d iterations in %d cycles, %d violations"
-      t.cycle t.committed (t.cycle - start_cycle) t.stats.violations;
-  { cycles = t.cycle - start_cycle;
-    iterations = t.committed;
-    finished =
-      (match t.info.pat.cp with
-       | Insn.De -> t.exit_at <> None
-       | Fixed | Dyn -> Int32.compare next_idx t.bound >= 0);
-    next_idx;
-    bound = t.bound;
-    cir_finals;
-    miv_finals }
+  let outcome =
+    if faults = None then run_to_completion t ~fuel
+    else
+      (* A corrupted index or MIV can push a lane off the address map or
+         the program; report it as a hang of kind [Trapped]. *)
+      match run_to_completion t ~fuel with
+      | r -> r
+      | exception (Exec.Trap msg | Lane_trap msg) ->
+        Error { Fault.h_resource = Fault.Trapped; h_cycle = t.cycle;
+                h_committed = t.committed; h_detail = msg }
+      | exception Xloops_mem.Memory.Bad_access { addr; what } ->
+        Error { Fault.h_resource = Fault.Trapped; h_cycle = t.cycle;
+                h_committed = t.committed;
+                h_detail = Printf.sprintf "%s at 0x%x" what addr }
+  in
+  match outcome with
+  | Error h ->
+    if Trace.enabled trace Decisions then
+      Trace.event trace Decisions "[%7d] lpsu HANG: %a" t.cycle
+        Fault.pp_hang h;
+    Error h
+  | Ok () ->
+    let cir_finals, miv_finals = finals t in
+    let next_idx = idx_of t t.committed in
+    if Trace.enabled trace Decisions then
+      Trace.event trace Decisions
+        "[%7d] lpsu done: %d iterations in %d cycles, %d violations"
+        t.cycle t.committed (t.cycle - start_cycle) t.stats.violations;
+    Ok { cycles = t.cycle - start_cycle;
+         iterations = t.committed;
+         finished =
+           (match t.info.pat.cp with
+            | Insn.De -> t.exit_at <> None
+            | Fixed | Dyn -> Int32.compare next_idx t.bound >= 0);
+         next_idx;
+         bound = t.bound;
+         cir_finals;
+         miv_finals }

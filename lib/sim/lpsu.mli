@@ -33,10 +33,19 @@ val run :
   start_cycle:int ->
   ?stop_after:int ->
   ?trace:Trace.t ->
+  ?faults:Fault.t ->
+  ?watchdog:int ->
   ?fuel:int ->
-  unit -> result
+  unit -> (result, Fault.hang) Stdlib.result
 (** Run specialized execution of the loop described by [info], with GPP
     register snapshot [regs] (live-ins, MIV bases, initial CIR values).
     [stop_after] bounds the number of iterations dispatched — the
     adaptive profiling phase; in-flight iterations always drain before
-    returning.  [dcache] is the GPP's L1D (the LPSU shares its port). *)
+    returning.  [dcache] is the GPP's L1D (the LPSU shares its port).
+
+    [faults] injects the plan's due events each cycle; [watchdog] (off
+    when 0) declares a hang after that many cycles without a dispatch or
+    commit, classified by the blocked resource.  Hangs — including fuel
+    exhaustion, and architectural traps provoked by an injected fault —
+    return as [Error] so the machine can restore its checkpoint and
+    degrade to traditional execution. *)

@@ -156,6 +156,28 @@ let violated_loads t ~from_iter ~addr ~bytes ~(store : store_entry) =
            | _ -> true))
     t.loads
 
+(* -- Fault-injection hooks --------------------------------------------- *)
+
+(** Forget the newest recorded load (a transiently lost CAM entry): the
+    violation check can no longer see it, so a conflicting broadcast
+    store slips past undetected.  Returns whether there was one. *)
+let drop_newest_load t =
+  match t.loads with
+  | [] -> false
+  | _ :: rest ->
+    t.loads <- rest;
+    t.n_loads <- t.n_loads - 1;
+    true
+
+(** Flip bits in the newest buffered store's value (a transient data-array
+    upset); it drains to memory corrupted.  Returns whether applied. *)
+let corrupt_newest_store t ~mask =
+  match t.stores with
+  | [] -> false
+  | s :: rest ->
+    t.stores <- { s with s_value = Int32.logxor s.s_value mask } :: rest;
+    true
+
 (** Any load entry forwarded from iteration [iter] (such entries must be
     squashed when [iter] itself squashes). *)
 let has_forward_from t iter =

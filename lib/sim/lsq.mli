@@ -70,3 +70,14 @@ val violated_loads :
 val has_forward_from : t -> int -> bool
 (** A load entry forwarded from the given iteration exists (such entries
     squash when that iteration squashes). *)
+
+(** {1 Fault-injection hooks} (see {!Fault}) *)
+
+val drop_newest_load : t -> bool
+(** Forget the newest recorded load — a transiently lost CAM entry that
+    lets a conflicting broadcast slip past violation detection.  Returns
+    whether there was one to drop. *)
+
+val corrupt_newest_store : t -> mask:int32 -> bool
+(** Flip bits in the newest buffered store's value (transient data-array
+    upset).  Returns whether applied. *)

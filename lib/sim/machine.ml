@@ -29,6 +29,20 @@ type result = {
   stats : Stats.t;
 }
 
+(** Why a run could not complete.  Structured data, not an exception:
+    sweep drivers report the failing kernel and keep going. *)
+type failure =
+  | Out_of_fuel of { pc : int; insns : int; cycle : int }
+  | Lpsu_hang of Fault.hang
+
+let pp_failure ppf = function
+  | Out_of_fuel { pc; insns; cycle } ->
+    Fmt.pf ppf "out of fuel at pc %d after %d instructions (cycle %d)"
+      pc insns cycle
+  | Lpsu_hang h -> Fault.pp_hang ppf h
+
+exception Stuck of failure
+
 type apt_entry =
   | Profiling of {
       mutable iters : int;
@@ -55,11 +69,18 @@ type t = {
   timing : Gpp_timing.t;
   apt : (int, apt_entry) Hashtbl.t;
   scan_fail : (int, Scan.fallback_reason) Hashtbl.t;
+  faults : Fault.t option;
+  watchdog : int;
+  degrade : bool;
+  degraded : (int, unit) Hashtbl.t;
+      (* xloop PCs pinned to traditional execution after a rollback *)
+  mutable hangs : Fault.hang list;   (* newest first *)
   mutable insns : int;
 }
 
 let create ?(adaptive = Config.default_adaptive)
-    ?(lpsu_fuel = 500_000_000) ?trace ~cfg ~mode ~prog ~mem
+    ?(lpsu_fuel = 500_000_000) ?trace ?faults ?(watchdog = 50_000)
+    ?(degrade = true) ~cfg ~mode ~prog ~mem
     ?(entry = 0) () =
   (match mode, cfg.Config.lpsu with
    | (Specialized | Adaptive), None ->
@@ -72,7 +93,12 @@ let create ?(adaptive = Config.default_adaptive)
     timing = Gpp_timing.create cfg.Config.gpp stats;
     apt = Hashtbl.create 8;
     scan_fail = Hashtbl.create 8;
+    faults; watchdog; degrade;
+    degraded = Hashtbl.create 4;
+    hangs = [];
     insns = 0 }
+
+let hangs t = List.rev t.hangs
 
 (* -- Specialized-execution plumbing ---------------------------------- *)
 
@@ -111,8 +137,10 @@ let analyze t ~pc =
       Error reason)
 
 (** Run the LPSU over (part of) the xloop described by [info], starting
-    after a scan phase, and bring the GPP state up to date.  Returns the
-    LPSU result. *)
+    after a scan phase, and bring the GPP state up to date.  On [Ok] the
+    LPSU's results are written back; on [Error] (hang) GPP state is left
+    untouched except for the clock, which honestly pays for the cycles
+    spent detecting the hang. *)
 let run_lpsu ?stop_after t (info : Scan.t) =
   Gpp_timing.barrier t.timing;
   let scan = Gpp_timing.scan_cycles t.timing (lpsu_cfg t)
@@ -124,18 +152,105 @@ let run_lpsu ?stop_after t (info : Scan.t) =
     Trace.event t.trace Decisions
       "[%7d] scan xloop@%d (%d instructions, %d scan cycles)"
       (Gpp_timing.now t.timing) info.Scan.xloop_pc info.body_len scan;
-  let r = Lpsu.run ~prog:t.prog ~mem:t.mem
-      ~dcache:(Gpp_timing.l1d t.timing) ~cfg:t.cfg ~stats:t.stats
-      ~info ~regs:t.hart.regs ~start_cycle ?stop_after
-      ?trace:t.trace ~fuel:t.lpsu_fuel () in
-  writeback t info r;
-  Gpp_timing.skip_to t.timing (start_cycle + r.cycles);
-  r
+  match Lpsu.run ~prog:t.prog ~mem:t.mem
+          ~dcache:(Gpp_timing.l1d t.timing) ~cfg:t.cfg ~stats:t.stats
+          ~info ~regs:t.hart.regs ~start_cycle ?stop_after
+          ?trace:t.trace ?faults:t.faults ~watchdog:t.watchdog
+          ~fuel:t.lpsu_fuel () with
+  | Ok r ->
+    writeback t info r;
+    Gpp_timing.skip_to t.timing (start_cycle + r.cycles);
+    Ok r
+  | Error h ->
+    Gpp_timing.skip_to t.timing h.Fault.h_cycle;
+    Error h
+
+(** Outcome of one attempt at specialized execution under the safety net. *)
+type spec_outcome =
+  | Completed of Lpsu.result
+  | Degraded   (** rolled back; the GPP re-executes the loop traditionally *)
+
+(** Pin [pc] to traditional execution for the rest of the run. *)
+let mark_degraded t ~pc =
+  Hashtbl.replace t.degraded pc ();
+  Hashtbl.replace t.apt pc (decided false);
+  t.stats.degradations <- t.stats.degradations + 1;
+  t.stats.xloops_traditional <- t.stats.xloops_traditional + 1
+
+(** Specialize under an architectural checkpoint: GPP registers are
+    snapshotted and every memory write journalled for the duration of the
+    LPSU run.  Three outcomes:
+
+    - clean completion: commit the journal, keep the specialized result;
+    - hang (watchdog, fuel, or a fault-provoked trap): roll everything
+      back and degrade;
+    - completion with faults injected mid-run: the result cannot be
+      trusted (the corruption may be architecturally silent), so roll
+      back and degrade just the same.
+
+    Degrading restores the exact state at loop entry, so the GPP resumes
+    at the body head and re-executes the loop with its traditional
+    (conditional-branch) semantics — the program's final state is then
+    bit-identical to a never-specialized run. *)
+let try_specialize ?stop_after t (info : Scan.t) =
+  let pc = info.Scan.xloop_pc in
+  let snap_regs = Array.copy t.hart.regs in
+  let snap_pc = t.hart.pc in
+  let injected_before =
+    match t.faults with Some p -> Fault.injected p | None -> 0 in
+  Memory.journal_begin t.mem;
+  let outcome =
+    try run_lpsu ?stop_after t info
+    with e ->
+      (* e.g. Lane_trap from a malformed body with no fault plan active:
+         don't leave the journal open behind the escaping exception. *)
+      Memory.journal_abort t.mem;
+      raise e
+  in
+  let injected =
+    (match t.faults with Some p -> Fault.injected p | None -> 0)
+    - injected_before
+  in
+  let rollback why =
+    Memory.journal_abort t.mem;
+    Array.blit snap_regs 0 t.hart.regs 0 (Array.length snap_regs);
+    t.hart.pc <- snap_pc;
+    mark_degraded t ~pc;
+    if Trace.enabled t.trace Decisions then
+      Trace.event t.trace Decisions
+        "[%7d] xloop@%d: %s; rolled back, degrading to traditional"
+        (Gpp_timing.now t.timing) pc why
+  in
+  match outcome with
+  | Ok r when injected = 0 ->
+    Memory.journal_commit t.mem;
+    Completed r
+  | Ok r when not t.degrade ->
+    (* Safety net disabled: keep the possibly-corrupt result. *)
+    Memory.journal_commit t.mem;
+    Completed r
+  | Ok _ ->
+    rollback
+      (Printf.sprintf "completed under %d injected fault(s)" injected);
+    Degraded
+  | Error h ->
+    t.hangs <- h :: t.hangs;
+    if t.degrade then begin
+      rollback (Fmt.str "%a" Fault.pp_hang h);
+      Degraded
+    end else begin
+      Memory.journal_abort t.mem;
+      Array.blit snap_regs 0 t.hart.regs 0 (Array.length snap_regs);
+      t.hart.pc <- snap_pc;
+      raise (Stuck (Lpsu_hang h))
+    end
 
 let specialize_fully t (info : Scan.t) =
-  let r = run_lpsu t info in
-  assert r.finished;
-  t.hart.pc <- info.xloop_pc + 1
+  match try_specialize t info with
+  | Completed r ->
+    assert r.finished;
+    t.hart.pc <- info.xloop_pc + 1
+  | Degraded -> ()   (* GPP resumes at the body head, traditionally *)
 
 (* -- Adaptive execution ----------------------------------------------- *)
 
@@ -194,78 +309,92 @@ let adaptive_step t ~pc (ev : Exec.event) =
           if Trace.enabled t.trace Decisions then
             Trace.event t.trace Decisions
               "xloop@%d: GPP profile done (%d iters, %d cycles); trying                the LPSU" pc p.iters p.cycles;
-          let r = run_lpsu ~stop_after:budget t info in
-          let spec_faster =
-            (* cycles-per-iteration comparison, cross-multiplied. *)
-            r.iterations > 0
-            && r.cycles * p.iters <= p.cycles * r.iterations
-          in
-          if r.finished then begin
-            t.hart.pc <- info.xloop_pc + 1;
-            Hashtbl.replace t.apt pc (decided spec_faster)
-          end else if spec_faster then begin
-            (* Stay on the LPSU for the rest of the loop. *)
-            let r2 = run_lpsu t info in
-            assert r2.finished;
-            t.hart.pc <- info.xloop_pc + 1;
-            Hashtbl.replace t.apt pc (decided true)
-          end else begin
-            (* Migrate back: the GPP finishes the remaining iterations. *)
-            if Trace.enabled t.trace Decisions then
-              Trace.event t.trace Decisions
-                "xloop@%d: specialized slower (%d cyc / %d iters);                  migrating back to the GPP" pc r.cycles r.iterations;
-            t.stats.migrations <- t.stats.migrations + 1;
-            t.hart.pc <- info.body_start;
-            Hashtbl.replace t.apt pc (decided false)
-          end
+          match try_specialize ~stop_after:budget t info with
+          | Degraded -> ()   (* mark_degraded already decided false *)
+          | Completed r ->
+            let spec_faster =
+              (* cycles-per-iteration comparison, cross-multiplied. *)
+              r.iterations > 0
+              && r.cycles * p.iters <= p.cycles * r.iterations
+            in
+            if r.finished then begin
+              t.hart.pc <- info.xloop_pc + 1;
+              Hashtbl.replace t.apt pc (decided spec_faster)
+            end else if spec_faster then begin
+              (* Stay on the LPSU for the rest of the loop. *)
+              match try_specialize t info with
+              | Degraded -> ()
+              | Completed r2 ->
+                assert r2.finished;
+                t.hart.pc <- info.xloop_pc + 1;
+                Hashtbl.replace t.apt pc (decided true)
+            end else begin
+              (* Migrate back: the GPP finishes the remaining iterations. *)
+              if Trace.enabled t.trace Decisions then
+                Trace.event t.trace Decisions
+                  "xloop@%d: specialized slower (%d cyc / %d iters);                  migrating back to the GPP" pc r.cycles r.iterations;
+              t.stats.migrations <- t.stats.migrations + 1;
+              t.hart.pc <- info.body_start;
+              Hashtbl.replace t.apt pc (decided false)
+            end
       end
     end
 
 (* -- Main loop --------------------------------------------------------- *)
 
-exception Out_of_fuel
-
 (** Execute the program to completion ([Halt]).  [fuel] bounds the number
-    of GPP-committed instructions. *)
-let run ?(fuel = 500_000_000) t : result =
-  (try
-     let steps = ref 0 in
-     while true do
-       if !steps > fuel then raise Out_of_fuel;
-       incr steps;
-       let ev = Exec.step t.prog t.hart (Exec.direct_mem t.mem) in
-       if Trace.enabled t.trace Insns then
-         Trace.event t.trace Insns "[%7d] gpp      %4d: %a"
-           (Gpp_timing.now t.timing) ev.pc
-           Xloops_isa.Insn.pp_resolved ev.insn;
-       Gpp_timing.consume t.timing ev;
-       (match ev.insn with
-        | Xloop (_, _, _, _) when t.cfg.Config.lpsu <> None ->
-          if ev.taken then t.stats.iterations <- t.stats.iterations + 1;
-          (match t.mode with
-           | Traditional -> ()
-           | Specialized ->
-             if ev.taken then
-               (match analyze t ~pc:ev.pc with
-                | Ok info -> specialize_fully t info
-                | Error _ -> ())
-           | Adaptive ->
-             (* Both edges matter: taken drives profiling/decisions,
-                fall-through marks the end of a dynamic instance. *)
-             adaptive_step t ~pc:ev.pc ev)
-        | Xloop _ when ev.taken ->
-          t.stats.iterations <- t.stats.iterations + 1
-        | _ -> ())
-     done
-   with Exec.Halted -> ());
-  Gpp_timing.barrier t.timing;
-  { cycles = Gpp_timing.now t.timing;
-    insns = t.stats.committed_insns;
-    stats = t.stats }
+    of GPP-committed instructions; exhausting it — or an LPSU hang with
+    degradation disabled — is reported as [Error], never raised. *)
+let run ?(fuel = 500_000_000) t : (result, failure) Stdlib.result =
+  try
+    (try
+       let steps = ref 0 in
+       while true do
+         if !steps > fuel then
+           raise (Stuck (Out_of_fuel { pc = t.hart.pc; insns = !steps;
+                                       cycle = Gpp_timing.now t.timing }));
+         incr steps;
+         let ev = Exec.step t.prog t.hart (Exec.direct_mem t.mem) in
+         if Trace.enabled t.trace Insns then
+           Trace.event t.trace Insns "[%7d] gpp      %4d: %a"
+             (Gpp_timing.now t.timing) ev.pc
+             Xloops_isa.Insn.pp_resolved ev.insn;
+         Gpp_timing.consume t.timing ev;
+         (match ev.insn with
+          | Xloop (_, _, _, _)
+            when t.cfg.Config.lpsu <> None
+              && not (Hashtbl.mem t.degraded ev.pc) ->
+            if ev.taken then t.stats.iterations <- t.stats.iterations + 1;
+            (match t.mode with
+             | Traditional -> ()
+             | Specialized ->
+               if ev.taken then
+                 (match analyze t ~pc:ev.pc with
+                  | Ok info -> specialize_fully t info
+                  | Error _ -> ())
+             | Adaptive ->
+               (* Both edges matter: taken drives profiling/decisions,
+                  fall-through marks the end of a dynamic instance. *)
+               adaptive_step t ~pc:ev.pc ev)
+          | Xloop _ when ev.taken ->
+            t.stats.iterations <- t.stats.iterations + 1
+          | _ -> ())
+       done
+     with Exec.Halted -> ());
+    Gpp_timing.barrier t.timing;
+    Ok { cycles = Gpp_timing.now t.timing;
+         insns = t.stats.committed_insns;
+         stats = t.stats }
+  with Stuck f -> Error f
+
+let ok_exn = function
+  | Ok r -> r
+  | Error f -> failwith (Fmt.str "Machine.run: %a" pp_failure f)
 
 (** One-call convenience: build a machine and run [prog] on [mem]. *)
-let simulate ?adaptive ?lpsu_fuel ?trace ?entry ?fuel ~cfg ~mode prog mem
-  : result =
-  let t = create ?adaptive ?lpsu_fuel ?trace ~cfg ~mode ~prog ~mem
-      ?entry () in
+let simulate ?adaptive ?lpsu_fuel ?trace ?faults ?watchdog ?degrade
+    ?entry ?fuel ~cfg ~mode prog mem
+  : (result, failure) Stdlib.result =
+  let t = create ?adaptive ?lpsu_fuel ?trace ?faults ?watchdog ?degrade
+      ~cfg ~mode ~prog ~mem ?entry () in
   run ?fuel t

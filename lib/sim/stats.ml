@@ -47,6 +47,11 @@ type t = {
   mutable xloops_specialized : int;(** dynamic xloops run on the LPSU *)
   mutable xloops_traditional : int;(** dynamic xloops run on the GPP *)
   mutable migrations : int;        (** adaptive GPP<->LPSU migrations *)
+  (* Robustness: fault injection, watchdog, graceful degradation *)
+  mutable faults_injected : int;   (** transient faults applied by a plan *)
+  mutable watchdog_hangs : int;    (** structured hangs the watchdog caught *)
+  mutable degradations : int;      (** specialized loops rolled back and
+                                       re-executed traditionally *)
   (* LPSU per-lane cycle breakdown (Figure 6) *)
   mutable cyc_exec : int;
   mutable cyc_stall_raw : int;
@@ -70,6 +75,7 @@ let create () = {
   store_broadcasts = 0; lsq_forwards = 0; violations = 0;
   scan_insns = 0; cib_reads = 0; cib_writes = 0; idq_ops = 0;
   xloops_specialized = 0; xloops_traditional = 0; migrations = 0;
+  faults_injected = 0; watchdog_hangs = 0; degradations = 0;
   cyc_exec = 0; cyc_stall_raw = 0; cyc_stall_mem = 0; cyc_stall_llfu = 0;
   cyc_stall_cir = 0; cyc_stall_lsq = 0; cyc_squash = 0; cyc_idle = 0;
 }
@@ -110,6 +116,9 @@ let merge ~into (s : t) =
   into.xloops_specialized <- into.xloops_specialized + s.xloops_specialized;
   into.xloops_traditional <- into.xloops_traditional + s.xloops_traditional;
   into.migrations <- into.migrations + s.migrations;
+  into.faults_injected <- into.faults_injected + s.faults_injected;
+  into.watchdog_hangs <- into.watchdog_hangs + s.watchdog_hangs;
+  into.degradations <- into.degradations + s.degradations;
   into.cyc_exec <- into.cyc_exec + s.cyc_exec;
   into.cyc_stall_raw <- into.cyc_stall_raw + s.cyc_stall_raw;
   into.cyc_stall_mem <- into.cyc_stall_mem + s.cyc_stall_mem;
@@ -142,7 +151,8 @@ let pp ppf s =
      fetch: ic=%d ib=%d  rf: %dr/%dw@,\
      exec: alu=%d mul=%d div=%d fpu=%d xi=%d br=%d (misp=%d)@,\
      mem: d$=%d (miss=%d) amo=%d lsq=%ds/%dw viol=%d@,\
-     lpsu: scan=%d cib=%dr/%dw idq=%d spec=%d trad=%d migr=%d@]"
+     lpsu: scan=%d cib=%dr/%dw idq=%d spec=%d trad=%d migr=%d@,\
+     robust: faults=%d hangs=%d degraded=%d@]"
     s.committed_insns s.squashed_insns s.iterations
     s.icache_fetches s.ib_fetches s.rf_reads s.rf_writes
     s.alu_ops s.mul_ops s.div_ops s.fpu_ops s.xi_ops s.branches
@@ -150,3 +160,4 @@ let pp ppf s =
     s.lsq_searches s.lsq_writes s.violations
     s.scan_insns s.cib_reads s.cib_writes s.idq_ops
     s.xloops_specialized s.xloops_traditional s.migrations
+    s.faults_injected s.watchdog_hangs s.degradations

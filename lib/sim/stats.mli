@@ -37,6 +37,10 @@ type t = {
   mutable xloops_specialized : int;
   mutable xloops_traditional : int;
   mutable migrations : int;    (** adaptive LPSU->GPP migrations *)
+  mutable faults_injected : int; (** transient faults applied by a plan *)
+  mutable watchdog_hangs : int;  (** structured hangs the watchdog caught *)
+  mutable degradations : int;    (** specialized loops rolled back and
+                                     re-executed traditionally *)
   (* Per-lane cycle breakdown (Figure 6). *)
   mutable cyc_exec : int;
   mutable cyc_stall_raw : int;

@@ -6,6 +6,11 @@ module B = Xloops_asm.Builder
 module Program = Xloops_asm.Program
 module Layout = Xloops_asm.Layout
 
+let run_serial p mem =
+  match Xloops_sim.Exec.run_serial p mem with
+  | Ok r -> r
+  | Error stop -> failwith (Fmt.str "%a" Xloops_sim.Exec.pp_stop stop)
+
 let test_labels () =
   let b = B.create () in
   B.label b "start";
@@ -63,7 +68,7 @@ let test_li_large () =
   B.li b2 8 0x12345678;
   B.halt b2;
   let p2 = B.assemble b2 in
-  let r = Xloops_sim.Exec.run_serial p2 mem in
+  let r = run_serial p2 mem in
   Alcotest.(check int32) "value" 0x12345678l r.final.regs.(8)
 
 let test_li_negative_large () =
@@ -72,7 +77,7 @@ let test_li_negative_large () =
   B.li b 8 (-123456789);
   B.halt b;
   let p = B.assemble b in
-  let r = Xloops_sim.Exec.run_serial p mem in
+  let r = run_serial p mem in
   Alcotest.(check int32) "negative" (-123456789l) r.final.regs.(8)
 
 let test_fresh_labels () =
@@ -140,7 +145,7 @@ let test_parse_loop () =
   let p = Parser.parse src in
   Alcotest.(check int) "length" 7 (Program.length p);
   let mem = Xloops_mem.Memory.create () in
-  ignore (Xloops_sim.Exec.run_serial p mem);
+  ignore (run_serial p mem);
   Alcotest.(check int) "sum 5..1" 15 (Xloops_mem.Memory.get_int mem 0x100)
 
 let test_parse_memory_and_amo () =
@@ -155,7 +160,7 @@ let test_parse_memory_and_amo () =
   |} in
   let p = Parser.parse src in
   let mem = Xloops_mem.Memory.create () in
-  let r = Xloops_sim.Exec.run_serial p mem in
+  let r = run_serial p mem in
   Alcotest.(check int32) "amo old" 7l r.final.regs.(9);
   Alcotest.(check int32) "lw" 14l r.final.regs.(10)
 

@@ -153,7 +153,7 @@ let run_compiled ?(cfg = Config.io) ?(mode = Machine.Traditional)
     (c : Compile.compiled) ~init ~out ~out_len =
   let mem = Memory.create () in
   init c mem;
-  let r = Machine.simulate ~cfg ~mode c.program mem in
+  let r = Machine.ok_exn (Machine.simulate ~cfg ~mode c.program mem) in
   (r, Memory.read_int_array mem ~addr:(c.array_base out) ~n:out_len)
 
 let init_vadd n (c : Compile.compiled) mem =
@@ -397,7 +397,9 @@ let test_float_kernel () =
     Memory.set_f32 mem (c.array_base "fx" + 4 * j) (float_of_int j);
     Memory.set_f32 mem (c.array_base "fy" + 4 * j) 1.0
   done;
-  ignore (Machine.simulate ~cfg:Config.io_x ~mode:Specialized c.program mem);
+  ignore (Machine.ok_exn
+            (Machine.simulate ~cfg:Config.io_x ~mode:Specialized
+               c.program mem));
   for j = 0 to 7 do
     Alcotest.(check (float 0.001)) (Printf.sprintf "fy[%d]" j)
       ((2.5 *. float_of_int j) +. 1.0)

@@ -14,6 +14,11 @@ module Registry = Xloops_kernels.Registry
 
 let de dp = { Insn.dp; cp = De }
 
+let run_serial p mem =
+  match Xloops_sim.Exec.run_serial p mem with
+  | Ok r -> r
+  | Error stop -> failwith (Fmt.str "%a" Xloops_sim.Exec.pp_stop stop)
+
 let test_encode_roundtrip () =
   List.iter
     (fun dp ->
@@ -57,7 +62,7 @@ let test_traditional_semantics () =
   Xloops_asm.Builder.xloop b (de Insn.Uc) t0 t1 "body";
   Xloops_asm.Builder.halt b;
   let p = Xloops_asm.Builder.assemble b in
-  let r = Xloops_sim.Exec.run_serial p (Memory.create ()) in
+  let r = run_serial p (Memory.create ()) in
   Alcotest.(check int32) "sum 0..4" 10l r.final.regs.(t2)
 
 (* The find-de kernel end to end across targets and machines. *)

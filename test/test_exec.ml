@@ -6,13 +6,18 @@ module B = Xloops_asm.Builder
 module Memory = Xloops_mem.Memory
 module Exec = Xloops_sim.Exec
 
+let run_serial ?fuel p mem =
+  match Exec.run_serial ?fuel p mem with
+  | Ok r -> r
+  | Error stop -> failwith (Fmt.str "%a" Exec.pp_stop stop)
+
 let run_prog build =
   let b = B.create () in
   build b;
   B.halt b;
   let p = B.assemble b in
   let mem = Memory.create () in
-  let r = Exec.run_serial p mem in
+  let r = run_serial p mem in
   (r, mem)
 
 let reg (r : Exec.run) n = r.final.regs.(n)
@@ -172,7 +177,7 @@ let test_dynamic_count () =
   B.bne b 8 0 "top";
   B.halt b;
   let p = B.assemble b in
-  let r = Exec.run_serial p (Memory.create ()) in
+  let r = run_serial p (Memory.create ()) in
   (* li + 3*(addi+bne) = 7 *)
   Alcotest.(check int) "dyn insns" 7 r.dynamic_insns
 
@@ -181,16 +186,19 @@ let test_fuel () =
   B.label b "spin";
   B.jump b "spin";
   let p = B.assemble b in
-  Alcotest.(check bool) "traps" true
-    (try ignore (Exec.run_serial ~fuel:1000 p (Memory.create ())); false
-     with Exec.Trap _ -> true)
+  match Exec.run_serial ~fuel:1000 p (Memory.create ()) with
+  | Ok _ -> Alcotest.fail "expected Out_of_fuel"
+  | Error (Exec.Out_of_fuel { pc; insns; cycle }) ->
+    Alcotest.(check int) "pc at the spin" 0 pc;
+    Alcotest.(check int) "insns = fuel" 1000 insns;
+    Alcotest.(check int) "functional cycles = insns" insns cycle
 
 let test_pc_out_of_range () =
   let b = B.create () in
   B.nop b;  (* falls off the end *)
   let p = B.assemble b in
   Alcotest.(check bool) "traps" true
-    (try ignore (Exec.run_serial p (Memory.create ())); false
+    (try ignore (run_serial p (Memory.create ())); false
      with Exec.Trap _ -> true)
 
 (* -- properties ----------------------------------------------------------- *)

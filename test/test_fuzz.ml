@@ -162,7 +162,7 @@ let run_case target cfg mode (c : case) =
     (Xloops_kernels.Dataset.ints ~seed:c.seed_a ~n ~bound:1000);
   Memory.blit_int_array mem ~addr:(compiled.array_base "b")
     (Xloops_kernels.Dataset.ints ~seed:c.seed_b ~n ~bound:1000);
-  ignore (Machine.simulate ~cfg ~mode compiled.program mem);
+  ignore (Machine.ok_exn (Machine.simulate ~cfg ~mode compiled.program mem));
   (Memory.read_int_array mem ~addr:(compiled.array_base "c") ~n,
    Memory.get_int mem (compiled.array_base "accout"))
 
@@ -205,10 +205,38 @@ let prop_design_space_differential =
        && reference
           = run_case Compile.xloops Config.io_x_ss2 Machine.Specialized c)
 
+(* Random fault plans: with the safety net on, a specialized run under
+   injected transient faults must still complete and leave memory
+   identical to the serial reference — degrading to traditional
+   re-execution whenever the plan actually bites. *)
+let run_case_faulted fault_seed (c : case) =
+  let compiled = Compile.compile ~target:Compile.xloops (kernel_of c) in
+  let mem = Memory.create () in
+  Memory.blit_int_array mem ~addr:(compiled.array_base "a")
+    (Xloops_kernels.Dataset.ints ~seed:c.seed_a ~n ~bound:1000);
+  Memory.blit_int_array mem ~addr:(compiled.array_base "b")
+    (Xloops_kernels.Dataset.ints ~seed:c.seed_b ~n ~bound:1000);
+  let faults = Xloops_sim.Fault.plan ~seed:fault_seed ~events:10 () in
+  (match Machine.simulate ~faults ~watchdog:20_000 ~cfg:Config.io_x
+           ~mode:Machine.Specialized compiled.program mem with
+   | Ok _ -> ()
+   | Error f ->
+     QCheck.Test.fail_reportf "faulted run failed: %a" Machine.pp_failure f);
+  (Memory.read_int_array mem ~addr:(compiled.array_base "c") ~n,
+   Memory.get_int mem (compiled.array_base "accout"))
+
+let prop_fault_differential =
+  QCheck.Test.make ~name:"faulted+degraded matches serial" ~count:100
+    (QCheck.pair arb_case QCheck.small_nat)
+    (fun (c, fault_seed) ->
+       run_case Compile.general Config.io Machine.Traditional c
+       = run_case_faulted fault_seed c)
+
 let () =
   Alcotest.run "fuzz"
     [ ("differential",
        [ QCheck_alcotest.to_alcotest prop_differential;
          QCheck_alcotest.to_alcotest prop_adaptive_differential;
-         QCheck_alcotest.to_alcotest prop_design_space_differential ]);
+         QCheck_alcotest.to_alcotest prop_design_space_differential;
+         QCheck_alcotest.to_alcotest prop_fault_differential ]);
     ]

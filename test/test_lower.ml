@@ -74,8 +74,9 @@ let run_op target op =
   let a = operands 11 and b = operands 23 in
   Array.iteri (fun j v -> Memory.set_i32 mem (c.array_base "a" + 4 * j) v) a;
   Array.iteri (fun j v -> Memory.set_i32 mem (c.array_base "b" + 4 * j) v) b;
-  ignore (Machine.simulate ~cfg:Config.io ~mode:Machine.Traditional
-            c.program mem);
+  ignore (Machine.ok_exn
+            (Machine.simulate ~cfg:Config.io ~mode:Machine.Traditional
+               c.program mem));
   (a, b, Array.init n (fun j -> Memory.get_i32 mem (c.array_base "c" + 4 * j)))
 
 let test_int_op target (name, op, reference) () =
@@ -118,8 +119,9 @@ let test_float_op (name, op, reference) () =
   let fb = Xloops_kernels.Dataset.floats ~seed:41 ~n ~scale:50.0 in
   Array.iteri (fun j v -> Memory.set_f32 mem (c.array_base "fa" + 4 * j) v) fa;
   Array.iteri (fun j v -> Memory.set_f32 mem (c.array_base "fb" + 4 * j) v) fb;
-  ignore (Machine.simulate ~cfg:Config.io_x ~mode:Machine.Specialized
-            c.program mem);
+  ignore (Machine.ok_exn
+            (Machine.simulate ~cfg:Config.io_x ~mode:Machine.Specialized
+               c.program mem));
   for j = 0 to n - 1 do
     let want = reference (f32 fa.(j)) (f32 fb.(j)) in
     let got = Memory.get_f32 mem (c.array_base "fc" + 4 * j) in
@@ -150,8 +152,9 @@ let test_minmax_aliasing () =
   in
   let c = Compile.compile k in
   let mem = Memory.create () in
-  ignore (Machine.simulate ~cfg:Config.io ~mode:Machine.Traditional
-            c.program mem);
+  ignore (Machine.ok_exn
+            (Machine.simulate ~cfg:Config.io ~mode:Machine.Traditional
+               c.program mem));
   Alcotest.(check (array int)) "aliasing" [| 3; 7; 3; 7 |]
     (Memory.read_int_array mem ~addr:(c.array_base "out") ~n:4)
 
@@ -171,8 +174,9 @@ let test_conversions () =
   in
   let c = Compile.compile k in
   let mem = Memory.create () in
-  ignore (Machine.simulate ~cfg:Config.io ~mode:Machine.Traditional
-            c.program mem);
+  ignore (Machine.ok_exn
+            (Machine.simulate ~cfg:Config.io ~mode:Machine.Traditional
+               c.program mem));
   Alcotest.(check (float 0.001)) "i->f" 7.0
     (Memory.get_f32 mem (c.array_base "fi"));
   Alcotest.(check (float 0.001)) "i->f neg" (-3.0)

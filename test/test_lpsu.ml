@@ -57,7 +57,8 @@ let check_vector_add n mem =
       (Memory.get_int mem (base_a + 4 * i))
   done
 
-let run ~cfg ~mode prog mem = Machine.simulate ~cfg ~mode prog mem
+let run ~cfg ~mode prog mem =
+  Machine.ok_exn (Machine.simulate ~cfg ~mode prog mem)
 
 let test_uc_traditional () =
   let n = 64 in
@@ -414,21 +415,29 @@ let test_runaway_db_loop_traps () =
   B.halt b;
   let prog = B.assemble b in
   let mem = Memory.create () in
-  Alcotest.(check bool) "traps on fuel" true
-    (try
-       ignore (Machine.simulate ~fuel:200_000 ~lpsu_fuel:100_000
-                 ~cfg:Config.io_x ~mode:Specialized prog mem);
-       false
-     with Xloops_sim.Lpsu.Lane_trap _ | Machine.Out_of_fuel -> true)
+  (* The LPSU exhausts its cycle budget (a structured Fuel hang), the
+     safety net rolls the loop back to its entry checkpoint, and the
+     traditional re-execution then runs the GPP out of fuel: the runaway
+     is reported, not raised. *)
+  match Machine.simulate ~fuel:200_000 ~lpsu_fuel:100_000
+          ~cfg:Config.io_x ~mode:Specialized prog mem with
+  | Ok _ -> Alcotest.fail "runaway loop completed?"
+  | Error (Machine.Lpsu_hang h) ->
+    Alcotest.failf "hang escaped degradation: %a" Xloops_sim.Fault.pp_hang h
+  | Error (Machine.Out_of_fuel _) -> ()
 
 let test_machine_fuel () =
   let b = B.create () in
   B.label b "spin";
   B.jump b "spin";
   let prog = B.assemble b in
-  Alcotest.check_raises "machine fuel" Machine.Out_of_fuel (fun () ->
-      ignore (Machine.simulate ~fuel:5000 ~cfg:Config.io
-                ~mode:Traditional prog (Memory.create ())))
+  match Machine.simulate ~fuel:5000 ~cfg:Config.io
+          ~mode:Traditional prog (Memory.create ()) with
+  | Ok _ -> Alcotest.fail "expected Out_of_fuel"
+  | Error (Machine.Lpsu_hang _) -> Alcotest.fail "expected Out_of_fuel"
+  | Error (Machine.Out_of_fuel { pc; insns; cycle = _ }) ->
+    Alcotest.(check int) "pc at the spin" 0 pc;
+    Alcotest.(check bool) "burned the budget" true (insns > 5000)
 
 let test_superscalar_lanes_help_or () =
   (* Dual-issue lanes attack exactly what limits the or kernels: the
@@ -461,7 +470,9 @@ let test_lane_pc_escape_traps () =
   let mem = Memory.create () in
   Alcotest.(check bool) "lane trap" true
     (try
-       ignore (Machine.simulate ~cfg:Config.io_x ~mode:Specialized prog mem);
+       ignore (Machine.ok_exn
+                 (Machine.simulate ~cfg:Config.io_x ~mode:Specialized
+                    prog mem));
        false
      with Xloops_sim.Lpsu.Lane_trap _ -> true)
 

@@ -40,8 +40,10 @@ let fresh_mem n =
   for i = 0 to n - 1 do Memory.set_int m (base_in + 4 * i) (i * 2) done;
   m
 
-let cycles ~cfg ~mode prog mem =
-  (Machine.simulate ~cfg ~mode prog mem).Machine.cycles
+let simulate ?adaptive ~cfg ~mode prog mem =
+  Machine.ok_exn (Machine.simulate ?adaptive ~cfg ~mode prog mem)
+
+let cycles ~cfg ~mode prog mem = (simulate ~cfg ~mode prog mem).Machine.cycles
 
 let test_ooo_faster_than_io () =
   let n = 128 in
@@ -67,7 +69,7 @@ let test_specialized_requires_lpsu () =
   let prog = ilp_kernel ~n:4 ~ilp:1 in
   Alcotest.(check bool) "raises" true
     (try
-       ignore (Machine.simulate ~cfg:Config.io ~mode:Specialized prog
+       ignore (simulate ~cfg:Config.io ~mode:Specialized prog
                  (fresh_mem 4));
        false
      with Invalid_argument _ -> true)
@@ -91,12 +93,12 @@ let test_fallback_unsupported_pattern () =
   let prog = B.assemble b in
   let lpsu = { Config.default_lpsu with supported = [ Insn.Uc ] } in
   let cfg = Config.with_lpsu Config.io "+uconly" ~lpsu in
-  let r = Machine.simulate ~cfg ~mode:Specialized prog (fresh_mem n) in
+  let r = simulate ~cfg ~mode:Specialized prog (fresh_mem n) in
   Alcotest.(check int) "nothing specialized" 0
     r.Machine.stats.xloops_specialized;
   (* And the result is still correct. *)
   let m2 = fresh_mem n in
-  ignore (Machine.simulate ~cfg:Config.io ~mode:Traditional prog m2)
+  ignore (simulate ~cfg:Config.io ~mode:Traditional prog m2)
 
 let test_fallback_body_too_large () =
   let n = 16 in
@@ -112,7 +114,7 @@ let test_fallback_body_too_large () =
   let prog = B.assemble b in
   let lpsu = { Config.default_lpsu with ib_entries = 16 } in
   let cfg = Config.with_lpsu Config.io "+tiny" ~lpsu in
-  let r = Machine.simulate ~cfg ~mode:Specialized prog (fresh_mem n) in
+  let r = simulate ~cfg ~mode:Specialized prog (fresh_mem n) in
   Alcotest.(check int) "fell back" 0 r.Machine.stats.xloops_specialized
 
 let test_scan_analysis () =
@@ -139,7 +141,7 @@ let test_adaptive_finishes_and_is_sane () =
   let n = 600 in  (* enough iterations to trip the 256-iteration profile *)
   let prog = ilp_kernel ~n ~ilp:2 in
   let m = fresh_mem n in
-  let r = Machine.simulate ~cfg:Config.io_x ~mode:Adaptive prog m in
+  let r = simulate ~cfg:Config.io_x ~mode:Adaptive prog m in
   (* Results correct. *)
   for i = 0 to n - 1 do
     Alcotest.(check int) "out" (i * 2) (Memory.get_int m (base_out + 4 * i))
@@ -160,7 +162,7 @@ let test_adaptive_short_loop_keeps_profiling () =
   let n = 50 in
   let prog = ilp_kernel ~n ~ilp:1 in
   let m = fresh_mem n in
-  let r = Machine.simulate ~cfg:Config.io_x ~mode:Adaptive prog m in
+  let r = simulate ~cfg:Config.io_x ~mode:Adaptive prog m in
   Alcotest.(check int) "no specialization" 0
     r.Machine.stats.xloops_specialized;
   for i = 0 to n - 1 do
@@ -172,9 +174,9 @@ let test_insn_counts_match_modes () =
      specialized execution of the same binary (same architectural work). *)
   let n = 100 in
   let prog = ilp_kernel ~n ~ilp:3 in
-  let rt = Machine.simulate ~cfg:Config.io_x ~mode:Traditional prog
+  let rt = simulate ~cfg:Config.io_x ~mode:Traditional prog
       (fresh_mem n) in
-  let rs = Machine.simulate ~cfg:Config.io_x ~mode:Specialized prog
+  let rs = simulate ~cfg:Config.io_x ~mode:Specialized prog
       (fresh_mem n) in
   Alcotest.(check int) "committed insns equal" rt.Machine.insns
     rs.Machine.insns
@@ -367,7 +369,7 @@ let test_apt_profiles_across_instances () =
   B.halt b;
   let prog = B.assemble b in
   let m = fresh_mem n in
-  let r = Machine.simulate ~cfg:Config.io_x ~mode:Adaptive prog m in
+  let r = simulate ~cfg:Config.io_x ~mode:Adaptive prog m in
   (* 12 instances x 39 back-edges = 468 > 256: the profile completes in
      the 7th instance and the remaining instances run specialized. *)
   Alcotest.(check bool)
@@ -384,7 +386,7 @@ let test_encoded_binary_runs_identically () =
   let run prog =
     let mem = Memory.create () in
     k.init c.array_base mem;
-    let r = Machine.simulate ~cfg:Config.io_x ~mode:Specialized prog mem in
+    let r = simulate ~cfg:Config.io_x ~mode:Specialized prog mem in
     (r.Machine.cycles, Memory.read_bytes mem ~addr:(c.array_base "bw")
        ~n:(24 * 64))
   in

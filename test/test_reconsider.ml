@@ -48,8 +48,9 @@ let run ?adaptive mode =
   let c = Compile.compile kernel in
   let mem = Memory.create () in
   Memory.blit_int_array mem ~addr:(c.array_base "dist") distances;
-  let r = Machine.simulate ?adaptive ~cfg:Config.ooo2_x ~mode
-      c.program mem in
+  let r = Machine.ok_exn
+      (Machine.simulate ?adaptive ~cfg:Config.ooo2_x ~mode
+         c.program mem) in
   let out = Memory.read_int_array mem ~addr:(c.array_base "a") ~n in
   (match K.check_int_array ~what:"a" ~expected:(reference ()) out with
    | Ok () -> ()

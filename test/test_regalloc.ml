@@ -133,7 +133,10 @@ let test_spill_execution () =
   Alcotest.(check bool) "spills happened" true (slots > 0);
   let prog = Codegen.emit ~spill_base:0x8000 rewritten in
   let mem = Memory.create () in
-  let _ = Xloops_sim.Exec.run_serial prog mem in
+  (match Xloops_sim.Exec.run_serial prog mem with
+   | Ok _ -> ()
+   | Error stop ->
+     failwith (Fmt.str "%a" Xloops_sim.Exec.pp_stop stop));
   let expected = List.init n (fun k -> (k * 7) + 1) |> List.fold_left (+) 0 in
   Alcotest.(check int) "sum survives spilling" expected
     (Memory.get_int mem 0x100)

@@ -22,7 +22,7 @@ let traced_run ?level ?limit ?(cfg = Config.io_x) name mode =
   k.init c.array_base mem;
   let buf = Buffer.create 4096 in
   let trace = Trace.to_buffer ?level ?limit buf in
-  let r = Machine.simulate ~trace ~cfg ~mode c.program mem in
+  let r = Machine.ok_exn (Machine.simulate ~trace ~cfg ~mode c.program mem) in
   (r, Buffer.contents buf)
 
 let test_decisions_content () =
@@ -77,8 +77,9 @@ let test_fallback_event () =
   let trace = Trace.to_buffer buf in
   let lpsu = { Config.default_lpsu with ib_entries = 4 } in
   let cfg = Config.with_lpsu Config.io "+tiny" ~lpsu in
-  ignore (Machine.simulate ~trace ~cfg ~mode:Machine.Specialized
-            c.program mem);
+  ignore (Machine.ok_exn
+            (Machine.simulate ~trace ~cfg ~mode:Machine.Specialized
+               c.program mem));
   Alcotest.(check bool) "fallback reason" true
     (contains (Buffer.contents buf) "falls back to traditional")
 
@@ -89,8 +90,9 @@ let test_limit_respected () =
   let c = Compile.compile k.Kernel.kernel in
   let mem = Memory.create () in
   k.init c.array_base mem;
-  ignore (Machine.simulate ~trace ~cfg:Config.io_x
-            ~mode:Machine.Specialized c.program mem);
+  ignore (Machine.ok_exn
+            (Machine.simulate ~trace ~cfg:Config.io_x
+               ~mode:Machine.Specialized c.program mem));
   let lines = String.split_on_char '\n' (Buffer.contents buf) in
   Alcotest.(check bool) "at most 10 lines" true
     (List.length (List.filter (fun l -> l <> "") lines) <= 10);
@@ -102,8 +104,9 @@ let test_tracing_does_not_change_timing () =
     let c = Compile.compile k.Kernel.kernel in
     let mem = Memory.create () in
     k.init c.array_base mem;
-    (Machine.simulate ?trace ~cfg:Config.io_x ~mode:Machine.Specialized
-       c.program mem).Machine.cycles
+    (Machine.ok_exn
+       (Machine.simulate ?trace ~cfg:Config.io_x ~mode:Machine.Specialized
+          c.program mem)).Machine.cycles
   in
   let plain = run None in
   let buf = Buffer.create 65536 in
