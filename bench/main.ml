@@ -7,6 +7,16 @@
      dune exec bench/main.exe -- --table2     # a single experiment
      dune exec bench/main.exe -- --quick      # Table II on 6 kernels
      dune exec bench/main.exe -- --micro      # Bechamel micro-benches only
+     dune exec bench/main.exe -- --quick --jobs 4   # parallel sweep
+     dune exec bench/main.exe -- --no-cache   # ignore _xloops_cache/
+
+   The sweep is planned as a list of pure run specs, executed by a
+   Domain worker pool (--jobs N, or $XLOOPS_JOBS), and every result is
+   memoized through the content-addressed on-disk cache (--cache-dir,
+   default _xloops_cache/; --no-cache disables it).  Tables and figures
+   are assembled serially from the warmed engine, so stdout is
+   byte-identical whatever the job count; pool and cache diagnostics go
+   to stderr.
 
    Shapes to look for (paper vs this reproduction is recorded in
    EXPERIMENTS.md):
@@ -20,6 +30,9 @@
    - Table V: ~40% area overhead at 4 lanes, roughly linear in lanes. *)
 
 module E = Xloops.Experiments
+module Run_spec = Xloops.Run_spec
+module Run_cache = Xloops.Run_cache
+module Pool = Xloops.Pool
 module Registry = Xloops.Kernels.Registry
 module Kernel = Xloops.Kernels.Kernel
 
@@ -27,15 +40,13 @@ let quick_kernels =
   [ "sgemm-uc"; "war-uc"; "kmeans-or"; "adpcm-or"; "ksack-sm-om";
     "bfs-uc-db" ]
 
-let evals = Hashtbl.create 32
+(* One engine for the whole invocation: in-memory memoization over the
+   shared on-disk result cache.  (This replaces the old private
+   [Hashtbl] memo of whole evals — a second caching layer here would
+   mask staleness bugs in the shared one.) *)
+let engine = ref E.direct_engine
 
-let evaluate (k : Kernel.t) =
-  match Hashtbl.find_opt evals k.name with
-  | Some e -> e
-  | None ->
-    let e = E.evaluate k in
-    Hashtbl.replace evals k.name e;
-    e
+let evaluate (k : Kernel.t) = E.evaluate ~engine:!engine k
 
 let section title =
   Fmt.pr "@.=== %s ===@.@." title
@@ -89,11 +100,11 @@ let fig8 ~quick () =
 
 let fig9 () =
   section "Figure 9: LPSU design-space exploration (vs serial on ooo/4)";
-  Fmt.pr "%a" E.pp_fig9 (E.fig9 ())
+  Fmt.pr "%a" E.pp_fig9 (E.fig9 ~engine:!engine ())
 
 let table4 () =
   section "Table IV: case studies (hand-scheduled or / transformed uc)";
-  Fmt.pr "%a" E.pp_table4 (E.table4 ())
+  Fmt.pr "%a" E.pp_table4 (E.table4 ~engine:!engine ())
 
 let table5 () =
   section "Table V: VLSI area and cycle time";
@@ -102,7 +113,7 @@ let table5 () =
 let fig10 () =
   section "Figure 10: VLSI-mode energy efficiency vs performance \
            (uc kernels, no .xi, uc-only LPSU on io)";
-  Fmt.pr "%a" E.pp_fig10 (E.fig10 ())
+  Fmt.pr "%a" E.pp_fig10 (E.fig10 ~engine:!engine ())
 
 (* -- Ablations ---------------------------------------------------------- *)
 
@@ -112,9 +123,8 @@ let fig10 () =
    out-of-order window of the baseline model. *)
 
 let spec_run name cfg =
-  let r = E.run_checked ~cfg ~mode:Xloops.Sim.Machine.Specialized
-      (Registry.find name) in
-  r
+  !engine.E.run
+    (Run_spec.make ~cfg ~mode:Xloops.Sim.Machine.Specialized name)
 
 let ablation () =
   section "Ablation: inter-lane store-to-load forwarding";
@@ -291,23 +301,30 @@ let csv ~quick () =
 
 (* -- Extensions ---------------------------------------------------------- *)
 
+let extension_runs =
+  [ ("serial (general, io)",
+     Run_spec.make ~target:Xloops.Compiler.Compile.general
+       ~cfg:Xloops.Sim.Config.io ~mode:Xloops.Sim.Machine.Traditional
+       "find-de");
+    ("traditional (io)",
+     Run_spec.make ~cfg:Xloops.Sim.Config.io
+       ~mode:Xloops.Sim.Machine.Traditional "find-de");
+    ("specialized (io+x)",
+     Run_spec.make ~cfg:Xloops.Sim.Config.io_x
+       ~mode:Xloops.Sim.Machine.Specialized "find-de");
+    ("specialized (ooo/4+x)",
+     Run_spec.make ~cfg:Xloops.Sim.Config.ooo4_x
+       ~mode:Xloops.Sim.Machine.Specialized "find-de") ]
+
 let extensions () =
   section "Extension: data-dependent exit (xloop.uc.de, paper future work)";
-  let k = Registry.find "find-de" in
   Fmt.pr "%-28s %10s %12s@." "run" "cycles" "squashed";
   List.iter
-    (fun (label, target, cfg, mode) ->
-       let r = E.run_checked ~target ~cfg ~mode k in
+    (fun (label, spec) ->
+       let r = !engine.E.run spec in
        Fmt.pr "%-28s %10d %12d@." label r.E.cycles
          r.E.stats.squashed_insns)
-    [ ("serial (general, io)", Xloops.Compiler.Compile.general,
-       Xloops.Sim.Config.io, Xloops.Sim.Machine.Traditional);
-      ("traditional (io)", Xloops.Compiler.Compile.xloops,
-       Xloops.Sim.Config.io, Xloops.Sim.Machine.Traditional);
-      ("specialized (io+x)", Xloops.Compiler.Compile.xloops,
-       Xloops.Sim.Config.io_x, Xloops.Sim.Machine.Specialized);
-      ("specialized (ooo/4+x)", Xloops.Compiler.Compile.xloops,
-       Xloops.Sim.Config.ooo4_x, Xloops.Sim.Machine.Specialized) ];
+    extension_runs;
   Fmt.pr "@.(iterations past the exit run control-speculatively on the lanes@.and are discarded — the squashed-instruction column)@."
 
 (* -- Bechamel micro-benchmarks ---------------------------------------- *)
@@ -355,12 +372,69 @@ let micro () =
 
 (* -- Driver ------------------------------------------------------------ *)
 
+(* Engine flags (--jobs N, --no-cache, --cache-dir DIR) are stripped
+   here; everything else selects sections as before. *)
+let parse_engine_args args =
+  let jobs = ref (Pool.default_jobs ()) in
+  let cache_dir = ref Run_cache.default_dir in
+  let no_cache = ref false in
+  let rec go acc = function
+    | [] -> List.rev acc
+    | "--jobs" :: n :: tl ->
+      (match int_of_string_opt n with
+       | Some j when j >= 1 -> jobs := j
+       | _ -> Fmt.epr "bench: bad --jobs %s (want a positive int)@." n;
+         exit 2);
+      go acc tl
+    | "--cache-dir" :: d :: tl -> cache_dir := d; go acc tl
+    | "--no-cache" :: tl -> no_cache := true; go acc tl
+    | a :: tl -> go (a :: acc) tl
+  in
+  let rest = go [] args in
+  (!jobs, (if !no_cache then None else Some !cache_dir), rest)
+
 let () =
-  let args = Array.to_list Sys.argv |> List.tl in
+  let jobs, cache_dir, args =
+    parse_engine_args (Array.to_list Sys.argv |> List.tl) in
+  let cache = Option.map (fun dir -> Run_cache.create ~dir ()) cache_dir in
+  engine := E.caching_engine ?cache ();
   let has f = List.mem f args in
   let quick = has "--quick" in
   let all = args = [] || (args = [ "--quick" ]) in
   let t0 = Unix.gettimeofday () in
+  (* Plan the sweep: one pure run spec per needed simulation, deduped by
+     digest, then executed by the worker pool so the assembly passes
+     below only ever hit the warmed engine. *)
+  let needs_evals =
+    all
+    || List.exists has
+      [ "--table2"; "--fig5"; "--fig6"; "--fig7"; "--fig8"; "--csv" ]
+  in
+  let plan =
+    List.concat
+      [ (if needs_evals then
+           List.concat_map E.specs_for (kernels_for ~quick)
+         else []);
+        (if all || has "--fig9" then E.fig9_specs () else []);
+        (if all || has "--table4" then E.table4_specs () else []);
+        (if all || has "--fig10" then E.fig10_specs () else []);
+        (if all || has "--extensions" then List.map snd extension_runs
+         else []) ]
+  in
+  let plan =
+    let seen = Hashtbl.create 512 in
+    List.filter
+      (fun s ->
+         let d = Run_spec.digest s in
+         if Hashtbl.mem seen d then false
+         else (Hashtbl.add seen d (); true))
+      plan
+  in
+  if jobs > 1 && plan <> [] then begin
+    Fmt.epr "[pool] %d-run plan on %d domains (%d cores available)@."
+      (List.length plan) jobs (Pool.available_cores ());
+    ignore (Pool.map ~jobs !engine.E.run plan)
+  end;
   if all || has "--table2" then table2 ~quick ();
   if all || has "--fig5" then fig5 ~quick ();
   if all || has "--fig6" then fig6 ~quick ();
@@ -374,4 +448,7 @@ let () =
   if has "--csv" then csv ~quick ();
   if all || has "--extensions" then extensions ();
   if has "--micro" then micro ();
-  Fmt.pr "@.[bench completed in %.1f s]@." (Unix.gettimeofday () -. t0)
+  Option.iter
+    (fun c -> Fmt.epr "[cache] %a@." Run_cache.pp_counters c) cache;
+  Fmt.epr "[bench completed in %.1f s, jobs=%d]@."
+    (Unix.gettimeofday () -. t0) jobs

@@ -48,6 +48,19 @@ let no_degrade_arg =
 let faults_of ~seed ~events =
   Option.map (fun s -> Sim.Fault.plan ~seed:s ~events ()) seed
 
+(** Assemble the parsed CLI arguments into one first-class run plan —
+    the record the evaluation engine executes and caches. *)
+let spec_of ~config ~mode ~target ~fuel ~watchdog ~fault_seed
+    ~fault_events ~no_degrade kernel : Xloops.Run_spec.t =
+  Xloops.Run_spec.make
+    ~target:(parse_target target)
+    ~fuel ~watchdog
+    ?fault_seed:(Option.map (fun s -> (s, fault_events)) fault_seed)
+    ~degrade:(not no_degrade)
+    ~cfg:(Sim.Config.by_name config)
+    ~mode:(parse_mode mode)
+    kernel
+
 (** Print one summary line when fault injection / degradation was live. *)
 let report_robustness (s : Sim.Stats.t) =
   if s.faults_injected > 0 || s.watchdog_hangs > 0 || s.degradations > 0

@@ -37,12 +37,12 @@ let run kernel config mode target verbose fuel watchdog fault_seed
     fault_events no_degrade =
   Cli_common.guarded @@ fun () ->
   let k = K.Registry.find kernel in
-  let cfg = Sim.Config.by_name config in
-  let mode = Cli_common.parse_mode mode in
-  let target = Cli_common.parse_target target in
-  let faults = Cli_common.faults_of ~seed:fault_seed ~events:fault_events in
-  match K.Kernel.run_result ~target ~cfg ~mode ?faults ~watchdog
-          ~degrade:(not no_degrade) ~fuel k with
+  let spec =
+    Cli_common.spec_of ~config ~mode ~target ~fuel ~watchdog ~fault_seed
+      ~fault_events ~no_degrade kernel
+  in
+  let cfg = spec.Xloops.Run_spec.cfg and mode = spec.Xloops.Run_spec.mode in
+  match Xloops.Run_spec.run_result ~kernel:k spec with
   | Error f ->
     Fmt.epr "error: %s: %a@." k.name Sim.Machine.pp_failure f;
     2
@@ -68,7 +68,9 @@ let run kernel config mode target verbose fuel watchdog fault_seed
       (Energy.power ~cycles:res.cycles e *. 1e3)
       (Energy.frequency_hz /. 1e6);
     if verbose then begin
-      Fmt.pr "@.%a@." Sim.Stats.pp res.stats;
+      Fmt.pr "@.spec:    %s (digest of the canonical run plan)@."
+        (Xloops.Run_spec.digest spec);
+      Fmt.pr "%a@." Sim.Stats.pp res.stats;
       (match Sim.Stats.lane_breakdown res.stats with
        | breakdown when res.stats.ib_fetches > 0 ->
          Fmt.pr "@.lane cycles:";

@@ -43,17 +43,12 @@ let run kernel config mode level limit fuel watchdog fault_seed
     fault_events no_degrade =
   Cli_common.guarded @@ fun () ->
   let k = K.Registry.find kernel in
-  let cfg = Sim.Config.by_name config in
-  let c = C.Compile.compile k.K.Kernel.kernel in
-  let mem = Memory.create () in
-  k.init c.array_base mem;
-  let trace = Sim.Trace.to_stdout ~level:(parse_level level) ~limit () in
-  let faults = Cli_common.faults_of ~seed:fault_seed ~events:fault_events in
-  let outcome =
-    Sim.Machine.simulate ~trace ~cfg ~mode:(Cli_common.parse_mode mode)
-      ?faults ~watchdog ~degrade:(not no_degrade) ~fuel
-      c.program mem
+  let spec =
+    Cli_common.spec_of ~config ~mode ~target:"xloops" ~fuel ~watchdog
+      ~fault_seed ~fault_events ~no_degrade kernel
   in
+  let trace = Sim.Trace.to_stdout ~level:(parse_level level) ~limit () in
+  let outcome = Xloops.Run_spec.run_result ~kernel:k ~trace spec in
   if Sim.Trace.exhausted (Some trace) then
     Fmt.pr "... (trace limit reached)@.";
   match outcome with
@@ -61,12 +56,14 @@ let run kernel config mode level limit fuel watchdog fault_seed
     Fmt.epr "error: %s: %a@." k.name Sim.Machine.pp_failure f;
     2
   | Ok r ->
+    let res = r.K.Kernel.result in
     Fmt.pr "@.%s on %s: %d cycles, %d iterations, check %s@."
-      k.name cfg.Sim.Config.name r.cycles r.stats.iterations
-      (match k.check c.array_base mem with
+      k.name spec.Xloops.Run_spec.cfg.Sim.Config.name res.cycles
+      res.stats.iterations
+      (match r.check_result with
        | Ok () -> "PASS"
        | Error m -> "FAIL: " ^ m);
-    Cli_common.report_robustness r.stats;
+    Cli_common.report_robustness res.stats;
     0
 
 let cmd =

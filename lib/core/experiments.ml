@@ -16,7 +16,7 @@ module Stats = Xloops_sim.Stats
 module Compile = Xloops_compiler.Compile
 module Energy = Xloops_energy.Model
 
-type run_data = {
+type run_data = Run_spec.run_data = {
   cfg : Config.t;
   mode : Machine.mode;
   cycles : int;
@@ -25,24 +25,13 @@ type run_data = {
   energy : Energy.breakdown;
 }
 
-exception Check_failed of { kernel : string; what : string; msg : string }
+exception Check_failed = Run_spec.Check_failed
 
+(** One checked run, described as a {!Run_spec} and executed in place —
+    the serial convenience the ablations and tests use. *)
 let run_checked ?(target = Compile.xloops) ~cfg ~mode (k : Kernel.t)
   : run_data =
-  let r = Kernel.run ~target ~cfg ~mode k in
-  (match r.check_result with
-   | Ok () -> ()
-   | Error msg ->
-     raise (Check_failed
-              { kernel = k.name;
-                what = Fmt.str "%s/%s" cfg.Config.name
-                    (Machine.mode_name mode);
-                msg }));
-  { cfg; mode;
-    cycles = r.result.Machine.cycles;
-    insns = r.result.Machine.insns;
-    stats = r.result.Machine.stats;
-    energy = Energy.of_stats cfg r.result.Machine.stats }
+  Run_spec.execute ~kernel:k (Run_spec.make ~target ~cfg ~mode k.name)
 
 (* The three host pairs of Table II: baseline GPP and its +x machine. *)
 let hosts = [ (Config.io, Config.io_x);
@@ -73,28 +62,140 @@ let body_stats (k : Kernel.t) =
     let lens = List.map (fun (_, _, l) -> l) bodies in
     (List.fold_left min max_int lens, List.fold_left max 0 lens)
 
-(** Run the full Table II methodology for one kernel. *)
-let evaluate ?(hosts = hosts) (k : Kernel.t) : eval =
+(* ------------------------------------------------------------------ *)
+(* The run engine: how specs get executed and metadata gets computed   *)
+(* ------------------------------------------------------------------ *)
+
+type kernel_meta = {
+  gpi_dyn : int;
+  xli_dyn : int;
+  body_min : int;
+  body_max : int;
+}
+
+(** How the producers below obtain results: [run] executes one
+    {!Run_spec} (directly, memoized, cached — the producer does not
+    care), [meta] computes a kernel's dynamic-instruction counts and
+    body statistics.  Producers only ever consume what the engine hands
+    back, so warming the engine in parallel ({!Pool.map} over a spec
+    list) and then assembling tables serially yields byte-identical
+    output to a fully serial sweep. *)
+type engine = {
+  run : Run_spec.t -> run_data;
+  meta : Kernel.t -> kernel_meta;
+}
+
+let compute_meta (k : Kernel.t) : kernel_meta =
   let dyn target =
     match Kernel.dynamic_insns ~target k with
     | Ok n -> n
     | Error msg -> failwith ("Experiments.evaluate: " ^ msg)
   in
-  let gpi_dyn = dyn Compile.general in
-  let xli_dyn = dyn Compile.xloops in
   let body_min, body_max = body_stats k in
+  { gpi_dyn = dyn Compile.general; xli_dyn = dyn Compile.xloops;
+    body_min; body_max }
+
+let direct_engine =
+  { run = (fun spec -> Run_spec.execute spec); meta = compute_meta }
+
+(** An engine that memoizes every result in memory (thread-safe, so it
+    can be warmed by a {!Pool}) and, when [cache] is given, reads and
+    writes the on-disk result cache.  Runs served from disk get
+    [stats.cache_hits = 1]; freshly simulated ones get
+    [stats.cache_misses = 1]. *)
+let caching_engine ?cache () : engine =
+  let memo_runs : (string, run_data) Hashtbl.t = Hashtbl.create 256 in
+  let memo_meta : (string, kernel_meta) Hashtbl.t = Hashtbl.create 64 in
+  let mu = Mutex.create () in
+  let locked f =
+    Mutex.lock mu;
+    Fun.protect ~finally:(fun () -> Mutex.unlock mu) f
+  in
+  (* First writer wins: if two domains raced on the same key, every
+     later reader sees one canonical record. *)
+  let publish memo key v =
+    locked (fun () ->
+        match Hashtbl.find_opt memo key with
+        | Some v' -> v'
+        | None -> Hashtbl.replace memo key v; v)
+  in
+  let run spec =
+    let key = Run_spec.cache_key spec in
+    match locked (fun () -> Hashtbl.find_opt memo_runs key) with
+    | Some rd -> rd
+    | None ->
+      let rd =
+        match Option.bind cache (fun c -> Run_cache.find_run c ~key) with
+        | Some rd -> rd.stats.Stats.cache_hits <- 1; rd
+        | None ->
+          let rd = Run_spec.execute spec in
+          Option.iter (fun c -> Run_cache.store_run c ~key rd) cache;
+          rd.stats.Stats.cache_misses <- 1;
+          rd
+      in
+      publish memo_runs key rd
+  in
+  let meta k =
+    let key = Run_spec.kernel_digest k in
+    match locked (fun () -> Hashtbl.find_opt memo_meta key) with
+    | Some m -> m
+    | None ->
+      let m =
+        match Option.bind cache (fun c -> Run_cache.find_meta c ~key) with
+        | Some [| g; x; bmin; bmax |] ->
+          { gpi_dyn = g; xli_dyn = x; body_min = bmin; body_max = bmax }
+        | Some _ | None ->
+          let m = compute_meta k in
+          Option.iter
+            (fun c ->
+               Run_cache.store_meta c ~key
+                 [| m.gpi_dyn; m.xli_dyn; m.body_min; m.body_max |])
+            cache;
+          m
+      in
+      publish memo_meta key m
+  in
+  { run; meta }
+
+(** The twelve specs of one kernel's Table II methodology, in canonical
+    order: (base, trad, spec, adapt) per host. *)
+let specs_for ?(hosts = hosts) (k : Kernel.t) : Run_spec.t list =
+  List.concat_map
+    (fun (gpp, gpp_x) ->
+       [ Run_spec.make ~target:Compile.general ~cfg:gpp
+           ~mode:Machine.Traditional k.name;
+         Run_spec.make ~cfg:gpp_x ~mode:Machine.Traditional k.name;
+         Run_spec.make ~cfg:gpp_x ~mode:Machine.Specialized k.name;
+         Run_spec.make ~cfg:gpp_x ~mode:Machine.Adaptive k.name ])
+    hosts
+
+(** Run the full Table II methodology for one kernel.  Without [engine]
+    every spec executes directly against the passed kernel value (which
+    need not be registered); with one, specs resolve through the kernel
+    registry and may be served memoized or from the cache. *)
+let evaluate ?(hosts = hosts) ?engine (k : Kernel.t) : eval =
+  let run, meta_of =
+    match engine with
+    | Some e -> (e.run, e.meta)
+    | None -> ((fun spec -> Run_spec.execute ~kernel:k spec), compute_meta)
+  in
+  let m = meta_of k in
   let per_host =
     List.map
       (fun (gpp, gpp_x) ->
          (gpp.Config.name,
-          { base = run_checked ~target:Compile.general ~cfg:gpp
-                ~mode:Machine.Traditional k;
-            trad = run_checked ~cfg:gpp_x ~mode:Machine.Traditional k;
-            spec = run_checked ~cfg:gpp_x ~mode:Machine.Specialized k;
-            adapt = run_checked ~cfg:gpp_x ~mode:Machine.Adaptive k }))
+          { base = run (Run_spec.make ~target:Compile.general ~cfg:gpp
+                          ~mode:Machine.Traditional k.name);
+            trad = run (Run_spec.make ~cfg:gpp_x ~mode:Machine.Traditional
+                          k.name);
+            spec = run (Run_spec.make ~cfg:gpp_x ~mode:Machine.Specialized
+                          k.name);
+            adapt = run (Run_spec.make ~cfg:gpp_x ~mode:Machine.Adaptive
+                           k.name) }))
       hosts
   in
-  { kernel = k; gpi_dyn; xli_dyn; body_min; body_max; per_host }
+  { kernel = k; gpi_dyn = m.gpi_dyn; xli_dyn = m.xli_dyn;
+    body_min = m.body_min; body_max = m.body_max; per_host }
 
 let host ev name =
   match List.assoc_opt name ev.per_host with
@@ -220,18 +321,31 @@ let pp_fig8 ppf points =
 let fig9_kernels =
   [ "sgemm-uc"; "viterbi-uc"; "kmeans-or"; "covar-or"; "btree-ua" ]
 
+let fig9_base name =
+  Run_spec.make ~target:Compile.general ~cfg:Config.ooo4
+    ~mode:Machine.Traditional name
+
+let fig9_specs () =
+  List.concat_map
+    (fun name ->
+       fig9_base name
+       :: List.map
+         (fun cfg -> Run_spec.make ~cfg ~mode:Machine.Specialized name)
+         Config.design_space)
+    fig9_kernels
+
 (** Speedups of specialized execution on each design-space LPSU over the
     serial baseline on the ooo/4 host. *)
-let fig9 () =
+let fig9 ?(engine = direct_engine) () =
   List.map
     (fun name ->
-       let k = Registry.find name in
-       let base = run_checked ~target:Compile.general ~cfg:Config.ooo4
-           ~mode:Machine.Traditional k in
+       let base = engine.run (fig9_base name) in
        let points =
          List.map
            (fun cfg ->
-              let r = run_checked ~cfg ~mode:Machine.Specialized k in
+              let r =
+                engine.run (Run_spec.make ~cfg ~mode:Machine.Specialized
+                              name) in
               (cfg.Config.name,
                float_of_int base.cycles /. float_of_int r.cycles))
            Config.design_space
@@ -257,19 +371,30 @@ let pp_fig9 ppf rows =
 (* Table IV: case studies                                              *)
 (* ------------------------------------------------------------------ *)
 
+let table4_pair (k : Kernel.t) (gpp, gpp_x) =
+  ( Run_spec.make ~target:Compile.general ~cfg:gpp
+      ~mode:Machine.Traditional k.name,
+    Run_spec.make ~cfg:gpp_x ~mode:Machine.Specialized k.name )
+
+let table4_specs () =
+  List.concat_map
+    (fun (k : Kernel.t) ->
+       List.concat_map
+         (fun host -> let b, s = table4_pair k host in [ b; s ])
+         hosts)
+    Registry.table4
+
 (** Specialized-execution speedups of the Table IV variants on each +x
     host, relative to the serial baseline of the {e original} algorithm
     (the paper normalizes to the general-purpose kernels). *)
-let table4 () =
+let table4 ?(engine = direct_engine) () =
   List.map
     (fun (k : Kernel.t) ->
        let speedups =
          List.map
-           (fun (gpp, gpp_x) ->
-              let base = run_checked ~target:Compile.general ~cfg:gpp
-                  ~mode:Machine.Traditional k in
-              let spec = run_checked ~cfg:gpp_x ~mode:Machine.Specialized k
-              in
+           (fun ((_, gpp_x) as host) ->
+              let b, s = table4_pair k host in
+              let base = engine.run b and spec = engine.run s in
               (gpp_x.Config.name,
                float_of_int base.cycles /. float_of_int spec.cycles))
            hosts
@@ -295,18 +420,25 @@ let fig10_kernels =
   [ "rgb2cmyk-uc"; "sgemm-uc"; "ssearch-uc"; "symm-uc"; "viterbi-uc";
     "war-uc" ]
 
-let fig10 () =
-  let rtl_cfg =
-    Config.with_lpsu Config.io "+rtl"
-      ~lpsu:(Xloops_vlsi.Area.rtl_lpsu ~ib_entries:128 ~lanes:4)
-  in
+let fig10_rtl_cfg =
+  Config.with_lpsu Config.io "+rtl"
+    ~lpsu:(Xloops_vlsi.Area.rtl_lpsu ~ib_entries:128 ~lanes:4)
+
+let fig10_pair name =
+  ( Run_spec.make ~target:Compile.xloops_no_xi ~cfg:Config.io
+      ~mode:Machine.Traditional name,
+    Run_spec.make ~target:Compile.xloops_no_xi ~cfg:fig10_rtl_cfg
+      ~mode:Machine.Specialized name )
+
+let fig10_specs () =
+  List.concat_map (fun name -> let b, s = fig10_pair name in [ b; s ])
+    fig10_kernels
+
+let fig10 ?(engine = direct_engine) () =
   List.map
     (fun name ->
-       let k = Registry.find name in
-       let base = run_checked ~target:Compile.xloops_no_xi ~cfg:Config.io
-           ~mode:Machine.Traditional k in
-       let spec = run_checked ~target:Compile.xloops_no_xi ~cfg:rtl_cfg
-           ~mode:Machine.Specialized k in
+       let b, s = fig10_pair name in
+       let base = engine.run b and spec = engine.run s in
        let eff =
          Energy.efficiency ~baseline:base.energy spec.energy in
        (name,

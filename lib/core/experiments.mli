@@ -10,7 +10,7 @@ module Stats = Xloops_sim.Stats
 module Compile = Xloops_compiler.Compile
 module Energy = Xloops_energy.Model
 
-type run_data = {
+type run_data = Run_spec.run_data = {
   cfg : Config.t;
   mode : Machine.mode;
   cycles : int;
@@ -20,10 +20,12 @@ type run_data = {
 }
 
 exception Check_failed of { kernel : string; what : string; msg : string }
+(** Alias of {!Run_spec.Check_failed}. *)
 
 val run_checked :
   ?target:Compile.target -> cfg:Config.t -> mode:Machine.mode ->
   Kernel.t -> run_data
+(** One checked run, described as a {!Run_spec} and executed in place. *)
 
 val hosts : (Config.t * Config.t) list
 (** Table II's (baseline GPP, +x machine) pairs. *)
@@ -45,7 +47,47 @@ type eval = {
 }
 
 val body_stats : Kernel.t -> int * int
-val evaluate : ?hosts:(Config.t * Config.t) list -> Kernel.t -> eval
+
+(** {1 The run engine}
+
+    Producers obtain results through an {!engine}: [run] executes one
+    {!Run_spec} (directly, memoized or cached — producers don't care),
+    [meta] computes a kernel's dynamic-instruction counts and body
+    statistics.  Warm a {!caching_engine} in parallel with
+    [Pool.map ~jobs engine.run specs], then assemble tables serially:
+    the output is byte-identical to a fully serial sweep. *)
+
+type kernel_meta = {
+  gpi_dyn : int;
+  xli_dyn : int;
+  body_min : int;
+  body_max : int;
+}
+
+type engine = {
+  run : Run_spec.t -> run_data;
+  meta : Kernel.t -> kernel_meta;
+}
+
+val direct_engine : engine
+(** Executes every spec directly (serial, uncached). *)
+
+val caching_engine : ?cache:Run_cache.t -> unit -> engine
+(** Thread-safe in-memory memoization on top of the optional on-disk
+    cache.  Disk hits get [stats.cache_hits = 1]; fresh simulations get
+    [stats.cache_misses = 1]. *)
+
+val specs_for : ?hosts:(Config.t * Config.t) list -> Kernel.t ->
+  Run_spec.t list
+(** The twelve specs of one kernel's Table II methodology, in canonical
+    (base, trad, spec, adapt)-per-host order. *)
+
+val evaluate :
+  ?hosts:(Config.t * Config.t) list -> ?engine:engine -> Kernel.t -> eval
+(** Without [engine], every spec executes directly against the passed
+    kernel value (which need not be registered); with one, specs resolve
+    through the registry and may be served memoized or from cache. *)
+
 val host : eval -> string -> host_eval
 
 val speedup : host_eval -> run_data -> float
@@ -89,14 +131,18 @@ val fig8_points : eval -> fig8_point list
 val pp_fig8 : Format.formatter -> fig8_point list -> unit
 
 val fig9_kernels : string list
-val fig9 : unit -> (string * (string * float) list) list
+val fig9_specs : unit -> Run_spec.t list
+val fig9 : ?engine:engine -> unit -> (string * (string * float) list) list
 val pp_fig9 :
   Format.formatter -> (string * (string * float) list) list -> unit
 
-val table4 : unit -> (string * string * (string * float) list) list
+val table4_specs : unit -> Run_spec.t list
+val table4 :
+  ?engine:engine -> unit -> (string * string * (string * float) list) list
 val pp_table4 :
   Format.formatter -> (string * string * (string * float) list) list -> unit
 
 val fig10_kernels : string list
-val fig10 : unit -> (string * float * float) list
+val fig10_specs : unit -> Run_spec.t list
+val fig10 : ?engine:engine -> unit -> (string * float * float) list
 val pp_fig10 : Format.formatter -> (string * float * float) list -> unit

@@ -1,0 +1,64 @@
+(** Domain-based worker pool for evaluation sweeps.
+
+    The unit of work is an independent, self-contained description (a
+    {!Run_spec.t}, in practice): the pool just pulls indices off a
+    shared atomic counter and runs the worker function on its own
+    domain, so there is no inter-task communication at all — the only
+    synchronization is the counter and the final joins.  Results come
+    back in input order regardless of completion order, which is what
+    keeps parallel sweeps byte-identical to serial ones. *)
+
+let env_jobs_var = "XLOOPS_JOBS"
+
+let available_cores () = Domain.recommended_domain_count ()
+
+(** The job count to use when the caller gave none: [$XLOOPS_JOBS] if
+    set to a positive integer, else 1 (serial — determinism of resource
+    use by default; parallelism is opt-in). *)
+let default_jobs () =
+  match Sys.getenv_opt env_jobs_var with
+  | Some s ->
+    (match int_of_string_opt (String.trim s) with
+     | Some n when n >= 1 -> n
+     | _ -> 1)
+  | None -> 1
+
+(** [map ~jobs f xs] is [List.map f xs] computed on up to [jobs]
+    domains (including the calling one).  Order is preserved.  If any
+    application raises, the exception of the earliest-indexed failing
+    element is re-raised in the caller — after all workers have been
+    joined, so no domain leaks. *)
+let map ?jobs f xs =
+  let jobs = match jobs with Some j -> max 1 j | None -> default_jobs () in
+  let n = List.length xs in
+  if jobs <= 1 || n <= 1 then List.map f xs
+  else begin
+    let input = Array.of_list xs in
+    let out = Array.make n None in
+    let next = Atomic.make 0 in
+    let worker () =
+      let rec loop () =
+        let i = Atomic.fetch_and_add next 1 in
+        if i < n then begin
+          out.(i) <-
+            Some (match f input.(i) with
+                  | v -> Ok v
+                  | exception e -> Error (e, Printexc.get_raw_backtrace ()));
+          loop ()
+        end
+      in
+      loop ()
+    in
+    let domains =
+      List.init (min jobs n - 1) (fun _ -> Domain.spawn worker) in
+    worker ();
+    List.iter Domain.join domains;
+    Array.to_list out
+    |> List.map (function
+        | Some (Ok v) -> v
+        | Some (Error (e, bt)) -> Printexc.raise_with_backtrace e bt
+        | None -> assert false)
+  end
+
+(** [iter ~jobs f xs] is {!map} with unit results. *)
+let iter ?jobs f xs = ignore (map ?jobs (fun x -> f x; ()) xs)

@@ -1,0 +1,21 @@
+(** Domain-based worker pool: execute a list of independent,
+    self-contained work items (in practice {!Run_spec.t}s) on OCaml 5
+    domains.  Results preserve input order, so a parallel sweep is
+    byte-identical to a serial one. *)
+
+val env_jobs_var : string
+(** ["XLOOPS_JOBS"] — environment fallback for the job count. *)
+
+val available_cores : unit -> int
+(** [Domain.recommended_domain_count ()]. *)
+
+val default_jobs : unit -> int
+(** [$XLOOPS_JOBS] if set to a positive integer, else 1. *)
+
+val map : ?jobs:int -> ('a -> 'b) -> 'a list -> 'b list
+(** [map ~jobs f xs] = [List.map f xs] on up to [jobs] domains
+    (including the caller's).  [jobs] defaults to {!default_jobs}.
+    Order-preserving.  If applications raise, the earliest-indexed
+    exception is re-raised after every domain has been joined. *)
+
+val iter : ?jobs:int -> ('a -> unit) -> 'a list -> unit

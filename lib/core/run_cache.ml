@@ -1,0 +1,116 @@
+(** Content-addressed on-disk result cache.
+
+    Results are filed under [dir/v<version>/<kk>/<key>.run] where [key]
+    is {!Run_spec.cache_key} (digest of canonical spec encoding +
+    compiled program bytes) and [kk] its first two hex digits.  Kernel
+    metadata (dynamic instruction counts, body statistics) lives beside
+    them as [.meta] blobs keyed by {!Run_spec.kernel_digest}.
+
+    Blobs are a [Marshal]led header [(magic, version, ocaml-version)]
+    followed by the payload; any mismatch — stale cache version, a
+    different compiler, a truncated or corrupt file — reads as a miss,
+    never an error.  Writes go to a unique temporary file and are
+    [rename]d into place, so concurrent workers (and concurrent
+    processes) race safely; directory creation tolerates [EEXIST]. *)
+
+type t = {
+  dir : string;
+  version : int;
+  mu : Mutex.t;
+  mutable hits : int;
+  mutable misses : int;
+  mutable stores : int;
+}
+
+let magic = "XLOOPS-CACHE"
+
+(** Bump when the marshalled payload layout changes ({!Run_spec.run_data},
+    [Stats.t], [Config.t] or the energy breakdown). *)
+let current_version = 1
+
+let default_dir = "_xloops_cache"
+
+(* Race-safe mkdir -p: concurrent workers may all attempt creation on
+   first store; every failure mode is re-checked against the directory
+   actually existing. *)
+let rec mkdir_p d =
+  if not (Sys.file_exists d) then begin
+    let parent = Filename.dirname d in
+    if parent <> d then mkdir_p parent;
+    try Sys.mkdir d 0o755
+    with Sys_error _ when Sys.file_exists d -> ()
+  end
+
+let create ?(version = current_version) ?(dir = default_dir) () =
+  { dir; version; mu = Mutex.create (); hits = 0; misses = 0; stores = 0 }
+
+let counted cache f =
+  Mutex.lock cache.mu;
+  Fun.protect ~finally:(fun () -> Mutex.unlock cache.mu) f
+
+let path cache ~key ~suffix =
+  let shard = if String.length key >= 2 then String.sub key 0 2 else "xx" in
+  List.fold_left Filename.concat cache.dir
+    [ Printf.sprintf "v%d" cache.version; shard; key ^ suffix ]
+
+(* Unsafe generic blob IO; the monomorphic wrappers below pin the payload
+   type to the suffix that wrote it. *)
+let read_blob cache ~key ~suffix =
+  let p = path cache ~key ~suffix in
+  match open_in_bin p with
+  | exception Sys_error _ -> None
+  | ic ->
+    Fun.protect ~finally:(fun () -> close_in_noerr ic) @@ fun () ->
+    (try
+       let (m, v, ocaml) : string * int * string = Marshal.from_channel ic in
+       if m = magic && v = cache.version && ocaml = Sys.ocaml_version
+       then Some (Marshal.from_channel ic)
+       else None
+     with _ -> None)
+
+let write_blob cache ~key ~suffix payload =
+  let p = path cache ~key ~suffix in
+  mkdir_p (Filename.dirname p);
+  let tmp =
+    Printf.sprintf "%s.tmp.%d.%d" p (Unix.getpid ())
+      (Domain.self () :> int)
+  in
+  let oc = open_out_bin tmp in
+  (try
+     Marshal.to_channel oc (magic, cache.version, Sys.ocaml_version) [];
+     Marshal.to_channel oc payload [];
+     close_out oc
+   with e -> close_out_noerr oc; (try Sys.remove tmp with _ -> ()); raise e);
+  Sys.rename tmp p
+
+let find_run cache ~key : Run_spec.run_data option =
+  let r = read_blob cache ~key ~suffix:".run" in
+  counted cache (fun () ->
+      match r with
+      | Some _ -> cache.hits <- cache.hits + 1
+      | None -> cache.misses <- cache.misses + 1);
+  r
+
+let store_run cache ~key (rd : Run_spec.run_data) =
+  write_blob cache ~key ~suffix:".run" rd;
+  counted cache (fun () -> cache.stores <- cache.stores + 1)
+
+let find_meta cache ~key : int array option =
+  let r = read_blob cache ~key ~suffix:".meta" in
+  counted cache (fun () ->
+      match r with
+      | Some _ -> cache.hits <- cache.hits + 1
+      | None -> cache.misses <- cache.misses + 1);
+  r
+
+let store_meta cache ~key (m : int array) =
+  write_blob cache ~key ~suffix:".meta" m;
+  counted cache (fun () -> cache.stores <- cache.stores + 1)
+
+let hits c = counted c (fun () -> c.hits)
+let misses c = counted c (fun () -> c.misses)
+let stores c = counted c (fun () -> c.stores)
+
+let pp_counters ppf c =
+  Fmt.pf ppf "%d hit(s), %d miss(es), %d store(s) under %s (v%d)"
+    (hits c) (misses c) (stores c) c.dir c.version

@@ -1,0 +1,38 @@
+(** Content-addressed on-disk result cache for {!Run_spec} executions.
+
+    Keys are {!Run_spec.cache_key} digests (spec encoding + compiled
+    program bytes), so a warm cache survives exactly as long as both the
+    experiment description and the generated code are unchanged.  Blobs
+    are versioned marshalled records; a version or compiler mismatch, or
+    a corrupt file, reads as a miss.  Writes are temp-file + rename and
+    directory creation tolerates races, so concurrent workers and
+    concurrent processes are safe. *)
+
+type t
+
+val current_version : int
+(** Bump when the marshalled payload layout changes. *)
+
+val default_dir : string
+(** ["_xloops_cache"]. *)
+
+val create : ?version:int -> ?dir:string -> unit -> t
+(** A cache handle.  Nothing is touched on disk until the first store;
+    [version] defaults to {!current_version} (override only to test
+    invalidation). *)
+
+val find_run : t -> key:string -> Run_spec.run_data option
+val store_run : t -> key:string -> Run_spec.run_data -> unit
+
+val find_meta : t -> key:string -> int array option
+(** Kernel-metadata blobs (dynamic instruction counts, body statistics),
+    keyed by {!Run_spec.kernel_digest}. *)
+
+val store_meta : t -> key:string -> int array -> unit
+
+val hits : t -> int
+val misses : t -> int
+val stores : t -> int
+(** Lookup/store counters for this handle (thread-safe). *)
+
+val pp_counters : Format.formatter -> t -> unit

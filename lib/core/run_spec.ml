@@ -1,0 +1,195 @@
+(** First-class run plans: one value describes one self-contained
+    simulation — which kernel, which machine, which mode, which compile
+    target, plus the robustness knobs (fuel, fault plan, watchdog,
+    degradation).  A spec owns its whole machine state: executing one
+    compiles the kernel afresh, builds a fresh memory and machine, and
+    returns plain data, so any number of specs can execute concurrently
+    (no shared mutable [Machine.t] ever escapes).
+
+    Specs have a canonical binary encoding and an MD5 digest; the digest
+    of [encoding ++ program bytes] is the content address the on-disk
+    result cache ({!Run_cache}) files results under. *)
+
+module Kernel = Xloops_kernels.Kernel
+module Registry = Xloops_kernels.Registry
+module Machine = Xloops_sim.Machine
+module Config = Xloops_sim.Config
+module Stats = Xloops_sim.Stats
+module Fault = Xloops_sim.Fault
+module Trace = Xloops_sim.Trace
+module Compile = Xloops_compiler.Compile
+module Energy = Xloops_energy.Model
+module Insn = Xloops_isa.Insn
+
+type t = {
+  kernel : string;                  (** registry name *)
+  cfg : Config.t;
+  mode : Machine.mode;
+  target : Compile.target;
+  fuel : int option;                (** GPP instruction budget *)
+  fault_seed : (int * int) option;  (** (seed, events) of a fault plan *)
+  watchdog : int;                   (** LPSU no-progress threshold, 0 = off *)
+  degrade : bool;                   (** traditional-fallback safety net *)
+}
+
+let make ?(target = Compile.xloops) ?fuel ?fault_seed ?(watchdog = 50_000)
+    ?(degrade = true) ~cfg ~mode kernel =
+  { kernel; cfg; mode; target; fuel; fault_seed; watchdog; degrade }
+
+let what t =
+  Fmt.str "%s/%s" t.cfg.Config.name (Machine.mode_name t.mode)
+
+let pp ppf t =
+  Fmt.pf ppf "%s on %s%s%s" t.kernel (what t)
+    (match t.fault_seed with
+     | Some (s, n) -> Fmt.str " faults(seed=%d,events=%d)" s n
+     | None -> "")
+    (if t.degrade then "" else " no-degrade")
+
+(* -- Canonical binary encoding ------------------------------------------ *)
+
+(* Deterministic field-by-field serialization: length-prefixed strings,
+   decimal integers with a terminator, one-byte constructor tags.  Unlike
+   [Marshal] output this is stable by construction, so it can key an
+   on-disk cache. *)
+
+let enc_int b n = Buffer.add_string b (string_of_int n); Buffer.add_char b ';'
+let enc_str b s = enc_int b (String.length s); Buffer.add_string b s
+let enc_bool b v = Buffer.add_char b (if v then 't' else 'f')
+
+let dpattern_tag : Insn.dpattern -> int = function
+  | Uc -> 0 | Or -> 1 | Om -> 2 | Orm -> 3 | Ua -> 4
+
+let enc_gpp b (g : Config.gpp) =
+  (match g.kind with
+   | Config.Inorder -> Buffer.add_char b 'I'
+   | Config.Ooo { width; window } ->
+     Buffer.add_char b 'O'; enc_int b width; enc_int b window);
+  List.iter (enc_int b)
+    [ g.l1_size; g.l1_ways; g.l1_line; g.load_use_latency; g.miss_penalty;
+      g.branch_penalty; g.mul_latency; g.div_latency; g.fpu_latency ]
+
+let enc_lpsu b (l : Config.lpsu) =
+  List.iter (enc_int b)
+    [ l.lanes; l.ib_entries; l.idq_entries; l.lsq_loads; l.lsq_stores;
+      l.mem_ports; l.llfu_ports; l.threads_per_lane; l.lane_issue_width ];
+  enc_bool b l.inter_lane_fwd;
+  List.iter (enc_int b) [ l.scan_fixed; l.scan_per_insn ];
+  enc_int b (List.length l.supported);
+  List.iter (fun dp -> enc_int b (dpattern_tag dp)) l.supported;
+  enc_int b l.squash_penalty
+
+let enc_cfg b (c : Config.t) =
+  enc_str b c.name;
+  enc_gpp b c.gpp;
+  match c.lpsu with
+  | None -> Buffer.add_char b 'N'
+  | Some l -> Buffer.add_char b 'L'; enc_lpsu b l
+
+let encode (t : t) =
+  let b = Buffer.create 128 in
+  Buffer.add_string b "XRS1";                (* format magic + revision *)
+  enc_str b t.kernel;
+  enc_cfg b t.cfg;
+  Buffer.add_char b
+    (match t.mode with
+     | Machine.Traditional -> 'T' | Specialized -> 'S' | Adaptive -> 'A');
+  enc_bool b t.target.Compile.xloops;
+  enc_bool b t.target.Compile.use_xi;
+  (match t.fuel with
+   | None -> Buffer.add_char b 'n'
+   | Some f -> Buffer.add_char b 's'; enc_int b f);
+  (match t.fault_seed with
+   | None -> Buffer.add_char b 'n'
+   | Some (seed, events) ->
+     Buffer.add_char b 's'; enc_int b seed; enc_int b events);
+  enc_int b t.watchdog;
+  enc_bool b t.degrade;
+  Buffer.contents b
+
+let digest t = Digest.to_hex (Digest.string (encode t))
+
+(* -- Content addressing -------------------------------------------------- *)
+
+let resolve ?kernel (t : t) : Kernel.t =
+  match kernel with Some k -> k | None -> Registry.find t.kernel
+
+(* The disassembly listing, not [Program.encode]: the simulator executes
+   [Insn.t] values directly, so programs may carry immediates the binary
+   encoder would reject, and the digest must be total over anything the
+   simulator can run. *)
+let bytes_of_program prog = Xloops_asm.Program.to_string prog
+
+let program_digest ?kernel (t : t) =
+  let k = resolve ?kernel t in
+  let c = Compile.compile ~target:t.target k.Kernel.kernel in
+  Digest.string (bytes_of_program c.Compile.program)
+
+(** The content address of a spec's result: digest over the canonical
+    spec encoding {e and} the compiled program bytes, so a compiler or
+    kernel change invalidates cached results by construction. *)
+let cache_key ?kernel (t : t) =
+  Digest.to_hex (Digest.string (encode t ^ program_digest ?kernel t))
+
+(** Content address of a kernel's target-independent metadata (dynamic
+    instruction counts, body statistics): digest over its name and its
+    compiled general and XLOOPS programs. *)
+let kernel_digest (k : Kernel.t) =
+  let prog target =
+    (Compile.compile ~target k.Kernel.kernel).Compile.program in
+  Digest.to_hex
+    (Digest.string
+       (k.Kernel.name ^ "\x00"
+        ^ bytes_of_program (prog Compile.general) ^ "\x00"
+        ^ bytes_of_program (prog Compile.xloops)))
+
+(* -- Execution ----------------------------------------------------------- *)
+
+type run_data = {
+  cfg : Config.t;
+  mode : Machine.mode;
+  cycles : int;
+  insns : int;
+  stats : Stats.t;
+  energy : Energy.breakdown;
+}
+
+exception Check_failed of { kernel : string; what : string; msg : string }
+
+(** Low-level execution: the full {!Kernel.run} (memory, compiled
+    program, check result) without raising on a failed self-check — the
+    form the CLIs want.  [kernel] overrides the registry lookup, for
+    synthetic kernels that are not registered. *)
+let run_result ?kernel ?trace (t : t)
+  : (Kernel.run, Machine.failure) result =
+  let k = resolve ?kernel t in
+  let faults =
+    Option.map (fun (seed, events) -> Fault.plan ~seed ~events ())
+      t.fault_seed
+  in
+  Kernel.run_result ~target:t.target ~cfg:t.cfg ~mode:t.mode ?faults
+    ~watchdog:t.watchdog ~degrade:t.degrade ?fuel:t.fuel ?trace k
+
+(** Checked execution: simulate, self-check, and distill to plain
+    {!run_data}.  Raises {!Check_failed} on a failed self-check and
+    [Failure] on a simulation failure.  Records the wall-clock of the
+    simulation in [stats.wall_ns]. *)
+let execute ?kernel (t : t) : run_data =
+  let t0 = Unix.gettimeofday () in
+  match run_result ?kernel t with
+  | Error f ->
+    failwith (Fmt.str "Run_spec.execute %s: %a" t.kernel
+                Machine.pp_failure f)
+  | Ok r ->
+    (match r.Kernel.check_result with
+     | Ok () -> ()
+     | Error msg ->
+       raise (Check_failed { kernel = t.kernel; what = what t; msg }));
+    let result = r.Kernel.result in
+    result.Machine.stats.wall_ns <-
+      int_of_float (1e9 *. (Unix.gettimeofday () -. t0));
+    { cfg = t.cfg; mode = t.mode;
+      cycles = result.Machine.cycles;
+      insns = result.Machine.insns;
+      stats = result.Machine.stats;
+      energy = Energy.of_stats t.cfg result.Machine.stats }

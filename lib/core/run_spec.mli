@@ -1,0 +1,82 @@
+(** First-class run plans: one serializable value per self-contained
+    simulation.  Executing a spec compiles the kernel afresh and builds
+    a fresh machine and memory, so specs are independent by construction
+    and can execute concurrently ({!Pool}).  The canonical encoding and
+    digest make specs the keys of the on-disk result cache
+    ({!Run_cache}). *)
+
+module Kernel = Xloops_kernels.Kernel
+module Machine = Xloops_sim.Machine
+module Config = Xloops_sim.Config
+module Stats = Xloops_sim.Stats
+module Compile = Xloops_compiler.Compile
+module Energy = Xloops_energy.Model
+
+type t = {
+  kernel : string;                  (** registry name *)
+  cfg : Config.t;
+  mode : Machine.mode;
+  target : Compile.target;
+  fuel : int option;                (** GPP instruction budget *)
+  fault_seed : (int * int) option;  (** (seed, events) of a fault plan *)
+  watchdog : int;                   (** LPSU no-progress threshold, 0 = off *)
+  degrade : bool;                   (** traditional-fallback safety net *)
+}
+
+val make :
+  ?target:Compile.target -> ?fuel:int -> ?fault_seed:int * int ->
+  ?watchdog:int -> ?degrade:bool ->
+  cfg:Config.t -> mode:Machine.mode -> string -> t
+(** [make ~cfg ~mode kernel_name] with the simulator's default
+    robustness knobs (no fuel bound beyond {!Kernel.run_result}'s
+    default, no faults, 50k-cycle watchdog, degradation on). *)
+
+val what : t -> string
+(** ["cfg-name/mode"], as the self-check diagnostics spell it. *)
+
+val pp : Format.formatter -> t -> unit
+
+(** {1 Canonical encoding and content addressing} *)
+
+val encode : t -> string
+(** Canonical binary encoding: deterministic field-by-field
+    serialization covering every field (including the full machine
+    configuration), stable across processes. *)
+
+val digest : t -> string
+(** Hex MD5 of {!encode}. *)
+
+val cache_key : ?kernel:Kernel.t -> t -> string
+(** Content address of the spec's result: hex digest over the canonical
+    encoding {e and} the compiled program bytes, so compiler or kernel
+    changes invalidate cached results by construction. *)
+
+val kernel_digest : Kernel.t -> string
+(** Content address of a kernel's target-independent metadata: digest
+    over its name and its compiled general and XLOOPS programs. *)
+
+(** {1 Execution} *)
+
+type run_data = {
+  cfg : Config.t;
+  mode : Machine.mode;
+  cycles : int;
+  insns : int;
+  stats : Stats.t;
+  energy : Energy.breakdown;
+}
+
+exception Check_failed of { kernel : string; what : string; msg : string }
+
+val run_result :
+  ?kernel:Kernel.t -> ?trace:Xloops_sim.Trace.t -> t ->
+  (Kernel.run, Machine.failure) result
+(** Low-level execution returning the full {!Kernel.run} without raising
+    on a failed self-check — the form the CLIs use.  [kernel] overrides
+    the registry lookup (synthetic kernels). *)
+
+val execute : ?kernel:Kernel.t -> t -> run_data
+(** Checked execution: simulate, self-check, distill to {!run_data}.
+    Raises {!Check_failed} on a failed self-check, [Failure] on a
+    simulation failure.  Sets [stats.wall_ns] to the simulation's
+    wall-clock. *)

@@ -2,23 +2,22 @@
     Srinath et al., "Architectural Specialization for Inter-Iteration Loop
     Dependence Patterns" (MICRO 2014).
 
-    This is the façade module; the pieces are:
+    This façade re-exports the toolchain:
 
     - {!Isa} / {!Asm} / {!Mem}: the 32-bit RISC + XLOOPS instruction set,
       assembler and memory subsystem;
     - {!Sim}: functional executor, in-order and out-of-order GPP timing
       models, the LPSU, and the machine driver with traditional /
       specialized / adaptive execution;
-    - {!Compiler}: the Loopc language and the XLOOPS compiler (dependence
-      analysis, pattern selection, [.xi] strength reduction);
+    - {!Compiler}: the Loopc language and the XLOOPS compiler;
     - {!Energy} / {!Vlsi}: McPAT-style energy accounting and the Table V
       area/cycle-time model;
-    - {!Kernels}: the 25 Table II application kernels plus the Table IV
-      variants;
+    - {!Kernels}: the Table II / Table IV / extension kernels;
     - {!Run_spec} / {!Pool} / {!Run_cache}: the parallel evaluation
       engine — pure run plans, the Domain-based worker pool and the
       content-addressed on-disk result cache;
-    - {!Experiments}: the harness that regenerates every table and figure.
+    - {!Experiments}: the harness regenerating every table and figure;
+    - {!Differential}: the cross-mode differential checker.
 
     Quick start (see also [examples/quickstart.ml]):
     {[

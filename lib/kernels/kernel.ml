@@ -94,11 +94,11 @@ type run = {
     un-degraded hang) comes back as [Error]. *)
 let run_result ?(target = Compile.xloops) ?(cfg = Config.io)
     ?(mode = Machine.Traditional) ?adaptive ?faults ?watchdog ?degrade
-    ?fuel (k : t) : (run, Machine.failure) result =
+    ?fuel ?trace (k : t) : (run, Machine.failure) result =
   let compiled = Compile.compile ~target k.kernel in
   let mem = Memory.create () in
   k.init compiled.array_base mem;
-  match Machine.simulate ?adaptive ?faults ?watchdog ?degrade ?fuel
+  match Machine.simulate ?adaptive ?faults ?watchdog ?degrade ?fuel ?trace
           ~cfg ~mode compiled.program mem with
   | Error f -> Error f
   | Ok result ->
@@ -109,9 +109,9 @@ let run_result ?(target = Compile.xloops) ?(cfg = Config.io)
     convenience form for tests and experiments where kernels are expected
     to complete. *)
 let run ?target ?cfg ?mode ?adaptive ?faults ?watchdog ?degrade ?fuel
-    (k : t) : run =
+    ?trace (k : t) : run =
   match run_result ?target ?cfg ?mode ?adaptive ?faults ?watchdog
-          ?degrade ?fuel k with
+          ?degrade ?fuel ?trace k with
   | Ok r -> r
   | Error f -> failwith (Fmt.str "Kernel.run %s: %a" k.name
                            Machine.pp_failure f)

@@ -53,6 +53,7 @@ val run_result :
   ?target:Compile.target -> ?cfg:Config.t -> ?mode:Machine.mode ->
   ?adaptive:Config.adaptive -> ?faults:Xloops_sim.Fault.t ->
   ?watchdog:int -> ?degrade:bool -> ?fuel:int ->
+  ?trace:Xloops_sim.Trace.t ->
   t -> (run, Machine.failure) result
 (** Compile, initialize a fresh memory, simulate and self-check.  A
     simulation failure (fuel exhaustion, un-degraded LPSU hang) is
@@ -61,7 +62,8 @@ val run_result :
 val run :
   ?target:Compile.target -> ?cfg:Config.t -> ?mode:Machine.mode ->
   ?adaptive:Config.adaptive -> ?faults:Xloops_sim.Fault.t ->
-  ?watchdog:int -> ?degrade:bool -> ?fuel:int -> t -> run
+  ?watchdog:int -> ?degrade:bool -> ?fuel:int ->
+  ?trace:Xloops_sim.Trace.t -> t -> run
 (** {!run_result}, raising [Failure] on a simulation failure. *)
 
 val dynamic_insns : ?target:Compile.target -> t -> (int, string) result

@@ -52,6 +52,10 @@ type t = {
   mutable watchdog_hangs : int;    (** structured hangs the watchdog caught *)
   mutable degradations : int;      (** specialized loops rolled back and
                                        re-executed traditionally *)
+  (* Evaluation-engine bookkeeping: how this run was obtained *)
+  mutable wall_ns : int;           (** wall-clock of the producing simulation *)
+  mutable cache_hits : int;        (** 1 if served from the result cache *)
+  mutable cache_misses : int;      (** 1 if simulated because of a cache miss *)
   (* LPSU per-lane cycle breakdown (Figure 6) *)
   mutable cyc_exec : int;
   mutable cyc_stall_raw : int;
@@ -76,6 +80,7 @@ let create () = {
   scan_insns = 0; cib_reads = 0; cib_writes = 0; idq_ops = 0;
   xloops_specialized = 0; xloops_traditional = 0; migrations = 0;
   faults_injected = 0; watchdog_hangs = 0; degradations = 0;
+  wall_ns = 0; cache_hits = 0; cache_misses = 0;
   cyc_exec = 0; cyc_stall_raw = 0; cyc_stall_mem = 0; cyc_stall_llfu = 0;
   cyc_stall_cir = 0; cyc_stall_lsq = 0; cyc_squash = 0; cyc_idle = 0;
 }
@@ -119,6 +124,9 @@ let merge ~into (s : t) =
   into.faults_injected <- into.faults_injected + s.faults_injected;
   into.watchdog_hangs <- into.watchdog_hangs + s.watchdog_hangs;
   into.degradations <- into.degradations + s.degradations;
+  into.wall_ns <- into.wall_ns + s.wall_ns;
+  into.cache_hits <- into.cache_hits + s.cache_hits;
+  into.cache_misses <- into.cache_misses + s.cache_misses;
   into.cyc_exec <- into.cyc_exec + s.cyc_exec;
   into.cyc_stall_raw <- into.cyc_stall_raw + s.cyc_stall_raw;
   into.cyc_stall_mem <- into.cyc_stall_mem + s.cyc_stall_mem;

@@ -41,6 +41,12 @@ type t = {
   mutable watchdog_hangs : int;  (** structured hangs the watchdog caught *)
   mutable degradations : int;    (** specialized loops rolled back and
                                      re-executed traditionally *)
+  mutable wall_ns : int;         (** wall-clock nanoseconds of the producing
+                                     simulation (set by the run engine) *)
+  mutable cache_hits : int;      (** 1 if this run was served from the
+                                     result cache instead of simulated *)
+  mutable cache_misses : int;    (** 1 if this run was simulated because of
+                                     a cache miss *)
   (* Per-lane cycle breakdown (Figure 6). *)
   mutable cyc_exec : int;
   mutable cyc_stall_raw : int;

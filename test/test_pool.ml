@@ -1,0 +1,176 @@
+(* Parallel evaluation engine tests: the Domain worker pool (order
+   preservation, exception propagation, serial/parallel equivalence of
+   whole sweeps including under fault injection) and the
+   content-addressed result cache (round-trip, version invalidation,
+   warm reruns doing zero simulator executions). *)
+
+module E = Xloops.Experiments
+module Run_spec = Xloops.Run_spec
+module Run_cache = Xloops.Run_cache
+module Pool = Xloops.Pool
+module Registry = Xloops.Kernels.Registry
+module Config = Xloops.Sim.Config
+module Machine = Xloops.Sim.Machine
+
+let kernels = [ "war-uc"; "kmeans-or" ]
+
+(* run_data comparison must ignore the wall clock (the only
+   nondeterministic field). *)
+let strip (rd : E.run_data) =
+  { rd with E.stats = { rd.E.stats with Xloops.Sim.Stats.wall_ns = 0 } }
+
+let tmp_dir () =
+  let d =
+    Filename.concat (Filename.get_temp_dir_name ())
+      (Printf.sprintf "xloops_cache_test_%d_%d" (Unix.getpid ())
+         (int_of_float (Unix.gettimeofday () *. 1e3) land 0xFFFFFF))
+  in
+  d
+
+(* -- Pool ---------------------------------------------------------------- *)
+
+let test_map_order () =
+  let xs = List.init 100 Fun.id in
+  Alcotest.(check (list int)) "order preserved"
+    (List.map (fun x -> x * x) xs)
+    (Pool.map ~jobs:4 (fun x -> x * x) xs)
+
+exception Boom of int
+
+let test_map_exception () =
+  Alcotest.(check bool) "earliest exception propagates" true
+    (try
+       ignore
+         (Pool.map ~jobs:4
+            (fun x -> if x mod 31 = 7 then raise (Boom x) else x)
+            (List.init 200 Fun.id));
+       false
+     with Boom 7 -> true)
+
+let test_default_jobs_env () =
+  (* Pool.default_jobs reads $XLOOPS_JOBS; an unset or bad value means
+     serial. *)
+  Alcotest.(check bool) "default is >= 1" true (Pool.default_jobs () >= 1);
+  Alcotest.(check bool) "cores known" true (Pool.available_cores () >= 1)
+
+(* -- Serial vs parallel sweeps ------------------------------------------- *)
+
+let test_parallel_matches_serial () =
+  let ks = List.map Registry.find kernels in
+  (* Serial reference: the default direct engine. *)
+  let serial = List.map (fun k -> E.evaluate k) ks in
+  (* Parallel: warm a fresh engine over the full spec plan on 4 domains,
+     then assemble. *)
+  let engine = E.caching_engine () in
+  let plan = List.concat_map E.specs_for ks in
+  ignore (Pool.map ~jobs:4 engine.E.run plan);
+  let parallel = List.map (fun k -> E.evaluate ~engine k) ks in
+  List.iter2
+    (fun s p ->
+       Alcotest.(check bool)
+         (s.E.kernel.name ^ " table2 rows bit-identical") true
+         (E.table2_row s = E.table2_row p);
+       Alcotest.(check bool)
+         (s.E.kernel.name ^ " fig8 points bit-identical") true
+         (E.fig8_points s = E.fig8_points p);
+       Alcotest.(check bool)
+         (s.E.kernel.name ^ " energy bit-identical") true
+         ((E.host s "io").spec.energy = (E.host p "io").spec.energy))
+    serial parallel
+
+let test_parallel_matches_serial_with_faults () =
+  let specs =
+    List.map
+      (fun name ->
+         Run_spec.make ~cfg:Config.io_x ~mode:Machine.Specialized
+           ~fault_seed:(42, 8) name)
+      kernels
+  in
+  let serial = List.map Run_spec.execute specs in
+  let parallel = Pool.map ~jobs:4 Run_spec.execute specs in
+  List.iter2
+    (fun s p ->
+       Alcotest.(check bool) "faulted run bit-identical" true
+         (strip s = strip p);
+       Alcotest.(check bool) "plan actually injected" true
+         (s.E.stats.faults_injected > 0))
+    serial parallel
+
+(* -- Result cache -------------------------------------------------------- *)
+
+let test_cache_roundtrip () =
+  let dir = tmp_dir () in
+  let spec = Run_spec.make ~cfg:Config.io_x ~mode:Machine.Specialized
+      "war-uc" in
+  let rd = Run_spec.execute spec in
+  let key = Run_spec.cache_key spec in
+  let c1 = Run_cache.create ~dir () in
+  Run_cache.store_run c1 ~key rd;
+  (* A fresh handle on the same directory reloads an equal value. *)
+  let c2 = Run_cache.create ~dir () in
+  (match Run_cache.find_run c2 ~key with
+   | None -> Alcotest.fail "stored run not found"
+   | Some rd' ->
+     Alcotest.(check bool) "round-trip equal" true (rd = rd'));
+  Alcotest.(check int) "hit counted" 1 (Run_cache.hits c2);
+  Alcotest.(check int) "store counted" 1 (Run_cache.stores c1)
+
+let test_cache_version_invalidation () =
+  let dir = tmp_dir () in
+  let spec = Run_spec.make ~cfg:Config.io_x ~mode:Machine.Specialized
+      "war-uc" in
+  let rd = Run_spec.execute spec in
+  let key = Run_spec.cache_key spec in
+  let c1 = Run_cache.create ~dir () in
+  Run_cache.store_run c1 ~key rd;
+  (* Bumping the version makes every stored blob a miss. *)
+  let c2 = Run_cache.create ~version:(Run_cache.current_version + 1) ~dir ()
+  in
+  Alcotest.(check bool) "stale version misses" true
+    (Run_cache.find_run c2 ~key = None);
+  Alcotest.(check int) "miss counted" 1 (Run_cache.misses c2)
+
+let test_warm_rerun_zero_misses () =
+  let dir = tmp_dir () in
+  let ks = List.map Registry.find kernels in
+  (* Cold sweep fills the cache (runs and kernel metadata)... *)
+  let cold = Run_cache.create ~dir () in
+  let e1 = E.caching_engine ~cache:cold () in
+  let first = List.map (fun k -> E.evaluate ~engine:e1 k) ks in
+  Alcotest.(check bool) "cold sweep stored blobs" true
+    (Run_cache.stores cold > 0);
+  (* ...so a warm rerun with fresh handles simulates nothing... *)
+  let warm = Run_cache.create ~dir () in
+  let e2 = E.caching_engine ~cache:warm () in
+  let second = List.map (fun k -> E.evaluate ~engine:e2 k) ks in
+  Alcotest.(check int) "zero misses on warm rerun" 0
+    (Run_cache.misses warm);
+  Alcotest.(check bool) "every lookup hit" true (Run_cache.hits warm > 0);
+  (* ...and produces identical tables, with every run marked a cache
+     hit in its stats. *)
+  List.iter2
+    (fun a b ->
+       Alcotest.(check bool) "warm rows identical" true
+         (E.table2_row a = E.table2_row b);
+       Alcotest.(check int) "run served from cache" 1
+         (E.host b "io").spec.stats.cache_hits)
+    first second
+
+let () =
+  Alcotest.run "pool"
+    [ ("pool",
+       [ Alcotest.test_case "map order" `Quick test_map_order;
+         Alcotest.test_case "map exception" `Quick test_map_exception;
+         Alcotest.test_case "default jobs" `Quick test_default_jobs_env ]);
+      ("parallel-sweep",
+       [ Alcotest.test_case "matches serial" `Quick
+           test_parallel_matches_serial;
+         Alcotest.test_case "matches serial under faults" `Quick
+           test_parallel_matches_serial_with_faults ]);
+      ("cache",
+       [ Alcotest.test_case "round-trip" `Quick test_cache_roundtrip;
+         Alcotest.test_case "version invalidation" `Quick
+           test_cache_version_invalidation;
+         Alcotest.test_case "warm rerun zero misses" `Quick
+           test_warm_rerun_zero_misses ]);
+    ]
