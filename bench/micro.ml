@@ -1,0 +1,179 @@
+(* Interpreter micro-benchmark: host-side throughput (MIPS) and
+   allocation rate (bytes/instruction) of the functional executor on a
+   synthetic straight-line kernel and a few representative compiled
+   kernels.
+
+   Usage:
+     dune exec bench/micro.exe                  # table + BENCH_interp.json
+     dune exec bench/micro.exe -- --check       # also enforce the committed
+                                                # bytes/insn thresholds
+     dune exec bench/micro.exe -- --repeat 5 -o out.json
+
+   MIPS numbers are host- and load-dependent (the table reports the best
+   of [--repeat] runs); bytes/insn is deterministic, which is why the
+   --check regression gate is on allocation, not speed.  The JSON also
+   carries the pre-optimization baseline (boxed int32 register file,
+   per-step event allocation, per-access closure dispatch) measured on
+   the same host, so the speedup is recorded alongside the numbers. *)
+
+module B = Xloops.Asm.Builder
+module Memory = Xloops.Mem.Memory
+module Exec = Xloops.Sim.Exec
+module Registry = Xloops.Kernels.Registry
+module Kernel = Xloops.Kernels.Kernel
+module Compile = Xloops.Compiler.Compile
+
+(* Pre-optimization reference, measured with the same workloads on the
+   same host immediately before the zero-allocation interpreter core
+   landed (boxed registers, fresh event record and memory closures per
+   step).  Kept for the speedup column of BENCH_interp.json. *)
+let baseline = [
+  (* name, MIPS, bytes/insn *)
+  "straightline", 55.0, 168.9;
+  "sgemm-uc", 52.0, 147.4;
+  "war-uc", 39.0, 167.1;
+  "bfs-uc-db", 38.0, 118.8;
+  "adpcm-or", 49.0, 144.5;
+]
+
+(* Committed allocation budgets, in bytes per dynamic instruction; a
+   regression past these fails --check (and CI).  Roughly 2x the values
+   measured at commit time (straightline 0.0, sgemm-uc 2.3, war-uc 0.9,
+   bfs-uc-db 0.9, adpcm-or 0.3); the slack covers GC accounting noise,
+   not design drift. *)
+let alloc_budget = [
+  "straightline", 0.5;
+  "sgemm-uc", 5.0;
+  "war-uc", 2.0;
+  "bfs-uc-db", 2.0;
+  "adpcm-or", 1.0;
+]
+
+(* 16 dependent adds + decrement + branch per iteration: pure register
+   ALU work, the worst case for interpreter dispatch overhead. *)
+let straightline ~iters =
+  let b = B.create () in
+  B.li b 8 1;
+  B.li b 9 iters;
+  B.li b 10 0;
+  B.label b "top";
+  for _ = 0 to 15 do B.add b 10 10 8 done;
+  B.addi b 9 9 (-1);
+  B.bne b 9 0 "top";
+  B.halt b;
+  B.assemble b
+
+type sample = {
+  s_name : string;
+  s_insns : int;
+  s_mips : float;          (* best of the repeats *)
+  s_bytes_per_insn : float;
+}
+
+let measure ~repeat name prog mem_of =
+  (* Warm-up run: predecode memo, branch-predictable GC state. *)
+  (match Exec.run_serial prog (mem_of ()) with
+   | Ok _ -> ()
+   | Error stop -> Fmt.failwith "%s: %a" name Exec.pp_stop stop);
+  let best_mips = ref 0.0 and bytes = ref 0.0 and insns = ref 0 in
+  for _ = 1 to repeat do
+    let mem = mem_of () in
+    let a0 = Gc.allocated_bytes () in
+    let t0 = Unix.gettimeofday () in
+    (match Exec.run_serial prog mem with
+     | Ok r ->
+       let dt = Unix.gettimeofday () -. t0 in
+       let da = Gc.allocated_bytes () -. a0 in
+       insns := r.Exec.dynamic_insns;
+       best_mips :=
+         Float.max !best_mips
+           (float_of_int r.Exec.dynamic_insns /. dt /. 1e6);
+       bytes := da /. float_of_int r.Exec.dynamic_insns
+     | Error stop -> Fmt.failwith "%s: %a" name Exec.pp_stop stop)
+  done;
+  { s_name = name; s_insns = !insns; s_mips = !best_mips;
+    s_bytes_per_insn = !bytes }
+
+let kernel_workload name =
+  let k = Registry.find name in
+  let c = Compile.compile k.Kernel.kernel in
+  (c.Compile.program,
+   fun () ->
+     let mem = Memory.create () in
+     k.Kernel.init c.Compile.array_base mem;
+     mem)
+
+let emit_json path samples =
+  let oc = open_out path in
+  let pf fmt = Printf.fprintf oc fmt in
+  pf "{\n  \"workloads\": [\n";
+  List.iteri
+    (fun i s ->
+       let base =
+         List.find_opt (fun (n, _, _) -> n = s.s_name) baseline in
+       pf "    {\"name\": %S, \"insns\": %d, \"mips\": %.2f,\n"
+         s.s_name s.s_insns s.s_mips;
+       pf "     \"insns_per_sec\": %.0f, \"bytes_per_insn\": %.2f"
+         (s.s_mips *. 1e6) s.s_bytes_per_insn;
+       (match base with
+        | Some (_, bm, bb) ->
+          pf ",\n     \"baseline_mips\": %.2f, \"baseline_bytes_per_insn\": %.2f,\n"
+            bm bb;
+          pf "     \"speedup\": %.2f, \"alloc_ratio\": %.4f"
+            (s.s_mips /. bm)
+            (s.s_bytes_per_insn /. bb)
+        | None -> ());
+       pf "}%s\n" (if i = List.length samples - 1 then "" else ","))
+    samples;
+  pf "  ]\n}\n";
+  close_out oc
+
+let check samples =
+  let failures =
+    List.filter_map
+      (fun s ->
+         match List.assoc_opt s.s_name alloc_budget with
+         | Some budget when s.s_bytes_per_insn > budget ->
+           Some (s, budget)
+         | _ -> None)
+      samples
+  in
+  List.iter
+    (fun (s, budget) ->
+       Fmt.epr "FAIL %s: %.2f bytes/insn exceeds budget %.2f@."
+         s.s_name s.s_bytes_per_insn budget)
+    failures;
+  failures = []
+
+let () =
+  let repeat = ref 3 in
+  let out = ref "BENCH_interp.json" in
+  let do_check = ref false in
+  Arg.parse
+    [ "--repeat", Arg.Set_int repeat, "N  measurement repetitions (default 3)";
+      "-o", Arg.Set_string out, "FILE  JSON output (default BENCH_interp.json)";
+      "--check", Arg.Set do_check,
+      "  fail if any workload exceeds its bytes/insn budget" ]
+    (fun a -> raise (Arg.Bad ("unexpected argument " ^ a)))
+    "interpreter micro-benchmark";
+  let samples =
+    measure ~repeat:!repeat "straightline" (straightline ~iters:1_000_000)
+      (fun () -> Memory.create ())
+    :: List.map
+      (fun name ->
+         let prog, mem_of = kernel_workload name in
+         measure ~repeat:!repeat name prog mem_of)
+      [ "sgemm-uc"; "war-uc"; "bfs-uc-db"; "adpcm-or" ]
+  in
+  Fmt.pr "%-14s %12s %9s %13s %9s@." "workload" "insns" "MIPS"
+    "insns/sec" "B/insn";
+  List.iter
+    (fun s ->
+       Fmt.pr "%-14s %12d %9.2f %13.0f %9.2f@."
+         s.s_name s.s_insns s.s_mips (s.s_mips *. 1e6) s.s_bytes_per_insn)
+    samples;
+  emit_json !out samples;
+  Fmt.pr "@.wrote %s@." !out;
+  if !do_check then
+    if check samples then Fmt.pr "allocation budgets: OK@."
+    else exit 1

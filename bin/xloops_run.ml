@@ -42,12 +42,15 @@ let run kernel config mode target verbose fuel watchdog fault_seed
       ~fault_events ~no_degrade kernel
   in
   let cfg = spec.Xloops.Run_spec.cfg and mode = spec.Xloops.Run_spec.mode in
+  let t0 = Unix.gettimeofday () in
   match Xloops.Run_spec.run_result ~kernel:k spec with
   | Error f ->
     Fmt.epr "error: %s: %a@." k.name Sim.Machine.pp_failure f;
     2
   | Ok r ->
+    let wall = Unix.gettimeofday () -. t0 in
     let res = r.K.Kernel.result in
+    res.stats.wall_ns <- int_of_float (1e9 *. wall);
     Fmt.pr "kernel:  %s (%s, dominant %s)@." k.name k.suite k.dominant;
     Fmt.pr "machine: %s, mode %s@." cfg.Sim.Config.name
       (Sim.Machine.mode_name mode);
@@ -68,7 +71,10 @@ let run kernel config mode target verbose fuel watchdog fault_seed
       (Energy.power ~cycles:res.cycles e *. 1e3)
       (Energy.frequency_hz /. 1e6);
     if verbose then begin
-      Fmt.pr "@.spec:    %s (digest of the canonical run plan)@."
+      Fmt.pr "@.host:    wall_ns %d (%.1f MIPS simulated)@."
+        res.stats.wall_ns
+        (float_of_int res.insns /. Float.max wall 1e-9 /. 1e6);
+      Fmt.pr "spec:    %s (digest of the canonical run plan)@."
         (Xloops.Run_spec.digest spec);
       Fmt.pr "%a@." Sim.Stats.pp res.stats;
       (match Sim.Stats.lane_breakdown res.stats with

@@ -31,6 +31,10 @@ let limit_arg =
   let doc = "Stop after this many trace lines (0 = unlimited)." in
   Arg.(value & opt int 200 & info [ "n"; "limit" ] ~doc)
 
+let verbose_arg =
+  let doc = "Also report host-side simulation throughput." in
+  Arg.(value & flag & info [ "v"; "verbose" ] ~doc)
+
 let parse_level = function
   | "decisions" -> Sim.Trace.Decisions
   | "lanes" -> Sim.Trace.Lanes
@@ -39,7 +43,7 @@ let parse_level = function
            ("unknown trace level " ^ l
             ^ " (expected decisions, lanes or insns)")
 
-let run kernel config mode level limit fuel watchdog fault_seed
+let run kernel config mode level limit verbose fuel watchdog fault_seed
     fault_events no_degrade =
   Cli_common.guarded @@ fun () ->
   let k = K.Registry.find kernel in
@@ -48,7 +52,9 @@ let run kernel config mode level limit fuel watchdog fault_seed
       ~fault_seed ~fault_events ~no_degrade kernel
   in
   let trace = Sim.Trace.to_stdout ~level:(parse_level level) ~limit () in
+  let t0 = Unix.gettimeofday () in
   let outcome = Xloops.Run_spec.run_result ~kernel:k ~trace spec in
+  let wall = Unix.gettimeofday () -. t0 in
   if Sim.Trace.exhausted (Some trace) then
     Fmt.pr "... (trace limit reached)@.";
   match outcome with
@@ -57,12 +63,17 @@ let run kernel config mode level limit fuel watchdog fault_seed
     2
   | Ok r ->
     let res = r.K.Kernel.result in
+    res.stats.wall_ns <- int_of_float (1e9 *. wall);
     Fmt.pr "@.%s on %s: %d cycles, %d iterations, check %s@."
       k.name spec.Xloops.Run_spec.cfg.Sim.Config.name res.cycles
       res.stats.iterations
       (match r.check_result with
        | Ok () -> "PASS"
        | Error m -> "FAIL: " ^ m);
+    if verbose then
+      Fmt.pr "host:    wall_ns %d (%.1f MIPS simulated)@."
+        res.stats.wall_ns
+        (float_of_int res.insns /. Float.max wall 1e-9 /. 1e6);
     Cli_common.report_robustness res.stats;
     0
 
@@ -70,7 +81,8 @@ let cmd =
   let doc = "trace the execution of an XLOOPS kernel" in
   Cmd.v (Cmd.info "xloops_trace" ~doc)
     Term.(const run $ kernel_arg $ config_arg $ mode_arg $ level_arg
-          $ limit_arg $ Cli_common.fuel_arg $ Cli_common.watchdog_arg
+          $ limit_arg $ verbose_arg
+          $ Cli_common.fuel_arg $ Cli_common.watchdog_arg
           $ Cli_common.fault_seed_arg $ Cli_common.fault_events_arg
           $ Cli_common.no_degrade_arg)
 

@@ -69,35 +69,48 @@ let check t addr bytes what =
 let check_align addr bytes what =
   if addr mod bytes <> 0 then raise (Bad_access { addr; what })
 
+(* Fused bounds+alignment checks: [Bad_access] carries the same payload
+   whether the address is out of range or misaligned, so one combined
+   branch per access suffices on the hot path. *)
+
+let[@inline] check1 t addr what =
+  if addr < 0 || addr >= t.size then raise (Bad_access { addr; what })
+
+let[@inline] check2 t addr what =
+  if addr < 0 || addr + 2 > t.size || addr land 1 <> 0 then
+    raise (Bad_access { addr; what })
+
+let[@inline] check4 t addr what =
+  if addr < 0 || addr + 4 > t.size || addr land 3 <> 0 then
+    raise (Bad_access { addr; what })
+
 (* Raw accessors (no event counting): used for dataset initialization and
    for result checking. *)
 
 let get_u8 t addr =
-  check t addr 1 "get_u8";
-  Char.code (Bytes.get t.data addr)
+  check1 t addr "get_u8";
+  Char.code (Bytes.unsafe_get t.data addr)
 
 let set_u8 t addr v =
-  check t addr 1 "set_u8";
+  check1 t addr "set_u8";
   note_write t addr 1;
-  Bytes.set t.data addr (Char.chr (v land 0xFF))
+  Bytes.unsafe_set t.data addr (Char.unsafe_chr (v land 0xFF))
 
 let get_u16 t addr =
-  check t addr 2 "get_u16"; check_align addr 2 "get_u16";
-  Char.code (Bytes.get t.data addr)
-  lor (Char.code (Bytes.get t.data (addr + 1)) lsl 8)
+  check2 t addr "get_u16";
+  Bytes.get_uint16_le t.data addr
 
 let set_u16 t addr v =
-  check t addr 2 "set_u16"; check_align addr 2 "set_u16";
+  check2 t addr "set_u16";
   note_write t addr 2;
-  Bytes.set t.data addr (Char.chr (v land 0xFF));
-  Bytes.set t.data (addr + 1) (Char.chr ((v lsr 8) land 0xFF))
+  Bytes.set_uint16_le t.data addr (v land 0xFFFF)
 
 let get_i32 t addr : int32 =
-  check t addr 4 "get_i32"; check_align addr 4 "get_i32";
+  check4 t addr "get_i32";
   Bytes.get_int32_le t.data addr
 
 let set_i32 t addr (v : int32) =
-  check t addr 4 "set_i32"; check_align addr 4 "set_i32";
+  check4 t addr "set_i32";
   note_write t addr 4;
   Bytes.set_int32_le t.data addr v
 
@@ -146,29 +159,64 @@ let amo t (op : Insn.amo_op) addr (v : int32) : int32 =
   old
 
 (** Number of bytes a width accesses (for address-overlap checks). *)
-let width_bytes : Insn.width -> int = function
-  | B | Bu -> 1
-  | H | Hu -> 2
-  | W -> 4
+let width_bytes : Insn.width -> int = Insn.width_bytes
 
-(* Bulk helpers for dataset setup / checking. *)
+(* Bulk helpers for dataset setup / checking: one up-front range (and
+   alignment) check for the whole transfer, then a raw inner loop —
+   datasets are rebuilt for every uncached run, so the per-element
+   checks these replace were pure overhead. *)
+
+let check_range t ~addr ~bytes ~align what =
+  if bytes > 0 then begin
+    check t addr bytes what;
+    check_align addr align what
+  end
 
 let blit_int_array t ~addr (a : int array) =
-  Array.iteri (fun i v -> set_int t (addr + 4 * i) v) a
+  let n = Array.length a in
+  check_range t ~addr ~bytes:(4 * n) ~align:4 "blit_int_array";
+  note_write t addr (4 * n);
+  let d = t.data in
+  for i = 0 to n - 1 do
+    Bytes.set_int32_le d (addr + 4 * i)
+      (Int32.of_int (Array.unsafe_get a i))
+  done
 
 let read_int_array t ~addr ~n =
-  Array.init n (fun i -> get_int t (addr + 4 * i))
+  check_range t ~addr ~bytes:(4 * n) ~align:4 "read_int_array";
+  let d = t.data in
+  Array.init n (fun i -> Int32.to_int (Bytes.get_int32_le d (addr + 4 * i)))
 
 let blit_f32_array t ~addr (a : float array) =
-  Array.iteri (fun i v -> set_f32 t (addr + 4 * i) v) a
+  let n = Array.length a in
+  check_range t ~addr ~bytes:(4 * n) ~align:4 "blit_f32_array";
+  note_write t addr (4 * n);
+  let d = t.data in
+  for i = 0 to n - 1 do
+    Bytes.set_int32_le d (addr + 4 * i)
+      (Int32.bits_of_float (Array.unsafe_get a i))
+  done
 
 let read_f32_array t ~addr ~n =
-  Array.init n (fun i -> get_f32 t (addr + 4 * i))
+  check_range t ~addr ~bytes:(4 * n) ~align:4 "read_f32_array";
+  let d = t.data in
+  Array.init n
+    (fun i -> Int32.float_of_bits (Bytes.get_int32_le d (addr + 4 * i)))
 
 let blit_bytes t ~addr (a : int array) =
-  Array.iteri (fun i v -> set_u8 t (addr + i) v) a
+  let n = Array.length a in
+  check_range t ~addr ~bytes:n ~align:1 "blit_bytes";
+  note_write t addr n;
+  let d = t.data in
+  for i = 0 to n - 1 do
+    Bytes.unsafe_set d (addr + i)
+      (Char.unsafe_chr (Array.unsafe_get a i land 0xFF))
+  done
 
-let read_bytes t ~addr ~n = Array.init n (fun i -> get_u8 t (addr + i))
+let read_bytes t ~addr ~n =
+  check_range t ~addr ~bytes:n ~align:1 "read_bytes";
+  let d = t.data in
+  Array.init n (fun i -> Char.code (Bytes.unsafe_get d (addr + i)))
 
 let reset_counters t =
   t.loads <- 0; t.stores <- 0; t.amos <- 0

@@ -69,7 +69,10 @@ val amo : t -> Xloops_isa.Insn.amo_op -> int -> int32 -> int32
 
 val width_bytes : Xloops_isa.Insn.width -> int
 
-(** {1 Bulk helpers} *)
+(** {1 Bulk helpers}
+
+    One up-front range/alignment check for the whole transfer, then a
+    raw inner loop; writes are journalled as a single range. *)
 
 val blit_int_array : t -> addr:int -> int array -> unit
 val read_int_array : t -> addr:int -> n:int -> int array

@@ -3,8 +3,16 @@
     A single implementation of the ISA semantics shared by every timing
     model: the GPP models execute through it directly, and each LPSU lane
     wraps it with its own register file and a speculative memory interface.
-    [step] executes one instruction and reports a {!event} describing what
-    happened; timing models consume the event stream. *)
+    [step] executes one instruction and fills a caller-owned {!event}
+    scratch record describing what happened; timing models consume the
+    event stream.
+
+    The hot loop is allocation-free by construction: programs are
+    {!Program.predecode}d once (immediates pre-widened, targets resolved,
+    widths expanded), the event record is reused across steps, the memory
+    interface is built once per machine or lane, and the register file
+    holds 32-bit values sign-extended into unboxed native [int]s — ALU
+    results never box. *)
 
 open Xloops_isa
 module Program = Xloops_asm.Program
@@ -12,21 +20,29 @@ module Program = Xloops_asm.Program
 exception Halted
 exception Trap of string
 
+(* Each register holds the sign extension of its architectural 32-bit
+   value into a native int; [norm] re-establishes the invariant after
+   arithmetic that can leave bits above position 31. *)
 type hart = {
-  regs : int32 array;
+  regs : int array;
   mutable pc : int;
 }
 
-let create_hart ?(pc = 0) () = { regs = Array.make Reg.num_regs 0l; pc }
+let sext_shift = Sys.int_size - 32
+let[@inline] norm v = (v lsl sext_shift) asr sext_shift
+
+let create_hart ?(pc = 0) () = { regs = Array.make Reg.num_regs 0; pc }
 
 let copy_hart h = { regs = Array.copy h.regs; pc = h.pc }
 
-let get h r = if r = Reg.zero then 0l else h.regs.(r)
+(* [set]/[set_int] never write r0, so [regs.(0)] stays 0 and reads need
+   no special case. *)
+let get h r = Int32.of_int h.regs.(r)
 
-let set h r v = if r <> Reg.zero then h.regs.(r) <- v
+let set h r v = if r <> Reg.zero then h.regs.(r) <- Int32.to_int v
 
-let get_int h r = Int32.to_int (get h r)
-let set_int h r v = set h r (Int32.of_int v)
+let get_int h r = h.regs.(r)
+let set_int h r v = if r <> Reg.zero then h.regs.(r) <- norm v
 
 (** Memory interface: the GPP binds this straight to {!Xloops_mem.Memory};
     a speculative LPSU lane binds it to its LSQ overlay. *)
@@ -43,20 +59,30 @@ let direct_mem (m : Xloops_mem.Memory.t) : mem_iface = {
 }
 
 (** What one dynamic instruction did; everything a timing or energy model
-    needs to know about it. *)
+    needs to know about it.  Mutable scratch: [step] fills the same record
+    in place on every call, so consumers must read the fields they need
+    before the next step on the same scratch. *)
 type event = {
-  insn : int Insn.t;
-  pc : int;
-  next_pc : int;
-  taken : bool;                   (** control transfer taken *)
-  mem_addr : int;                 (** -1 if not a memory operation *)
-  mem_bytes : int;
-  mem_is_store : bool;
-  mem_is_amo : bool;
+  mutable prog : Program.t;               (** program [pc] indexes into *)
+  mutable pc : int;
+  mutable next_pc : int;
+  mutable taken : bool;                   (** control transfer taken *)
+  mutable mem_addr : int;                 (** -1 if not a memory operation *)
+  mutable mem_bytes : int;
+  mutable mem_is_store : bool;
+  mutable mem_is_amo : bool;
 }
 
-let plain insn pc = {
-  insn; pc; next_pc = pc + 1; taken = false;
+(* The executed instruction is identified by [prog]/[pc] rather than
+   stored in the event: a pointer field written per step would cost a
+   write barrier on every instruction, while [prog] only changes when
+   the stepped program does. *)
+let[@inline] event_insn (ev : event) : int Insn.t =
+  Array.unsafe_get ev.prog.Program.insns ev.pc
+
+let create_event () = {
+  prog = { Program.insns = [| Insn.Nop |]; symbols = [] };
+  pc = 0; next_pc = 1; taken = false;
   mem_addr = -1; mem_bytes = 0; mem_is_store = false; mem_is_amo = false;
 }
 
@@ -119,80 +145,199 @@ let branch_eval (c : Insn.branch_cond) (a : int32) (b : int32) =
   | Bltu -> Int32.unsigned_compare a b < 0
   | Bgeu -> Int32.unsigned_compare a b >= 0
 
+(* -- Unboxed ALU semantics -------------------------------------------- *)
+
+(* The same semantics over sign-extended native ints, used by the hot
+   [step] path so ALU results never box.  Operands are assumed
+   normalized (the register-file invariant); results are normalized.
+   Equivalence with the [int32] versions above is what the
+   predecoded-vs-reference property test pins down. *)
+
+let min32 = -0x8000_0000
+
+let alu_eval_int (op : Insn.alu_op) (a : int) (b : int) : int =
+  match op with
+  | Add -> norm (a + b)
+  | Sub -> norm (a - b)
+  | And -> a land b
+  | Or_ -> a lor b
+  | Xor -> a lxor b
+  | Nor -> lnot (a lor b)
+  (* Shifts/products only need the low 32 bits of the exact result, and
+     those survive any native-int overflow wrap. *)
+  | Sll -> norm (a lsl (b land 31))
+  | Srl -> norm ((a land 0xFFFFFFFF) lsr (b land 31))
+  | Sra -> a asr (b land 31)
+  | Slt -> if a < b then 1 else 0
+  | Sltu -> if a land 0xFFFFFFFF < b land 0xFFFFFFFF then 1 else 0
+  | Mul -> norm (a * b)
+  | Mulh ->
+    (* The full product can overflow a native int (min32 * min32). *)
+    Int64.to_int
+      (Int64.shift_right (Int64.mul (Int64.of_int a) (Int64.of_int b)) 32)
+  | Div ->
+    if b = 0 then -1
+    else if a = min32 && b = -1 then min32
+    else a / b
+  | Rem ->
+    if b = 0 then a
+    else if a = min32 && b = -1 then 0
+    else a mod b
+
+let fpu_eval_int (op : Insn.fpu_op) (a : int) (b : int) : int =
+  Int32.to_int (fpu_eval op (Int32.of_int a) (Int32.of_int b))
+
+let branch_eval_int (c : Insn.branch_cond) (a : int) (b : int) =
+  match c with
+  | Beq -> a = b
+  | Bne -> a <> b
+  | Blt -> a < b
+  | Bge -> a >= b
+  | Bltu -> a land 0xFFFFFFFF < b land 0xFFFFFFFF
+  | Bgeu -> a land 0xFFFFFFFF >= b land 0xFFFFFFFF
+
 (* -- Single-step ------------------------------------------------------ *)
 
-(** Execute the instruction at [h.pc].  Advances the hart; raises {!Halted}
-    on [Halt] (with [h.pc] left pointing at the halt).
+(* Reset the scratch to the fall-through defaults for the instruction at
+   [pc]; arms below only touch the fields that deviate. *)
+let reset_event (ev : event) prog pc =
+  if ev.prog != prog then ev.prog <- prog;
+  ev.pc <- pc;
+  ev.next_pc <- pc + 1;
+  ev.taken <- false;
+  ev.mem_addr <- -1;
+  ev.mem_bytes <- 0;
+  ev.mem_is_store <- false;
+  ev.mem_is_amo <- false
+
+let take (h : hart) (ev : event) target =
+  h.pc <- target;
+  ev.next_pc <- target;
+  ev.taken <- true
+
+(** Execute the predecoded instruction at [h.pc], filling [ev].  Advances
+    the hart; raises {!Halted} on [Halt] (with [h.pc] left pointing at the
+    halt).
 
     The [Xloop] instruction here implements its *traditional* semantics —
     a conditional backward branch — which is also the correct
     architectural meaning inside an LPSU lane, where the lane runtime
     intercepts the loop-control decision before calling [step]. *)
-let step (prog : Program.t) (h : hart) (mem : mem_iface) : event =
+let step (p : Program.predecoded) (h : hart) (mem : mem_iface)
+    (ev : event) : unit =
+  let pc = h.pc in
+  let uops = p.Program.uops in
+  if pc < 0 || pc >= Array.length uops then
+    raise (Trap (Printf.sprintf "pc out of range: %d" pc));
+  reset_event ev p.Program.source pc;
+  h.pc <- pc + 1;
+  let regs = h.regs in
+  match Array.unsafe_get uops pc with
+  | U_alu (op, rd, rs, rt) ->
+    if rd <> 0 then regs.(rd) <- alu_eval_int op regs.(rs) regs.(rt)
+  | U_alui (op, rd, rs, imm) ->
+    if rd <> 0 then regs.(rd) <- alu_eval_int op regs.(rs) imm
+  | U_fpu (op, rd, rs, rt) ->
+    if rd <> 0 then regs.(rd) <- fpu_eval_int op regs.(rs) regs.(rt)
+  | U_lui (rd, v) -> if rd <> 0 then regs.(rd) <- v
+  | U_load (w, rd, rs, imm, bytes) ->
+    let addr = regs.(rs) + imm in
+    if rd <> 0 then regs.(rd) <- Int32.to_int (mem.load w addr)
+    else ignore (mem.load w addr);
+    ev.mem_addr <- addr;
+    ev.mem_bytes <- bytes
+  | U_store (w, rt, rs, imm, bytes) ->
+    let addr = regs.(rs) + imm in
+    mem.store w addr (Int32.of_int regs.(rt));
+    ev.mem_addr <- addr;
+    ev.mem_bytes <- bytes;
+    ev.mem_is_store <- true
+  | U_amo (op, rd, rs, rt) ->
+    let addr = regs.(rs) in
+    let old = mem.amo op addr (Int32.of_int regs.(rt)) in
+    if rd <> 0 then regs.(rd) <- Int32.to_int old;
+    ev.mem_addr <- addr;
+    ev.mem_bytes <- 4;
+    ev.mem_is_store <- true;
+    ev.mem_is_amo <- true
+  | U_branch (c, rs, rt, l) ->
+    if branch_eval_int c regs.(rs) regs.(rt) then take h ev l
+  | U_jump l -> take h ev l
+  | U_jal (link, l) ->
+    regs.(Reg.ra) <- link;
+    take h ev l
+  | U_jr rs -> take h ev regs.(rs)
+  | U_xloop_de (rt, l) ->
+    (* rt is the exit flag: loop while clear *)
+    if regs.(rt) = 0 then take h ev l
+  | U_xloop_cmp (rs, rt, l) ->
+    if regs.(rs) < regs.(rt) then take h ev l
+  | U_xi_addi (rd, rs, imm) ->
+    if rd <> 0 then regs.(rd) <- norm (regs.(rs) + imm)
+  | U_xi_add (rd, rs, rt) ->
+    if rd <> 0 then regs.(rd) <- norm (regs.(rs) + regs.(rt))
+  | U_sync -> ()
+  | U_halt ->
+    h.pc <- pc;
+    raise Halted
+  | U_nop -> ()
+
+(** Reference implementation of [step] that decodes the raw instruction
+    stream on every call — the original executor, kept as the semantic
+    baseline the predecoded path is property-tested against. *)
+let step_ref (prog : Program.t) (h : hart) (mem : mem_iface)
+    (ev : event) : unit =
   let pc = h.pc in
   if pc < 0 || pc >= Array.length prog.Program.insns then
     raise (Trap (Printf.sprintf "pc out of range: %d" pc));
   let insn = prog.Program.insns.(pc) in
-  let ev = plain insn pc in
-  let finish ?(next = pc + 1) ?(taken = false) ev =
-    h.pc <- next;
-    { ev with next_pc = next; taken }
-  in
+  reset_event ev prog pc;
+  h.pc <- pc + 1;
   match insn with
-  | Alu (op, rd, rs, rt) ->
-    set h rd (alu_eval op (get h rs) (get h rt));
-    finish ev
-  | Alui (op, rd, rs, imm) ->
-    set h rd (alu_eval op (get h rs) (Int32.of_int imm));
-    finish ev
-  | Fpu (op, rd, rs, rt) ->
-    set h rd (fpu_eval op (get h rs) (get h rt));
-    finish ev
-  | Lui (rd, imm) ->
-    set h rd (u32 (Int32.shift_left (Int32.of_int imm) 16));
-    finish ev
+  | Alu (op, rd, rs, rt) -> set h rd (alu_eval op (get h rs) (get h rt))
+  | Alui (op, rd, rs, imm) -> set h rd (alu_eval op (get h rs) (Int32.of_int imm))
+  | Fpu (op, rd, rs, rt) -> set h rd (fpu_eval op (get h rs) (get h rt))
+  | Lui (rd, imm) -> set h rd (u32 (Int32.shift_left (Int32.of_int imm) 16))
   | Load (w, rd, rs, imm) ->
     let addr = get_int h rs + imm in
     set h rd (mem.load w addr);
-    finish { ev with mem_addr = addr;
-                     mem_bytes = Xloops_mem.Memory.width_bytes w }
+    ev.mem_addr <- addr;
+    ev.mem_bytes <- Insn.width_bytes w
   | Store (w, rt, rs, imm) ->
     let addr = get_int h rs + imm in
     mem.store w addr (get h rt);
-    finish { ev with mem_addr = addr;
-                     mem_bytes = Xloops_mem.Memory.width_bytes w;
-                     mem_is_store = true }
+    ev.mem_addr <- addr;
+    ev.mem_bytes <- Insn.width_bytes w;
+    ev.mem_is_store <- true
   | Amo (op, rd, rs, rt) ->
     let addr = get_int h rs in
     let old = mem.amo op addr (get h rt) in
     set h rd old;
-    finish { ev with mem_addr = addr; mem_bytes = 4;
-                     mem_is_store = true; mem_is_amo = true }
+    ev.mem_addr <- addr;
+    ev.mem_bytes <- 4;
+    ev.mem_is_store <- true;
+    ev.mem_is_amo <- true
   | Branch (c, rs, rt, l) ->
-    if branch_eval c (get h rs) (get h rt)
-    then finish ~next:l ~taken:true ev
-    else finish ev
-  | Jump l -> finish ~next:l ~taken:true ev
+    if branch_eval c (get h rs) (get h rt) then take h ev l
+  | Jump l -> take h ev l
   | Jal l ->
     set h Reg.ra (Int32.of_int (pc + 1));
-    finish ~next:l ~taken:true ev
-  | Jr rs -> finish ~next:(get_int h rs) ~taken:true ev
+    take h ev l
+  | Jr rs -> take h ev (get_int h rs)
   | Xloop ({ cp; _ }, rs, rt, l) ->
     let continue_loop =
       match cp with
       | De -> get h rt = 0l   (* rt is the exit flag: loop while clear *)
       | Fixed | Dyn -> Int32.compare (get h rs) (get h rt) < 0
     in
-    if continue_loop then finish ~next:l ~taken:true ev else finish ev
-  | Xi_addi (rd, rs, imm) ->
-    set h rd (Int32.add (get h rs) (Int32.of_int imm));
-    finish ev
-  | Xi_add (rd, rs, rt) ->
-    set h rd (Int32.add (get h rs) (get h rt));
-    finish ev
-  | Sync -> finish ev
-  | Halt -> raise Halted
-  | Nop -> finish ev
+    if continue_loop then take h ev l
+  | Xi_addi (rd, rs, imm) -> set h rd (Int32.add (get h rs) (Int32.of_int imm))
+  | Xi_add (rd, rs, rt) -> set h rd (Int32.add (get h rs) (get h rt))
+  | Sync -> ()
+  | Halt ->
+    h.pc <- pc;
+    raise Halted
+  | Nop -> ()
 
 (* -- Whole-program functional run ------------------------------------- *)
 
@@ -214,15 +359,33 @@ let pp_stop ppf (Out_of_fuel { pc; insns; cycle }) =
     report instead of crash. *)
 let run_serial ?(entry = 0) ?(fuel = 200_000_000) prog
     (m : Xloops_mem.Memory.t) : (run, stop) result =
+  let pre = Program.predecode prog in
   let h = create_hart ~pc:entry () in
   let mem = direct_mem m in
+  let ev = create_event () in
   let count = ref 0 in
   try
     while !count < fuel do
-      ignore (step prog h mem);
+      step pre h mem ev;
       incr count
     done;
     (* The functional model retires one instruction per step, so the
        instruction count doubles as its cycle count. *)
+    Error (Out_of_fuel { pc = h.pc; insns = !count; cycle = !count })
+  with Halted -> Ok { dynamic_insns = !count; final = h }
+
+(** [run_serial] through {!step_ref}: same contract, original decode
+    path.  Exists so the property tests can diff the two executors. *)
+let run_serial_ref ?(entry = 0) ?(fuel = 200_000_000) prog
+    (m : Xloops_mem.Memory.t) : (run, stop) result =
+  let h = create_hart ~pc:entry () in
+  let mem = direct_mem m in
+  let ev = create_event () in
+  let count = ref 0 in
+  try
+    while !count < fuel do
+      step_ref prog h mem ev;
+      incr count
+    done;
     Error (Out_of_fuel { pc = h.pc; insns = !count; cycle = !count })
   with Halted -> Ok { dynamic_insns = !count; final = h }

@@ -72,10 +72,10 @@ module Inorder = struct
 
   let count_exec_events (s : Stats.t) (i : int Insn.t) =
     s.decodes <- s.decodes + 1;
-    s.rf_reads <- s.rf_reads + List.length (Insn.sources i);
-    (match Insn.dest i with
-     | Some _ -> s.rf_writes <- s.rf_writes + 1
-     | None -> ());
+    s.rf_reads <- s.rf_reads
+                  + (if Insn.src1 i >= 0 then 1 else 0)
+                  + (if Insn.src2 i >= 0 then 1 else 0);
+    if Insn.dest_reg i >= 0 then s.rf_writes <- s.rf_writes + 1;
     (match i with
      | Alu ((Mul | Mulh), _, _, _) | Alui ((Mul | Mulh), _, _, _) ->
        s.mul_ops <- s.mul_ops + 1
@@ -89,9 +89,10 @@ module Inorder = struct
 
   let consume t (ev : Exec.event) =
     let s = t.stats in
+    let insn = Exec.event_insn ev in
     s.committed_insns <- s.committed_insns + 1;
     s.icache_fetches <- s.icache_fetches + 1;
-    count_exec_events s ev.insn;
+    count_exec_events s insn;
     (* Fetch. *)
     let fetch_extra =
       if Cache.access t.l1i (ev.pc * 4) then 0
@@ -102,12 +103,12 @@ module Inorder = struct
     in
     (* Operand readiness. *)
     let ready =
-      List.fold_left
-        (fun acc r -> max acc t.reg_ready.(r))
-        0 (Insn.sources ev.insn)
+      let s1 = Insn.src1 insn and s2 = Insn.src2 insn in
+      max (if s1 >= 0 then t.reg_ready.(s1) else 0)
+        (if s2 >= 0 then t.reg_ready.(s2) else 0)
     in
     let struct_ready =
-      match ev.insn with
+      match insn with
       | Alu ((Div | Rem), _, _, _) | Alui ((Div | Rem), _, _, _)
       | Fpu (Fdiv, _, _, _) -> t.div_busy_until
       | _ -> 0
@@ -132,15 +133,14 @@ module Inorder = struct
           else t.lat.load_use in
         issue + base + !miss_stall
       end else
-        issue + insn_class_latency t.lat ev.insn
+        issue + insn_class_latency t.lat insn
     in
-    (match ev.insn with
+    (match insn with
      | Alu ((Div | Rem), _, _, _) | Alui ((Div | Rem), _, _, _)
      | Fpu (Fdiv, _, _, _) -> t.div_busy_until <- complete
      | _ -> ());
-    (match Insn.dest ev.insn with
-     | Some rd -> t.reg_ready.(rd) <- complete
-     | None -> ());
+    let rd = Insn.dest_reg insn in
+    if rd >= 0 then t.reg_ready.(rd) <- complete;
     (* Control flow: taken branches insert fetch bubbles. *)
     t.last_issue <-
       issue + !miss_stall
@@ -209,12 +209,13 @@ module Ooo = struct
 
   let consume t (ev : Exec.event) =
     let s = t.stats in
+    let insn = Exec.event_insn ev in
     s.committed_insns <- s.committed_insns + 1;
     s.icache_fetches <- s.icache_fetches + 1;
     s.renames <- s.renames + 1;
     s.rob_ops <- s.rob_ops + 1;
     s.iq_ops <- s.iq_ops + 1;
-    Inorder.count_exec_events s ev.insn;
+    Inorder.count_exec_events s insn;
     (* Fetch-side cache (fetch groups share lines; charge misses only). *)
     if not (Cache.access t.l1i (ev.pc * 4)) then begin
       s.icache_misses <- s.icache_misses + 1;
@@ -235,9 +236,10 @@ module Ooo = struct
     t.dispatched_in_cycle <- t.dispatched_in_cycle + 1;
     (* Operand readiness. *)
     let ready =
-      List.fold_left
-        (fun acc r -> max acc t.reg_ready.(r))
-        dispatch (Insn.sources ev.insn)
+      let s1 = Insn.src1 insn and s2 = Insn.src2 insn in
+      max dispatch
+        (max (if s1 >= 0 then t.reg_ready.(s1) else 0)
+           (if s2 >= 0 then t.reg_ready.(s2) else 0))
     in
     let issue = max ready t.mem_serial in
     (* Completion. *)
@@ -271,20 +273,19 @@ module Ooo = struct
           max issue dep + t.lat.load_use + miss
         end
       end else
-        (match ev.insn with
+        (match insn with
          | Sync ->
            let c = max issue t.mem_serial in
            t.mem_serial <- c;
            c
-         | _ -> issue + insn_class_latency t.lat ev.insn)
+         | _ -> issue + insn_class_latency t.lat insn)
     in
-    (match Insn.dest ev.insn with
-     | Some rd -> t.reg_ready.(rd) <- complete
-     | None -> ());
+    let rd = Insn.dest_reg insn in
+    if rd >= 0 then t.reg_ready.(rd) <- complete;
     (* Branch prediction. *)
-    if Insn.is_branch ev.insn then begin
+    if Insn.is_branch insn then begin
       let correct =
-        match ev.insn with
+        match insn with
         | Branch _ | Xloop _ ->
           Branch_pred.predict_update t.bp ~pc:ev.pc ~taken:ev.taken
         | Jr _ -> true  (* return-address stack assumed perfect *)

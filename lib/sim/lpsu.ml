@@ -58,6 +58,14 @@ type ctx = {
   mutable next_issue : int;
   mutable exit_flag : int32;   (** .de: exit-register value at loop end *)
   mutable frozen_until : int;  (** injected lane freeze; [max_int] = dead *)
+  (* Per-context memory interfaces, built once at LPSU creation instead
+     of once per memory instruction. *)
+  mutable spec_if : Exec.mem_iface;   (** LSQ overlay for this context *)
+  mutable fwd_if : Exec.mem_iface;    (** inter-lane forward; reads fwd_* *)
+  mutable fwd_src : int;              (** forwarding source iteration *)
+  mutable fwd_raw : int32;            (** forwarded raw store bytes *)
+  mutable fwd_addr : int;
+  mutable fwd_bytes : int;
 }
 
 type cib = {
@@ -82,13 +90,16 @@ type result = {
 
 type t = {
   prog : Program.t;
+  pre : Program.predecoded;      (* prog, predecoded once *)
   mem : Memory.t;
+  direct_if : Exec.mem_iface;    (* architectural memory, built once *)
+  ev : Exec.event;               (* shared reusable step scratch *)
   dcache : Cache.t;
   lat : Gpp_timing.latencies;
   lpsu : Config.lpsu;
   stats : Stats.t;
   info : Scan.t;
-  base_regs : int32 array;       (* GPP register snapshot at scan *)
+  base_regs : int array;         (* GPP register snapshot at scan *)
   idx0 : int32;
   miv_bases : (Reg.t * int32 * int32) list;  (* reg, base, inc *)
   ctxs : ctx array;              (* lane-major, then thread *)
@@ -117,8 +128,62 @@ type t = {
 let idx_of t k =
   Int32.add t.idx0 (Int32.mul (Int32.of_int k) t.info.Scan.idx_step)
 
+(* -- Memory interfaces ------------------------------------------------ *)
+
+(* Each context's interfaces are built once at LPSU creation; the
+   speculative path closes over the context's LSQ, and the forwarding
+   path reads the context's [fwd_*] scratch fields, so no closure is
+   allocated per memory instruction. *)
+
+let spec_iface t (c : ctx) : Exec.mem_iface = {
+  load = (fun w a ->
+      Lsq.record_load c.lsq ~addr:a ~bytes:(Insn.width_bytes w);
+      t.stats.lsq_writes <- t.stats.lsq_writes + 1;
+      Lsq.read c.lsq t.mem w a);
+  store = (fun w a v ->
+      Lsq.record_store c.lsq ~addr:a ~bytes:(Insn.width_bytes w) ~value:v;
+      t.stats.lsq_writes <- t.stats.lsq_writes + 1);
+  amo = (fun op a v ->
+      let old = Lsq.read c.lsq t.mem Insn.W a in
+      Lsq.record_load c.lsq ~addr:a ~bytes:4;
+      let nv = match op with
+        | Insn.Amo_add -> Int32.add old v
+        | Amo_and -> Int32.logand old v
+        | Amo_or -> Int32.logor old v
+        | Amo_xchg -> v
+        | Amo_min -> if Int32.compare old v <= 0 then old else v
+        | Amo_max -> if Int32.compare old v >= 0 then old else v
+      in
+      Lsq.record_store c.lsq ~addr:a ~bytes:4 ~value:nv;
+      t.stats.lsq_writes <- t.stats.lsq_writes + 2;
+      old);
+}
+
+(* Sign/zero-extend raw little-endian bytes per access width. *)
+let extend_raw (w : Insn.width) (raw : int32) : int32 =
+  let v = Int32.to_int raw in
+  match w with
+  | B -> Int32.of_int (if v land 0x80 <> 0 then v - 0x100 else v)
+  | H -> Int32.of_int (if v land 0x8000 <> 0 then v - 0x10000 else v)
+  | Bu | Hu -> raw
+  | W -> raw
+
+(* One-load interface delivering an inter-lane forwarded value; the
+   source iteration, raw value and address live in the context's [fwd_*]
+   fields, set by [inter_lane_forward] just before the step. *)
+let fwd_iface t (c : ctx) : Exec.mem_iface = {
+  Exec.load = (fun w a ->
+      assert (a = c.fwd_addr);
+      Lsq.record_load c.lsq ~addr:c.fwd_addr ~bytes:c.fwd_bytes
+        ~fwd:{ Lsq.f_iter = c.fwd_src; f_value = c.fwd_raw };
+      t.stats.lsq_writes <- t.stats.lsq_writes + 1;
+      extend_raw w c.fwd_raw);
+  store = (fun _ _ _ -> assert false);
+  amo = (fun _ _ _ -> assert false);
+}
+
 let create ~prog ~mem ~dcache ~(cfg : Config.t) ~stats ~(info : Scan.t)
-    ~(regs : int32 array) ~start_cycle ?stop_after ?trace ?faults
+    ~(regs : int array) ~start_cycle ?stop_after ?trace ?faults
     ?(watchdog = 0) () =
   let lpsu = match cfg.lpsu with
     | Some l -> l
@@ -129,6 +194,7 @@ let create ~prog ~mem ~dcache ~(cfg : Config.t) ~stats ~(info : Scan.t)
   let mt_enabled =
     lpsu.threads_per_lane > 1 && info.pat.dp = Insn.Uc in
   let threads = if mt_enabled then lpsu.threads_per_lane else 1 in
+  let direct_if = Exec.direct_mem mem in
   let ctxs =
     Array.init (lpsu.lanes * threads) (fun i ->
         { lane = i / threads; tid = i mod threads;
@@ -138,30 +204,46 @@ let create ~prog ~mem ~dcache ~(cfg : Config.t) ~stats ~(info : Scan.t)
           lsq = Lsq.create ~max_loads:lpsu.lsq_loads
               ~max_stores:lpsu.lsq_stores;
           drain_q = []; got_cir = [||]; insns_iter = 0; next_issue = 0;
-          exit_flag = 0l; frozen_until = 0 })
+          exit_flag = 0l; frozen_until = 0;
+          (* real interfaces are installed after [t] exists *)
+          spec_if = direct_if; fwd_if = direct_if;
+          fwd_src = -1; fwd_raw = 0l; fwd_addr = -1; fwd_bytes = 0 })
   in
   let cibs =
     Array.of_list
       (List.mapi
          (fun slot (c : Scan.cir) ->
-            { cir = c; slot; hist = [ (0, regs.(c.c_reg), start_cycle) ] })
+            { cir = c; slot;
+              hist = [ (0, Int32.of_int regs.(c.c_reg), start_cycle) ] })
          info.cirs)
   in
   let miv_bases =
-    List.map (fun (m : Scan.miv) -> (m.m_reg, regs.(m.m_reg), m.m_inc))
+    List.map
+      (fun (m : Scan.miv) -> (m.m_reg, Int32.of_int regs.(m.m_reg), m.m_inc))
       info.mivs
   in
-  { prog; mem; dcache; lat = Gpp_timing.latencies_of cfg.gpp; lpsu; stats;
-    info; base_regs = Array.copy regs; idx0 = regs.(info.r_idx); miv_bases;
-    ctxs; cibs;
-    mem_port = Port.create ~width:lpsu.mem_ports "dmem";
-    llfu_port = Port.create ~width:lpsu.llfu_ports "llfu";
-    bound = regs.(info.r_bound);
-    next_k = 0; commit_iter = 0; committed = 0; exit_at = None;
-    cycle = start_cycle;
-    stop_after; spec_pattern; has_cirs; mt_enabled; trace;
-    faults; watchdog; last_progress = start_cycle; drop_broadcasts = 0;
-    lane_reason = Array.make lpsu.lanes (`Idle : stall) }
+  let t =
+    { prog; pre = Program.predecode prog; mem; direct_if;
+      ev = Exec.create_event ();
+      dcache; lat = Gpp_timing.latencies_of cfg.gpp; lpsu; stats;
+      info; base_regs = Array.copy regs;
+      idx0 = Int32.of_int regs.(info.r_idx); miv_bases;
+      ctxs; cibs;
+      mem_port = Port.create ~width:lpsu.mem_ports "dmem";
+      llfu_port = Port.create ~width:lpsu.llfu_ports "llfu";
+      bound = Int32.of_int regs.(info.r_bound);
+      next_k = 0; commit_iter = 0; committed = 0; exit_at = None;
+      cycle = start_cycle;
+      stop_after; spec_pattern; has_cirs; mt_enabled; trace;
+      faults; watchdog; last_progress = start_cycle; drop_broadcasts = 0;
+      lane_reason = Array.make lpsu.lanes (`Idle : stall) }
+  in
+  Array.iter
+    (fun c ->
+       c.spec_if <- spec_iface t c;
+       c.fwd_if <- fwd_iface t c)
+    t.ctxs;
+  t
 
 (* -- Dispatch -------------------------------------------------------- *)
 
@@ -208,13 +290,30 @@ let dispatch t (c : ctx) =
 let cib_lookup (cb : cib) k =
   List.find_opt (fun (i, _, _) -> i = k) cb.hist
 
+(* Oldest history entry any future lookup can need: speculative patterns
+   may roll back to the commit point; non-speculative ones only ever look
+   up an active context's iteration or (for [finals]) the commit count.
+   Without the non-speculative bound a long register-carried loop (the
+   [or] kernels run thousands of iterations in one LPSU instance, and
+   [commit_iter] never moves) grows each chain without limit and turns
+   every lookup into an O(iterations) walk. *)
+let cib_keep_from t =
+  if t.spec_pattern then t.commit_iter - 1
+  else
+    Array.fold_left
+      (fun acc c ->
+         if c.st <> Idle && c.iter >= 0 && c.iter < acc then c.iter else acc)
+      t.committed t.ctxs
+    - 1
+
 let cib_write t (cb : cib) ~producer_iter ~value =
   cb.hist <- (producer_iter + 1, value, t.cycle + 1) :: cb.hist;
   t.stats.cib_writes <- t.stats.cib_writes + 1;
   (* Prune entries no consumer can ever need again. *)
-  let keep_from = t.commit_iter - 1 in
-  if List.length cb.hist > Array.length t.ctxs * 2 + 4 then
+  if List.length cb.hist > Array.length t.ctxs * 2 + 4 then begin
+    let keep_from = cib_keep_from t in
     cb.hist <- List.filter (fun (i, _, _) -> i >= keep_from) cb.hist
+  end
 
 let cib_rollback t k_min =
   Array.iter
@@ -306,48 +405,14 @@ let broadcast_store t ~from_iter ~(store : Lsq.store_entry) =
           vs
   end
 
-(* -- Memory interfaces ------------------------------------------------ *)
-
-let direct_iface t : Exec.mem_iface = Exec.direct_mem t.mem
-
-let spec_iface t (c : ctx) : Exec.mem_iface = {
-  load = (fun w a ->
-      Lsq.record_load c.lsq ~addr:a ~bytes:(Memory.width_bytes w);
-      t.stats.lsq_writes <- t.stats.lsq_writes + 1;
-      Lsq.read c.lsq t.mem w a);
-  store = (fun w a v ->
-      Lsq.record_store c.lsq ~addr:a ~bytes:(Memory.width_bytes w) ~value:v;
-      t.stats.lsq_writes <- t.stats.lsq_writes + 1);
-  amo = (fun op a v ->
-      let old = Lsq.read c.lsq t.mem Insn.W a in
-      Lsq.record_load c.lsq ~addr:a ~bytes:4;
-      let nv = match op with
-        | Insn.Amo_add -> Int32.add old v
-        | Amo_and -> Int32.logand old v
-        | Amo_or -> Int32.logor old v
-        | Amo_xchg -> v
-        | Amo_min -> if Int32.compare old v <= 0 then old else v
-        | Amo_max -> if Int32.compare old v >= 0 then old else v
-      in
-      Lsq.record_store c.lsq ~addr:a ~bytes:4 ~value:nv;
-      t.stats.lsq_writes <- t.stats.lsq_writes + 2;
-      old);
-}
-
-(* Sign/zero-extend raw little-endian bytes per access width. *)
-let extend_raw (w : Insn.width) (raw : int32) : int32 =
-  let v = Int32.to_int raw in
-  match w with
-  | B -> Int32.of_int (if v land 0x80 <> 0 then v - 0x100 else v)
-  | H -> Int32.of_int (if v land 0x8000 <> 0 then v - 0x10000 else v)
-  | Bu | Hu -> raw
-  | W -> raw
+(* -- Inter-lane forwarding -------------------------------------------- *)
 
 (** Inter-lane store-to-load forwarding (enabled by
     [Config.lpsu.inter_lane_fwd]): the youngest older active iteration
     whose buffered stores fully cover the load supplies the value; the
     load entry remembers its source so commits can confirm it and
-    squashes can cascade. *)
+    squashes can cascade.  On a hit the context's [fwd_*] scratch fields
+    are armed and its pre-built [fwd_if] returned. *)
 let inter_lane_forward t (c : ctx) ~addr ~bytes
   : Exec.mem_iface option =
   if not t.lpsu.inter_lane_fwd then None
@@ -370,16 +435,11 @@ let inter_lane_forward t (c : ctx) ~addr ~bytes
     | None -> None
     | Some (src, raw) ->
       t.stats.lsq_forwards <- t.stats.lsq_forwards + 1;
-      Some {
-        Exec.load = (fun w a ->
-            assert (a = addr);
-            Lsq.record_load c.lsq ~addr ~bytes
-              ~fwd:{ Lsq.f_iter = src; f_value = raw };
-            t.stats.lsq_writes <- t.stats.lsq_writes + 1;
-            extend_raw w raw);
-        store = (fun _ _ _ -> assert false);
-        amo = (fun _ _ _ -> assert false);
-      }
+      c.fwd_src <- src;
+      c.fwd_raw <- raw;
+      c.fwd_addr <- addr;
+      c.fwd_bytes <- bytes;
+      Some c.fwd_if
   end
 
 (* An L1 miss is charged to the value's latency, blocks the issuing lane
@@ -534,13 +594,14 @@ let attempt_issue t (c : ctx) : (unit, stall) Result.t =
                   c.hart.pc t.info.body_start t.info.xloop_pc));
     let insn = t.prog.Program.insns.(c.hart.pc) in
     (* CIR consumption: the first read of each CIR waits on the CIB. *)
-    let srcs = Insn.sources insn in
+    let s1 = Insn.src1 insn and s2 = Insn.src2 insn in
     let cir_stall = ref false in
     if t.has_cirs then
       Array.iter
         (fun cb ->
            if (not c.got_cir.(cb.slot))
-           && List.mem cb.cir.c_reg srcs && not !cir_stall then begin
+           && (s1 = cb.cir.c_reg || s2 = cb.cir.c_reg)
+           && not !cir_stall then begin
              match cib_lookup cb c.iter with
              | Some (_, v, ready) when ready <= now ->
                Exec.set c.hart cb.cir.c_reg v;
@@ -553,7 +614,8 @@ let attempt_issue t (c : ctx) : (unit, stall) Result.t =
     if !cir_stall then Error `Cir
     else begin
       let ready =
-        List.fold_left (fun acc r -> max acc c.reg_ready.(r)) 0 srcs in
+        max (if s1 >= 0 then c.reg_ready.(s1) else 0)
+          (if s2 >= 0 then c.reg_ready.(s2) else 0) in
       if ready > now then Error `Raw
       else begin
         let speculative =
@@ -581,28 +643,28 @@ let attempt_issue t (c : ctx) : (unit, stall) Result.t =
                 else if Lsq.store_overlaps c.lsq ~addr ~bytes then begin
                   (* Own-lane store-to-load forwarding: no port needed. *)
                   t.stats.lsq_searches <- t.stats.lsq_searches + 1;
-                  Ok (Some (spec_iface t c), 1)
+                  Ok (Some c.spec_if, 1)
                 end else begin
                   match inter_lane_forward t c ~addr ~bytes with
                   | Some iface -> Ok (Some iface, 1)
                   | None ->
                     if Port.try_grant t.mem_port ~now then begin
                       t.stats.lsq_searches <- t.stats.lsq_searches + 1;
-                      Ok (Some (spec_iface t c),
+                      Ok (Some c.spec_if,
                           dcache_latency t c ~addr
                             ~base_latency:t.lat.load_use)
                     end else Error `Mem
                 end
               end else if Port.try_grant t.mem_port ~now then
-                Ok (Some (direct_iface t),
+                Ok (Some t.direct_if,
                     dcache_latency t c ~addr ~base_latency:t.lat.load_use)
               else Error `Mem
             | Store (_, _, rs, imm) ->
               if speculative then begin
                 if Lsq.stores_full c.lsq then Error `Lsq
-                else Ok (Some (spec_iface t c), 1)
+                else Ok (Some c.spec_if, 1)
               end else if Port.try_grant t.mem_port ~now then
-                Ok (Some (direct_iface t),
+                Ok (Some t.direct_if,
                     dcache_latency t c ~addr:(Exec.get_int c.hart rs + imm)
                       ~base_latency:1)
               else Error `Mem
@@ -611,9 +673,9 @@ let attempt_issue t (c : ctx) : (unit, stall) Result.t =
               if speculative then begin
                 if Lsq.loads_full c.lsq || Lsq.stores_full c.lsq
                 then Error `Lsq
-                else Ok (Some (spec_iface t c), t.lat.amo)
+                else Ok (Some c.spec_if, t.lat.amo)
               end else if Port.try_grant ~occupancy:2 t.mem_port ~now then
-                Ok (Some (direct_iface t),
+                Ok (Some t.direct_if,
                     dcache_latency t c ~addr ~base_latency:t.lat.amo)
               else Error `Mem
             | _ -> assert false
@@ -624,18 +686,19 @@ let attempt_issue t (c : ctx) : (unit, stall) Result.t =
         | Ok (iface, latency) ->
           let iface = match iface with
             | Some i -> i
-            | None -> direct_iface t  (* non-memory: never used *)
+            | None -> t.direct_if  (* non-memory: never used *)
           in
-          let ev = Exec.step t.prog c.hart iface in
+          Exec.step t.pre c.hart iface t.ev;
+          let ev = t.ev in
+          let insn = Exec.event_insn ev in
           if Trace.enabled t.trace Insns then
             Trace.event t.trace Insns "[%7d] lane%d.%d it=%-4d %4d: %a"
-              t.cycle c.lane c.tid c.iter ev.pc Insn.pp_resolved ev.insn;
+              t.cycle c.lane c.tid c.iter ev.pc Insn.pp_resolved insn;
           c.insns_iter <- c.insns_iter + 1;
           t.stats.ib_fetches <- t.stats.ib_fetches + 1;
-          Gpp_timing.Inorder.count_exec_events t.stats ev.insn;
-          (match Insn.dest ev.insn with
-           | Some rd -> c.reg_ready.(rd) <- now + latency
-           | None -> ());
+          Gpp_timing.Inorder.count_exec_events t.stats insn;
+          let rd = Insn.dest_reg insn in
+          if rd >= 0 then c.reg_ready.(rd) <- now + latency;
           (* Taken branches inside the body cost one fetch bubble. *)
           if ev.taken then c.next_issue <- now + 2;
           (* Non-speculative stores are broadcast for violation checks;
@@ -651,18 +714,15 @@ let attempt_issue t (c : ctx) : (unit, stall) Result.t =
                        s_value = Int32.of_int !raw }
           end;
           (* Dynamic bound: report writes to the bound register. *)
-          if t.info.pat.cp = Insn.Dyn then begin
-            match Insn.dest ev.insn with
-            | Some rd when rd = t.info.r_bound ->
-              let v = Exec.get c.hart t.info.r_bound in
-              if Int32.compare v t.bound > 0 then begin
-                if Trace.enabled t.trace Lanes then
-                  Trace.event t.trace Lanes
-                    "[%7d] lmu bound raised %ld -> %ld (lane%d iter=%d)"
-                    t.cycle t.bound v c.lane c.iter;
-                t.bound <- v
-              end
-            | _ -> ()
+          if t.info.pat.cp = Insn.Dyn && rd = t.info.r_bound then begin
+            let v = Exec.get c.hart t.info.r_bound in
+            if Int32.compare v t.bound > 0 then begin
+              if Trace.enabled t.trace Lanes then
+                Trace.event t.trace Lanes
+                  "[%7d] lmu bound raised %ld -> %ld (lane%d iter=%d)"
+                  t.cycle t.bound v c.lane c.iter;
+              t.bound <- v
+            end
           end;
           (* Last-CIR-write forwarding; a local write also supersedes the
              incoming chain value (a write-before-read iteration must not
@@ -670,10 +730,7 @@ let attempt_issue t (c : ctx) : (unit, stall) Result.t =
           if t.has_cirs then
             Array.iter
               (fun cb ->
-                 (match Insn.dest ev.insn with
-                  | Some rd when rd = cb.cir.c_reg ->
-                    c.got_cir.(cb.slot) <- true
-                  | _ -> ());
+                 if rd = cb.cir.c_reg then c.got_cir.(cb.slot) <- true;
                  if cb.cir.c_last_write_pc = ev.pc then
                    cib_write t cb ~producer_iter:c.iter
                      ~value:(Exec.get c.hart cb.cir.c_reg))
@@ -918,7 +975,7 @@ let finals t =
         | Some (_, v, _) -> (cb.cir.c_reg, v)
         | None ->
           (* Can only happen for a loop with zero LPSU iterations. *)
-          (cb.cir.c_reg, t.base_regs.(cb.cir.c_reg)))
+          (cb.cir.c_reg, Int32.of_int t.base_regs.(cb.cir.c_reg)))
   in
   let miv_finals =
     List.map (fun (r, base, inc) -> (r, Int32.add base (Int32.mul k inc)))

@@ -29,7 +29,7 @@ val run :
   cfg:Config.t ->
   stats:Stats.t ->
   info:Scan.t ->
-  regs:int32 array ->
+  regs:int array ->
   start_cycle:int ->
   ?stop_after:int ->
   ?trace:Trace.t ->

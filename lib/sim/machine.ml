@@ -63,7 +63,10 @@ type t = {
   lpsu_fuel : int;
   trace : Trace.t option;
   prog : Program.t;
+  pre : Program.predecoded;      (* prog, predecoded once for the run *)
   mem : Memory.t;
+  gpp_mem : Exec.mem_iface;      (* built once, not per instruction *)
+  ev : Exec.event;               (* the GPP's reusable step scratch *)
   stats : Stats.t;
   hart : Exec.hart;
   timing : Gpp_timing.t;
@@ -88,7 +91,12 @@ let create ?(adaptive = Config.default_adaptive)
        (Printf.sprintf "Machine.create: config %s has no LPSU" cfg.name)
    | _ -> ());
   let stats = Stats.create () in
-  { cfg; mode; adaptive; lpsu_fuel; trace; prog; mem; stats;
+  { cfg; mode; adaptive; lpsu_fuel; trace; prog;
+    pre = Program.predecode prog;
+    mem;
+    gpp_mem = Exec.direct_mem mem;
+    ev = Exec.create_event ();
+    stats;
     hart = Exec.create_hart ~pc:entry ();
     timing = Gpp_timing.create cfg.Config.gpp stats;
     apt = Hashtbl.create 8;
@@ -308,7 +316,8 @@ let adaptive_step t ~pc (ev : Exec.event) =
           let budget = max 1 p.iters in
           if Trace.enabled t.trace Decisions then
             Trace.event t.trace Decisions
-              "xloop@%d: GPP profile done (%d iters, %d cycles); trying                the LPSU" pc p.iters p.cycles;
+              "xloop@%d: GPP profile done (%d iters, %d cycles); trying \
+               the LPSU" pc p.iters p.cycles;
           match try_specialize ~stop_after:budget t info with
           | Degraded -> ()   (* mark_degraded already decided false *)
           | Completed r ->
@@ -332,7 +341,8 @@ let adaptive_step t ~pc (ev : Exec.event) =
               (* Migrate back: the GPP finishes the remaining iterations. *)
               if Trace.enabled t.trace Decisions then
                 Trace.event t.trace Decisions
-                  "xloop@%d: specialized slower (%d cyc / %d iters);                  migrating back to the GPP" pc r.cycles r.iterations;
+                  "xloop@%d: specialized slower (%d cyc / %d iters); \
+                   migrating back to the GPP" pc r.cycles r.iterations;
               t.stats.migrations <- t.stats.migrations + 1;
               t.hart.pc <- info.body_start;
               Hashtbl.replace t.apt pc (decided false)
@@ -354,13 +364,14 @@ let run ?(fuel = 500_000_000) t : (result, failure) Stdlib.result =
            raise (Stuck (Out_of_fuel { pc = t.hart.pc; insns = !steps;
                                        cycle = Gpp_timing.now t.timing }));
          incr steps;
-         let ev = Exec.step t.prog t.hart (Exec.direct_mem t.mem) in
+         Exec.step t.pre t.hart t.gpp_mem t.ev;
+         let ev = t.ev in
          if Trace.enabled t.trace Insns then
            Trace.event t.trace Insns "[%7d] gpp      %4d: %a"
              (Gpp_timing.now t.timing) ev.pc
-             Xloops_isa.Insn.pp_resolved ev.insn;
+             Xloops_isa.Insn.pp_resolved (Exec.event_insn ev);
          Gpp_timing.consume t.timing ev;
-         (match ev.insn with
+         (match Exec.event_insn ev with
           | Xloop (_, _, _, _)
             when t.cfg.Config.lpsu <> None
               && not (Hashtbl.mem t.degraded ev.pc) ->

@@ -69,7 +69,7 @@ let is_speculative_pattern (pat : Insn.xpat) =
     [regs] is the GPP register file at scan time, needed to resolve the
     loop-invariant increment of [addu.xi].  Returns [Error] with the
     fallback reason when the LPSU cannot run this loop specialized. *)
-let analyze (prog : Program.t) ~xloop_pc ~(regs : int32 array)
+let analyze (prog : Program.t) ~xloop_pc ~(regs : int array)
     ~(lpsu : Config.lpsu) : (t, fallback_reason) result =
   let insns = prog.Program.insns in
   match insns.(xloop_pc) with
@@ -103,7 +103,7 @@ let analyze (prog : Program.t) ~xloop_pc ~(regs : int32 array)
            | Xi_addi (rd, rs, imm) when rd = rs ->
              miv_inc.(rd) <- Int32.add miv_inc.(rd) (Int32.of_int imm)
            | Xi_add (rd, rs, rt) when rd = rs ->
-             miv_inc.(rd) <- Int32.add miv_inc.(rd) regs.(rt)
+             miv_inc.(rd) <- Int32.add miv_inc.(rd) (Int32.of_int regs.(rt))
            | _ ->
              (match Insn.dest i with
               | Some rd -> miv_clean.(rd) <- false

@@ -44,7 +44,7 @@ val is_speculative_pattern : Xloops_isa.Insn.xpat -> bool
     does any [.de] loop, whose iterations beyond the data-dependent exit
     are control-speculative and must leave no trace. *)
 
-val analyze : Xloops_asm.Program.t -> xloop_pc:int -> regs:int32 array ->
+val analyze : Xloops_asm.Program.t -> xloop_pc:int -> regs:int array ->
   lpsu:Config.lpsu -> (t, fallback_reason) result
 (** [regs] is the GPP register file at scan time (resolves the
     loop-invariant increments of [addu.xi]).  Raises [Invalid_argument]

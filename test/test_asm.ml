@@ -69,7 +69,7 @@ let test_li_large () =
   B.halt b2;
   let p2 = B.assemble b2 in
   let r = run_serial p2 mem in
-  Alcotest.(check int32) "value" 0x12345678l r.final.regs.(8)
+  Alcotest.(check int32) "value" 0x12345678l (Xloops_sim.Exec.get r.final 8)
 
 let test_li_negative_large () =
   let mem = Xloops_mem.Memory.create () in
@@ -78,7 +78,7 @@ let test_li_negative_large () =
   B.halt b;
   let p = B.assemble b in
   let r = run_serial p mem in
-  Alcotest.(check int32) "negative" (-123456789l) r.final.regs.(8)
+  Alcotest.(check int32) "negative" (-123456789l) (Xloops_sim.Exec.get r.final 8)
 
 let test_fresh_labels () =
   let b = B.create () in
@@ -161,8 +161,8 @@ let test_parse_memory_and_amo () =
   let p = Parser.parse src in
   let mem = Xloops_mem.Memory.create () in
   let r = run_serial p mem in
-  Alcotest.(check int32) "amo old" 7l r.final.regs.(9);
-  Alcotest.(check int32) "lw" 14l r.final.regs.(10)
+  Alcotest.(check int32) "amo old" 7l (Xloops_sim.Exec.get r.final 9);
+  Alcotest.(check int32) "lw" 14l (Xloops_sim.Exec.get r.final 10)
 
 let test_parse_xloop () =
   let src = {|

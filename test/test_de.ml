@@ -63,7 +63,7 @@ let test_traditional_semantics () =
   Xloops_asm.Builder.halt b;
   let p = Xloops_asm.Builder.assemble b in
   let r = run_serial p (Memory.create ()) in
-  Alcotest.(check int32) "sum 0..4" 10l r.final.regs.(t2)
+  Alcotest.(check int32) "sum 0..4" 10l (Xloops_sim.Exec.get r.final t2)
 
 (* The find-de kernel end to end across targets and machines. *)
 let run_find ~target ~cfg ~mode () =

@@ -20,7 +20,7 @@ let run_prog build =
   let r = run_serial p mem in
   (r, mem)
 
-let reg (r : Exec.run) n = r.final.regs.(n)
+let reg (r : Exec.run) n = Exec.get r.final n
 
 (* -- ALU semantics ------------------------------------------------------ *)
 

@@ -125,9 +125,9 @@ let test_scan_analysis () =
   Array.iteri
     (fun pc i -> if Insn.is_xloop i then xloop_pc := pc)
     prog.Xloops_asm.Program.insns;
-  let regs = Array.make 32 0l in
-  regs.(11) <- 4l;   (* idx after iteration 0 *)
-  regs.(10) <- Int32.of_int (n * 4);
+  let regs = Array.make 32 0 in
+  regs.(11) <- 4;   (* idx after iteration 0 *)
+  regs.(10) <- n * 4;
   match Scan.analyze prog ~xloop_pc:!xloop_pc ~regs
           ~lpsu:Config.default_lpsu with
   | Error e -> Alcotest.failf "analysis failed: %a" Scan.pp_fallback e
@@ -193,9 +193,13 @@ let time_program cfg prog =
   let timing = Gpp_timing.create cfg stats in
   let mem = Memory.create () in
   let h = Exec.create_hart () in
+  let pre = Xloops_asm.Program.predecode prog in
+  let iface = Exec.direct_mem mem in
+  let ev = Exec.create_event () in
   (try
      while true do
-       Gpp_timing.consume timing (Exec.step prog h (Exec.direct_mem mem))
+       Exec.step pre h iface ev;
+       Gpp_timing.consume timing ev
      done
    with Exec.Halted -> ());
   Gpp_timing.barrier timing;

@@ -24,7 +24,7 @@ let build f =
   Array.iteri (fun pc i -> if Insn.is_xloop i then xpc := pc) p.insns;
   (p, !xpc)
 
-let analyze ?(regs = Array.make 32 0l) ?(lpsu = Config.default_lpsu) p xpc =
+let analyze ?(regs = Array.make 32 0) ?(lpsu = Config.default_lpsu) p xpc =
   Scan.analyze p ~xloop_pc:xpc ~regs ~lpsu
 
 let ok = function
@@ -48,8 +48,8 @@ let test_mivt () =
    | l -> Alcotest.failf "expected 1 miv, got %d" (List.length l))
 
 let test_xi_add_resolves_register () =
-  let regs = Array.make 32 0l in
-  regs.(t2) <- 12l;   (* loop-invariant increment *)
+  let regs = Array.make 32 0 in
+  regs.(t2) <- 12;   (* loop-invariant increment *)
   let p, xpc = build (fun b ->
       B.label b "body";
       B.xi_add b t0 t0 t2;
@@ -155,7 +155,7 @@ let test_fallback_pattern_unsupported () =
       B.xi_addi b t4 t4 1;
       B.xloop b { Insn.dp = Om; cp = Fixed } t4 t3 "body")
   in
-  match Scan.analyze p ~xloop_pc:xpc ~regs:(Array.make 32 0l)
+  match Scan.analyze p ~xloop_pc:xpc ~regs:(Array.make 32 0)
           ~lpsu:{ Config.default_lpsu with supported = [ Insn.Uc ] } with
   | Error (Scan.Pattern_unsupported Insn.Om) -> ()
   | _ -> Alcotest.fail "expected pattern fallback"
