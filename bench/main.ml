@@ -18,6 +18,16 @@
    byte-identical whatever the job count; pool and cache diagnostics go
    to stderr.
 
+   The sweep itself is fault-tolerant: a crashing or deadline-blowing
+   spec becomes a reported per-item failure (--max-retries,
+   --spec-deadline-ms), completed specs are journaled as they finish so
+   a killed sweep restarts from where it left off (--resume), corrupt
+   cache blobs are checksummed, quarantined and re-simulated, and a
+   seeded chaos plan (--chaos-seed N, --chaos-events N, --chaos-abort)
+   injects cache corruption, worker stalls/crashes and mid-sweep aborts
+   to prove all of the above — under any of which stdout must remain
+   byte-identical.
+
    Shapes to look for (paper vs this reproduction is recorded in
    EXPERIMENTS.md):
    - Table II: uc kernels gain >=2.5x specialized on io; long-critical-path
@@ -33,6 +43,9 @@ module E = Xloops.Experiments
 module Run_spec = Xloops.Run_spec
 module Run_cache = Xloops.Run_cache
 module Pool = Xloops.Pool
+module Failure = Xloops.Failure
+module Journal = Xloops.Journal
+module Chaos = Xloops.Chaos
 module Registry = Xloops.Kernels.Registry
 module Kernel = Xloops.Kernels.Kernel
 
@@ -372,31 +385,100 @@ let micro () =
 
 (* -- Driver ------------------------------------------------------------ *)
 
-(* Engine flags (--jobs N, --no-cache, --cache-dir DIR) are stripped
-   here; everything else selects sections as before. *)
+(* Engine and orchestration flags are stripped here; everything else
+   selects sections as before.  The orchestration knobs (--resume,
+   --max-retries, --spec-deadline-ms, the --chaos flags) only affect how the
+   sweep executes and what goes to stderr — stdout stays byte-identical
+   whatever the combination, which is what CI diffs. *)
+type engine_opts = {
+  jobs : int;
+  cache_dir : string option;        (* None = --no-cache *)
+  journal_path : string option;     (* explicit --journal *)
+  resume : bool;
+  max_retries : int;
+  deadline_ms : int option;
+  chaos_seed : int option;
+  chaos_events : int;
+  chaos_abort : bool;               (* include mid-sweep aborts *)
+}
+
 let parse_engine_args args =
-  let jobs = ref (Pool.default_jobs ()) in
-  let cache_dir = ref Run_cache.default_dir in
-  let no_cache = ref false in
+  let o =
+    ref { jobs = Pool.default_jobs (); cache_dir = Some Run_cache.default_dir;
+          journal_path = None; resume = false; max_retries = 2;
+          deadline_ms = None; chaos_seed = None; chaos_events = 12;
+          chaos_abort = false }
+  in
+  let int_arg flag n k =
+    match int_of_string_opt n with
+    | Some v when v >= 0 -> k v
+    | _ -> Fmt.epr "bench: bad %s %s (want a non-negative int)@." flag n;
+      exit 2
+  in
   let rec go acc = function
     | [] -> List.rev acc
     | "--jobs" :: n :: tl ->
-      (match int_of_string_opt n with
-       | Some j when j >= 1 -> jobs := j
-       | _ -> Fmt.epr "bench: bad --jobs %s (want a positive int)@." n;
-         exit 2);
+      int_arg "--jobs" n (fun j ->
+          if j >= 1 then o := { !o with jobs = j }
+          else (Fmt.epr "bench: bad --jobs %s (want a positive int)@." n;
+                exit 2));
       go acc tl
-    | "--cache-dir" :: d :: tl -> cache_dir := d; go acc tl
-    | "--no-cache" :: tl -> no_cache := true; go acc tl
+    | "--cache-dir" :: d :: tl -> o := { !o with cache_dir = Some d }; go acc tl
+    | "--no-cache" :: tl -> o := { !o with cache_dir = None }; go acc tl
+    | "--journal" :: p :: tl -> o := { !o with journal_path = Some p }; go acc tl
+    | "--resume" :: tl -> o := { !o with resume = true }; go acc tl
+    | "--max-retries" :: n :: tl ->
+      int_arg "--max-retries" n (fun v -> o := { !o with max_retries = v });
+      go acc tl
+    | "--spec-deadline-ms" :: n :: tl ->
+      int_arg "--spec-deadline-ms" n
+        (fun v -> o := { !o with deadline_ms = if v = 0 then None else Some v });
+      go acc tl
+    | "--chaos-seed" :: n :: tl ->
+      int_arg "--chaos-seed" n (fun v -> o := { !o with chaos_seed = Some v });
+      go acc tl
+    | "--chaos-events" :: n :: tl ->
+      int_arg "--chaos-events" n (fun v -> o := { !o with chaos_events = v });
+      go acc tl
+    | "--chaos-abort" :: tl -> o := { !o with chaos_abort = true }; go acc tl
     | a :: tl -> go (a :: acc) tl
   in
   let rest = go [] args in
-  (!jobs, (if !no_cache then None else Some !cache_dir), rest)
+  (!o, rest)
 
 let () =
-  let jobs, cache_dir, args =
-    parse_engine_args (Array.to_list Sys.argv |> List.tl) in
-  let cache = Option.map (fun dir -> Run_cache.create ~dir ()) cache_dir in
+  let opts, args = parse_engine_args (Array.to_list Sys.argv |> List.tl) in
+  let jobs = opts.jobs in
+  let chaos =
+    Option.map
+      (fun seed ->
+         Chaos.plan
+           ~kinds:(if opts.chaos_abort then Chaos.all_kinds
+                   else Chaos.recoverable_kinds)
+           ~seed ~events:opts.chaos_events ())
+      opts.chaos_seed
+  in
+  let cache =
+    Option.map (fun dir -> Run_cache.create ~dir ?chaos ()) opts.cache_dir in
+  (* Startup hygiene: sweep out temp files a killed writer left. *)
+  Option.iter
+    (fun c ->
+       let reaped = Run_cache.reap_tmp c in
+       if reaped > 0 then
+         Fmt.epr "[cache] reaped %d stale tmp file(s)@." reaped)
+    cache;
+  let journal =
+    match opts.journal_path, opts.cache_dir with
+    | Some p, _ -> Some (Journal.start ~resume:opts.resume p)
+    | None, Some dir ->
+      Some (Journal.start ~resume:opts.resume
+              (Filename.concat dir Journal.default_name))
+    | None, None ->
+      if opts.resume then
+        Fmt.epr "bench: --resume without a cache or --journal has \
+                 nothing to resume from; ignoring@.";
+      None
+  in
   engine := E.caching_engine ?cache ();
   let has f = List.mem f args in
   let quick = has "--quick" in
@@ -430,10 +512,44 @@ let () =
          else (Hashtbl.add seen d (); true))
       plan
   in
-  if jobs > 1 && plan <> [] then begin
-    Fmt.epr "[pool] %d-run plan on %d domains (%d cores available)@."
-      (List.length plan) jobs (Pool.available_cores ());
-    ignore (Pool.map ~jobs !engine.E.run plan)
+  (* Warm phase: execute the plan under the fault-tolerance stack.  A
+     failing or timed-out spec is a per-item failure (reported below),
+     not a crashed sweep; journaled specs from an interrupted run are
+     skipped and served from the cache during assembly. *)
+  if plan <> [] then begin
+    if jobs > 1 then
+      Fmt.epr "[pool] %d-run plan on %d domains (%d cores available)@."
+        (List.length plan) jobs (Pool.available_cores ());
+    let policy =
+      { Pool.default_policy with
+        deadline_ms = opts.deadline_ms;
+        max_retries = opts.max_retries;
+        backoff_seed = Option.value opts.chaos_seed ~default:0 }
+    in
+    match E.sweep ~jobs ~policy ?journal ?chaos !engine plan with
+    | exception Failure.Abort msg ->
+      (* The journal already holds every completed spec (fsync'd), so a
+         rerun with --resume picks up exactly where this died. *)
+      Option.iter
+        (fun j -> Fmt.epr "[journal] %a@." Journal.pp_counters j) journal;
+      Fmt.epr "bench: sweep aborted: %s (rerun with --resume)@." msg;
+      exit 3
+    | report ->
+      if report.E.sr_skipped > 0 then
+        Fmt.epr "[sweep] resumed: %d of %d spec(s) already journaled@."
+          report.E.sr_skipped (List.length plan);
+      Option.iter
+        (fun c -> Fmt.epr "[chaos] %d event(s) injected@."
+            (Chaos.injected_count c))
+        chaos;
+      if report.E.sr_failures <> [] then begin
+        List.iter
+          (fun f -> Fmt.epr "[sweep] FAILED %a@." E.pp_sweep_failure f)
+          report.E.sr_failures;
+        Fmt.epr "bench: %d of %d spec(s) failed; tables not assembled@."
+          (List.length report.E.sr_failures) (List.length plan);
+        exit 1
+      end
   end;
   if all || has "--table2" then table2 ~quick ();
   if all || has "--fig5" then fig5 ~quick ();
@@ -450,5 +566,8 @@ let () =
   if has "--micro" then micro ();
   Option.iter
     (fun c -> Fmt.epr "[cache] %a@." Run_cache.pp_counters c) cache;
+  Option.iter
+    (fun j -> Fmt.epr "[journal] %a@." Journal.pp_counters j; Journal.close j)
+    journal;
   Fmt.epr "[bench completed in %.1f s, jobs=%d]@."
     (Unix.gettimeofday () -. t0) jobs

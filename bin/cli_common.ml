@@ -48,6 +48,28 @@ let no_degrade_arg =
 let faults_of ~seed ~events =
   Option.map (fun s -> Sim.Fault.plan ~seed:s ~events ()) seed
 
+let deadline_arg =
+  let doc = "Per-run wall-clock deadline in milliseconds (0 = none): a \
+             run that finishes slower than this fails as a timeout." in
+  Arg.(value & opt int 0 & info [ "deadline-ms" ] ~doc)
+
+let max_retries_arg =
+  let doc = "Extra attempts for transient failures (blown deadlines, \
+             I/O errors, environmental crashes), with deterministic \
+             exponential backoff between attempts." in
+  Arg.(value & opt int 0 & info [ "max-retries" ] ~doc)
+
+(** Run one simulation thunk under the CLI retry policy
+    ({!Xloops.Failure.with_retries}).  [salt] keys the deterministic
+    backoff schedule — pass the spec digest. *)
+let with_policy ~deadline_ms ~max_retries ~salt f =
+  let deadline_ms = if deadline_ms <= 0 then None else Some deadline_ms in
+  let o = Xloops.Failure.with_retries ?deadline_ms ~max_retries ~salt f in
+  if o.Xloops.Failure.attempts > 1 then
+    Fmt.epr "[retry] %s: %d attempt(s), %d ms total@." salt
+      o.Xloops.Failure.attempts o.Xloops.Failure.elapsed_ms;
+  o
+
 (** Assemble the parsed CLI arguments into one first-class run plan —
     the record the evaluation engine executes and caches. *)
 let spec_of ~config ~mode ~target ~fuel ~watchdog ~fault_seed
@@ -70,7 +92,11 @@ let report_robustness (s : Sim.Stats.t) =
 
 let guarded f =
   try f () with
-  | Invalid_argument msg | Failure msg ->
+  | Xloops.Failure.Abort msg ->
+    Fmt.epr "aborted: %s@." msg; 3
+  | Xloops.Failure.Sim_failed sf ->
+    Fmt.epr "error: simulation failed: %a@." Sim.Machine.pp_failure sf; 2
+  | Invalid_argument msg | Stdlib.Failure msg ->
     Fmt.epr "error: %s@." msg; 2
   | Sys_error msg ->
     Fmt.epr "error: %s@." msg; 2

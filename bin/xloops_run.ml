@@ -34,7 +34,7 @@ let verbose_arg =
   Arg.(value & flag & info [ "v"; "verbose" ] ~doc)
 
 let run kernel config mode target verbose fuel watchdog fault_seed
-    fault_events no_degrade =
+    fault_events no_degrade deadline_ms max_retries =
   Cli_common.guarded @@ fun () ->
   let k = K.Registry.find kernel in
   let spec =
@@ -43,11 +43,20 @@ let run kernel config mode target verbose fuel watchdog fault_seed
   in
   let cfg = spec.Xloops.Run_spec.cfg and mode = spec.Xloops.Run_spec.mode in
   let t0 = Unix.gettimeofday () in
-  match Xloops.Run_spec.run_result ~kernel:k spec with
+  let outcome =
+    Cli_common.with_policy ~deadline_ms ~max_retries
+      ~salt:(Xloops.Run_spec.digest spec)
+      (fun () -> Xloops.Run_spec.run_result ~kernel:k spec)
+  in
+  match outcome.result with
   | Error f ->
-    Fmt.epr "error: %s: %a@." k.name Sim.Machine.pp_failure f;
+    Fmt.epr "error: %s: %a@." k.name Xloops.Failure.pp_tagged f;
     2
-  | Ok r ->
+  | Ok (Error f) ->
+    Fmt.epr "error: %s: %a@." k.name Xloops.Failure.pp_tagged
+      (Xloops.Failure.Sim f);
+    2
+  | Ok (Ok r) ->
     let wall = Unix.gettimeofday () -. t0 in
     let res = r.K.Kernel.result in
     res.stats.wall_ns <- int_of_float (1e9 *. wall);
@@ -92,6 +101,7 @@ let cmd =
     Term.(const run $ kernel_arg $ config_arg $ mode_arg $ target_arg
           $ verbose_arg $ Cli_common.fuel_arg $ Cli_common.watchdog_arg
           $ Cli_common.fault_seed_arg $ Cli_common.fault_events_arg
-          $ Cli_common.no_degrade_arg)
+          $ Cli_common.no_degrade_arg
+          $ Cli_common.deadline_arg $ Cli_common.max_retries_arg)
 
 let () = exit (Cmd.eval' cmd)

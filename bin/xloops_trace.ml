@@ -44,7 +44,7 @@ let parse_level = function
             ^ " (expected decisions, lanes or insns)")
 
 let run kernel config mode level limit verbose fuel watchdog fault_seed
-    fault_events no_degrade =
+    fault_events no_degrade deadline_ms max_retries =
   Cli_common.guarded @@ fun () ->
   let k = K.Registry.find kernel in
   let spec =
@@ -53,15 +53,23 @@ let run kernel config mode level limit verbose fuel watchdog fault_seed
   in
   let trace = Sim.Trace.to_stdout ~level:(parse_level level) ~limit () in
   let t0 = Unix.gettimeofday () in
-  let outcome = Xloops.Run_spec.run_result ~kernel:k ~trace spec in
+  let policy_outcome =
+    Cli_common.with_policy ~deadline_ms ~max_retries
+      ~salt:(Xloops.Run_spec.digest spec)
+      (fun () -> Xloops.Run_spec.run_result ~kernel:k ~trace spec)
+  in
   let wall = Unix.gettimeofday () -. t0 in
   if Sim.Trace.exhausted (Some trace) then
     Fmt.pr "... (trace limit reached)@.";
-  match outcome with
+  match policy_outcome.result with
   | Error f ->
-    Fmt.epr "error: %s: %a@." k.name Sim.Machine.pp_failure f;
+    Fmt.epr "error: %s: %a@." k.name Xloops.Failure.pp_tagged f;
     2
-  | Ok r ->
+  | Ok (Error f) ->
+    Fmt.epr "error: %s: %a@." k.name Xloops.Failure.pp_tagged
+      (Xloops.Failure.Sim f);
+    2
+  | Ok (Ok r) ->
     let res = r.K.Kernel.result in
     res.stats.wall_ns <- int_of_float (1e9 *. wall);
     Fmt.pr "@.%s on %s: %d cycles, %d iterations, check %s@."
@@ -84,6 +92,7 @@ let cmd =
           $ limit_arg $ verbose_arg
           $ Cli_common.fuel_arg $ Cli_common.watchdog_arg
           $ Cli_common.fault_seed_arg $ Cli_common.fault_events_arg
-          $ Cli_common.no_degrade_arg)
+          $ Cli_common.no_degrade_arg
+          $ Cli_common.deadline_arg $ Cli_common.max_retries_arg)
 
 let () = exit (Cmd.eval' cmd)

@@ -157,6 +157,93 @@ let caching_engine ?cache () : engine =
   in
   { run; meta }
 
+(* ------------------------------------------------------------------ *)
+(* Fault-tolerant sweep orchestration                                  *)
+(* ------------------------------------------------------------------ *)
+
+(** One sweep item's fate: [None] when the journal said it was already
+    complete (resume), otherwise the structured per-item result. *)
+type sweep_outcome = {
+  so_spec : Run_spec.t;
+  so_digest : string;               (** {!Run_spec.digest} — journal key *)
+  so_attempts : int;
+  so_result : (run_data, Failure.t) result option;
+}
+
+type sweep_report = {
+  sr_outcomes : sweep_outcome list; (** in plan order *)
+  sr_executed : int;                (** items actually run (ok or failed) *)
+  sr_skipped : int;                 (** items served by the journal *)
+  sr_failures : (Run_spec.t * Failure.t) list;
+}
+
+(** Execute a spec plan under the full fault-tolerance stack: per-item
+    crash isolation, deadlines and seeded retry ({!Pool.run_each} with
+    [policy]), journaled checkpoint/resume (specs whose digest [journal]
+    already holds are skipped; each completed spec is durably recorded
+    the moment it finishes, so a killed sweep resumes from exactly where
+    it died), and optional infrastructure chaos ([chaos] stalls/crashes
+    workers and may abort the sweep — {!Failure.Abort} propagates to the
+    caller with the journal intact).
+
+    The engine's memo/cache still holds every successful result, so the
+    assembly passes that follow a sweep are unchanged: skipped items are
+    served from the on-disk cache, executed ones from the memo — stdout
+    stays byte-identical to an uninterrupted serial sweep. *)
+let sweep ?jobs ?(policy = Pool.default_policy) ?journal ?chaos
+    (engine : engine) (plan : Run_spec.t list) : sweep_report =
+  let items =
+    List.map (fun spec -> (spec, Run_spec.digest spec)) plan in
+  let todo, skipped =
+    match journal with
+    | None -> (items, [])
+    | Some j ->
+      List.partition (fun (_, dg) -> not (Journal.member j dg)) items
+  in
+  let worker (spec, dg) =
+    Option.iter Chaos.before_item chaos;
+    let rd = engine.run spec in
+    (* Journal from inside the worker, not after the join: completion
+       must be durable the moment it happens or a killed sweep forfeits
+       in-flight progress. *)
+    Option.iter (fun j -> Journal.record j dg) journal;
+    rd
+  in
+  let outcomes =
+    Pool.run_each ?jobs ~policy ~salt:(fun (_, dg) -> dg) worker todo in
+  let by_digest = Hashtbl.create (List.length todo * 2 + 1) in
+  List.iter2
+    (fun (_, dg) (o : run_data Pool.outcome) ->
+       Hashtbl.replace by_digest dg o)
+    todo outcomes;
+  let sr_outcomes =
+    List.map
+      (fun (spec, dg) ->
+         match Hashtbl.find_opt by_digest dg with
+         | None ->
+           { so_spec = spec; so_digest = dg; so_attempts = 0;
+             so_result = None }
+         | Some o ->
+           { so_spec = spec; so_digest = dg; so_attempts = o.Pool.attempts;
+             so_result = Some o.Pool.result })
+      items
+  in
+  let sr_failures =
+    List.filter_map
+      (fun so ->
+         match so.so_result with
+         | Some (Error f) -> Some (so.so_spec, f)
+         | _ -> None)
+      sr_outcomes
+  in
+  { sr_outcomes;
+    sr_executed = List.length todo;
+    sr_skipped = List.length skipped;
+    sr_failures }
+
+let pp_sweep_failure ppf ((spec : Run_spec.t), f) =
+  Fmt.pf ppf "%a: %a" Run_spec.pp spec Failure.pp_tagged f
+
 (** The twelve specs of one kernel's Table II methodology, in canonical
     order: (base, trad, spec, adapt) per host. *)
 let specs_for ?(hosts = hosts) (k : Kernel.t) : Run_spec.t list =

@@ -77,6 +77,41 @@ val caching_engine : ?cache:Run_cache.t -> unit -> engine
     cache.  Disk hits get [stats.cache_hits = 1]; fresh simulations get
     [stats.cache_misses = 1]. *)
 
+(** {1 Fault-tolerant sweeps}
+
+    {!sweep} executes a spec plan under the orchestration stack: crash
+    isolation and retry ({!Pool.run_each}), journaled checkpoint/resume
+    ({!Journal}), and optional infrastructure chaos ({!Chaos}).  A
+    failing or timed-out spec becomes a per-item failure in the report
+    instead of aborting the sweep; only [Failure.Abort] propagates. *)
+
+type sweep_outcome = {
+  so_spec : Run_spec.t;
+  so_digest : string;               (** {!Run_spec.digest} — journal key *)
+  so_attempts : int;
+  so_result : (run_data, Failure.t) result option;
+      (** [None] when the journal said the spec was already complete *)
+}
+
+type sweep_report = {
+  sr_outcomes : sweep_outcome list; (** in plan order *)
+  sr_executed : int;                (** items actually run (ok or failed) *)
+  sr_skipped : int;                 (** items served by the journal *)
+  sr_failures : (Run_spec.t * Failure.t) list;
+}
+
+val sweep :
+  ?jobs:int -> ?policy:Pool.policy -> ?journal:Journal.t ->
+  ?chaos:Chaos.t -> engine -> Run_spec.t list -> sweep_report
+(** Specs already in [journal] are skipped; completed specs are durably
+    journaled the moment they finish, so a killed sweep resumes from
+    exactly where it died.  Successful results stay in the engine's
+    memo/cache, so assembly passes after the sweep are unchanged and
+    stdout stays byte-identical to an uninterrupted serial sweep. *)
+
+val pp_sweep_failure :
+  Format.formatter -> Run_spec.t * Failure.t -> unit
+
 val specs_for : ?hosts:(Config.t * Config.t) list -> Kernel.t ->
   Run_spec.t list
 (** The twelve specs of one kernel's Table II methodology, in canonical

@@ -1,0 +1,159 @@
+(** Unified failure taxonomy for the orchestration layer.
+
+    PR 1 taught the {e simulator} to return structured failures instead
+    of dying ([Machine.failure]: fuel exhaustion, watchdog hangs).  This
+    module is the same discipline one layer up: every way a {e sweep
+    item} can fail — the simulation itself, a failed self-check, a
+    worker crash, a blown per-spec deadline, an I/O error from the cache
+    or journal — is one constructor of one type, and every constructor
+    has a severity: {e transient} failures are worth a seeded-backoff
+    retry, {e permanent} ones are reported as-is.
+
+    The type deliberately stores strings for exceptions (not the [exn]
+    itself): failures cross domain boundaries and get marshalled into
+    reports, so they must be plain data. *)
+
+module Machine = Xloops_sim.Machine
+
+type t =
+  | Sim of Machine.failure
+      (** the simulator's own structured failure (fuel, hang) *)
+  | Check of { kernel : string; what : string; msg : string }
+      (** the kernel's architectural self-check failed *)
+  | Timeout of { elapsed_ms : int; deadline_ms : int }
+      (** the per-spec wall-clock deadline was exceeded *)
+  | Crash of { exn : string; transient : bool }
+      (** the worker raised; [transient] marks injected/environmental
+          crashes worth retrying *)
+  | Io of string
+      (** cache / journal / filesystem trouble *)
+
+type severity = Transient | Permanent
+
+(** The sweep-level escape hatch: raised to abort a whole sweep (SIGINT
+    translation, injected mid-sweep aborts).  {!with_retries} and the
+    pool's crash isolation deliberately let it propagate — it is the one
+    exception that must {e not} become a per-item failure. *)
+exception Abort of string
+
+(** Marker for injected or environmental crashes ({!Chaos} raises it):
+    classified transient, so the retry policy re-attempts them. *)
+exception Transient_crash of string
+
+(** Re-exported here (rather than defined in [Run_spec]) so that
+    {!of_exn} can classify it without a dependency cycle; [Run_spec] and
+    [Experiments] alias it. *)
+exception Check_failed of { kernel : string; what : string; msg : string }
+
+(** Raising spelling of a structured simulation failure
+    ([Run_spec.execute] throws it), so {!of_exn} can fold it back into
+    {!Sim} instead of a shapeless {!Crash}. *)
+exception Sim_failed of Machine.failure
+
+let of_exn : exn -> t = function
+  | Check_failed { kernel; what; msg } -> Check { kernel; what; msg }
+  | Sim_failed f -> Sim f
+  | Transient_crash msg -> Crash { exn = msg; transient = true }
+  | Sys_error msg -> Io msg
+  | e -> Crash { exn = Printexc.to_string e; transient = false }
+
+(* Sim failures and failed checks are deterministic functions of the
+   spec (seeded faults included), so retrying them re-derives the same
+   answer; deadline misses and I/O errors are properties of the run's
+   environment and may clear. *)
+let classify = function
+  | Sim _ | Check _ -> Permanent
+  | Crash { transient; _ } -> if transient then Transient else Permanent
+  | Timeout _ | Io _ -> Transient
+
+let is_transient f = classify f = Transient
+
+let severity_name = function
+  | Transient -> "transient"
+  | Permanent -> "permanent"
+
+let pp ppf = function
+  | Sim f -> Fmt.pf ppf "simulation: %a" Machine.pp_failure f
+  | Check { kernel; what; msg } ->
+    Fmt.pf ppf "self-check failed: %s on %s: %s" kernel what msg
+  | Timeout { elapsed_ms; deadline_ms } ->
+    Fmt.pf ppf "deadline exceeded: %d ms elapsed > %d ms budget"
+      elapsed_ms deadline_ms
+  | Crash { exn; _ } -> Fmt.pf ppf "worker crash: %s" exn
+  | Io msg -> Fmt.pf ppf "i/o error: %s" msg
+
+let pp_tagged ppf f =
+  Fmt.pf ppf "[%s] %a" (severity_name (classify f)) pp f
+
+(* -- Seeded exponential backoff ----------------------------------------- *)
+
+(* Same SplitMix64 as [Fault]: the jitter component of every backoff is
+   a pure function of (seed, salt, attempt), so a retried sweep sleeps
+   the same schedule on every reproduction of it. *)
+let mix s =
+  let s = Int64.add s 0x9E3779B97F4A7C15L in
+  let z = Int64.mul (Int64.logxor s (Int64.shift_right_logical s 30))
+      0xBF58476D1CE4E5B9L in
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 27))
+      0x94D049BB133111EBL in
+  Int64.logxor z (Int64.shift_right_logical z 31)
+
+let hash64 ~seed ~salt ~attempt =
+  let h = mix (Int64.of_int (seed * 2 + 1)) in
+  let h = mix (Int64.logxor h (Int64.of_int (Hashtbl.hash salt))) in
+  mix (Int64.logxor h (Int64.of_int attempt))
+
+(** Backoff before retry [attempt] (1-based): [base_ms * 2^(attempt-1)]
+    plus deterministic jitter in [\[0, base_ms)], capped at [cap_ms]. *)
+let backoff_ms ?(base_ms = 25) ?(cap_ms = 2_000) ~seed ~salt ~attempt () =
+  let expo = base_ms * (1 lsl min (attempt - 1) 10) in
+  let jitter =
+    Int64.to_int
+      (Int64.rem
+         (Int64.shift_right_logical (hash64 ~seed ~salt ~attempt) 2)
+         (Int64.of_int (max 1 base_ms)))
+  in
+  min cap_ms (expo + jitter)
+
+(* -- The retry loop ------------------------------------------------------ *)
+
+type 'a outcome = {
+  result : ('a, t) result;
+  attempts : int;       (** total attempts made (>= 1) *)
+  elapsed_ms : int;     (** wall-clock across all attempts and backoffs *)
+}
+
+(** Run [thunk] under the retry policy: any exception except {!Abort}
+    becomes a structured failure ({!of_exn}); a successful return that
+    took longer than [deadline_ms] is a {!Timeout} (the caller asked for
+    an answer {e within} the budget, and the per-spec fuel/watchdog
+    machinery below us guarantees the thunk terminates at all);
+    transient failures retry up to [max_retries] extra attempts with
+    {!backoff_ms} sleeps in between. *)
+let with_retries ?deadline_ms ?(max_retries = 0) ?(backoff_base_ms = 25)
+    ?(seed = 0) ?(salt = "") thunk : 'a outcome =
+  let t_start = Unix.gettimeofday () in
+  let elapsed_of t0 =
+    int_of_float (1e3 *. (Unix.gettimeofday () -. t0)) in
+  let rec attempt n =
+    let t0 = Unix.gettimeofday () in
+    let result =
+      match thunk () with
+      | v ->
+        (match deadline_ms with
+         | Some d when elapsed_of t0 > d ->
+           Error (Timeout { elapsed_ms = elapsed_of t0; deadline_ms = d })
+         | _ -> Ok v)
+      | exception (Abort _ as e) -> raise e
+      | exception e -> Error (of_exn e)
+    in
+    match result with
+    | Error f when is_transient f && n <= max_retries ->
+      let ms =
+        backoff_ms ~base_ms:backoff_base_ms ~seed ~salt ~attempt:n () in
+      Unix.sleepf (float_of_int ms /. 1e3);
+      attempt (n + 1)
+    | result ->
+      { result; attempts = n; elapsed_ms = elapsed_of t_start }
+  in
+  attempt 1

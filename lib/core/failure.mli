@@ -1,0 +1,75 @@
+(** Unified failure taxonomy for the orchestration layer: one type for
+    every way a sweep item can fail (simulation failure, failed
+    self-check, blown deadline, worker crash, I/O error), a
+    transient-vs-permanent classification, deterministic seeded
+    exponential backoff, and the retry loop both the worker pool and the
+    CLIs run failures through. *)
+
+module Machine = Xloops_sim.Machine
+
+type t =
+  | Sim of Machine.failure
+      (** the simulator's own structured failure (fuel, hang) *)
+  | Check of { kernel : string; what : string; msg : string }
+      (** the kernel's architectural self-check failed *)
+  | Timeout of { elapsed_ms : int; deadline_ms : int }
+      (** the per-spec wall-clock deadline was exceeded *)
+  | Crash of { exn : string; transient : bool }
+      (** the worker raised; [transient] marks injected/environmental
+          crashes worth retrying *)
+  | Io of string
+      (** cache / journal / filesystem trouble *)
+
+type severity = Transient | Permanent
+
+exception Abort of string
+(** Sweep-level abort: the one exception crash isolation must let
+    propagate (SIGINT translation, injected mid-sweep aborts). *)
+
+exception Transient_crash of string
+(** Marker for injected/environmental crashes; classified transient. *)
+
+exception Check_failed of { kernel : string; what : string; msg : string }
+(** Defined here (aliased by [Run_spec] and [Experiments]) so
+    {!of_exn} can classify it without a dependency cycle. *)
+
+exception Sim_failed of Machine.failure
+(** Raising spelling of a structured simulation failure
+    ([Run_spec.execute] throws it); {!of_exn} folds it into {!Sim}. *)
+
+val of_exn : exn -> t
+(** Structured failure for a caught exception.  Never call it on
+    {!Abort} — the retry loop re-raises that one instead. *)
+
+val classify : t -> severity
+(** {!Sim} and {!Check} are deterministic functions of the spec →
+    permanent; {!Timeout}, {!Io} and transient {!Crash}es may clear →
+    transient. *)
+
+val is_transient : t -> bool
+val severity_name : severity -> string
+val pp : Format.formatter -> t -> unit
+val pp_tagged : Format.formatter -> t -> unit
+(** [pp] prefixed with "[transient]"/"[permanent]". *)
+
+val backoff_ms :
+  ?base_ms:int -> ?cap_ms:int -> seed:int -> salt:string -> attempt:int ->
+  unit -> int
+(** Deterministic backoff before retry [attempt] (1-based):
+    [base_ms * 2^(attempt-1)] plus SplitMix jitter from
+    [(seed, salt, attempt)], capped at [cap_ms].  Defaults: 25 ms base,
+    2000 ms cap. *)
+
+type 'a outcome = {
+  result : ('a, t) result;
+  attempts : int;       (** total attempts made (>= 1) *)
+  elapsed_ms : int;     (** wall-clock across all attempts and backoffs *)
+}
+
+val with_retries :
+  ?deadline_ms:int -> ?max_retries:int -> ?backoff_base_ms:int ->
+  ?seed:int -> ?salt:string -> (unit -> 'a) -> 'a outcome
+(** Run the thunk under the retry policy: exceptions (except {!Abort})
+    become failures via {!of_exn}; a return slower than [deadline_ms] is
+    a {!Timeout}; transient failures retry up to [max_retries] extra
+    attempts with {!backoff_ms} sleeps between them. *)

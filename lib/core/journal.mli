@@ -1,0 +1,38 @@
+(** Crash-safe sweep journal: an append-only, fsync'd record of
+    completed spec digests, so an interrupted sweep resumes from where
+    it left off.  Fresh journals are created atomically (temp + rename);
+    each record is a single append + fsync; a torn final line from a
+    crash mid-append is ignored on load and repaired on resume. *)
+
+type t
+
+val default_name : string
+(** ["sweep.journal"] — conventionally placed beside the result cache. *)
+
+val load : string -> string list
+(** Digests recorded at a path ([[]] if absent or not a journal);
+    malformed/torn lines are skipped. *)
+
+val start : ?resume:bool -> string -> t
+(** Open a journal.  [resume:true] keeps existing entries (repairing a
+    torn tail); the default atomically replaces any previous journal
+    with an empty one. *)
+
+val record : t -> string -> unit
+(** Durably record a completed spec digest (append + fsync).
+    Idempotent; thread-safe.  Raises [Invalid_argument] if the argument
+    is not a 32-hex-char digest. *)
+
+val member : t -> string -> bool
+val count : t -> int
+(** Total distinct digests (preloaded + recorded). *)
+
+val preloaded : t -> int
+(** Entries that were already present when the journal was opened. *)
+
+val recorded : t -> int
+(** Entries appended by this session. *)
+
+val path : t -> string
+val close : t -> unit
+val pp_counters : Format.formatter -> t -> unit

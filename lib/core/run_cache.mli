@@ -3,10 +3,13 @@
     Keys are {!Run_spec.cache_key} digests (spec encoding + compiled
     program bytes), so a warm cache survives exactly as long as both the
     experiment description and the generated code are unchanged.  Blobs
-    are versioned marshalled records; a version or compiler mismatch, or
-    a corrupt file, reads as a miss.  Writes are temp-file + rename and
-    directory creation tolerates races, so concurrent workers and
-    concurrent processes are safe. *)
+    are versioned marshalled records carrying an MD5 payload checksum:
+    an absent or version/compiler-stale blob reads as a miss; a torn,
+    rotten, or checksum-failing blob counts as {e corrupt} and is
+    quarantined to [dir/quarantine/] — never an error, never silently
+    re-read.  Writes are temp-file + rename and directory creation
+    tolerates races, so concurrent workers and concurrent processes are
+    safe; {!reap_tmp} cleans up after killed writers. *)
 
 type t
 
@@ -16,10 +19,14 @@ val current_version : int
 val default_dir : string
 (** ["_xloops_cache"]. *)
 
-val create : ?version:int -> ?dir:string -> unit -> t
+val quarantine_subdir : string
+(** ["quarantine"], under the cache [dir]. *)
+
+val create : ?version:int -> ?dir:string -> ?chaos:Chaos.t -> unit -> t
 (** A cache handle.  Nothing is touched on disk until the first store;
     [version] defaults to {!current_version} (override only to test
-    invalidation). *)
+    invalidation).  [chaos] injects read errors and post-store blob
+    corruption for integrity testing. *)
 
 val find_run : t -> key:string -> Run_spec.run_data option
 val store_run : t -> key:string -> Run_spec.run_data -> unit
@@ -30,8 +37,20 @@ val find_meta : t -> key:string -> int array option
 
 val store_meta : t -> key:string -> int array -> unit
 
+val reap_tmp : t -> int
+(** Remove orphaned [*.tmp.*] files a killed writer left under this
+    version's tree; returns the count.  Run at startup. *)
+
+val quarantined : t -> int
+(** Files currently in the quarantine directory. *)
+
 val hits : t -> int
 val misses : t -> int
+(** Absent or version-stale lookups. *)
+
+val corrupt : t -> int
+(** Integrity failures detected (and quarantined) by this handle. *)
+
 val stores : t -> int
 (** Lookup/store counters for this handle (thread-safe). *)
 

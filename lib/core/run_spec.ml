@@ -154,7 +154,9 @@ type run_data = {
   energy : Energy.breakdown;
 }
 
-exception Check_failed of { kernel : string; what : string; msg : string }
+(* Defined in [Failure] so the taxonomy can classify it without a
+   dependency cycle; aliased here for the historical spelling. *)
+exception Check_failed = Failure.Check_failed
 
 (** Low-level execution: the full {!Kernel.run} (memory, compiled
     program, check result) without raising on a failed self-check — the
@@ -170,26 +172,38 @@ let run_result ?kernel ?trace (t : t)
   Kernel.run_result ~target:t.target ~cfg:t.cfg ~mode:t.mode ?faults
     ~watchdog:t.watchdog ~degrade:t.degrade ?fuel:t.fuel ?trace k
 
-(** Checked execution: simulate, self-check, and distill to plain
-    {!run_data}.  Raises {!Check_failed} on a failed self-check and
-    [Failure] on a simulation failure.  Records the wall-clock of the
-    simulation in [stats.wall_ns]. *)
-let execute ?kernel (t : t) : run_data =
+(** Checked execution distilled to plain {!run_data}, with every
+    failure mode folded into the orchestration layer's taxonomy: a
+    simulation failure becomes [Failure.Sim], a failed self-check
+    [Failure.Check].  Records the wall-clock of the simulation in
+    [stats.wall_ns]. *)
+let execute_result ?kernel (t : t)
+  : (run_data, Failure.t) result =
   let t0 = Unix.gettimeofday () in
   match run_result ?kernel t with
-  | Error f ->
-    failwith (Fmt.str "Run_spec.execute %s: %a" t.kernel
-                Machine.pp_failure f)
+  | Error f -> Error (Failure.Sim f)
   | Ok r ->
-    (match r.Kernel.check_result with
-     | Ok () -> ()
-     | Error msg ->
-       raise (Check_failed { kernel = t.kernel; what = what t; msg }));
-    let result = r.Kernel.result in
-    result.Machine.stats.wall_ns <-
-      int_of_float (1e9 *. (Unix.gettimeofday () -. t0));
-    { cfg = t.cfg; mode = t.mode;
-      cycles = result.Machine.cycles;
-      insns = result.Machine.insns;
-      stats = result.Machine.stats;
-      energy = Energy.of_stats t.cfg result.Machine.stats }
+    match r.Kernel.check_result with
+    | Error msg ->
+      Error (Failure.Check { kernel = t.kernel; what = what t; msg })
+    | Ok () ->
+      let result = r.Kernel.result in
+      result.Machine.stats.wall_ns <-
+        int_of_float (1e9 *. (Unix.gettimeofday () -. t0));
+      Ok { cfg = t.cfg; mode = t.mode;
+           cycles = result.Machine.cycles;
+           insns = result.Machine.insns;
+           stats = result.Machine.stats;
+           energy = Energy.of_stats t.cfg result.Machine.stats }
+
+(** Raising form of {!execute_result}: {!Check_failed} on a failed
+    self-check, [Failure.Sim_failed] on a simulation failure — both
+    round-trip through [Failure.of_exn] without losing structure. *)
+let execute ?kernel (t : t) : run_data =
+  match execute_result ?kernel t with
+  | Ok rd -> rd
+  | Error (Failure.Check { kernel; what; msg }) ->
+    raise (Check_failed { kernel; what; msg })
+  | Error (Failure.Sim f) -> raise (Failure.Sim_failed f)
+  | Error f ->
+    failwith (Fmt.str "Run_spec.execute %s: %a" t.kernel Failure.pp f)

@@ -67,6 +67,7 @@ type run_data = {
 }
 
 exception Check_failed of { kernel : string; what : string; msg : string }
+(** Alias of {!Failure.Check_failed}. *)
 
 val run_result :
   ?kernel:Kernel.t -> ?trace:Xloops_sim.Trace.t -> t ->
@@ -75,8 +76,12 @@ val run_result :
     on a failed self-check — the form the CLIs use.  [kernel] overrides
     the registry lookup (synthetic kernels). *)
 
+val execute_result : ?kernel:Kernel.t -> t -> (run_data, Failure.t) result
+(** Checked execution distilled to {!run_data}, with every failure mode
+    folded into the orchestration taxonomy (simulation failures as
+    [Failure.Sim], failed self-checks as [Failure.Check]).  Sets
+    [stats.wall_ns] to the simulation's wall-clock. *)
+
 val execute : ?kernel:Kernel.t -> t -> run_data
-(** Checked execution: simulate, self-check, distill to {!run_data}.
-    Raises {!Check_failed} on a failed self-check, [Failure] on a
-    simulation failure.  Sets [stats.wall_ns] to the simulation's
-    wall-clock. *)
+(** Raising form of {!execute_result}: {!Check_failed} on a failed
+    self-check, [Failure] on a simulation failure. *)

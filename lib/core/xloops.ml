@@ -18,7 +18,13 @@
     - {!Run_spec} / {!Pool} / {!Run_cache}: the parallel evaluation
       engine — pure run plans, the Domain-based worker pool and the
       content-addressed on-disk result cache;
-    - {!Experiments}: the harness that regenerates every table and figure.
+    - {!Failure} / {!Journal} / {!Chaos}: the fault-tolerant
+      orchestration layer — the unified failure taxonomy with seeded
+      retry/backoff, the crash-safe sweep journal behind [--resume],
+      and seeded infrastructure chaos plans;
+    - {!Experiments}: the harness that regenerates every table and
+      figure, including {!Experiments.sweep}, the fault-tolerant sweep
+      driver.
 
     Quick start (see also [examples/quickstart.ml]):
     {[
@@ -42,5 +48,8 @@ module Kernels = Xloops_kernels
 module Run_spec = Run_spec
 module Pool = Pool
 module Run_cache = Run_cache
+module Failure = Failure
+module Journal = Journal
+module Chaos = Chaos
 module Experiments = Experiments
 module Differential = Differential

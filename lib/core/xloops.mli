@@ -16,6 +16,10 @@
     - {!Run_spec} / {!Pool} / {!Run_cache}: the parallel evaluation
       engine — pure run plans, the Domain-based worker pool and the
       content-addressed on-disk result cache;
+    - {!Failure} / {!Journal} / {!Chaos}: the fault-tolerant
+      orchestration layer — the unified failure taxonomy with seeded
+      retry/backoff, the crash-safe sweep journal behind [--resume],
+      and seeded infrastructure chaos plans;
     - {!Experiments}: the harness regenerating every table and figure;
     - {!Differential}: the cross-mode differential checker.
 
@@ -41,5 +45,8 @@ module Kernels = Xloops_kernels
 module Run_spec = Run_spec
 module Pool = Pool
 module Run_cache = Run_cache
+module Failure = Failure
+module Journal = Journal
+module Chaos = Chaos
 module Experiments = Experiments
 module Differential = Differential

@@ -1,0 +1,476 @@
+(* Fault-tolerant orchestration tests: the failure taxonomy and seeded
+   retry/backoff ([Failure]), the crash-safe sweep journal ([Journal]),
+   cache integrity (checksums, quarantine, tmp reaping), crash isolation
+   in [Pool.run_each], and whole sweeps under injected infrastructure
+   chaos — including the acceptance scenario (poisoned spec + stalling
+   spec + bit-flipped blobs) and the kill-at-a-random-prefix /
+   [--resume] property. *)
+
+module E = Xloops.Experiments
+module Run_spec = Xloops.Run_spec
+module Run_cache = Xloops.Run_cache
+module Pool = Xloops.Pool
+module F = Xloops.Failure
+module Journal = Xloops.Journal
+module Chaos = Xloops.Chaos
+module Registry = Xloops.Kernels.Registry
+module Config = Xloops.Sim.Config
+module Machine = Xloops.Sim.Machine
+module Stats = Xloops.Sim.Stats
+
+(* run_data comparison must ignore the wall clock and the cache-origin
+   markers — the only fields that depend on how a result was obtained
+   rather than on what was simulated. *)
+let strip (rd : E.run_data) =
+  { rd with
+    E.stats =
+      { rd.E.stats with Stats.wall_ns = 0; cache_hits = 0;
+        cache_misses = 0 } }
+
+let tmp_dir () =
+  Filename.concat (Filename.get_temp_dir_name ())
+    (Printf.sprintf "xloops_sweep_test_%d_%d" (Unix.getpid ())
+       (int_of_float (Unix.gettimeofday () *. 1e6) land 0xFFFFFF))
+
+let tmp_file () = tmp_dir () ^ ".journal"
+
+(* Every ".run" blob under a cache directory, sorted for determinism. *)
+let run_blobs dir =
+  let rec walk acc p =
+    if Sys.is_directory p then
+      Array.fold_left
+        (fun acc name ->
+           if name = Run_cache.quarantine_subdir then acc
+           else walk acc (Filename.concat p name))
+        acc (Sys.readdir p)
+    else if Filename.check_suffix p ".run" then p :: acc
+    else acc
+  in
+  List.sort compare (walk [] dir)
+
+(* -- Failure taxonomy ---------------------------------------------------- *)
+
+let test_classify () =
+  let fuel = F.Sim (Machine.Out_of_fuel { pc = 0; insns = 1; cycle = 1 }) in
+  Alcotest.(check string) "sim is permanent" "permanent"
+    (F.severity_name (F.classify fuel));
+  Alcotest.(check string) "check is permanent" "permanent"
+    (F.severity_name
+       (F.classify (F.Check { kernel = "k"; what = "w"; msg = "m" })));
+  Alcotest.(check bool) "timeout is transient" true
+    (F.is_transient (F.Timeout { elapsed_ms = 2; deadline_ms = 1 }));
+  Alcotest.(check bool) "io is transient" true (F.is_transient (F.Io "x"));
+  Alcotest.(check bool) "transient crash is transient" true
+    (F.is_transient (F.Crash { exn = "e"; transient = true }));
+  Alcotest.(check bool) "other crash is permanent" false
+    (F.is_transient (F.Crash { exn = "e"; transient = false }))
+
+let test_of_exn () =
+  let roundtrip e = F.of_exn e in
+  (match roundtrip (F.Check_failed { kernel = "k"; what = "w"; msg = "m" })
+   with
+   | F.Check { kernel = "k"; _ } -> ()
+   | f -> Alcotest.failf "check_failed misclassified: %a" F.pp f);
+  (match
+     roundtrip
+       (F.Sim_failed (Machine.Out_of_fuel { pc = 8; insns = 3; cycle = 4 }))
+   with
+   | F.Sim (Machine.Out_of_fuel { pc = 8; insns = 3; cycle = 4 }) -> ()
+   | f -> Alcotest.failf "sim_failed misclassified: %a" F.pp f);
+  (match roundtrip (F.Transient_crash "boom") with
+   | F.Crash { transient = true; _ } -> ()
+   | f -> Alcotest.failf "transient_crash misclassified: %a" F.pp f);
+  (match roundtrip (Sys_error "disk") with
+   | F.Io "disk" -> ()
+   | f -> Alcotest.failf "sys_error misclassified: %a" F.pp f);
+  (match roundtrip Exit with
+   | F.Crash { transient = false; _ } -> ()
+   | f -> Alcotest.failf "unknown exn misclassified: %a" F.pp f)
+
+let test_backoff_deterministic () =
+  let b attempt = F.backoff_ms ~seed:7 ~salt:"spec-a" ~attempt () in
+  Alcotest.(check int) "same inputs same backoff" (b 1) (b 1);
+  Alcotest.(check bool) "attempt 3 waits longer than attempt 1" true
+    (b 3 > b 1);
+  Alcotest.(check bool) "capped" true
+    (F.backoff_ms ~cap_ms:100 ~seed:7 ~salt:"spec-a" ~attempt:30 () <= 100);
+  let with_seed seed =
+    F.backoff_ms ~seed ~salt:"spec-a" ~attempt:1 () in
+  Alcotest.(check bool) "seed changes the jitter" true
+    (List.exists (fun s -> with_seed s <> with_seed 0) [ 1; 2; 3; 4; 5 ])
+
+let test_with_retries_transient () =
+  let calls = ref 0 in
+  let o =
+    F.with_retries ~max_retries:3 ~backoff_base_ms:1 (fun () ->
+        incr calls;
+        if !calls < 3 then raise (F.Transient_crash "flaky");
+        42)
+  in
+  Alcotest.(check bool) "eventually ok" true (o.F.result = Ok 42);
+  Alcotest.(check int) "attempts counted" 3 o.F.attempts
+
+let test_with_retries_permanent () =
+  let calls = ref 0 in
+  let o =
+    F.with_retries ~max_retries:3 ~backoff_base_ms:1 (fun () ->
+        incr calls;
+        invalid_arg "always")
+  in
+  (match o.F.result with
+   | Error (F.Crash { transient = false; _ }) -> ()
+   | _ -> Alcotest.fail "expected a permanent crash");
+  Alcotest.(check int) "no retry of permanent failures" 1 !calls
+
+let test_with_retries_deadline () =
+  let o =
+    F.with_retries ~deadline_ms:1 (fun () -> Unix.sleepf 0.03; "late") in
+  (match o.F.result with
+   | Error (F.Timeout { deadline_ms = 1; _ }) -> ()
+   | _ -> Alcotest.fail "expected a timeout");
+  let o = F.with_retries ~deadline_ms:60_000 (fun () -> "fast") in
+  Alcotest.(check bool) "fast run is ok" true (o.F.result = Ok "fast")
+
+let test_with_retries_abort_escapes () =
+  Alcotest.check_raises "abort propagates" (F.Abort "stop") (fun () ->
+      ignore (F.with_retries (fun () -> raise (F.Abort "stop"))))
+
+(* -- Journal ------------------------------------------------------------- *)
+
+let dg s = Digest.to_hex (Digest.string s)
+
+let test_journal_roundtrip () =
+  let path = tmp_file () in
+  let j = Journal.start path in
+  Journal.record j (dg "a");
+  Journal.record j (dg "b");
+  Journal.record j (dg "a");                     (* idempotent *)
+  Alcotest.(check int) "two distinct digests" 2 (Journal.count j);
+  Alcotest.(check bool) "member" true (Journal.member j (dg "a"));
+  Journal.close j;
+  Alcotest.(check (list string)) "load returns them in order"
+    [ dg "a"; dg "b" ] (Journal.load path);
+  (* Resume keeps them; a fresh start wipes them. *)
+  let j2 = Journal.start ~resume:true path in
+  Alcotest.(check int) "resume preloads" 2 (Journal.preloaded j2);
+  Journal.close j2;
+  let j3 = Journal.start path in
+  Alcotest.(check int) "fresh start is empty" 0 (Journal.count j3);
+  Journal.close j3;
+  Sys.remove path
+
+let test_journal_torn_tail () =
+  let path = tmp_file () in
+  let j = Journal.start path in
+  Journal.record j (dg "a");
+  Journal.close j;
+  (* Simulate a crash mid-append: a torn, newline-less final line. *)
+  let oc = open_out_gen [ Open_append ] 0o644 path in
+  output_string oc (String.sub (dg "b") 0 11);
+  close_out oc;
+  Alcotest.(check (list string)) "torn tail skipped on load" [ dg "a" ]
+    (Journal.load path);
+  let j2 = Journal.start ~resume:true path in
+  Alcotest.(check int) "torn tail dropped on resume" 1
+    (Journal.preloaded j2);
+  Journal.record j2 (dg "c");
+  Journal.close j2;
+  Alcotest.(check (list string)) "appends after repair parse clean"
+    [ dg "a"; dg "c" ] (Journal.load path);
+  Sys.remove path
+
+let test_journal_rejects_garbage () =
+  let path = tmp_file () in
+  let j = Journal.start path in
+  Alcotest.check_raises "non-digest rejected"
+    (Invalid_argument "Journal.record: not a digest: nope")
+    (fun () -> Journal.record j "nope");
+  Journal.close j;
+  Sys.remove path
+
+(* -- Cache integrity ----------------------------------------------------- *)
+
+let war_spec =
+  Run_spec.make ~cfg:Config.io_x ~mode:Machine.Specialized "war-uc"
+
+let test_cache_detects_corruption corrupt_kind () =
+  let dir = tmp_dir () in
+  let rd = Run_spec.execute war_spec in
+  let key = Run_spec.cache_key war_spec in
+  let c1 = Run_cache.create ~dir () in
+  Run_cache.store_run c1 ~key rd;
+  (match run_blobs dir with
+   | [ blob ] ->
+     Alcotest.(check bool) "fixture corrupted" true
+       (Chaos.corrupt_file corrupt_kind blob)
+   | blobs -> Alcotest.failf "expected one blob, found %d"
+                (List.length blobs));
+  let c2 = Run_cache.create ~dir () in
+  Alcotest.(check bool) "corrupt blob reads as absent" true
+    (Run_cache.find_run c2 ~key = None);
+  Alcotest.(check int) "corruption counted" 1 (Run_cache.corrupt c2);
+  Alcotest.(check int) "not a plain miss" 0 (Run_cache.misses c2);
+  Alcotest.(check int) "blob quarantined" 1 (Run_cache.quarantined c2);
+  Alcotest.(check (list string)) "blob removed from the live tree" []
+    (run_blobs dir);
+  (* The slot is reusable: store again, read back clean. *)
+  Run_cache.store_run c2 ~key rd;
+  let c3 = Run_cache.create ~dir () in
+  Alcotest.(check bool) "restored blob round-trips" true
+    (Run_cache.find_run c3 ~key = Some rd)
+
+let test_cache_reaps_tmp () =
+  let dir = tmp_dir () in
+  let rd = Run_spec.execute war_spec in
+  let key = Run_spec.cache_key war_spec in
+  let c = Run_cache.create ~dir () in
+  Run_cache.store_run c ~key rd;
+  (* A killed writer leaves its temp file behind... *)
+  let shard = Filename.dirname (List.hd (run_blobs dir)) in
+  let orphan = Filename.concat shard "dead.run.tmp.1234" in
+  let oc = open_out orphan in
+  output_string oc "partial write";
+  close_out oc;
+  Alcotest.(check int) "one orphan reaped" 1 (Run_cache.reap_tmp c);
+  Alcotest.(check bool) "orphan gone" false (Sys.file_exists orphan);
+  Alcotest.(check int) "nothing left to reap" 0 (Run_cache.reap_tmp c);
+  Alcotest.(check bool) "live blob untouched" true
+    (Run_cache.find_run c ~key <> None)
+
+(* -- Pool.run_each ------------------------------------------------------- *)
+
+let test_run_each_isolates_crashes () =
+  let outcomes =
+    Pool.run_each ~jobs:4
+      ~policy:{ Pool.default_policy with max_retries = 0 }
+      (fun x -> if x = 3 then invalid_arg "poisoned" else x * x)
+      [ 1; 2; 3; 4; 5 ]
+  in
+  let oks =
+    List.filter_map
+      (fun (o : int Pool.outcome) -> Result.to_option o.Pool.result)
+      outcomes
+  in
+  Alcotest.(check (list int)) "healthy items survive, in order"
+    [ 1; 4; 16; 25 ] oks;
+  match (List.nth outcomes 2).Pool.result with
+  | Error (F.Crash { transient = false; _ }) -> ()
+  | _ -> Alcotest.fail "poisoned item should fail permanently"
+
+let test_run_each_abort_propagates () =
+  Alcotest.check_raises "abort escapes run_each" (F.Abort "injected")
+    (fun () ->
+       ignore
+         (Pool.run_each ~jobs:2
+            (fun x -> if x = 2 then raise (F.Abort "injected") else x)
+            [ 1; 2; 3 ]))
+
+(* -- The acceptance sweep ------------------------------------------------ *)
+
+let kernels = [ "war-uc"; "kmeans-or" ]
+
+let good_specs =
+  List.concat_map
+    (fun name ->
+       [ Run_spec.make ~cfg:Config.io_x ~mode:Machine.Specialized name;
+         Run_spec.make ~cfg:Config.io_x ~mode:Machine.Adaptive name ])
+    kernels
+
+(* A sweep containing one poisoned spec (unknown kernel — permanent),
+   one stalling spec (blows the per-item deadline — transient, retried,
+   still times out) and three bit-flipped cache blobs must complete,
+   report exactly those two per-item failures, quarantine the corrupt
+   blobs and reproduce the healthy results byte-identically. *)
+let test_acceptance_sweep () =
+  let serial = List.map (fun s -> strip (Run_spec.execute s)) good_specs in
+  let dir = tmp_dir () in
+  (* Cold sweep fills the cache with the healthy results... *)
+  let cold = Run_cache.create ~dir () in
+  let r0 =
+    E.sweep ~jobs:1 (E.caching_engine ~cache:cold ()) good_specs in
+  Alcotest.(check int) "cold sweep clean" 0 (List.length r0.E.sr_failures);
+  (* ...then three of the four blobs rot on disk. *)
+  let blobs = run_blobs dir in
+  Alcotest.(check int) "four blobs stored" 4 (List.length blobs);
+  List.iteri
+    (fun i blob ->
+       if i < 3 then
+         Alcotest.(check bool) "blob corrupted" true
+           (Chaos.corrupt_file Chaos.Blob_bitflip blob))
+    blobs;
+  (* The dirty sweep: healthy plan + poisoned spec + stalling spec. *)
+  let poisoned =
+    Run_spec.make ~cfg:Config.io_x ~mode:Machine.Specialized
+      "no-such-kernel" in
+  let stalling =
+    Run_spec.make ~cfg:Config.io_x ~mode:Machine.Traditional "war-uc" in
+  let plan = good_specs @ [ poisoned; stalling ] in
+  let cache = Run_cache.create ~dir () in
+  let inner = E.caching_engine ~cache () in
+  let engine =
+    { inner with
+      E.run =
+        (fun spec ->
+           if spec.Run_spec.mode = Machine.Traditional then
+             Unix.sleepf 0.08;
+           inner.E.run spec) }
+  in
+  let policy =
+    { Pool.default_policy with deadline_ms = Some 40; max_retries = 1 } in
+  let report = E.sweep ~jobs:1 ~policy engine plan in
+  Alcotest.(check int) "everything executed" (List.length plan)
+    report.E.sr_executed;
+  Alcotest.(check int) "exactly two failures" 2
+    (List.length report.E.sr_failures);
+  (* The poisoned spec fails permanently on the first attempt. *)
+  (match
+     List.find
+       (fun o -> o.E.so_spec == poisoned)
+       report.E.sr_outcomes
+   with
+   | { E.so_result = Some (Error f); so_attempts = 1; _ } ->
+     Alcotest.(check string) "poisoned is permanent" "permanent"
+       (F.severity_name (F.classify f))
+   | _ -> Alcotest.fail "poisoned spec should fail once, permanently");
+  (* The stalling spec times out, gets one retry, times out again. *)
+  (match
+     List.find
+       (fun o -> o.E.so_spec == stalling)
+       report.E.sr_outcomes
+   with
+   | { E.so_result = Some (Error (F.Timeout _)); so_attempts = 2; _ } -> ()
+   | _ -> Alcotest.fail "stalling spec should time out twice");
+  (* Corruption was detected and quarantined, and the healthy results
+     are byte-identical to the serial reference. *)
+  Alcotest.(check int) "three corrupt blobs detected" 3
+    (Run_cache.corrupt cache);
+  Alcotest.(check int) "three blobs quarantined" 3
+    (Run_cache.quarantined cache);
+  let healthy =
+    List.filter_map
+      (fun o ->
+         match o.E.so_result with
+         | Some (Ok rd) -> Some (strip rd)
+         | _ -> None)
+      report.E.sr_outcomes
+  in
+  Alcotest.(check bool) "healthy results byte-identical" true
+    (healthy = serial)
+
+(* A sweep under a seeded recoverable chaos plan (read errors, blob
+   corruption, stalls, transient worker crashes — everything except the
+   sweep abort) must still complete with zero failures and byte-identical
+   results: stalls just wait, crashes retry, corrupt blobs re-simulate. *)
+let test_chaos_sweep_byte_identical () =
+  let serial = List.map (fun s -> strip (Run_spec.execute s)) good_specs in
+  let dir = tmp_dir () in
+  let chaos = Chaos.plan ~stall_ms:5 ~seed:2026 ~events:8 () in
+  let cache = Run_cache.create ~dir ~chaos () in
+  let engine = E.caching_engine ~cache () in
+  let policy = { Pool.default_policy with backoff_base_ms = 1 } in
+  let report = E.sweep ~jobs:1 ~policy ~chaos engine good_specs in
+  Alcotest.(check int) "no failures under recoverable chaos" 0
+    (List.length report.E.sr_failures);
+  Alcotest.(check bool) "chaos actually injected" true
+    (Chaos.injected_count chaos > 0);
+  let got =
+    List.filter_map
+      (fun o ->
+         match o.E.so_result with
+         | Some (Ok rd) -> Some (strip rd)
+         | _ -> None)
+      report.E.sr_outcomes
+  in
+  Alcotest.(check bool) "results byte-identical under chaos" true
+    (got = serial)
+
+(* -- Kill + resume property ---------------------------------------------- *)
+
+(* Kill a sweep after a chaos-chosen prefix, resume it, and the union of
+   journal-skipped and re-executed work must equal the uninterrupted
+   serial sweep — byte-identically, with only the unjournaled remainder
+   re-executed. *)
+let prop_interrupted_sweep_resumes =
+  let n = List.length good_specs in
+  QCheck.Test.make ~name:"killed sweep resumes byte-identically" ~count:8
+    QCheck.(int_range 1 n)
+    (fun kill_at ->
+       let serial =
+         List.map (fun s -> strip (Run_spec.execute s)) good_specs in
+       let dir = tmp_dir () in
+       let jpath = Filename.concat dir Journal.default_name in
+       (* Phase 1: the sweep dies at the [kill_at]-th item. *)
+       (try Unix.mkdir dir 0o755 with Unix.Unix_error _ -> ());
+       let j1 = Journal.start jpath in
+       let cache1 = Run_cache.create ~dir () in
+       let chaos = Chaos.explicit [ (kill_at, Chaos.Sweep_abort) ] in
+       (try
+          ignore
+            (E.sweep ~jobs:1 ~journal:j1 ~chaos
+               (E.caching_engine ~cache:cache1 ()) good_specs);
+          QCheck.Test.fail_report "sweep should have aborted"
+        with F.Abort _ -> ());
+       Journal.close j1;
+       let completed = Journal.load jpath in
+       if List.length completed <> kill_at - 1 then
+         QCheck.Test.fail_reportf
+           "expected %d journaled completions, found %d" (kill_at - 1)
+           (List.length completed);
+       (* Phase 2: resume.  Only the remainder executes; results served
+          from journal + cache equal the serial reference. *)
+       let j2 = Journal.start ~resume:true jpath in
+       let cache2 = Run_cache.create ~dir () in
+       let engine = E.caching_engine ~cache:cache2 () in
+       let report = E.sweep ~jobs:1 ~journal:j2 engine good_specs in
+       Journal.close j2;
+       if report.E.sr_skipped <> kill_at - 1 then
+         QCheck.Test.fail_reportf "expected %d skipped, got %d"
+           (kill_at - 1) report.E.sr_skipped;
+       if report.E.sr_executed <> n - (kill_at - 1) then
+         QCheck.Test.fail_reportf "expected %d executed, got %d"
+           (n - (kill_at - 1)) report.E.sr_executed;
+       if report.E.sr_failures <> [] then
+         QCheck.Test.fail_report "resumed sweep should be clean";
+       (* Assembly path: every spec resolves through the engine (memo
+          for re-executed items, disk cache for journal-skipped ones). *)
+       let final =
+         List.map (fun s -> strip (engine.E.run s)) good_specs in
+       final = serial)
+
+let () =
+  Alcotest.run "sweep"
+    [ ("failure",
+       [ Alcotest.test_case "classification" `Quick test_classify;
+         Alcotest.test_case "of_exn" `Quick test_of_exn;
+         Alcotest.test_case "backoff determinism" `Quick
+           test_backoff_deterministic;
+         Alcotest.test_case "retries transient" `Quick
+           test_with_retries_transient;
+         Alcotest.test_case "no retry of permanent" `Quick
+           test_with_retries_permanent;
+         Alcotest.test_case "deadline" `Quick test_with_retries_deadline;
+         Alcotest.test_case "abort escapes" `Quick
+           test_with_retries_abort_escapes ]);
+      ("journal",
+       [ Alcotest.test_case "roundtrip" `Quick test_journal_roundtrip;
+         Alcotest.test_case "torn tail" `Quick test_journal_torn_tail;
+         Alcotest.test_case "rejects garbage" `Quick
+           test_journal_rejects_garbage ]);
+      ("cache-integrity",
+       [ Alcotest.test_case "bit flip quarantined" `Quick
+           (test_cache_detects_corruption Chaos.Blob_bitflip);
+         Alcotest.test_case "truncation quarantined" `Quick
+           (test_cache_detects_corruption Chaos.Blob_truncate);
+         Alcotest.test_case "tmp reaping" `Quick test_cache_reaps_tmp ]);
+      ("run-each",
+       [ Alcotest.test_case "crash isolation" `Quick
+           test_run_each_isolates_crashes;
+         Alcotest.test_case "abort propagates" `Quick
+           test_run_each_abort_propagates ]);
+      ("sweep",
+       [ Alcotest.test_case "acceptance: poisoned + stall + rot" `Quick
+           test_acceptance_sweep;
+         Alcotest.test_case "recoverable chaos is byte-identical" `Quick
+           test_chaos_sweep_byte_identical;
+         QCheck_alcotest.to_alcotest prop_interrupted_sweep_resumes ]);
+    ]
