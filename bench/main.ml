@@ -20,13 +20,24 @@
 
    The sweep itself is fault-tolerant: a crashing or deadline-blowing
    spec becomes a reported per-item failure (--max-retries,
-   --spec-deadline-ms), completed specs are journaled as they finish so
+   --deadline-ms), completed specs are journaled as they finish so
    a killed sweep restarts from where it left off (--resume), corrupt
    cache blobs are checksummed, quarantined and re-simulated, and a
    seeded chaos plan (--chaos-seed N, --chaos-events N, --chaos-abort)
    injects cache corruption, worker stalls/crashes and mid-sweep aborts
    to prove all of the above — under any of which stdout must remain
    byte-identical.
+
+   With --server ADDR the warm phase runs through a persistent
+   xloops_serve daemon instead of the in-process pool: specs cross the
+   wire in their canonical encoding, the daemon schedules them across
+   its own workers and cache, and results stream back.  Stdout stays
+   byte-identical to the in-process sweep; a daemon kill/restart
+   mid-plan costs only reconnection and the re-simulation its cache
+   doesn't absorb.  The engine flags (--fuel, --watchdog-cycles,
+   --deadline-ms, --max-retries, --jobs, --cache-dir/--no-cache, and
+   their XLOOPS_* fallbacks) are the unified Cli_common set shared with
+   the xloops_* tools.
 
    Shapes to look for (paper vs this reproduction is recorded in
    EXPERIMENTS.md):
@@ -387,27 +398,27 @@ let micro () =
 
 (* Engine and orchestration flags are stripped here; everything else
    selects sections as before.  The orchestration knobs (--resume,
-   --max-retries, --spec-deadline-ms, the --chaos flags) only affect how the
+   --max-retries, --deadline-ms, the --chaos flags) only affect how the
    sweep executes and what goes to stderr — stdout stays byte-identical
    whatever the combination, which is what CI diffs. *)
-type engine_opts = {
-  jobs : int;
-  cache_dir : string option;        (* None = --no-cache *)
+type bench_opts = {
   journal_path : string option;     (* explicit --journal *)
   resume : bool;
-  max_retries : int;
-  deadline_ms : int option;
   chaos_seed : int option;
   chaos_events : int;
   chaos_abort : bool;               (* include mid-sweep aborts *)
+  server : string option;           (* --server ADDR: warm via daemon *)
 }
 
+(* The unified engine flags (--fuel, --watchdog-cycles, --deadline-ms,
+   --max-retries, --jobs, --cache-dir, --no-cache, XLOOPS_* fallbacks)
+   are parsed by the shared Cli_common code path; only the
+   bench-specific orchestration knobs live here. *)
 let parse_engine_args args =
+  let eng = ref (Cli_common.default_engine_args ~max_retries:2 ()) in
   let o =
-    ref { jobs = Pool.default_jobs (); cache_dir = Some Run_cache.default_dir;
-          journal_path = None; resume = false; max_retries = 2;
-          deadline_ms = None; chaos_seed = None; chaos_events = 12;
-          chaos_abort = false }
+    ref { journal_path = None; resume = false; chaos_seed = None;
+          chaos_events = 12; chaos_abort = false; server = None }
   in
   let int_arg flag n k =
     match int_of_string_opt n with
@@ -415,40 +426,46 @@ let parse_engine_args args =
     | _ -> Fmt.epr "bench: bad %s %s (want a non-negative int)@." flag n;
       exit 2
   in
-  let rec go acc = function
-    | [] -> List.rev acc
-    | "--jobs" :: n :: tl ->
-      int_arg "--jobs" n (fun j ->
-          if j >= 1 then o := { !o with jobs = j }
-          else (Fmt.epr "bench: bad --jobs %s (want a positive int)@." n;
-                exit 2));
-      go acc tl
-    | "--cache-dir" :: d :: tl -> o := { !o with cache_dir = Some d }; go acc tl
-    | "--no-cache" :: tl -> o := { !o with cache_dir = None }; go acc tl
-    | "--journal" :: p :: tl -> o := { !o with journal_path = Some p }; go acc tl
-    | "--resume" :: tl -> o := { !o with resume = true }; go acc tl
-    | "--max-retries" :: n :: tl ->
-      int_arg "--max-retries" n (fun v -> o := { !o with max_retries = v });
-      go acc tl
-    | "--spec-deadline-ms" :: n :: tl ->
-      int_arg "--spec-deadline-ms" n
-        (fun v -> o := { !o with deadline_ms = if v = 0 then None else Some v });
-      go acc tl
-    | "--chaos-seed" :: n :: tl ->
-      int_arg "--chaos-seed" n (fun v -> o := { !o with chaos_seed = Some v });
-      go acc tl
-    | "--chaos-events" :: n :: tl ->
-      int_arg "--chaos-events" n (fun v -> o := { !o with chaos_events = v });
-      go acc tl
-    | "--chaos-abort" :: tl -> o := { !o with chaos_abort = true }; go acc tl
-    | a :: tl -> go (a :: acc) tl
+  let rec go acc args =
+    match Cli_common.consume_engine_flag eng args with
+    | Some tl -> go acc tl
+    | None ->
+      (match args with
+       | [] -> List.rev acc
+       | "--journal" :: p :: tl ->
+         o := { !o with journal_path = Some p }; go acc tl
+       | "--resume" :: tl -> o := { !o with resume = true }; go acc tl
+       | "--chaos-seed" :: n :: tl ->
+         int_arg "--chaos-seed" n
+           (fun v -> o := { !o with chaos_seed = Some v });
+         go acc tl
+       | "--chaos-events" :: n :: tl ->
+         int_arg "--chaos-events" n
+           (fun v -> o := { !o with chaos_events = v });
+         go acc tl
+       | "--chaos-abort" :: tl ->
+         o := { !o with chaos_abort = true }; go acc tl
+       | "--server" :: a :: tl -> o := { !o with server = Some a }; go acc tl
+       | a :: tl -> go (a :: acc) tl)
   in
   let rest = go [] args in
-  (!o, rest)
+  (!eng, !o, rest)
 
 let () =
-  let opts, args = parse_engine_args (Array.to_list Sys.argv |> List.tl) in
-  let jobs = opts.jobs in
+  let eng, opts, args =
+    parse_engine_args (Array.to_list Sys.argv |> List.tl) in
+  let jobs = eng.Cli_common.ea_jobs in
+  let cache_dir = eng.Cli_common.ea_cache_dir in
+  let deadline_ms = eng.Cli_common.ea_deadline_ms in
+  let max_retries = eng.Cli_common.ea_max_retries in
+  let server_addr =
+    Option.map
+      (fun a ->
+         match Xloops_service.Protocol.parse_addr a with
+         | Ok addr -> addr
+         | Error msg -> Fmt.epr "bench: %s@." msg; exit 2)
+      opts.server
+  in
   let chaos =
     Option.map
       (fun seed ->
@@ -459,7 +476,7 @@ let () =
       opts.chaos_seed
   in
   let cache =
-    Option.map (fun dir -> Run_cache.create ~dir ?chaos ()) opts.cache_dir in
+    Option.map (fun dir -> Run_cache.create ~dir ?chaos ()) cache_dir in
   (* Startup hygiene: sweep out temp files a killed writer left. *)
   Option.iter
     (fun c ->
@@ -468,7 +485,7 @@ let () =
          Fmt.epr "[cache] reaped %d stale tmp file(s)@." reaped)
     cache;
   let journal =
-    match opts.journal_path, opts.cache_dir with
+    match opts.journal_path, cache_dir with
     | Some p, _ -> Some (Journal.start ~resume:opts.resume p)
     | None, Some dir ->
       Some (Journal.start ~resume:opts.resume
@@ -479,7 +496,19 @@ let () =
                  nothing to resume from; ignoring@.";
       None
   in
-  engine := E.caching_engine ?cache ();
+  (* In server mode the remote engine memoizes results fetched from the
+     daemon and computes kernel metadata locally; otherwise the usual
+     in-process memoizing/caching engine. *)
+  let remote_warm =
+    match server_addr with
+    | None -> engine := E.caching_engine ?cache (); None
+    | Some addr ->
+      let eng', warm =
+        Xloops_service.Client.engine ?cache ?deadline_ms ~max_retries addr
+      in
+      engine := eng';
+      Some warm
+  in
   let has f = List.mem f args in
   let quick = has "--quick" in
   let all = args = [] || (args = [ "--quick" ]) in
@@ -517,39 +546,81 @@ let () =
      not a crashed sweep; journaled specs from an interrupted run are
      skipped and served from the cache during assembly. *)
   if plan <> [] then begin
-    if jobs > 1 then
-      Fmt.epr "[pool] %d-run plan on %d domains (%d cores available)@."
-        (List.length plan) jobs (Pool.available_cores ());
-    let policy =
-      { Pool.default_policy with
-        deadline_ms = opts.deadline_ms;
-        max_retries = opts.max_retries;
-        backoff_seed = Option.value opts.chaos_seed ~default:0 }
-    in
-    match E.sweep ~jobs ~policy ?journal ?chaos !engine plan with
-    | exception Failure.Abort msg ->
-      (* The journal already holds every completed spec (fsync'd), so a
-         rerun with --resume picks up exactly where this died. *)
-      Option.iter
-        (fun j -> Fmt.epr "[journal] %a@." Journal.pp_counters j) journal;
-      Fmt.epr "bench: sweep aborted: %s (rerun with --resume)@." msg;
-      exit 3
-    | report ->
-      if report.E.sr_skipped > 0 then
+    match remote_warm with
+    | Some warm ->
+      (* Server mode: the daemon schedules the plan across its own
+         workers and cache.  Journaled specs are not resubmitted; table
+         assembly fetches them on demand and the daemon's cache makes
+         that instant. *)
+      let todo =
+        match journal with
+        | None -> plan
+        | Some j ->
+          List.filter
+            (fun s -> not (Journal.member j (Run_spec.digest s)))
+            plan
+      in
+      let skipped = List.length plan - List.length todo in
+      if skipped > 0 then
         Fmt.epr "[sweep] resumed: %d of %d spec(s) already journaled@."
-          report.E.sr_skipped (List.length plan);
+          skipped (List.length plan);
+      Fmt.epr "[serve] warming %d spec(s) via %s@." (List.length todo)
+        (Option.get opts.server);
+      let failures = warm todo in
       Option.iter
-        (fun c -> Fmt.epr "[chaos] %d event(s) injected@."
-            (Chaos.injected_count c))
-        chaos;
-      if report.E.sr_failures <> [] then begin
+        (fun j ->
+           let failed = List.map (fun (s, _) -> Run_spec.digest s)
+               failures in
+           List.iter
+             (fun s ->
+                let d = Run_spec.digest s in
+                if not (List.mem d failed) then Journal.record j d)
+             todo)
+        journal;
+      if failures <> [] then begin
         List.iter
-          (fun f -> Fmt.epr "[sweep] FAILED %a@." E.pp_sweep_failure f)
-          report.E.sr_failures;
+          (fun (s, e) ->
+             Fmt.epr "[sweep] FAILED %s: %a@." (Run_spec.what s)
+               Xloops_service.Protocol.pp_error e)
+          failures;
         Fmt.epr "bench: %d of %d spec(s) failed; tables not assembled@."
-          (List.length report.E.sr_failures) (List.length plan);
+          (List.length failures) (List.length plan);
         exit 1
       end
+    | None ->
+      if jobs > 1 then
+        Fmt.epr "[pool] %d-run plan on %d domains (%d cores available)@."
+          (List.length plan) jobs (Pool.available_cores ());
+      let policy =
+        { Pool.default_policy with
+          deadline_ms;
+          max_retries;
+          backoff_seed = Option.value opts.chaos_seed ~default:0 }
+      in
+      match E.sweep ~jobs ~policy ?journal ?chaos !engine plan with
+      | exception Failure.Abort msg ->
+        (* The journal already holds every completed spec (fsync'd), so a
+           rerun with --resume picks up exactly where this died. *)
+        Option.iter
+          (fun j -> Fmt.epr "[journal] %a@." Journal.pp_counters j) journal;
+        Fmt.epr "bench: sweep aborted: %s (rerun with --resume)@." msg;
+        exit 3
+      | report ->
+        if report.E.sr_skipped > 0 then
+          Fmt.epr "[sweep] resumed: %d of %d spec(s) already journaled@."
+            report.E.sr_skipped (List.length plan);
+        Option.iter
+          (fun c -> Fmt.epr "[chaos] %d event(s) injected@."
+              (Chaos.injected_count c))
+          chaos;
+        if report.E.sr_failures <> [] then begin
+          List.iter
+            (fun f -> Fmt.epr "[sweep] FAILED %a@." E.pp_sweep_failure f)
+            report.E.sr_failures;
+          Fmt.epr "bench: %d of %d spec(s) failed; tables not assembled@."
+            (List.length report.E.sr_failures) (List.length plan);
+          exit 1
+        end
   end;
   if all || has "--table2" then table2 ~quick ();
   if all || has "--fig5" then fig5 ~quick ();

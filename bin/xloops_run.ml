@@ -33,19 +33,19 @@ let verbose_arg =
   let doc = "Print the full event-counter dump." in
   Arg.(value & flag & info [ "v"; "verbose" ] ~doc)
 
-let run kernel config mode target verbose fuel watchdog fault_seed
-    fault_events no_degrade deadline_ms max_retries =
+let run kernel config mode target verbose eng fault_seed fault_events
+    no_degrade =
   Cli_common.guarded @@ fun () ->
   let k = K.Registry.find kernel in
   let spec =
-    Cli_common.spec_of ~config ~mode ~target ~fuel ~watchdog ~fault_seed
+    Cli_common.spec_of ~eng ~config ~mode ~target ~fault_seed
       ~fault_events ~no_degrade kernel
   in
   let cfg = spec.Xloops.Run_spec.cfg and mode = spec.Xloops.Run_spec.mode in
   let t0 = Unix.gettimeofday () in
   let outcome =
-    Cli_common.with_policy ~deadline_ms ~max_retries
-      ~salt:(Xloops.Run_spec.digest spec)
+    Cli_common.with_policy ~eng
+      ~salt:(Xloops.Digest_hex.to_hex (Xloops.Run_spec.digest spec))
       (fun () -> Xloops.Run_spec.run_result ~kernel:k spec)
   in
   match outcome.result with
@@ -83,8 +83,8 @@ let run kernel config mode target verbose fuel watchdog fault_seed
       Fmt.pr "@.host:    wall_ns %d (%.1f MIPS simulated)@."
         res.stats.wall_ns
         (float_of_int res.insns /. Float.max wall 1e-9 /. 1e6);
-      Fmt.pr "spec:    %s (digest of the canonical run plan)@."
-        (Xloops.Run_spec.digest spec);
+      Fmt.pr "spec:    %a (digest of the canonical run plan)@."
+        Xloops.Digest_hex.pp (Xloops.Run_spec.digest spec);
       Fmt.pr "%a@." Sim.Stats.pp res.stats;
       (match Sim.Stats.lane_breakdown res.stats with
        | breakdown when res.stats.ib_fetches > 0 ->
@@ -99,9 +99,8 @@ let cmd =
   let doc = "simulate an XLOOPS application kernel" in
   Cmd.v (Cmd.info "xloops_run" ~doc)
     Term.(const run $ kernel_arg $ config_arg $ mode_arg $ target_arg
-          $ verbose_arg $ Cli_common.fuel_arg $ Cli_common.watchdog_arg
+          $ verbose_arg $ Cli_common.engine_term ()
           $ Cli_common.fault_seed_arg $ Cli_common.fault_events_arg
-          $ Cli_common.no_degrade_arg
-          $ Cli_common.deadline_arg $ Cli_common.max_retries_arg)
+          $ Cli_common.no_degrade_arg)
 
 let () = exit (Cmd.eval' cmd)

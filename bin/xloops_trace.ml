@@ -43,19 +43,19 @@ let parse_level = function
            ("unknown trace level " ^ l
             ^ " (expected decisions, lanes or insns)")
 
-let run kernel config mode level limit verbose fuel watchdog fault_seed
-    fault_events no_degrade deadline_ms max_retries =
+let run kernel config mode level limit verbose eng fault_seed
+    fault_events no_degrade =
   Cli_common.guarded @@ fun () ->
   let k = K.Registry.find kernel in
   let spec =
-    Cli_common.spec_of ~config ~mode ~target:"xloops" ~fuel ~watchdog
+    Cli_common.spec_of ~eng ~config ~mode ~target:"xloops"
       ~fault_seed ~fault_events ~no_degrade kernel
   in
   let trace = Sim.Trace.to_stdout ~level:(parse_level level) ~limit () in
   let t0 = Unix.gettimeofday () in
   let policy_outcome =
-    Cli_common.with_policy ~deadline_ms ~max_retries
-      ~salt:(Xloops.Run_spec.digest spec)
+    Cli_common.with_policy ~eng
+      ~salt:(Xloops.Digest_hex.to_hex (Xloops.Run_spec.digest spec))
       (fun () -> Xloops.Run_spec.run_result ~kernel:k ~trace spec)
   in
   let wall = Unix.gettimeofday () -. t0 in
@@ -89,10 +89,8 @@ let cmd =
   let doc = "trace the execution of an XLOOPS kernel" in
   Cmd.v (Cmd.info "xloops_trace" ~doc)
     Term.(const run $ kernel_arg $ config_arg $ mode_arg $ level_arg
-          $ limit_arg $ verbose_arg
-          $ Cli_common.fuel_arg $ Cli_common.watchdog_arg
+          $ limit_arg $ verbose_arg $ Cli_common.engine_term ()
           $ Cli_common.fault_seed_arg $ Cli_common.fault_events_arg
-          $ Cli_common.no_degrade_arg
-          $ Cli_common.deadline_arg $ Cli_common.max_retries_arg)
+          $ Cli_common.no_degrade_arg)
 
 let () = exit (Cmd.eval' cmd)

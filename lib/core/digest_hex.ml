@@ -1,0 +1,30 @@
+(* See digest_hex.mli.  Representation: the 32-char lowercase hex string
+   itself, so [to_hex] is free and structural equality/hash/compare are
+   the string ones. *)
+
+type t = string
+
+let is_hex_char = function '0' .. '9' | 'a' .. 'f' -> true | _ -> false
+
+let of_digest (d : Stdlib.Digest.t) = Stdlib.Digest.to_hex d
+
+let of_hex s =
+  if String.length s <> 32 then
+    Error
+      (Printf.sprintf "digest must be 32 hex chars, got %d" (String.length s))
+  else if not (String.for_all is_hex_char s) then
+    Error "digest must be lowercase hex"
+  else Ok s
+
+let of_hex_exn s =
+  match of_hex s with
+  | Ok t -> t
+  | Error msg -> invalid_arg ("Digest_hex.of_hex_exn: " ^ msg ^ ": " ^ s)
+
+let to_hex t = t
+let shard t = String.sub t 0 2
+let short t = String.sub t 0 8
+let equal = String.equal
+let compare = String.compare
+let hash = Hashtbl.hash
+let pp ppf t = Format.pp_print_string ppf t

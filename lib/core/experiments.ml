@@ -104,8 +104,9 @@ let direct_engine =
     [stats.cache_hits = 1]; freshly simulated ones get
     [stats.cache_misses = 1]. *)
 let caching_engine ?cache () : engine =
-  let memo_runs : (string, run_data) Hashtbl.t = Hashtbl.create 256 in
-  let memo_meta : (string, kernel_meta) Hashtbl.t = Hashtbl.create 64 in
+  let memo_runs : (Digest_hex.t, run_data) Hashtbl.t = Hashtbl.create 256 in
+  let memo_meta : (Digest_hex.t, kernel_meta) Hashtbl.t =
+    Hashtbl.create 64 in
   let mu = Mutex.create () in
   let locked f =
     Mutex.lock mu;
@@ -165,7 +166,7 @@ let caching_engine ?cache () : engine =
     complete (resume), otherwise the structured per-item result. *)
 type sweep_outcome = {
   so_spec : Run_spec.t;
-  so_digest : string;               (** {!Run_spec.digest} — journal key *)
+  so_digest : Digest_hex.t;         (** {!Run_spec.digest} — journal key *)
   so_attempts : int;
   so_result : (run_data, Failure.t) result option;
 }
@@ -210,7 +211,8 @@ let sweep ?jobs ?(policy = Pool.default_policy) ?journal ?chaos
     rd
   in
   let outcomes =
-    Pool.run_each ?jobs ~policy ~salt:(fun (_, dg) -> dg) worker todo in
+    Pool.run_each ?jobs ~policy
+      ~salt:(fun (_, dg) -> Digest_hex.to_hex dg) worker todo in
   let by_digest = Hashtbl.create (List.length todo * 2 + 1) in
   List.iter2
     (fun (_, dg) (o : run_data Pool.outcome) ->

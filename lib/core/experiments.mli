@@ -87,7 +87,7 @@ val caching_engine : ?cache:Run_cache.t -> unit -> engine
 
 type sweep_outcome = {
   so_spec : Run_spec.t;
-  so_digest : string;               (** {!Run_spec.digest} — journal key *)
+  so_digest : Digest_hex.t;         (** {!Run_spec.digest} — journal key *)
   so_attempts : int;
   so_result : (run_data, Failure.t) result option;
       (** [None] when the journal said the spec was already complete *)

@@ -28,14 +28,10 @@ type t = {
   mutable recorded : int;     (* entries appended by this session *)
 }
 
-let is_digest s =
-  String.length s = 32
-  && String.for_all
-    (function '0' .. '9' | 'a' .. 'f' -> true | _ -> false) s
-
 (** Digests recorded in the journal at [path] ([[]] if absent).  A bad
     header means "not our file" — treated as empty rather than trusted.
-    Torn or malformed lines (a crash mid-append) are skipped. *)
+    Torn or malformed lines (a crash mid-append) are skipped —
+    {!Digest_hex.of_hex} is the validator. *)
 let load path =
   match open_in_bin path with
   | exception Sys_error _ -> []
@@ -48,7 +44,10 @@ let load path =
        let rec go acc =
          match input_line ic with
          | exception End_of_file -> List.rev acc
-         | line -> go (if is_digest line then line :: acc else acc)
+         | line ->
+           go (match Digest_hex.of_hex line with
+               | Ok d -> d :: acc
+               | Error _ -> acc)
        in
        go [])
 
@@ -103,7 +102,8 @@ let start ?(resume = false) path =
   if not (resume && Sys.file_exists path) then create_fresh path;
   let fd = Unix.openfile path [ O_WRONLY; O_APPEND ] 0o644 in
   let members = Hashtbl.create (List.length existing * 2 + 16) in
-  List.iter (fun d -> Hashtbl.replace members d ()) existing;
+  List.iter
+    (fun d -> Hashtbl.replace members (Digest_hex.to_hex d) ()) existing;
   { path; fd; mu = Mutex.create (); members;
     preloaded = Hashtbl.length members; recorded = 0 }
 
@@ -115,18 +115,18 @@ let locked t f =
     plus [fsync].  Recording a digest twice is harmless (the journal is
     a set). *)
 let record t digest =
-  if not (is_digest digest) then
-    invalid_arg ("Journal.record: not a digest: " ^ digest);
+  let hex = Digest_hex.to_hex digest in
   locked t @@ fun () ->
-  if not (Hashtbl.mem t.members digest) then begin
-    let line = Bytes.of_string (digest ^ "\n") in
+  if not (Hashtbl.mem t.members hex) then begin
+    let line = Bytes.of_string (hex ^ "\n") in
     ignore (Unix.write t.fd line 0 (Bytes.length line));
     fsync_noerr t.fd;
-    Hashtbl.replace t.members digest ();
+    Hashtbl.replace t.members hex ();
     t.recorded <- t.recorded + 1
   end
 
-let member t digest = locked t (fun () -> Hashtbl.mem t.members digest)
+let member t digest =
+  locked t (fun () -> Hashtbl.mem t.members (Digest_hex.to_hex digest))
 let count t = locked t (fun () -> Hashtbl.length t.members)
 let preloaded t = t.preloaded
 let recorded t = locked t (fun () -> t.recorded)

@@ -9,7 +9,7 @@ type t
 val default_name : string
 (** ["sweep.journal"] — conventionally placed beside the result cache. *)
 
-val load : string -> string list
+val load : string -> Digest_hex.t list
 (** Digests recorded at a path ([[]] if absent or not a journal);
     malformed/torn lines are skipped. *)
 
@@ -18,12 +18,11 @@ val start : ?resume:bool -> string -> t
     torn tail); the default atomically replaces any previous journal
     with an empty one. *)
 
-val record : t -> string -> unit
+val record : t -> Digest_hex.t -> unit
 (** Durably record a completed spec digest (append + fsync).
-    Idempotent; thread-safe.  Raises [Invalid_argument] if the argument
-    is not a 32-hex-char digest. *)
+    Idempotent; thread-safe. *)
 
-val member : t -> string -> bool
+val member : t -> Digest_hex.t -> bool
 val count : t -> int
 (** Total distinct digests (preloaded + recorded). *)
 

@@ -23,26 +23,43 @@ let env_jobs_var = "XLOOPS_JOBS"
 
 let available_cores () = Domain.recommended_domain_count ()
 
-let jobs_env_warned = Atomic.make false
+(* Warn-once registry keyed by variable name: every consumer of a
+   positive-integer environment knob (default_jobs here, the service
+   daemon's worker count, the CLI engine defaults) goes through this one
+   code path, so a malformed variable warns exactly once per process no
+   matter how many subsystems consult it. *)
+let env_warned : (string, unit) Hashtbl.t = Hashtbl.create 4
+let env_warned_mu = Mutex.create ()
+
+let warn_once var msg =
+  Mutex.lock env_warned_mu;
+  let first = not (Hashtbl.mem env_warned var) in
+  if first then Hashtbl.replace env_warned var ();
+  Mutex.unlock env_warned_mu;
+  if first then Fmt.epr "%s" msg
+
+(** [$var] parsed as an integer [>= min], or [default].  A set-but-
+    malformed value would otherwise silently fall back behind the
+    user's back (e.g. serialize a sweep they believed was parallel), so
+    it warns on stderr — once per process per variable. *)
+let env_int ?(min = 0) ~default var =
+  match Sys.getenv_opt var with
+  | None -> default
+  | Some s ->
+    (match int_of_string_opt (String.trim s) with
+     | Some n when n >= min -> n
+     | _ ->
+       warn_once var
+         (Fmt.str "[env] warning: ignoring %s=%S (want an integer >= %d)@."
+            var s min);
+       default)
+
+let env_positive_int ~default var = env_int ~min:1 ~default var
 
 (** The job count to use when the caller gave none: [$XLOOPS_JOBS] if
     set to a positive integer, else 1 (serial — determinism of resource
-    use by default; parallelism is opt-in).  A set-but-malformed value
-    would otherwise silently serialize a sweep the user believed was
-    parallel, so it warns on stderr (once per process). *)
-let default_jobs () =
-  match Sys.getenv_opt env_jobs_var with
-  | None -> 1
-  | Some s ->
-    (match int_of_string_opt (String.trim s) with
-     | Some n when n >= 1 -> n
-     | _ ->
-       if not (Atomic.exchange jobs_env_warned true) then
-         Fmt.epr
-           "[pool] warning: ignoring %s=%S (want a positive integer); \
-            running serial@."
-           env_jobs_var s;
-       1)
+    use by default; parallelism is opt-in). *)
+let default_jobs () = env_positive_int ~default:1 env_jobs_var
 
 (* Shared fan-out skeleton: run [worker i] for every index on up to
    [jobs] domains (including the calling one), honoring a stop flag

@@ -14,10 +14,19 @@ val env_jobs_var : string
 val available_cores : unit -> int
 (** [Domain.recommended_domain_count ()]. *)
 
+val env_int : ?min:int -> default:int -> string -> int
+(** [$var] parsed as an integer [>= min] (default 0), or [default].  A
+    set-but-malformed value warns on stderr once per process per
+    variable — the one code path every environment-knob consumer
+    (this pool, the service daemon's worker count, the CLI engine
+    defaults) shares. *)
+
+val env_positive_int : default:int -> string -> int
+(** [env_int ~min:1]. *)
+
 val default_jobs : unit -> int
-(** [$XLOOPS_JOBS] if set to a positive integer, else 1.  A
-    set-but-malformed value warns on stderr once per process instead of
-    silently running serial. *)
+(** [env_positive_int ~default:1 env_jobs_var]: [$XLOOPS_JOBS] if set to
+    a positive integer, else 1. *)
 
 val map : ?jobs:int -> ('a -> 'b) -> 'a list -> 'b list
 (** [map ~jobs f xs] = [List.map f xs] on up to [jobs] domains

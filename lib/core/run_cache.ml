@@ -68,9 +68,8 @@ let version_dir cache =
   Filename.concat cache.dir (Printf.sprintf "v%d" cache.version)
 
 let path cache ~key ~suffix =
-  let shard = if String.length key >= 2 then String.sub key 0 2 else "xx" in
   List.fold_left Filename.concat (version_dir cache)
-    [ shard; key ^ suffix ]
+    [ Digest_hex.shard key; Digest_hex.to_hex key ^ suffix ]
 
 let quarantine_dir cache = Filename.concat cache.dir quarantine_subdir
 

@@ -28,14 +28,14 @@ val create : ?version:int -> ?dir:string -> ?chaos:Chaos.t -> unit -> t
     invalidation).  [chaos] injects read errors and post-store blob
     corruption for integrity testing. *)
 
-val find_run : t -> key:string -> Run_spec.run_data option
-val store_run : t -> key:string -> Run_spec.run_data -> unit
+val find_run : t -> key:Digest_hex.t -> Run_spec.run_data option
+val store_run : t -> key:Digest_hex.t -> Run_spec.run_data -> unit
 
-val find_meta : t -> key:string -> int array option
+val find_meta : t -> key:Digest_hex.t -> int array option
 (** Kernel-metadata blobs (dynamic instruction counts, body statistics),
     keyed by {!Run_spec.kernel_digest}. *)
 
-val store_meta : t -> key:string -> int array -> unit
+val store_meta : t -> key:Digest_hex.t -> int array -> unit
 
 val reap_tmp : t -> int
 (** Remove orphaned [*.tmp.*] files a killed writer left under this

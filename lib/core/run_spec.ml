@@ -107,7 +107,154 @@ let encode (t : t) =
   enc_bool b t.degrade;
   Buffer.contents b
 
-let digest t = Digest.to_hex (Digest.string (encode t))
+let digest t = Digest_hex.of_digest (Digest.string (encode t))
+
+(* -- Decoding ------------------------------------------------------------ *)
+
+(* The inverse of [encode], for specs arriving over a process boundary
+   (the service wire protocol).  Strict: every field must parse and the
+   input must be fully consumed, so a truncated or tampered frame is an
+   [Error], never a half-filled spec. *)
+
+exception Bad of string
+
+type cursor = { s : string; mutable pos : int }
+
+let fail_at c msg = raise (Bad (Fmt.str "%s at byte %d" msg c.pos))
+
+let dec_char c =
+  if c.pos >= String.length c.s then fail_at c "unexpected end of input";
+  let ch = c.s.[c.pos] in
+  c.pos <- c.pos + 1;
+  ch
+
+let dec_int c =
+  let start = c.pos in
+  let neg = c.pos < String.length c.s && c.s.[c.pos] = '-' in
+  if neg then c.pos <- c.pos + 1;
+  let digits0 = c.pos in
+  while c.pos < String.length c.s
+        && (match c.s.[c.pos] with '0' .. '9' -> true | _ -> false) do
+    c.pos <- c.pos + 1
+  done;
+  if c.pos = digits0 then fail_at c "expected an integer";
+  if dec_char c <> ';' then fail_at c "expected ';' after integer";
+  match int_of_string (String.sub c.s start (c.pos - 1 - start)) with
+  | n -> n
+  | exception Stdlib.Failure _ -> fail_at c "integer out of range"
+
+let dec_str c =
+  let n = dec_int c in
+  if n < 0 || c.pos + n > String.length c.s then
+    fail_at c "string length overruns input";
+  let s = String.sub c.s c.pos n in
+  c.pos <- c.pos + n;
+  s
+
+let dec_bool c =
+  match dec_char c with
+  | 't' -> true
+  | 'f' -> false
+  | _ -> fail_at c "expected a bool tag"
+
+let dpattern_of_tag c : int -> Insn.dpattern = function
+  | 0 -> Uc | 1 -> Or | 2 -> Om | 3 -> Orm | 4 -> Ua
+  | _ -> fail_at c "unknown dependence-pattern tag"
+
+let dec_gpp c : Config.gpp =
+  let kind =
+    match dec_char c with
+    | 'I' -> Config.Inorder
+    | 'O' ->
+      let width = dec_int c in
+      let window = dec_int c in
+      Config.Ooo { width; window }
+    | _ -> fail_at c "unknown GPP kind tag"
+  in
+  let l1_size = dec_int c in
+  let l1_ways = dec_int c in
+  let l1_line = dec_int c in
+  let load_use_latency = dec_int c in
+  let miss_penalty = dec_int c in
+  let branch_penalty = dec_int c in
+  let mul_latency = dec_int c in
+  let div_latency = dec_int c in
+  let fpu_latency = dec_int c in
+  { Config.kind; l1_size; l1_ways; l1_line; load_use_latency; miss_penalty;
+    branch_penalty; mul_latency; div_latency; fpu_latency }
+
+let dec_lpsu c : Config.lpsu =
+  let lanes = dec_int c in
+  let ib_entries = dec_int c in
+  let idq_entries = dec_int c in
+  let lsq_loads = dec_int c in
+  let lsq_stores = dec_int c in
+  let mem_ports = dec_int c in
+  let llfu_ports = dec_int c in
+  let threads_per_lane = dec_int c in
+  let lane_issue_width = dec_int c in
+  let inter_lane_fwd = dec_bool c in
+  let scan_fixed = dec_int c in
+  let scan_per_insn = dec_int c in
+  let n_supported = dec_int c in
+  if n_supported < 0 || n_supported > 8 then
+    fail_at c "implausible supported-pattern count";
+  let supported =
+    List.init n_supported (fun _ -> dpattern_of_tag c (dec_int c)) in
+  let squash_penalty = dec_int c in
+  { Config.lanes; ib_entries; idq_entries; lsq_loads; lsq_stores; mem_ports;
+    llfu_ports; threads_per_lane; lane_issue_width; inter_lane_fwd;
+    scan_fixed; scan_per_insn; supported; squash_penalty }
+
+let dec_cfg c : Config.t =
+  let name = dec_str c in
+  let gpp = dec_gpp c in
+  let lpsu =
+    match dec_char c with
+    | 'N' -> None
+    | 'L' -> Some (dec_lpsu c)
+    | _ -> fail_at c "unknown LPSU tag"
+  in
+  { Config.name; gpp; lpsu }
+
+(** Inverse of {!encode}: strict parse of the canonical encoding. *)
+let decode s : (t, string) result =
+  let c = { s; pos = 0 } in
+  match
+    if String.length s < 4 || String.sub s 0 4 <> "XRS1" then
+      raise (Bad "bad magic (want XRS1)");
+    c.pos <- 4;
+    let kernel = dec_str c in
+    let cfg = dec_cfg c in
+    let mode =
+      match dec_char c with
+      | 'T' -> Machine.Traditional
+      | 'S' -> Machine.Specialized
+      | 'A' -> Machine.Adaptive
+      | _ -> fail_at c "unknown mode tag"
+    in
+    let xloops = dec_bool c in
+    let use_xi = dec_bool c in
+    let target = { Compile.xloops; use_xi } in
+    let fuel =
+      match dec_char c with
+      | 'n' -> None
+      | 's' -> Some (dec_int c)
+      | _ -> fail_at c "unknown fuel tag"
+    in
+    let fault_seed =
+      match dec_char c with
+      | 'n' -> None
+      | 's' -> let seed = dec_int c in Some (seed, dec_int c)
+      | _ -> fail_at c "unknown fault tag"
+    in
+    let watchdog = dec_int c in
+    let degrade = dec_bool c in
+    if c.pos <> String.length s then fail_at c "trailing bytes";
+    { kernel; cfg; mode; target; fuel; fault_seed; watchdog; degrade }
+  with
+  | spec -> Ok spec
+  | exception Bad msg -> Error ("Run_spec.decode: " ^ msg)
 
 (* -- Content addressing -------------------------------------------------- *)
 
@@ -129,7 +276,7 @@ let program_digest ?kernel (t : t) =
     spec encoding {e and} the compiled program bytes, so a compiler or
     kernel change invalidates cached results by construction. *)
 let cache_key ?kernel (t : t) =
-  Digest.to_hex (Digest.string (encode t ^ program_digest ?kernel t))
+  Digest_hex.of_digest (Digest.string (encode t ^ program_digest ?kernel t))
 
 (** Content address of a kernel's target-independent metadata (dynamic
     instruction counts, body statistics): digest over its name and its
@@ -137,7 +284,7 @@ let cache_key ?kernel (t : t) =
 let kernel_digest (k : Kernel.t) =
   let prog target =
     (Compile.compile ~target k.Kernel.kernel).Compile.program in
-  Digest.to_hex
+  Digest_hex.of_digest
     (Digest.string
        (k.Kernel.name ^ "\x00"
         ^ bytes_of_program (prog Compile.general) ^ "\x00"

@@ -41,17 +41,25 @@ val pp : Format.formatter -> t -> unit
 val encode : t -> string
 (** Canonical binary encoding: deterministic field-by-field
     serialization covering every field (including the full machine
-    configuration), stable across processes. *)
+    configuration), stable across processes.  This is the {e only} form
+    in which a spec crosses a process boundary — the wire protocol
+    carries exactly these bytes. *)
 
-val digest : t -> string
-(** Hex MD5 of {!encode}. *)
+val decode : string -> (t, string) result
+(** Strict inverse of {!encode}: every field must parse and the input
+    must be fully consumed, so a truncated or tampered frame is an
+    [Error], never a half-filled spec. *)
 
-val cache_key : ?kernel:Kernel.t -> t -> string
-(** Content address of the spec's result: hex digest over the canonical
+val digest : t -> Digest_hex.t
+(** MD5 of {!encode} — the spec's identity (journal key, in-flight
+    dedupe key). *)
+
+val cache_key : ?kernel:Kernel.t -> t -> Digest_hex.t
+(** Content address of the spec's result: digest over the canonical
     encoding {e and} the compiled program bytes, so compiler or kernel
     changes invalidate cached results by construction. *)
 
-val kernel_digest : Kernel.t -> string
+val kernel_digest : Kernel.t -> Digest_hex.t
 (** Content address of a kernel's target-independent metadata: digest
     over its name and its compiled general and XLOOPS programs. *)
 

@@ -45,6 +45,7 @@ module Compiler = Xloops_compiler
 module Energy = Xloops_energy
 module Vlsi = Xloops_vlsi
 module Kernels = Xloops_kernels
+module Digest_hex = Digest_hex
 module Run_spec = Run_spec
 module Pool = Pool
 module Run_cache = Run_cache

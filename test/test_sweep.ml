@@ -137,7 +137,10 @@ let test_with_retries_abort_escapes () =
 
 (* -- Journal ------------------------------------------------------------- *)
 
-let dg s = Digest.to_hex (Digest.string s)
+let dg s = Xloops.Digest_hex.of_digest (Digest.string s)
+
+let digest =
+  Alcotest.testable Xloops.Digest_hex.pp Xloops.Digest_hex.equal
 
 let test_journal_roundtrip () =
   let path = tmp_file () in
@@ -148,7 +151,7 @@ let test_journal_roundtrip () =
   Alcotest.(check int) "two distinct digests" 2 (Journal.count j);
   Alcotest.(check bool) "member" true (Journal.member j (dg "a"));
   Journal.close j;
-  Alcotest.(check (list string)) "load returns them in order"
+  Alcotest.(check (list digest)) "load returns them in order"
     [ dg "a"; dg "b" ] (Journal.load path);
   (* Resume keeps them; a fresh start wipes them. *)
   let j2 = Journal.start ~resume:true path in
@@ -166,26 +169,39 @@ let test_journal_torn_tail () =
   Journal.close j;
   (* Simulate a crash mid-append: a torn, newline-less final line. *)
   let oc = open_out_gen [ Open_append ] 0o644 path in
-  output_string oc (String.sub (dg "b") 0 11);
+  output_string oc (String.sub (Xloops.Digest_hex.to_hex (dg "b")) 0 11);
   close_out oc;
-  Alcotest.(check (list string)) "torn tail skipped on load" [ dg "a" ]
+  Alcotest.(check (list digest)) "torn tail skipped on load" [ dg "a" ]
     (Journal.load path);
   let j2 = Journal.start ~resume:true path in
   Alcotest.(check int) "torn tail dropped on resume" 1
     (Journal.preloaded j2);
   Journal.record j2 (dg "c");
   Journal.close j2;
-  Alcotest.(check (list string)) "appends after repair parse clean"
+  Alcotest.(check (list digest)) "appends after repair parse clean"
     [ dg "a"; dg "c" ] (Journal.load path);
   Sys.remove path
 
 let test_journal_rejects_garbage () =
+  (* Garbage can no longer reach [Journal.record] — it takes an abstract
+     [Digest_hex.t] — so the validation now lives in [Digest_hex.of_hex]
+     (the only way wire/journal strings become digests) and in [load],
+     which skips undecodable lines instead of resurrecting them. *)
+  Alcotest.(check bool) "of_hex rejects garbage" true
+    (Result.is_error (Xloops.Digest_hex.of_hex "nope"));
+  Alcotest.(check bool) "of_hex rejects uppercase hex" true
+    (Result.is_error
+       (Xloops.Digest_hex.of_hex
+          (String.uppercase_ascii (Xloops.Digest_hex.to_hex (dg "a")))));
   let path = tmp_file () in
   let j = Journal.start path in
-  Alcotest.check_raises "non-digest rejected"
-    (Invalid_argument "Journal.record: not a digest: nope")
-    (fun () -> Journal.record j "nope");
+  Journal.record j (dg "a");
   Journal.close j;
+  let oc = open_out_gen [ Open_append ] 0o644 path in
+  output_string oc "nope\n";
+  close_out oc;
+  Alcotest.(check (list digest)) "garbage line skipped on load" [ dg "a" ]
+    (Journal.load path);
   Sys.remove path
 
 (* -- Cache integrity ----------------------------------------------------- *)
