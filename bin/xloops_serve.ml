@@ -122,7 +122,9 @@ let serve listen client_op queue_limit (eng : Cli_common.engine_args)
       Sys.set_signal Sys.sigint (Sys.Signal_handle stop_sig);
       Sys.set_signal Sys.sigterm (Sys.Signal_handle stop_sig)
     end;
-    Fmt.epr "[serve] ready on %a@." P.pp_addr (Service.Server.bound_addr t);
+    Fmt.epr "[serve] ready on %a (exec tier %s)@." P.pp_addr
+      (Service.Server.bound_addr t)
+      (Xloops.Sim.Tier.name eng.Cli_common.ea_exec_tier);
     Service.Server.wait t;
     Service.Server.stop t;
     0
@@ -131,7 +133,10 @@ let cmd =
   let doc = "run the persistent XLOOPS simulation service" in
   Cmd.v (Cmd.info "xloops_serve" ~doc)
     Term.(const serve $ listen_arg $ client_op_arg $ queue_limit_arg
-          $ Cli_common.engine_term ~pool:true ()
+          (* the daemon amortizes compilation across requests, so its
+             functional runs default to the fastest tier *)
+          $ Cli_common.engine_term ~pool:true
+              ~tier_default:Xloops.Sim.Tier.Threaded ()
           $ chaos_seed_arg $ chaos_events_arg $ banner_arg $ quiet_arg)
 
 let () = exit (Cmd.eval' cmd)

@@ -75,6 +75,30 @@ type predecoded = {
   uops : uop array;
 }
 
+(** Coarse micro-op class, aligned with {!Xloops_isa.Insn.class_name}
+    but distinguishing the predecode-level splits (xloop_de vs
+    xloop_cmp) — the names the superop pair profiler and the fused
+    disassembly view print. *)
+let uop_class = function
+  | U_alu _ -> "alu"
+  | U_alui _ -> "alui"
+  | U_fpu _ -> "fpu"
+  | U_lui _ -> "lui"
+  | U_load _ -> "load"
+  | U_store _ -> "store"
+  | U_amo _ -> "amo"
+  | U_branch _ -> "branch"
+  | U_jump _ -> "jump"
+  | U_jal _ -> "jal"
+  | U_jr _ -> "jr"
+  | U_xloop_de _ -> "xloop_de"
+  | U_xloop_cmp _ -> "xloop_cmp"
+  | U_xi_addi _ -> "xi_addi"
+  | U_xi_add _ -> "xi_add"
+  | U_sync -> "sync"
+  | U_halt -> "halt"
+  | U_nop -> "nop"
+
 let predecode_insn (i : int I.t) : uop =
   match i with
   | I.Alu (op, rd, rs, rt) -> U_alu (op, rd, rs, rt)

@@ -68,6 +68,14 @@ type predecoded = {
   uops : uop array;          (** parallel to [source.insns] *)
 }
 
+val uop_class : uop -> string
+(** Coarse micro-op class ("alu", "xloop_cmp", ...): the names the
+    superop pair profiler and fused disassembly print. *)
+
 val predecode : t -> predecoded
 (** Memoized (per domain, keyed by physical equality): repeated calls on
     the same program return the same predecoded value. *)
+
+val predecode_fresh : t -> predecoded
+(** Unmemoized {!predecode} — what each domain's cache miss computes.
+    Exposed for the cross-domain memoization property tests. *)

@@ -40,6 +40,7 @@ type engine_args = {
   ea_max_retries : int;
   ea_jobs : int;
   ea_cache_dir : string option; (* None: on-disk cache disabled *)
+  ea_exec_tier : Sim.Tier.t;    (* functional-run execution tier *)
 }
 
 let fuel_doc =
@@ -59,6 +60,10 @@ let cache_dir_doc =
   "Content-addressed on-disk result cache directory \
    (env XLOOPS_CACHE_DIR)."
 let no_cache_doc = "Disable the on-disk result cache."
+let exec_tier_doc =
+  "Execution tier for functional (observer-free) runs: ref, predecode \
+   or threaded (env XLOOPS_EXEC_TIER).  All tiers are architecturally \
+   identical; timing models are unaffected."
 
 let env_opt_int ?min var =
   match Sys.getenv_opt var with
@@ -83,7 +88,9 @@ let default_engine_args ?(max_retries = 0) () =
     ea_jobs = Pool.default_jobs ();   (* XLOOPS_JOBS, the shared path *)
     ea_cache_dir =
       Some (Option.value (Sys.getenv_opt "XLOOPS_CACHE_DIR")
-              ~default:Run_cache.default_dir) }
+              ~default:Run_cache.default_dir);
+    (* Tier.get is initialized from XLOOPS_EXEC_TIER at module init *)
+    ea_exec_tier = Sim.Tier.get () }
 
 let fuel_arg =
   Arg.(value & opt (some int) None & info [ "fuel" ] ~doc:fuel_doc)
@@ -109,12 +116,39 @@ let cache_dir_arg =
 
 let no_cache_arg = Arg.(value & flag & info [ "no-cache" ] ~doc:no_cache_doc)
 
+let tier_conv =
+  let parse s =
+    match Sim.Tier.of_string s with
+    | Ok t -> Ok t
+    | Error msg -> Error (`Msg msg)
+  in
+  Arg.conv (parse, fun ppf t -> Fmt.string ppf (Sim.Tier.name t))
+
+let exec_tier_arg =
+  Arg.(value & opt (some tier_conv) None
+       & info [ "exec-tier" ] ~doc:exec_tier_doc)
+
 (** The Cmdliner form of the record.  [pool] additionally surfaces
     [--jobs]/[--cache-dir]/[--no-cache] (the daemon); the single-run
-    tools leave them at their defaults. *)
-let engine_term ?(pool = false) ?max_retries () : engine_args Cmdliner.Term.t =
-  let combine fuel watchdog deadline retries jobs cache_dir no_cache =
+    tools leave them at their defaults.  [tier_default] lets a tool pick
+    its own tier when neither the flag nor the environment chose one
+    (the sweep service defaults to [Threaded]).  The resolved tier is
+    installed process-wide ({!Sim.Tier.set}) as part of parsing, so
+    every functional-run site downstream observes it. *)
+let engine_term ?(pool = false) ?max_retries ?tier_default ()
+  : engine_args Cmdliner.Term.t =
+  let combine fuel watchdog deadline retries jobs cache_dir no_cache
+      exec_tier =
     let d = default_engine_args ?max_retries () in
+    let tier =
+      match exec_tier with
+      | Some t -> t
+      | None ->
+        (match Sys.getenv_opt Sim.Tier.env_var with
+         | Some s when s <> "" -> d.ea_exec_tier   (* env already applied *)
+         | _ -> Option.value tier_default ~default:d.ea_exec_tier)
+    in
+    Sim.Tier.set tier;
     { ea_fuel = (match fuel with Some _ -> fuel | None -> d.ea_fuel);
       ea_watchdog =
         (match watchdog with Some _ -> watchdog | None -> d.ea_watchdog);
@@ -128,14 +162,17 @@ let engine_term ?(pool = false) ?max_retries () : engine_args Cmdliner.Term.t =
       ea_cache_dir =
         (if no_cache then None
          else match cache_dir with Some _ -> cache_dir
-                                 | None -> d.ea_cache_dir) }
+                                 | None -> d.ea_cache_dir);
+      ea_exec_tier = tier }
   in
   if pool then
     Term.(const combine $ fuel_arg $ watchdog_arg $ deadline_arg
-          $ max_retries_arg $ jobs_arg $ cache_dir_arg $ no_cache_arg)
+          $ max_retries_arg $ jobs_arg $ cache_dir_arg $ no_cache_arg
+          $ exec_tier_arg)
   else
     Term.(const combine $ fuel_arg $ watchdog_arg $ deadline_arg
-          $ max_retries_arg $ const None $ const None $ const false)
+          $ max_retries_arg $ const None $ const None $ const false
+          $ exec_tier_arg)
 
 (** Hand-rolled-parser form of the same flags for bench/main.exe (which
     parses argv itself): consume one engine flag from the head of
@@ -176,6 +213,15 @@ let consume_engine_flag (o : engine_args ref) (args : string list) :
     Some tl
   | "--no-cache" :: tl ->
     o := { !o with ea_cache_dir = None };
+    Some tl
+  | "--exec-tier" :: v :: tl ->
+    (match Sim.Tier.of_string v with
+     | Ok t ->
+       Sim.Tier.set t;
+       o := { !o with ea_exec_tier = t }
+     | Error msg ->
+       Fmt.epr "error: bad value for --exec-tier: %s@." msg;
+       exit 2);
     Some tl
   | _ -> None
 

@@ -142,6 +142,35 @@ let store t (w : Insn.width) addr (v : int32) =
   | H | Hu -> set_u16 t addr (Int32.to_int v land 0xFFFF)
   | W -> set_i32 t addr v
 
+(* Native-int variants of the architectural accessors, for executors
+   whose register file is already sign-extended native ints (the
+   predecoded and direct-threaded tiers): same checks, counters and
+   journal behavior, but the value crosses the call boundary as an
+   unboxed [int] instead of a boxed [int32]. *)
+
+let load_int t (w : Insn.width) addr : int =
+  t.loads <- t.loads + 1;
+  match w with
+  | B -> sext8 (get_u8 t addr)
+  | Bu -> get_u8 t addr
+  | H -> sext16 (get_u16 t addr)
+  | Hu -> get_u16 t addr
+  | W ->
+    check4 t addr "get_i32";
+    Int32.to_int (Bytes.get_int32_le t.data addr)
+
+let store_int t (w : Insn.width) addr (v : int) =
+  t.stores <- t.stores + 1;
+  match w with
+  | B | Bu -> set_u8 t addr (v land 0xFF)
+  | H | Hu -> set_u16 t addr (v land 0xFFFF)
+  | W ->
+    (* [set_i32] inlined so the intermediate int32 never crosses a call
+       boundary (a boxed-int32 allocation per store without flambda) *)
+    check4 t addr "set_i32";
+    note_write t addr 4;
+    Bytes.set_int32_le t.data addr (Int32.of_int v)
+
 (** Atomic read-modify-write on a word: returns the old value. *)
 let amo t (op : Insn.amo_op) addr (v : int32) : int32 =
   t.amos <- t.amos + 1;
@@ -156,6 +185,25 @@ let amo t (op : Insn.amo_op) addr (v : int32) : int32 =
     | Amo_max -> if Int32.compare old v >= 0 then old else v
   in
   set_i32 t addr nv;
+  old
+
+let amo_sext_shift = Sys.int_size - 32
+
+let amo_int t (op : Insn.amo_op) addr (v : int) : int =
+  t.amos <- t.amos + 1;
+  check4 t addr "get_i32";
+  let old = Int32.to_int (Bytes.get_int32_le t.data addr) in
+  let nv =
+    match op with
+    | Amo_add -> ((old + v) lsl amo_sext_shift) asr amo_sext_shift
+    | Amo_and -> old land v
+    | Amo_or -> old lor v
+    | Amo_xchg -> v
+    | Amo_min -> if old <= v then old else v
+    | Amo_max -> if old >= v then old else v
+  in
+  note_write t addr 4;
+  Bytes.set_int32_le t.data addr (Int32.of_int nv);
   old
 
 (** Number of bytes a width accesses (for address-overlap checks). *)

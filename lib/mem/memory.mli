@@ -67,6 +67,15 @@ val store : t -> Xloops_isa.Insn.width -> int -> int32 -> unit
 val amo : t -> Xloops_isa.Insn.amo_op -> int -> int32 -> int32
 (** Atomic read-modify-write on a word; returns the old value. *)
 
+(** Native-int variants for executors whose register file is already
+    sign-extended native ints: same checks, counters and journal
+    behavior as {!load}/{!store}/{!amo}, but values cross the call
+    boundary unboxed. *)
+
+val load_int : t -> Xloops_isa.Insn.width -> int -> int
+val store_int : t -> Xloops_isa.Insn.width -> int -> int -> unit
+val amo_int : t -> Xloops_isa.Insn.amo_op -> int -> int -> int
+
 val width_bytes : Xloops_isa.Insn.width -> int
 
 (** {1 Bulk helpers}

@@ -184,8 +184,30 @@ let alu_eval_int (op : Insn.alu_op) (a : int) (b : int) : int =
     else if a = min32 && b = -1 then 0
     else a mod b
 
+(* Allocation-free FP: the [int32] spec above funnels every operand
+   through boxed [Int32.t] and a cross-function-boundary call, which
+   costs several boxes per FP instruction (the residual bytes/insn the
+   sgemm workload used to show).  Staying inside one function lets the
+   non-flambda backend's local unboxing eliminate every intermediate
+   [Int32]/[float] box: [float_of_bits]/[bits_of_float] are [@@unboxed]
+   externals and [Int32.of_int]/[to_int] are primitives, so each arm
+   compiles to raw bit moves and FP arithmetic.  Must stay pointwise
+   equal to [fpu_eval] (property-tested). *)
 let fpu_eval_int (op : Insn.fpu_op) (a : int) (b : int) : int =
-  Int32.to_int (fpu_eval op (Int32.of_int a) (Int32.of_int b))
+  let fa = Int32.float_of_bits (Int32.of_int a) in
+  let fb = Int32.float_of_bits (Int32.of_int b) in
+  match op with
+  | Fadd -> Int32.to_int (Int32.bits_of_float (fa +. fb))
+  | Fsub -> Int32.to_int (Int32.bits_of_float (fa -. fb))
+  | Fmul -> Int32.to_int (Int32.bits_of_float (fa *. fb))
+  | Fdiv -> Int32.to_int (Int32.bits_of_float (fa /. fb))
+  | Fmin -> Int32.to_int (Int32.bits_of_float (Float.min fa fb))
+  | Fmax -> Int32.to_int (Int32.bits_of_float (Float.max fa fb))
+  | Feq -> if fa = fb then 1 else 0
+  | Flt -> if fa < fb then 1 else 0
+  | Fle -> if fa <= fb then 1 else 0
+  | Fcvt_sw -> Int32.to_int (Int32.bits_of_float (Int32.to_float (Int32.of_int a)))
+  | Fcvt_ws -> Int32.to_int (Int32.of_float (Float.trunc fa))
 
 let branch_eval_int (c : Insn.branch_cond) (a : int) (b : int) =
   match c with

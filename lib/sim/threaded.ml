@@ -1,0 +1,596 @@
+(** Direct-threaded execution tier.
+
+    The predecoded tier ({!Exec.step}) still pays, per dynamic
+    instruction, an 18-arm match on the micro-op, the event-scratch
+    reset, and the per-step calling convention.  This tier compiles each
+    {!Program.predecoded} once into an array of closures — one per
+    static instruction, specialized at compile time to its operands — so
+    the driver loop is a single indirect call per dispatch and no event
+    record exists at all.
+
+    On top of the single-op closures, adjacent pairs selected by the
+    {!Xloops_isa.Insn.fusible_head}/[fusible_tail] predicates fuse into
+    *superop* closures that execute both micro-ops in one dispatch:
+    compare+branch, address-gen+load/store, and the [.xi]
+    add+index-bump idioms the static pair profiler (bench/micro
+    [--profile-pairs]) shows dominate the kernel registry.  Fusion is
+    purely local: the slot after a fused head keeps its own single-op
+    closure, so a jump into the middle of a pair needs no target
+    analysis — it simply dispatches the unfused second op.
+
+    Because no event is produced, this tier serves only observer-free
+    functional runs ({!run_serial} consumers such as
+    [Kernel.dynamic_insns] and the bench harness).  Anything that
+    watches per-instruction events — GPP timing, the LPSU lanes,
+    tracing, the watchdog, fault injection — stays on {!Exec.step}. *)
+
+open Xloops_isa
+module Program = Xloops_asm.Program
+module Memory = Xloops_mem.Memory
+module P = Program
+
+type state = {
+  regs : int array;
+  mem : Memory.t;
+  mutable pc : int;
+  mutable retired : int;
+}
+
+type op = state -> unit
+
+type compiled = {
+  pre : Program.predecoded;
+  ops : op array;   (** single-op closures, parallel to the uops *)
+  sup : op array;   (** [ops] with fused heads replaced by superops *)
+  rules : (int * string) list;
+      (** superop head pcs (ascending) and their rule names *)
+}
+
+let sext_shift = Sys.int_size - 32
+let[@inline] norm v = (v lsl sext_shift) asr sext_shift
+let[@inline] g (r : int array) i = Array.unsafe_get r i
+let[@inline] s (r : int array) i v = Array.unsafe_set r i v
+
+(* Compile-time validation: closures index the register file unsafely,
+   so every register specifier must be proven in range first.  Micro-ops
+   that fail (only reachable through hand-built [Program.t] values with
+   corrupt specifiers) fall back to [safe_op] below, which reproduces
+   {!Exec.step}'s bounds-checked behavior exactly — including the
+   [Invalid_argument] it raises when executed. *)
+let uop_valid (u : P.uop) =
+  let ok r = r >= 0 && r < Reg.num_regs in
+  match u with
+  | P.U_alu (_, rd, rs, rt) | U_fpu (_, rd, rs, rt)
+  | U_xi_add (rd, rs, rt) | U_amo (_, rd, rs, rt) -> ok rd && ok rs && ok rt
+  | U_alui (_, rd, rs, _) | U_xi_addi (rd, rs, _) -> ok rd && ok rs
+  | U_lui (rd, _) -> ok rd
+  | U_load (_, rd, rs, _, _) -> ok rd && ok rs
+  | U_store (_, rt, rs, _, _) -> ok rt && ok rs
+  | U_branch (_, rs, rt, _) | U_xloop_cmp (rs, rt, _) -> ok rs && ok rt
+  | U_jr rs -> ok rs
+  | U_xloop_de (rt, _) -> ok rt
+  | U_jump _ | U_jal _ | U_sync | U_halt | U_nop -> true
+
+(* Mirrors {!Exec.step} arm for arm with safe (bounds-checked) register
+   indexing; pc advances before the body and the retired count bumps
+   after, so an escaping exception leaves the same partial state as a
+   failed [step]. *)
+let safe_op (u : P.uop) pc : op = fun st ->
+  let regs = st.regs in
+  st.pc <- pc + 1;
+  (match u with
+   | P.U_alu (op, rd, rs, rt) ->
+     if rd <> 0 then regs.(rd) <- Exec.alu_eval_int op regs.(rs) regs.(rt)
+   | U_alui (op, rd, rs, imm) ->
+     if rd <> 0 then regs.(rd) <- Exec.alu_eval_int op regs.(rs) imm
+   | U_fpu (op, rd, rs, rt) ->
+     if rd <> 0 then regs.(rd) <- Exec.fpu_eval_int op regs.(rs) regs.(rt)
+   | U_lui (rd, v) -> if rd <> 0 then regs.(rd) <- v
+   | U_load (w, rd, rs, imm, _) ->
+     let v = Memory.load_int st.mem w (regs.(rs) + imm) in
+     if rd <> 0 then regs.(rd) <- v
+   | U_store (w, rt, rs, imm, _) ->
+     Memory.store_int st.mem w (regs.(rs) + imm) regs.(rt)
+   | U_amo (op, rd, rs, rt) ->
+     let old = Memory.amo_int st.mem op regs.(rs) regs.(rt) in
+     if rd <> 0 then regs.(rd) <- old
+   | U_branch (c, rs, rt, l) ->
+     if Exec.branch_eval_int c regs.(rs) regs.(rt) then st.pc <- l
+   | U_jump l -> st.pc <- l
+   | U_jal (link, l) -> regs.(Reg.ra) <- link; st.pc <- l
+   | U_jr rs -> st.pc <- regs.(rs)
+   | U_xloop_de (rt, l) -> if regs.(rt) = 0 then st.pc <- l
+   | U_xloop_cmp (rs, rt, l) -> if regs.(rs) < regs.(rt) then st.pc <- l
+   | U_xi_addi (rd, rs, imm) ->
+     if rd <> 0 then regs.(rd) <- norm (regs.(rs) + imm)
+   | U_xi_add (rd, rs, rt) ->
+     if rd <> 0 then regs.(rd) <- norm (regs.(rs) + regs.(rt))
+   | U_sync | U_nop -> ()
+   | U_halt -> st.pc <- pc; raise Exec.Halted);
+  st.retired <- st.retired + 1
+
+(* -- Single-op closures ------------------------------------------------ *)
+
+(* One closure per static instruction, all operand decisions folded at
+   compile time: the common ALU/branch operators get a dedicated closure
+   body; rare operators (mulh/div/rem, all FP) capture the operator and
+   call the shared evaluator.  Writes to r0 compile to an advance-only
+   closure, matching [step]'s dropped-write semantics. *)
+
+let retire1 nx : op = fun st ->
+  st.pc <- nx;
+  st.retired <- st.retired + 1
+
+let fast_op (u : P.uop) pc : op =
+  let nx = pc + 1 in
+  match u with
+  | P.U_alu (op, rd, rs, rt) ->
+    if rd = 0 then retire1 nx
+    else begin
+      match op with
+      | Insn.Add -> fun st ->
+        let r = st.regs in
+        s r rd (norm (g r rs + g r rt));
+        st.pc <- nx; st.retired <- st.retired + 1
+      | Sub -> fun st ->
+        let r = st.regs in
+        s r rd (norm (g r rs - g r rt));
+        st.pc <- nx; st.retired <- st.retired + 1
+      | And -> fun st ->
+        let r = st.regs in
+        s r rd (g r rs land g r rt);
+        st.pc <- nx; st.retired <- st.retired + 1
+      | Or_ -> fun st ->
+        let r = st.regs in
+        s r rd (g r rs lor g r rt);
+        st.pc <- nx; st.retired <- st.retired + 1
+      | Xor -> fun st ->
+        let r = st.regs in
+        s r rd (g r rs lxor g r rt);
+        st.pc <- nx; st.retired <- st.retired + 1
+      | Mul -> fun st ->
+        let r = st.regs in
+        s r rd (norm (g r rs * g r rt));
+        st.pc <- nx; st.retired <- st.retired + 1
+      | Slt -> fun st ->
+        let r = st.regs in
+        s r rd (if g r rs < g r rt then 1 else 0);
+        st.pc <- nx; st.retired <- st.retired + 1
+      | Nor | Sll | Srl | Sra | Sltu | Mulh | Div | Rem -> fun st ->
+        let r = st.regs in
+        s r rd (Exec.alu_eval_int op (g r rs) (g r rt));
+        st.pc <- nx; st.retired <- st.retired + 1
+    end
+  | U_alui (op, rd, rs, imm) ->
+    if rd = 0 then retire1 nx
+    else begin
+      match op with
+      | Insn.Add -> fun st ->
+        let r = st.regs in
+        s r rd (norm (g r rs + imm));
+        st.pc <- nx; st.retired <- st.retired + 1
+      | And -> fun st ->
+        let r = st.regs in
+        s r rd (g r rs land imm);
+        st.pc <- nx; st.retired <- st.retired + 1
+      | Or_ -> fun st ->
+        let r = st.regs in
+        s r rd (g r rs lor imm);
+        st.pc <- nx; st.retired <- st.retired + 1
+      | Xor -> fun st ->
+        let r = st.regs in
+        s r rd (g r rs lxor imm);
+        st.pc <- nx; st.retired <- st.retired + 1
+      | Slt -> fun st ->
+        let r = st.regs in
+        s r rd (if g r rs < imm then 1 else 0);
+        st.pc <- nx; st.retired <- st.retired + 1
+      | Sub | Nor | Sll | Srl | Sra | Sltu | Mul | Mulh | Div | Rem ->
+        fun st ->
+          let r = st.regs in
+          s r rd (Exec.alu_eval_int op (g r rs) imm);
+          st.pc <- nx; st.retired <- st.retired + 1
+    end
+  | U_fpu (op, rd, rs, rt) ->
+    if rd = 0 then retire1 nx
+    else fun st ->
+      let r = st.regs in
+      s r rd (Exec.fpu_eval_int op (g r rs) (g r rt));
+      st.pc <- nx; st.retired <- st.retired + 1
+  | U_lui (rd, v) ->
+    if rd = 0 then retire1 nx
+    else fun st ->
+      s st.regs rd v;
+      st.pc <- nx; st.retired <- st.retired + 1
+  | U_load (w, rd, rs, imm, _) ->
+    if rd = 0 then fun st ->
+      ignore (Memory.load_int st.mem w (g st.regs rs + imm));
+      st.pc <- nx; st.retired <- st.retired + 1
+    else fun st ->
+      let r = st.regs in
+      s r rd (Memory.load_int st.mem w (g r rs + imm));
+      st.pc <- nx; st.retired <- st.retired + 1
+  | U_store (w, rt, rs, imm, _) -> fun st ->
+    let r = st.regs in
+    Memory.store_int st.mem w (g r rs + imm) (g r rt);
+    st.pc <- nx; st.retired <- st.retired + 1
+  | U_amo (op, rd, rs, rt) -> fun st ->
+    let r = st.regs in
+    let old = Memory.amo_int st.mem op (g r rs) (g r rt) in
+    if rd <> 0 then s r rd old;
+    st.pc <- nx; st.retired <- st.retired + 1
+  | U_branch (c, rs, rt, l) ->
+    (match c with
+     | Insn.Beq -> fun st ->
+       let r = st.regs in
+       st.pc <- (if g r rs = g r rt then l else nx);
+       st.retired <- st.retired + 1
+     | Bne -> fun st ->
+       let r = st.regs in
+       st.pc <- (if g r rs <> g r rt then l else nx);
+       st.retired <- st.retired + 1
+     | Blt -> fun st ->
+       let r = st.regs in
+       st.pc <- (if g r rs < g r rt then l else nx);
+       st.retired <- st.retired + 1
+     | Bge -> fun st ->
+       let r = st.regs in
+       st.pc <- (if g r rs >= g r rt then l else nx);
+       st.retired <- st.retired + 1
+     | Bltu -> fun st ->
+       let r = st.regs in
+       st.pc <-
+         (if g r rs land 0xFFFFFFFF < g r rt land 0xFFFFFFFF then l else nx);
+       st.retired <- st.retired + 1
+     | Bgeu -> fun st ->
+       let r = st.regs in
+       st.pc <-
+         (if g r rs land 0xFFFFFFFF >= g r rt land 0xFFFFFFFF then l else nx);
+       st.retired <- st.retired + 1)
+  | U_jump l -> fun st ->
+    st.pc <- l;
+    st.retired <- st.retired + 1
+  | U_jal (link, l) -> fun st ->
+    s st.regs Reg.ra link;
+    st.pc <- l;
+    st.retired <- st.retired + 1
+  | U_jr rs -> fun st ->
+    st.pc <- g st.regs rs;
+    st.retired <- st.retired + 1
+  | U_xloop_de (rt, l) -> fun st ->
+    st.pc <- (if g st.regs rt = 0 then l else nx);
+    st.retired <- st.retired + 1
+  | U_xloop_cmp (rs, rt, l) -> fun st ->
+    let r = st.regs in
+    st.pc <- (if g r rs < g r rt then l else nx);
+    st.retired <- st.retired + 1
+  | U_xi_addi (rd, rs, imm) ->
+    if rd = 0 then retire1 nx
+    else fun st ->
+      let r = st.regs in
+      s r rd (norm (g r rs + imm));
+      st.pc <- nx; st.retired <- st.retired + 1
+  | U_xi_add (rd, rs, rt) ->
+    if rd = 0 then retire1 nx
+    else fun st ->
+      let r = st.regs in
+      s r rd (norm (g r rs + g r rt));
+      st.pc <- nx; st.retired <- st.retired + 1
+  | U_sync | U_nop -> retire1 nx
+  | U_halt -> fun st ->
+    st.pc <- pc;
+    raise Exec.Halted
+
+(* -- Superop fusion ---------------------------------------------------- *)
+
+(* A fusible head's entire effect is one register write, captured as
+   compile-time data so each tail constructor specializes against it.
+   The hottest head shapes (plain add / add-immediate, which is also
+   what both [.xi] forms lower to) get fully inlined bodies in the fused
+   closures; the rest go through [run_head], a per-closure-constant
+   match that predicts perfectly. *)
+
+type head =
+  | H_add of int * int * int           (* rd, rs, rt *)
+  | H_addi of int * int * int          (* rd, rs, imm *)
+  | H_alu of Insn.alu_op * int * int * int
+  | H_alui of Insn.alu_op * int * int * int
+  | H_const of int * int               (* rd, value *)
+
+let head_of (src : int Insn.t) (u : P.uop) : head option =
+  if not (Insn.fusible_head src && uop_valid u) then None
+  else
+    match u with
+    | P.U_alu (Insn.Add, rd, rs, rt) | U_xi_add (rd, rs, rt) ->
+      Some (H_add (rd, rs, rt))
+    | U_alui (Insn.Add, rd, rs, imm) | U_xi_addi (rd, rs, imm) ->
+      Some (H_addi (rd, rs, imm))
+    | U_alu (op, rd, rs, rt) -> Some (H_alu (op, rd, rs, rt))
+    | U_alui (op, rd, rs, imm) -> Some (H_alui (op, rd, rs, imm))
+    | U_lui (rd, v) -> Some (H_const (rd, v))
+    | _ -> None
+
+let run_head (h : head) (r : int array) =
+  match h with
+  | H_add (rd, rs, rt) -> s r rd (norm (g r rs + g r rt))
+  | H_addi (rd, rs, imm) -> s r rd (norm (g r rs + imm))
+  | H_alu (op, rd, rs, rt) -> s r rd (Exec.alu_eval_int op (g r rs) (g r rt))
+  | H_alui (op, rd, rs, imm) -> s r rd (Exec.alu_eval_int op (g r rs) imm)
+  | H_const (rd, v) -> s r rd v
+
+(* Build the superop closure for the pair at [pc], or [None] when the
+   pair doesn't fuse.  Every branch of a fused closure executes both
+   micro-ops and retires 2, so a fused dispatch is observationally two
+   [ops] dispatches. *)
+let fuse_pair (src : int Insn.t array) (uops : P.uop array) pc
+  : (op * string) option =
+  let n = Array.length uops in
+  if pc + 1 >= n then None
+  else
+    match head_of src.(pc) uops.(pc) with
+    | None -> None
+    | Some h ->
+      let tail = uops.(pc + 1) in
+      if not (Insn.fusible_tail src.(pc + 1) && uop_valid tail) then None
+      else begin
+        let nx2 = pc + 2 in
+        let rule tl = P.uop_class uops.(pc) ^ "+" ^ tl in
+        match tail with
+        | P.U_branch (c, brs, brt, l) ->
+          let f =
+            match h, c with
+            | H_addi (rd, rs, imm), Insn.Bne -> fun st ->
+              let r = st.regs in
+              s r rd (norm (g r rs + imm));
+              st.pc <- (if g r brs <> g r brt then l else nx2);
+              st.retired <- st.retired + 2
+            | H_addi (rd, rs, imm), Blt -> fun st ->
+              let r = st.regs in
+              s r rd (norm (g r rs + imm));
+              st.pc <- (if g r brs < g r brt then l else nx2);
+              st.retired <- st.retired + 2
+            | _, Beq -> fun st ->
+              let r = st.regs in
+              run_head h r;
+              st.pc <- (if g r brs = g r brt then l else nx2);
+              st.retired <- st.retired + 2
+            | _, Bne -> fun st ->
+              let r = st.regs in
+              run_head h r;
+              st.pc <- (if g r brs <> g r brt then l else nx2);
+              st.retired <- st.retired + 2
+            | _, Blt -> fun st ->
+              let r = st.regs in
+              run_head h r;
+              st.pc <- (if g r brs < g r brt then l else nx2);
+              st.retired <- st.retired + 2
+            | _, Bge -> fun st ->
+              let r = st.regs in
+              run_head h r;
+              st.pc <- (if g r brs >= g r brt then l else nx2);
+              st.retired <- st.retired + 2
+            | _, Bltu -> fun st ->
+              let r = st.regs in
+              run_head h r;
+              st.pc <-
+                (if g r brs land 0xFFFFFFFF < g r brt land 0xFFFFFFFF
+                 then l else nx2);
+              st.retired <- st.retired + 2
+            | _, Bgeu -> fun st ->
+              let r = st.regs in
+              run_head h r;
+              st.pc <-
+                (if g r brs land 0xFFFFFFFF >= g r brt land 0xFFFFFFFF
+                 then l else nx2);
+              st.retired <- st.retired + 2
+          in
+          Some (f, rule "branch")
+        | U_xloop_cmp (xrs, xrt, l) ->
+          let f =
+            match h with
+            | H_addi (rd, rs, imm) -> fun st ->
+              (* the canonical [.xi] index-bump + xloop back-edge pair *)
+              let r = st.regs in
+              s r rd (norm (g r rs + imm));
+              st.pc <- (if g r xrs < g r xrt then l else nx2);
+              st.retired <- st.retired + 2
+            | H_add (rd, rs, rt) -> fun st ->
+              let r = st.regs in
+              s r rd (norm (g r rs + g r rt));
+              st.pc <- (if g r xrs < g r xrt then l else nx2);
+              st.retired <- st.retired + 2
+            | _ -> fun st ->
+              let r = st.regs in
+              run_head h r;
+              st.pc <- (if g r xrs < g r xrt then l else nx2);
+              st.retired <- st.retired + 2
+          in
+          Some (f, rule "xloop_cmp")
+        | U_xloop_de (xrt, l) ->
+          let f st =
+            let r = st.regs in
+            run_head h r;
+            st.pc <- (if g r xrt = 0 then l else nx2);
+            st.retired <- st.retired + 2
+          in
+          Some (f, rule "xloop_de")
+        | U_load (w, rd, rs, imm, _) ->
+          if rd = 0 then
+            let f st =
+              let r = st.regs in
+              run_head h r;
+              ignore (Memory.load_int st.mem w (g r rs + imm));
+              st.pc <- nx2; st.retired <- st.retired + 2
+            in
+            Some (f, rule "load")
+          else begin
+            let f =
+              match h with
+              | H_add (hrd, hrs, hrt) -> fun st ->
+                (* address-gen + load *)
+                let r = st.regs in
+                s r hrd (norm (g r hrs + g r hrt));
+                s r rd (Memory.load_int st.mem w (g r rs + imm));
+                st.pc <- nx2; st.retired <- st.retired + 2
+              | H_addi (hrd, hrs, himm) -> fun st ->
+                let r = st.regs in
+                s r hrd (norm (g r hrs + himm));
+                s r rd (Memory.load_int st.mem w (g r rs + imm));
+                st.pc <- nx2; st.retired <- st.retired + 2
+              | _ -> fun st ->
+                let r = st.regs in
+                run_head h r;
+                s r rd (Memory.load_int st.mem w (g r rs + imm));
+                st.pc <- nx2; st.retired <- st.retired + 2
+            in
+            Some (f, rule "load")
+          end
+        | U_store (w, srt, srs, imm, _) ->
+          let f =
+            match h with
+            | H_add (hrd, hrs, hrt) -> fun st ->
+              (* address-gen + store *)
+              let r = st.regs in
+              s r hrd (norm (g r hrs + g r hrt));
+              Memory.store_int st.mem w (g r srs + imm) (g r srt);
+              st.pc <- nx2; st.retired <- st.retired + 2
+            | H_addi (hrd, hrs, himm) -> fun st ->
+              let r = st.regs in
+              s r hrd (norm (g r hrs + himm));
+              Memory.store_int st.mem w (g r srs + imm) (g r srt);
+              st.pc <- nx2; st.retired <- st.retired + 2
+            | _ -> fun st ->
+              let r = st.regs in
+              run_head h r;
+              Memory.store_int st.mem w (g r srs + imm) (g r srt);
+              st.pc <- nx2; st.retired <- st.retired + 2
+          in
+          Some (f, rule "store")
+        | U_alu _ | U_alui _ | U_lui _ | U_xi_addi _ | U_xi_add _ ->
+          (match head_of src.(pc + 1) tail with
+           | None -> None  (* e.g. a dropped write to r0: not worth a superop *)
+           | Some h2 ->
+             let f =
+               match h, h2 with
+               | H_add (rd1, rs1, rt1), H_add (rd2, rs2, rt2) -> fun st ->
+                 let r = st.regs in
+                 s r rd1 (norm (g r rs1 + g r rt1));
+                 s r rd2 (norm (g r rs2 + g r rt2));
+                 st.pc <- nx2; st.retired <- st.retired + 2
+               | H_add (rd1, rs1, rt1), H_addi (rd2, rs2, imm2) -> fun st ->
+                 let r = st.regs in
+                 s r rd1 (norm (g r rs1 + g r rt1));
+                 s r rd2 (norm (g r rs2 + imm2));
+                 st.pc <- nx2; st.retired <- st.retired + 2
+               | H_addi (rd1, rs1, imm1), H_add (rd2, rs2, rt2) -> fun st ->
+                 let r = st.regs in
+                 s r rd1 (norm (g r rs1 + imm1));
+                 s r rd2 (norm (g r rs2 + g r rt2));
+                 st.pc <- nx2; st.retired <- st.retired + 2
+               | H_addi (rd1, rs1, imm1), H_addi (rd2, rs2, imm2) -> fun st ->
+                 let r = st.regs in
+                 s r rd1 (norm (g r rs1 + imm1));
+                 s r rd2 (norm (g r rs2 + imm2));
+                 st.pc <- nx2; st.retired <- st.retired + 2
+               | _, _ -> fun st ->
+                 let r = st.regs in
+                 run_head h r;
+                 run_head h2 r;
+                 st.pc <- nx2; st.retired <- st.retired + 2
+             in
+             Some (f, rule (P.uop_class tail)))
+        | U_fpu _ | U_amo _ | U_jump _ | U_jal _ | U_jr _ | U_sync
+        | U_halt | U_nop -> None
+      end
+
+(* -- Compilation ------------------------------------------------------- *)
+
+let compile_fresh (pre : Program.predecoded) : compiled =
+  let uops = pre.P.uops in
+  let src = pre.P.source.P.insns in
+  let n = Array.length uops in
+  let ops =
+    Array.init n (fun pc ->
+        let u = uops.(pc) in
+        if uop_valid u then fast_op u pc else safe_op u pc)
+  in
+  let sup = Array.copy ops in
+  let rules = ref [] in
+  (* Greedy left-to-right pairing, but installed in any order: a fused
+     head at [pc] overlapping one at [pc+1] is harmless (whichever head
+     control reaches wins; both execute exact pair semantics), so no
+     overlap resolution is needed. *)
+  for pc = n - 2 downto 0 do
+    match fuse_pair src uops pc with
+    | Some (f, rule) ->
+      sup.(pc) <- f;
+      rules := (pc, rule) :: !rules
+    | None -> ()
+  done;
+  { pre; ops; sup; rules = !rules }
+
+(* Per-domain memo keyed by physical equality, same shape as the
+   predecode memo: sweeps re-run the same few programs thousands of
+   times, so compilation is paid once per program per domain. *)
+
+let memo : (Program.predecoded * compiled) list ref Domain.DLS.key =
+  Domain.DLS.new_key (fun () -> ref [])
+
+let memo_cap = 8
+
+let compile (pre : Program.predecoded) : compiled =
+  let cache = Domain.DLS.get memo in
+  match List.find_opt (fun (p, _) -> p == pre) !cache with
+  | Some (_, c) -> c
+  | None ->
+    let c = compile_fresh pre in
+    let rest =
+      if List.length !cache >= memo_cap
+      then List.filteri (fun i _ -> i < memo_cap - 1) !cache
+      else !cache
+    in
+    cache := (pre, c) :: rest;
+    c
+
+let superops prog = (compile (Program.predecode prog)).rules
+
+let fused_heads prog =
+  let c = compile (Program.predecode prog) in
+  let marks = Array.make (Array.length c.ops) false in
+  List.iter (fun (pc, _) -> marks.(pc) <- true) c.rules;
+  marks
+
+(* -- Driver ------------------------------------------------------------ *)
+
+(* Fuel parity with {!Exec.run_serial}: a superop always retires its
+   pair whole, so running fused code until [fuel] could overshoot by
+   one.  The main loop therefore runs fused code only while at least two
+   units of fuel remain (a superop landing exactly on [fuel] is fine),
+   and the final unit — if still unspent — executes one *unfused* op.
+   Out-of-fuel reports are then bit-identical to the per-step tiers. *)
+let run_serial ?(entry = 0) ?(fuel = 200_000_000) prog
+    (m : Memory.t) : (Exec.run, Exec.stop) result =
+  let c = compile (Program.predecode prog) in
+  let sup = c.sup and ops = c.ops in
+  let n = Array.length sup in
+  let st = { regs = Array.make Reg.num_regs 0; mem = m;
+             pc = entry; retired = 0 } in
+  try
+    let lim = fuel - 1 in
+    while st.retired < lim do
+      let pc = st.pc in
+      if pc < 0 || pc >= n then
+        raise (Exec.Trap (Printf.sprintf "pc out of range: %d" pc));
+      (Array.unsafe_get sup pc) st
+    done;
+    if st.retired < fuel then begin
+      let pc = st.pc in
+      if pc < 0 || pc >= n then
+        raise (Exec.Trap (Printf.sprintf "pc out of range: %d" pc));
+      (Array.unsafe_get ops pc) st
+    end;
+    Error (Exec.Out_of_fuel { pc = st.pc; insns = st.retired;
+                              cycle = st.retired })
+  with Exec.Halted ->
+    Ok { Exec.dynamic_insns = st.retired;
+         final = { Exec.regs = st.regs; pc = st.pc } }

@@ -1,0 +1,30 @@
+(** Direct-threaded execution tier: each {!Program.predecoded} compiles
+    once into an array of closures (one indirect call per dispatch, no
+    event record), with adjacent-pair *superop* fusion — cmp+branch,
+    address-gen+load/store, [.xi] add+index-bump — on top.  Fusion is
+    purely local: the slot after a fused head keeps its single-op
+    closure, so jumps into the middle of a pair are always legal.
+
+    This tier produces no per-instruction events, so it serves only
+    observer-free functional runs; timing models, LPSU lanes, tracing,
+    the watchdog and fault injection stay on {!Exec.step}. *)
+
+module Program = Xloops_asm.Program
+
+val run_serial : ?entry:int -> ?fuel:int -> Program.t ->
+  Xloops_mem.Memory.t -> (Exec.run, Exec.stop) result
+(** Same contract as {!Exec.run_serial}, bit-identical results
+    (registers, memory, dynamic instruction count, out-of-fuel report,
+    trap/halt behavior) — property-tested in [test_threaded].
+    Compilation is memoized per domain, keyed by physical equality. *)
+
+(** {1 Compilation plan} (for the fused disassembly view and the
+    pair profiler) *)
+
+val superops : Program.t -> (int * string) list
+(** Head pc and rule name ("alui+branch", "xi_addi+xloop_cmp", ...) of
+    every fused pair, in ascending pc order.  The pair covers the head
+    pc and the following instruction. *)
+
+val fused_heads : Program.t -> bool array
+(** Per-pc superop-head marks, parallel to the instruction array. *)

@@ -1,0 +1,35 @@
+(** Execution-tier selection for observer-free functional runs.
+
+    All three tiers implement identical architectural semantics; they
+    differ only in dispatch cost.  Timing models and anything else that
+    consumes per-instruction events always executes through
+    {!Exec.step} and is unaffected by this selection. *)
+
+type t =
+  | Ref        (** decode the raw instruction stream every step *)
+  | Predecode  (** micro-op dispatch ({!Exec.run_serial}) *)
+  | Threaded   (** closure-compiled with superop fusion
+                   ({!Threaded.run_serial}) *)
+
+val name : t -> string
+val of_string : string -> (t, string) result
+val all : t list
+
+val env_var : string
+(** ["XLOOPS_EXEC_TIER"]: initializes the process-wide selection; the
+    [--exec-tier] flag overrides it. *)
+
+val get : unit -> t
+val set : t -> unit
+(** Process-wide selection (atomic; default [Predecode] unless
+    {!env_var} says otherwise). *)
+
+val run_serial : ?entry:int -> ?fuel:int -> Xloops_asm.Program.t ->
+  Xloops_mem.Memory.t -> (Exec.run, Exec.stop) result
+(** Functional run through the currently selected tier. *)
+
+val run_serial_with : t -> ?entry:int -> ?fuel:int ->
+  Xloops_asm.Program.t -> Xloops_mem.Memory.t ->
+  (Exec.run, Exec.stop) result
+(** Functional run through an explicit tier (the bench harness measures
+    all tiers side by side regardless of the global selection). *)
