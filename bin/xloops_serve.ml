@@ -136,7 +136,7 @@ let cmd =
           (* the daemon amortizes compilation across requests, so its
              functional runs default to the fastest tier *)
           $ Cli_common.engine_term ~pool:true
-              ~tier_default:Xloops.Sim.Tier.Threaded ()
+              ~tier_default:Xloops.Sim.Tier.Block ()
           $ chaos_seed_arg $ chaos_events_arg $ banner_arg $ quiet_arg)
 
 let () = exit (Cmd.eval' cmd)

@@ -73,6 +73,7 @@ type uop =
 type predecoded = {
   source : t;
   uops : uop array;
+  leaders : bool array;
 }
 
 (** Coarse micro-op class, aligned with {!Xloops_isa.Insn.class_name}
@@ -120,6 +121,29 @@ let predecode_insn (i : int I.t) : uop =
   | Halt -> U_halt
   | Nop -> U_nop
 
+(* Basic-block leaders: the entry point, every static control-transfer
+   target, and the fall-through successor of every control transfer
+   (branch not-taken, jal return, the slot after a jump/halt reached by
+   some other edge).  [jr] targets are link values — already leaders via
+   the jal fall-through rule — so every pc control can *reach* by a
+   transfer is marked; a block never spans a leader, which is what lets
+   the block tier retire a whole block in one bump. *)
+let leaders_of (uops : uop array) : bool array =
+  let n = Array.length uops in
+  let l = Array.make n false in
+  if n > 0 then l.(0) <- true;
+  let mark t = if t >= 0 && t < n then l.(t) <- true in
+  Array.iteri
+    (fun pc u ->
+       match u with
+       | U_branch (_, _, _, t) | U_xloop_de (_, t) | U_xloop_cmp (_, _, t)
+       | U_jump t | U_jal (_, t) -> mark t; mark (pc + 1)
+       | U_jr _ | U_halt -> mark (pc + 1)
+       | U_alu _ | U_alui _ | U_fpu _ | U_lui _ | U_load _ | U_store _
+       | U_amo _ | U_xi_addi _ | U_xi_add _ | U_sync | U_nop -> ())
+    uops;
+  l
+
 let predecode_fresh (p : t) : predecoded =
   let uops =
     Array.mapi
@@ -129,7 +153,7 @@ let predecode_fresh (p : t) : predecoded =
          | u -> u)
       p.insns
   in
-  { source = p; uops }
+  { source = p; uops; leaders = leaders_of uops }
 
 (* Memoized per domain (the bench driver runs simulations on a pool of
    domains): a tiny most-recently-used list keyed by physical equality,

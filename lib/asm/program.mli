@@ -66,6 +66,12 @@ type uop =
 type predecoded = {
   source : t;                (** the program the micro-ops mirror *)
   uops : uop array;          (** parallel to [source.insns] *)
+  leaders : bool array;
+      (** basic-block leaders, parallel to [uops]: the entry point,
+          every static control-transfer target, and every control
+          transfer's fall-through successor.  A basic block never spans
+          a leader — the block-compiled tier dispatches one closure per
+          block and retires it with a single bump. *)
 }
 
 val uop_class : uop -> string

@@ -61,9 +61,11 @@ let cache_dir_doc =
    (env XLOOPS_CACHE_DIR)."
 let no_cache_doc = "Disable the on-disk result cache."
 let exec_tier_doc =
-  "Execution tier for functional (observer-free) runs: ref, predecode \
-   or threaded (env XLOOPS_EXEC_TIER).  All tiers are architecturally \
-   identical; timing models are unaffected."
+  "Execution tier for functional (observer-free) runs: ref, predecode, \
+   threaded or block (env XLOOPS_EXEC_TIER).  All tiers are \
+   architecturally identical; timing models are unaffected, except \
+   that LPSU lanes use compiled dispatch for plain instructions unless \
+   the ref tier is selected or an observer is attached."
 
 let env_opt_int ?min var =
   match Sys.getenv_opt var with

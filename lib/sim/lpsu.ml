@@ -66,6 +66,9 @@ type ctx = {
   mutable fwd_raw : int32;            (** forwarded raw store bytes *)
   mutable fwd_addr : int;
   mutable fwd_bytes : int;
+  tstate : Threaded.state;            (** compiled-closure view of this
+                                          hart ([regs] aliased) for the
+                                          lane fast path *)
 }
 
 type cib = {
@@ -119,6 +122,13 @@ type t = {
   trace : Trace.t option;
   (* Robustness machinery *)
   faults : Fault.t option;
+  (* Lane fast path: per-pc compiled-closure dispatch for instructions
+     whose lane-level effects are fully recoverable without the event
+     record ({!Threaded.lane_meta}, further demoted below for CIR and
+     dynamic-bound bookkeeping).  [fast_ok] gates the whole array off
+     whenever an observer is attached or the reference tier is forced. *)
+  lane_fast : Threaded.lane_meta array;
+  fast_ok : bool;
   watchdog : int;                (* no-progress cycles before a hang; 0=off *)
   mutable last_progress : int;   (* cycle of the last dispatch or commit *)
   mutable drop_broadcasts : int; (* injected: swallow this many broadcasts *)
@@ -197,8 +207,9 @@ let create ~prog ~mem ~dcache ~(cfg : Config.t) ~stats ~(info : Scan.t)
   let direct_if = Exec.direct_mem mem in
   let ctxs =
     Array.init (lpsu.lanes * threads) (fun i ->
+        let hart = Exec.create_hart () in
         { lane = i / threads; tid = i mod threads;
-          hart = Exec.create_hart ();
+          hart;
           reg_ready = Array.make Reg.num_regs 0;
           st = Idle; iter = -1;
           lsq = Lsq.create ~max_loads:lpsu.lsq_loads
@@ -207,7 +218,9 @@ let create ~prog ~mem ~dcache ~(cfg : Config.t) ~stats ~(info : Scan.t)
           exit_flag = 0l; frozen_until = 0;
           (* real interfaces are installed after [t] exists *)
           spec_if = direct_if; fwd_if = direct_if;
-          fwd_src = -1; fwd_raw = 0l; fwd_addr = -1; fwd_bytes = 0 })
+          fwd_src = -1; fwd_raw = 0l; fwd_addr = -1; fwd_bytes = 0;
+          tstate = { Threaded.regs = hart.Exec.regs; mem;
+                     pc = 0; retired = 0 } })
   in
   let cibs =
     Array.of_list
@@ -222,8 +235,33 @@ let create ~prog ~mem ~dcache ~(cfg : Config.t) ~stats ~(info : Scan.t)
       (fun (m : Scan.miv) -> (m.m_reg, Int32.of_int regs.(m.m_reg), m.m_inc))
       info.mivs
   in
+  let pre = Program.predecode prog in
+  (* Start from the compiled tier's per-pc metadata, then demote the
+     pcs whose execution the LPSU must see one at a time: anything
+     reading a CIR (first-read stall and got_cir bookkeeping), anything
+     writing one (got_cir), the last-CIR-write pc (CIB forwarding), and
+     dynamic-bound writes (LMU bound raising). *)
+  let lane_fast = Array.copy (Threaded.lane_meta pre) in
+  let demote pc =
+    if pc >= 0 && pc < Array.length lane_fast then
+      lane_fast.(pc) <- Threaded.L_slow
+  in
+  Array.iteri
+    (fun pc m ->
+       match m with
+       | Threaded.L_plain { l_rd; l_s1; l_s2; _ } ->
+         let cir r =
+           r >= 0
+           && List.exists (fun (c : Scan.cir) -> c.c_reg = r) info.cirs
+         in
+         if cir l_rd || cir l_s1 || cir l_s2 then demote pc;
+         if info.pat.cp = Insn.Dyn && l_rd = info.r_bound then demote pc
+       | Threaded.L_slow -> ())
+    lane_fast;
+  List.iter (fun (c : Scan.cir) -> demote c.c_last_write_pc) info.cirs;
+  let fast_ok = trace = None && faults = None && Tier.get () <> Tier.Ref in
   let t =
-    { prog; pre = Program.predecode prog; mem; direct_if;
+    { prog; pre; mem; direct_if;
       ev = Exec.create_event ();
       dcache; lat = Gpp_timing.latencies_of cfg.gpp; lpsu; stats;
       info; base_regs = Array.copy regs;
@@ -235,7 +273,8 @@ let create ~prog ~mem ~dcache ~(cfg : Config.t) ~stats ~(info : Scan.t)
       next_k = 0; commit_iter = 0; committed = 0; exit_at = None;
       cycle = start_cycle;
       stop_after; spec_pattern; has_cirs; mt_enabled; trace;
-      faults; watchdog; last_progress = start_cycle; drop_broadcasts = 0;
+      faults; lane_fast; fast_ok;
+      watchdog; last_progress = start_cycle; drop_broadcasts = 0;
       lane_reason = Array.make lpsu.lanes (`Idle : stall) }
   in
   Array.iter
@@ -592,6 +631,37 @@ let attempt_issue t (c : ctx) : (unit, stall) Result.t =
       raise (Lane_trap
                (Printf.sprintf "lane pc %d escaped xloop body [%d,%d]"
                   c.hart.pc t.info.body_start t.info.xloop_pc));
+    match
+      (if t.fast_ok && not (t.spec_pattern && c.iter > t.commit_iter)
+       then t.lane_fast.(c.hart.pc)
+       else Threaded.L_slow)
+    with
+    | Threaded.L_plain { l_op; l_insn; l_rd; l_s1; l_s2; l_ctrl } ->
+      (* Fast path: a plain single-cycle instruction on a
+         non-speculative context with no observer attached.  The
+         compiled closure replays exactly [Exec.step]'s architectural
+         effects (the register file is aliased), and every lane-level
+         effect — issue accounting, RAW scoreboard, taken-branch
+         bubble — is recovered from the metadata and the outgoing pc. *)
+      let ready =
+        max (if l_s1 >= 0 then c.reg_ready.(l_s1) else 0)
+          (if l_s2 >= 0 then c.reg_ready.(l_s2) else 0)
+      in
+      if ready > now then Error `Raw
+      else begin
+        let pc = c.hart.pc in
+        let st = c.tstate in
+        l_op st;
+        c.hart.pc <- st.Threaded.pc;
+        c.insns_iter <- c.insns_iter + 1;
+        t.stats.ib_fetches <- t.stats.ib_fetches + 1;
+        Gpp_timing.Inorder.count_exec_events t.stats l_insn;
+        if l_rd >= 0 then c.reg_ready.(l_rd) <- now + 1;
+        if l_ctrl = 2 || (l_ctrl = 1 && st.Threaded.pc <> pc + 1) then
+          c.next_issue <- now + 2;
+        Ok ()
+      end
+    | Threaded.L_slow ->
     let insn = t.prog.Program.insns.(c.hart.pc) in
     (* CIR consumption: the first read of each CIR waits on the CIB. *)
     let s1 = Insn.src1 insn and s2 = Insn.src2 insn in

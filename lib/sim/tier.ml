@@ -1,28 +1,34 @@
 (** Execution-tier selection for observer-free functional runs.
 
-    Three tiers implement identical architectural semantics at different
+    Four tiers implement identical architectural semantics at different
     speeds: [Ref] decodes raw instructions every step, [Predecode]
     dispatches on micro-ops ({!Exec.run_serial}), [Threaded] runs
-    closure-compiled code with superop fusion ({!Threaded.run_serial}).
+    closure-compiled code with superop pair fusion
+    ({!Threaded.run_serial}), and [Block] dispatches one compiled
+    closure per basic block ({!Threaded.run_serial_block}).
     The selection is a process-wide atomic so every functional-run site
     (kernel metadata, bench harness, CLI tools, the sweep service) picks
     up the CLI/env choice without threading a parameter through. *)
 
-type t = Ref | Predecode | Threaded
+type t = Ref | Predecode | Threaded | Block
 
 let name = function
   | Ref -> "ref"
   | Predecode -> "predecode"
   | Threaded -> "threaded"
+  | Block -> "block"
 
 let of_string = function
   | "ref" -> Ok Ref
   | "predecode" -> Ok Predecode
   | "threaded" -> Ok Threaded
+  | "block" -> Ok Block
   | s ->
-    Error (Fmt.str "unknown execution tier %S (want ref|predecode|threaded)" s)
+    Error
+      (Fmt.str "unknown execution tier %S (want ref|predecode|threaded|block)"
+         s)
 
-let all = [ Ref; Predecode; Threaded ]
+let all = [ Ref; Predecode; Threaded; Block ]
 
 let env_var = "XLOOPS_EXEC_TIER"
 
@@ -46,6 +52,7 @@ let run_serial_with (tier : t) ?entry ?fuel prog mem =
   | Ref -> Exec.run_serial_ref ?entry ?fuel prog mem
   | Predecode -> Exec.run_serial ?entry ?fuel prog mem
   | Threaded -> Threaded.run_serial ?entry ?fuel prog mem
+  | Block -> Threaded.run_serial_block ?entry ?fuel prog mem
 
 let run_serial ?entry ?fuel prog mem =
   run_serial_with (get ()) ?entry ?fuel prog mem

@@ -1,15 +1,19 @@
 (** Execution-tier selection for observer-free functional runs.
 
-    All three tiers implement identical architectural semantics; they
+    All four tiers implement identical architectural semantics; they
     differ only in dispatch cost.  Timing models and anything else that
     consumes per-instruction events always executes through
-    {!Exec.step} and is unaffected by this selection. *)
+    {!Exec.step} and is unaffected by this selection — except the LPSU
+    lane fast path, which consults the selection and falls back to
+    [Exec.step] under [Ref] or any attached observer. *)
 
 type t =
   | Ref        (** decode the raw instruction stream every step *)
   | Predecode  (** micro-op dispatch ({!Exec.run_serial}) *)
-  | Threaded   (** closure-compiled with superop fusion
+  | Threaded   (** closure-compiled with superop pair fusion
                    ({!Threaded.run_serial}) *)
+  | Block      (** one compiled closure per basic block, triples fused
+                   ({!Threaded.run_serial_block}) *)
 
 val name : t -> string
 val of_string : string -> (t, string) result

@@ -7,13 +7,17 @@
    - operator/accessor equivalence: the unboxed FPU evaluator and the
      native-int memory accessors agree with their int32 semantic specs;
    - whole-program differential: random ISA programs (forward control
-     flow, including jumps into the middle of fusible pairs) and every
-     registry kernel run identically through ref, predecode and
-     threaded;
-   - fuel parity: superops retire two instructions per dispatch, so the
-     driver's fuel accounting is checked at exact exhaustion boundaries;
+     flow, including jumps into the middle of fusible pairs and
+     blocks) and every registry kernel run identically through ref,
+     predecode, threaded and block;
+   - fuel parity: superops retire two instructions per dispatch and
+     blocks retire many, so the drivers' fuel accounting is checked at
+     exact exhaustion boundaries;
+   - side-exit parity: a trap in the middle of a compiled block must
+     materialize the precise mid-block state — same exception, same
+     committed memory bytes — as the per-step tiers;
    - plan sanity: fusion actually fires where the rules say it must;
-   - allocation regression: the threaded tier must not allocate. *)
+   - allocation regression: the compiled tiers must not allocate. *)
 
 open Xloops_isa
 module B = Xloops_asm.Builder
@@ -224,22 +228,28 @@ let run_tier tier p =
   (Tier.run_serial_with tier p m, m)
 
 let prop_threaded_differential =
-  QCheck.Test.make ~name:"threaded run == predecode run == ref run"
+  QCheck.Test.make ~name:"block == threaded == predecode == ref"
     ~count:400 arb_program
     (fun p ->
-       match run_tier Tier.Threaded p, run_tier Tier.Predecode p,
-             run_tier Tier.Ref p with
-       | (Ok r1, m1), (Ok r2, m2), (Ok r3, m3) ->
-         snapshot r1 m1 = snapshot r2 m2
+       match run_tier Tier.Block p, run_tier Tier.Threaded p,
+             run_tier Tier.Predecode p, run_tier Tier.Ref p with
+       | (Ok r0, m0), (Ok r1, m1), (Ok r2, m2), (Ok r3, m3) ->
+         snapshot r0 m0 = snapshot r1 m1
+         && snapshot r1 m1 = snapshot r2 m2
          && snapshot r2 m2 = snapshot r3 m3
-       | (Error _, _), (Error _, _), (Error _, _) -> true
+       | (Error s0, m0), (Error s1, m1), (Error s2, m2), (Error s3, m3) ->
+         s0 = s1 && s1 = s2 && s2 = s3
+         && Bytes.equal m0.Memory.data m1.Memory.data
+         && Bytes.equal m1.Memory.data m2.Memory.data
+         && Bytes.equal m2.Memory.data m3.Memory.data
        | _ -> false)
 
 (* Fuel parity at exact exhaustion boundaries: a fused dispatch may
-   land exactly on the fuel limit, but must never overshoot it, and
-   the Out_of_fuel payload (pc, counts) must be identical to the
-   per-step tiers.  Random fuels cut runs at arbitrary points,
-   including inside fused pairs. *)
+   land exactly on the fuel limit, and a block dispatch retires many
+   instructions at once, but neither may overshoot it, and the
+   Out_of_fuel payload (pc, counts) must be identical to the per-step
+   tiers.  Random fuels cut runs at arbitrary points, including inside
+   fused pairs and mid-block. *)
 let prop_fuel_parity =
   QCheck.Test.make ~name:"out-of-fuel payloads identical across tiers"
     ~count:400
@@ -249,10 +259,16 @@ let prop_fuel_parity =
     (fun (p, fuel) ->
        let m1 = Memory.create ~size:4096 () in
        let m2 = Memory.create ~size:4096 () in
-       match Threaded.run_serial ~fuel p m1, Exec.run_serial ~fuel p m2 with
-       | Ok r1, Ok r2 -> snapshot r1 m1 = snapshot r2 m2
-       | Error s1, Error s2 ->
-         s1 = s2 && Bytes.equal m1.Memory.data m2.Memory.data
+       let m3 = Memory.create ~size:4096 () in
+       match Threaded.run_serial ~fuel p m1,
+             Threaded.run_serial_block ~fuel p m2,
+             Exec.run_serial ~fuel p m3 with
+       | Ok r1, Ok r2, Ok r3 ->
+         snapshot r1 m1 = snapshot r2 m2 && snapshot r2 m2 = snapshot r3 m3
+       | Error s1, Error s2, Error s3 ->
+         s1 = s2 && s2 = s3
+         && Bytes.equal m1.Memory.data m2.Memory.data
+         && Bytes.equal m2.Memory.data m3.Memory.data
        | _ -> false)
 
 let test_fuel_edges () =
@@ -268,18 +284,24 @@ let test_fuel_edges () =
   B.halt b;
   let p = B.assemble b in
   List.iter
-    (fun fuel ->
-       let m1 = Memory.create () and m2 = Memory.create () in
-       match Threaded.run_serial ~fuel p m1, Exec.run_serial ~fuel p m2 with
-       | Error s1, Error s2 ->
-         if s1 <> s2 then
-           Alcotest.failf "fuel %d: %a vs %a" fuel
-             Exec.pp_stop s1 Exec.pp_stop s2
-       | Ok r1, Ok r2 ->
-         Alcotest.(check int) (Fmt.str "fuel %d insns" fuel)
-           r2.Exec.dynamic_insns r1.Exec.dynamic_insns
-       | _ -> Alcotest.failf "fuel %d: tiers disagree on termination" fuel)
-    [ 0; 1; 2; 3; 4; 5; 17; 18; 19; 20; 21; 37; 38; 39; 1000 ]
+    (fun (tname, run) ->
+       List.iter
+         (fun fuel ->
+            let m1 = Memory.create () and m2 = Memory.create () in
+            match run ~fuel p m1, Exec.run_serial ~fuel p m2 with
+            | Error s1, Error s2 ->
+              if s1 <> s2 then
+                Alcotest.failf "%s fuel %d: %a vs %a" tname fuel
+                  Exec.pp_stop s1 Exec.pp_stop s2
+            | Ok r1, Ok r2 ->
+              Alcotest.(check int) (Fmt.str "%s fuel %d insns" tname fuel)
+                r2.Exec.dynamic_insns r1.Exec.dynamic_insns
+            | _ ->
+              Alcotest.failf "%s fuel %d: tiers disagree on termination"
+                tname fuel)
+         [ 0; 1; 2; 3; 4; 5; 17; 18; 19; 20; 21; 37; 38; 39; 1000 ])
+    [ ("threaded", fun ~fuel p m -> Threaded.run_serial ~fuel p m);
+      ("block", fun ~fuel p m -> Threaded.run_serial_block ~fuel p m) ]
 
 let test_trap_parity () =
   (* no halt: running off the end must trap identically in both tiers *)
@@ -290,7 +312,53 @@ let test_trap_parity () =
   in
   Alcotest.(check string) "trap message"
     (msg (fun p m -> Exec.run_serial p m))
-    (msg (fun p m -> Threaded.run_serial p m))
+    (msg (fun p m -> Threaded.run_serial p m));
+  Alcotest.(check string) "trap message (block)"
+    (msg (fun p m -> Exec.run_serial p m))
+    (msg (fun p m -> Threaded.run_serial_block p m))
+
+(* Side-exit state parity: a straight-line run is one compiled block,
+   and an out-of-bounds/misaligned store in its middle must leave
+   exactly the per-step state behind — earlier stores in the block
+   committed, later ones not, and the same exception raised. *)
+let test_midblock_trap_parity () =
+  let b = B.create () in
+  B.li b 8 0x100;
+  B.li b 9 111;
+  B.sw b 9 8 0;        (* commits before the trap *)
+  B.addi b 9 9 1;
+  B.addi b 9 9 1;
+  B.sw b 9 8 2;        (* misaligned word store: traps mid-block *)
+  B.addi b 9 9 1;
+  B.sw b 9 8 8;        (* must never commit *)
+  B.halt b;
+  let p = B.assemble b in
+  let outcome run =
+    let m = Memory.create () in
+    let r =
+      try (match run p m with
+           | Ok (r : Exec.run) ->
+             Fmt.str "ok pc=%d insns=%d" r.Exec.final.Exec.pc
+               r.Exec.dynamic_insns
+           | Error s -> Fmt.str "%a" Exec.pp_stop s)
+      with e -> Printexc.to_string e
+    in
+    (r, Bytes.to_string m.Memory.data)
+  in
+  let (e1, d1) = outcome (fun p m -> Exec.run_serial p m) in
+  let (e2, d2) = outcome (fun p m -> Threaded.run_serial p m) in
+  let (e3, d3) = outcome (fun p m -> Threaded.run_serial_block p m) in
+  Alcotest.(check string) "threaded exception" e1 e2;
+  Alcotest.(check string) "block exception" e1 e3;
+  Alcotest.(check bool) "threaded memory" true (String.equal d1 d2);
+  Alcotest.(check bool) "block memory" true (String.equal d1 d3);
+  (* and the state really is mid-block: first store landed, last didn't *)
+  let m = Memory.create () in
+  (try ignore (Threaded.run_serial_block p m) with _ -> ());
+  Alcotest.(check int) "pre-trap store committed" 111
+    (Memory.get_int m 0x100);
+  Alcotest.(check int) "post-trap store suppressed" 0
+    (Memory.get_int m 0x108)
 
 (* Compiled kernels: real loop structure, all three targets' worth of
    code shapes, deterministic. *)
@@ -306,10 +374,15 @@ let test_registry_differential () =
            Alcotest.failf "%s: %a" k.Kernel.name Exec.pp_stop stop
        in
        let m1 = Memory.create () and m2 = Memory.create () in
+       let m3 = Memory.create () in
        let r1 = run (fun p m -> Threaded.run_serial p m) m1 in
        let r2 = run (fun p m -> Exec.run_serial p m) m2 in
+       let r3 = run (fun p m -> Threaded.run_serial_block p m) m3 in
        if snapshot r1 m1 <> snapshot r2 m2 then
          Alcotest.failf "%s: threaded and predecode runs differ"
+           k.Kernel.name;
+       if snapshot r3 m3 <> snapshot r2 m2 then
+         Alcotest.failf "%s: block and predecode runs differ"
            k.Kernel.name)
     Registry.all
 
@@ -340,9 +413,37 @@ let test_superop_plan () =
        Alcotest.(check bool) (Fmt.str "mark at %d" pc) true marks.(pc))
     plan
 
+let test_block_plan () =
+  (* Straight-line add chain into a back edge: one block for the
+     prologue, one for the loop body, and fused triples inside. *)
+  let b = B.create () in
+  B.li b 8 1;
+  B.li b 9 10;
+  B.li b 10 0;
+  B.label b "top";
+  for _ = 0 to 5 do B.add b 10 10 8 done;
+  B.addi b 9 9 (-1);
+  B.bne b 9 0 "top";
+  B.halt b;
+  let p = B.assemble b in
+  let blocks, triples = Threaded.block_plan p in
+  (* leaders: the entry (0) and the loop head (3, the bne target) *)
+  Alcotest.(check bool) "several blocks" true (List.length blocks >= 2);
+  Alcotest.(check bool) "loop head is a leader" true
+    (List.mem_assoc 3 blocks);
+  Alcotest.(check bool) "blocks are multi-insn" true
+    (List.exists (fun (_, n) -> n >= 4) blocks);
+  Alcotest.(check bool) "fused runs recorded" true (triples <> []);
+  (* the whole add chain fuses into one run inside the body block *)
+  Alcotest.(check bool) "add-chain run" true
+    (List.exists
+       (fun (_, r) ->
+          String.length r >= 11 && String.sub r 0 11 = "alu+alu+alu")
+       triples)
+
 (* -- allocation regression --------------------------------------------- *)
 
-let test_threaded_allocation () =
+let alloc_per_insn run =
   let b = B.create () in
   B.li b 8 1;
   B.li b 9 100_000;
@@ -355,17 +456,25 @@ let test_threaded_allocation () =
   let p = B.assemble b in
   let mem = Memory.create () in
   (* warm-up compiles and memoizes *)
-  (match Threaded.run_serial p mem with
+  (match run p mem with
    | Ok _ -> ()
    | Error stop -> Alcotest.failf "warmup: %a" Exec.pp_stop stop);
   let mem2 = Memory.create () in
   let a0 = Gc.allocated_bytes () in
   let insns =
-    match Threaded.run_serial p mem2 with
-    | Ok r -> r.Exec.dynamic_insns
+    match run p mem2 with
+    | Ok (r : Exec.run) -> r.Exec.dynamic_insns
     | Error stop -> Alcotest.failf "run: %a" Exec.pp_stop stop
   in
-  let per = (Gc.allocated_bytes () -. a0) /. float_of_int insns in
+  (Gc.allocated_bytes () -. a0) /. float_of_int insns
+
+let test_threaded_allocation () =
+  let per = alloc_per_insn (fun p m -> Threaded.run_serial p m) in
+  Alcotest.(check bool)
+    (Fmt.str "%.5f bytes/insn within budget" per) true (per <= 0.05)
+
+let test_block_allocation () =
+  let per = alloc_per_insn (fun p m -> Threaded.run_serial_block p m) in
   Alcotest.(check bool)
     (Fmt.str "%.5f bytes/insn within budget" per) true (per <= 0.05)
 
@@ -379,11 +488,16 @@ let () =
          QCheck_alcotest.to_alcotest prop_fuel_parity;
          Alcotest.test_case "fuel edges" `Quick test_fuel_edges;
          Alcotest.test_case "trap parity" `Quick test_trap_parity;
+         Alcotest.test_case "mid-block trap" `Quick
+           test_midblock_trap_parity;
          Alcotest.test_case "registry kernels" `Quick
            test_registry_differential ]);
       ("plan",
-       [ Alcotest.test_case "superop plan" `Quick test_superop_plan ]);
+       [ Alcotest.test_case "superop plan" `Quick test_superop_plan;
+         Alcotest.test_case "block plan" `Quick test_block_plan ]);
       ("allocation",
        [ Alcotest.test_case "straight-line run" `Quick
-           test_threaded_allocation ]);
+           test_threaded_allocation;
+         Alcotest.test_case "block straight-line run" `Quick
+           test_block_allocation ]);
     ]
