@@ -475,15 +475,9 @@ let () =
            ~seed ~events:opts.chaos_events ())
       opts.chaos_seed
   in
-  let cache =
-    Option.map (fun dir -> Run_cache.create ~dir ?chaos ()) cache_dir in
-  (* Startup hygiene: sweep out temp files a killed writer left. *)
-  Option.iter
-    (fun c ->
-       let reaped = Run_cache.reap_tmp c in
-       if reaped > 0 then
-         Fmt.epr "[cache] reaped %d stale tmp file(s)@." reaped)
-    cache;
+  (* Startup hygiene (tmp reap, over-limit reap) and the optional shared
+     fleet index all live in the one cache constructor the CLIs share. *)
+  let cache = Cli_common.cache_of_engine ?chaos ~tag:"cache" eng in
   let journal =
     match opts.journal_path, cache_dir with
     | Some p, _ -> Some (Journal.start ~resume:opts.resume p)

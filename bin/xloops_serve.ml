@@ -1,12 +1,15 @@
 (* xloops_serve: the persistent spec-batch daemon.  Accepts batches of
-   serialized run specs over a Unix or TCP socket (wire protocol v1),
-   dedupes in-flight work by spec digest, schedules across a bounded
-   worker pool with admission control, and consults/populates the
-   content-addressed result cache before simulating.
+   serialized run specs over a Unix or TCP socket (wire protocol v2,
+   v1 clients still served), dedupes in-flight work by spec digest,
+   schedules across a bounded worker pool with admission control, and
+   consults/populates the content-addressed result cache before
+   simulating.  With --cache-index the cache coordinates through the
+   mmap'd shared fleet index, so several daemons (one per digest-prefix
+   shard, fronted by xloops_proxy) share one bounded blob store.
 
      dune exec bin/xloops_serve.exe -- --listen unix:/tmp/xloops.sock
      dune exec bin/xloops_serve.exe -- --listen tcp:127.0.0.1:7440 \
-       --jobs 4 --cache-dir _xloops_cache *)
+       --jobs 4 --cache-dir _xloops_cache --cache-index _xloops_cache/index *)
 
 open Cmdliner
 module Service = Xloops_service
@@ -59,7 +62,12 @@ let client_op_arg =
               info [ "shutdown" ]
                 ~doc:"Ask the daemon at --listen to drain and exit.") ])
 
-let client addr op =
+let json_arg =
+  let doc = "With --stats: print one line of JSON instead of prose \
+             (machine-readable; CI gates parse it)." in
+  Arg.(value & flag & info [ "json" ] ~doc)
+
+let client addr op ~json =
   match Service.Client.connect addr with
   | Error e ->
     Fmt.epr "xloops_serve: %a@." Service.Client.pp_connect_error e;
@@ -69,7 +77,10 @@ let client addr op =
       match op with
       | `Ping -> Result.map (fun () -> Fmt.pr "pong@.") (Service.Client.ping s)
       | `Stats ->
-        Result.map (fun st -> Fmt.pr "%a@." P.pp_stats st)
+        Result.map
+          (fun st ->
+             if json then print_endline (P.stats_to_json st)
+             else Fmt.pr "%a@." P.pp_stats st)
           (Service.Client.stats s)
       | `Shutdown ->
         Result.map (fun () -> Fmt.pr "shutdown acknowledged@.")
@@ -83,14 +94,14 @@ let client addr op =
      | Error (Service.Client.Submit_conn m) ->
        Fmt.epr "xloops_serve: %s@." m; 1)
 
-let serve listen client_op queue_limit (eng : Cli_common.engine_args)
+let serve listen client_op json queue_limit (eng : Cli_common.engine_args)
     chaos_seed chaos_events banner quiet =
   Cli_common.guarded @@ fun () ->
   match P.parse_addr listen with
   | Error msg -> Fmt.epr "xloops_serve: %s@." msg; 2
   | Ok addr ->
   match client_op with
-  | Some op -> client addr op
+  | Some op -> client addr op ~json
   | None ->
     let chaos =
       Option.map
@@ -99,11 +110,7 @@ let serve listen client_op queue_limit (eng : Cli_common.engine_args)
              ~events:chaos_events ())
         chaos_seed
     in
-    let cache =
-      Option.map
-        (fun dir -> Xloops.Run_cache.create ~dir ?chaos ())
-        eng.Cli_common.ea_cache_dir
-    in
+    let cache = Cli_common.cache_of_engine ?chaos ~tag:"serve" eng in
     let cfg =
       Service.Server.config ~addr ~workers:eng.Cli_common.ea_jobs
         ~max_queue:queue_limit ?cache ?chaos
@@ -132,7 +139,8 @@ let serve listen client_op queue_limit (eng : Cli_common.engine_args)
 let cmd =
   let doc = "run the persistent XLOOPS simulation service" in
   Cmd.v (Cmd.info "xloops_serve" ~doc)
-    Term.(const serve $ listen_arg $ client_op_arg $ queue_limit_arg
+    Term.(const serve $ listen_arg $ client_op_arg $ json_arg
+          $ queue_limit_arg
           (* the daemon amortizes compilation across requests, so its
              functional runs default to the fastest tier *)
           $ Cli_common.engine_term ~pool:true

@@ -8,6 +8,57 @@ open Cmdliner
 module Sim = Xloops.Sim
 module C = Xloops.Compiler
 
+(* -- Service addresses ---------------------------------------------------
+   One parser for every tool that names a socket: the daemon, the
+   proxy, bench --server, and the shard map all accept the same
+   spellings.  [Protocol.addr] re-exports this type, so the service
+   library and the CLIs agree by construction. *)
+
+type addr =
+  | Unix_path of string
+  | Tcp of string * int
+
+let parse_addr s : (addr, string) result =
+  let port_of p =
+    match int_of_string_opt p with
+    (* 0 is allowed: the kernel picks a free port (tests, CI). *)
+    | Some n when n >= 0 && n < 65536 -> Ok n
+    | _ -> Error (Fmt.str "bad port %S in address %S" p s)
+  in
+  match String.index_opt s ':' with
+  | None -> Error (Fmt.str "bad address %S (want unix:PATH or HOST:PORT)" s)
+  | Some i ->
+    let scheme = String.sub s 0 i in
+    let rest = String.sub s (i + 1) (String.length s - i - 1) in
+    (match scheme with
+     | "unix" ->
+       if rest = "" then Error "empty unix socket path"
+       else Ok (Unix_path rest)
+     | "tcp" ->
+       (match String.rindex_opt rest ':' with
+        | None -> Error (Fmt.str "bad address %S (want tcp:HOST:PORT)" s)
+        | Some j ->
+          let host = String.sub rest 0 j in
+          let port = String.sub rest (j + 1) (String.length rest - j - 1) in
+          if host = "" then Error (Fmt.str "empty host in address %S" s)
+          else Result.map (fun p -> Tcp (host, p)) (port_of port))
+     | host when host <> "" -> Result.map (fun p -> Tcp (host, p)) (port_of rest)
+     | _ -> Error (Fmt.str "bad address %S" s))
+
+let pp_addr ppf = function
+  | Unix_path p -> Fmt.pf ppf "unix:%s" p
+  | Tcp (h, p) -> Fmt.pf ppf "tcp:%s:%d" h p
+
+let sockaddr_of = function
+  | Unix_path p -> Unix.ADDR_UNIX p
+  | Tcp (host, port) ->
+    let ip =
+      try (Unix.gethostbyname host).h_addr_list.(0)
+      with Not_found | Invalid_argument _ ->
+        Unix.inet_addr_of_string host
+    in
+    Unix.ADDR_INET (ip, port)
+
 let parse_mode = function
   | "T" | "t" -> Sim.Machine.Traditional
   | "S" | "s" -> Sim.Machine.Specialized
@@ -40,6 +91,8 @@ type engine_args = {
   ea_max_retries : int;
   ea_jobs : int;
   ea_cache_dir : string option; (* None: on-disk cache disabled *)
+  ea_cache_index : string option; (* mmap'd shared index: fleet tier *)
+  ea_cache_limit_mb : int option; (* None: unbounded cache *)
   ea_exec_tier : Sim.Tier.t;    (* functional-run execution tier *)
 }
 
@@ -60,6 +113,14 @@ let cache_dir_doc =
   "Content-addressed on-disk result cache directory \
    (env XLOOPS_CACHE_DIR)."
 let no_cache_doc = "Disable the on-disk result cache."
+let cache_index_doc =
+  "mmap'd shared cache index file backing the blob store: concurrent \
+   daemons sharing one cache directory coordinate hits and eviction \
+   through it (env XLOOPS_CACHE_INDEX)."
+let cache_limit_mb_doc =
+  "Size bound on the result cache in megabytes: the shared index \
+   evicts clock/second-chance past it; a private cache reaps \
+   least-recently-used blobs at startup (env XLOOPS_CACHE_LIMIT_MB)."
 let exec_tier_doc =
   "Execution tier for functional (observer-free) runs: ref, predecode, \
    threaded or block (env XLOOPS_EXEC_TIER).  All tiers are \
@@ -91,6 +152,11 @@ let default_engine_args ?(max_retries = 0) () =
     ea_cache_dir =
       Some (Option.value (Sys.getenv_opt "XLOOPS_CACHE_DIR")
               ~default:Run_cache.default_dir);
+    ea_cache_index =
+      (match Sys.getenv_opt "XLOOPS_CACHE_INDEX" with
+       | Some "" | None -> None
+       | Some p -> Some p);
+    ea_cache_limit_mb = env_opt_int ~min:1 "XLOOPS_CACHE_LIMIT_MB";
     (* Tier.get is initialized from XLOOPS_EXEC_TIER at module init *)
     ea_exec_tier = Sim.Tier.get () }
 
@@ -118,6 +184,14 @@ let cache_dir_arg =
 
 let no_cache_arg = Arg.(value & flag & info [ "no-cache" ] ~doc:no_cache_doc)
 
+let cache_index_arg =
+  Arg.(value & opt (some string) None
+       & info [ "cache-index" ] ~doc:cache_index_doc)
+
+let cache_limit_mb_arg =
+  Arg.(value & opt (some int) None
+       & info [ "cache-limit-mb" ] ~doc:cache_limit_mb_doc)
+
 let tier_conv =
   let parse s =
     match Sim.Tier.of_string s with
@@ -140,7 +214,7 @@ let exec_tier_arg =
 let engine_term ?(pool = false) ?max_retries ?tier_default ()
   : engine_args Cmdliner.Term.t =
   let combine fuel watchdog deadline retries jobs cache_dir no_cache
-      exec_tier =
+      cache_index cache_limit_mb exec_tier =
     let d = default_engine_args ?max_retries () in
     let tier =
       match exec_tier with
@@ -165,16 +239,24 @@ let engine_term ?(pool = false) ?max_retries ?tier_default ()
         (if no_cache then None
          else match cache_dir with Some _ -> cache_dir
                                  | None -> d.ea_cache_dir);
+      ea_cache_index =
+        (if no_cache then None
+         else match cache_index with Some _ -> cache_index
+                                   | None -> d.ea_cache_index);
+      ea_cache_limit_mb =
+        (match cache_limit_mb with
+         | Some _ -> cache_limit_mb
+         | None -> d.ea_cache_limit_mb);
       ea_exec_tier = tier }
   in
   if pool then
     Term.(const combine $ fuel_arg $ watchdog_arg $ deadline_arg
           $ max_retries_arg $ jobs_arg $ cache_dir_arg $ no_cache_arg
-          $ exec_tier_arg)
+          $ cache_index_arg $ cache_limit_mb_arg $ exec_tier_arg)
   else
     Term.(const combine $ fuel_arg $ watchdog_arg $ deadline_arg
           $ max_retries_arg $ const None $ const None $ const false
-          $ exec_tier_arg)
+          $ const None $ const None $ exec_tier_arg)
 
 (** Hand-rolled-parser form of the same flags for bench/main.exe (which
     parses argv itself): consume one engine flag from the head of
@@ -213,8 +295,15 @@ let consume_engine_flag (o : engine_args ref) (args : string list) :
   | "--cache-dir" :: d :: tl ->
     o := { !o with ea_cache_dir = Some d };
     Some tl
+  | "--cache-index" :: p :: tl ->
+    o := { !o with ea_cache_index = Some p };
+    Some tl
+  | "--cache-limit-mb" :: v :: tl ->
+    int_arg ~min:1 "--cache-limit-mb" v
+      (fun n -> o := { !o with ea_cache_limit_mb = Some n });
+    Some tl
   | "--no-cache" :: tl ->
-    o := { !o with ea_cache_dir = None };
+    o := { !o with ea_cache_dir = None; ea_cache_index = None };
     Some tl
   | "--exec-tier" :: v :: tl ->
     (match Sim.Tier.of_string v with
@@ -226,6 +315,36 @@ let consume_engine_flag (o : engine_args ref) (args : string list) :
        exit 2);
     Some tl
   | _ -> None
+
+(** Build the result cache the engine arguments describe: plain private
+    cache, or the shared fleet tier when [--cache-index] names an mmap'd
+    index file.  Startup hygiene runs here — orphaned temp files are
+    reaped, and a [--cache-limit-mb] bound on a private cache triggers
+    the LRU reap (the shared index enforces its bound continuously
+    instead).  Diagnostics go to stderr under the given [tag]. *)
+let cache_of_engine ?chaos ?(tag = "cache") (eng : engine_args) =
+  match eng.ea_cache_dir with
+  | None -> None
+  | Some dir ->
+    let index =
+      Option.map
+        (fun path ->
+           Xloops.Cache_index.openf ?limit_mb:eng.ea_cache_limit_mb path)
+        eng.ea_cache_index
+    in
+    let limit_bytes =
+      Option.map (fun mb -> mb * 1024 * 1024) eng.ea_cache_limit_mb
+    in
+    let c = Run_cache.create ~dir ?chaos ?index ?limit_bytes () in
+    let reaped = Run_cache.reap_tmp c in
+    if reaped > 0 then
+      Fmt.epr "[%s] reaped %d stale tmp file(s)@." tag reaped;
+    (if Option.is_none index then
+       let evicted = Run_cache.reap_over_limit c in
+       if evicted > 0 then
+         Fmt.epr "[%s] evicted %d blob(s) over the %d MB limit@." tag
+           evicted (Option.value eng.ea_cache_limit_mb ~default:0));
+    Some c
 
 let fault_seed_arg =
   let doc = "Inject a deterministic transient-fault plan with this seed \

@@ -1,0 +1,378 @@
+(* The mmap'd shared cache index.  See cache_index.mli for the
+   concurrency contract.
+
+   File layout (all integers little-endian, 8 bytes):
+
+     header, 64 bytes:
+       0..7    magic "XLIDX01\n"
+       8..15   nslots
+       16..23  limit_bytes
+       24..31  used_bytes        } writer-lock guarded
+       32..39  generation        }
+       40..47  clock hand        }
+       48..55  evictions         }
+       56..63  live count        }
+
+     record s, 64 bytes at 64 + s*64:
+       0       state: 0 empty, 1 live, 2 tombstone
+       1       reference byte (set lock-free by readers; not checksummed)
+       2       tag ('r' = .run, 'm' = .meta)
+       3       pad
+       4..35   key (32 lowercase hex chars)
+       36..43  blob size
+       44..51  generation at insert
+       52..59  checksum (FNV-1a over state, tag, key, size, gen)
+       60..63  pad
+
+   Insert order is: state <- 0, fields, checksum, state <- 1 — each a
+   plain byte store into the shared mapping, with the single-byte state
+   flip last, so a concurrent reader either skips the slot or sees a
+   fully checksummed record. *)
+
+module A = Bigarray.Array1
+
+type t = {
+  p : string;
+  fd : Unix.file_descr;
+  map : (int, Bigarray.int8_unsigned_elt, Bigarray.c_layout) A.t;
+  nslots : int;
+  wmu : Mutex.t;   (* in-process writer exclusion; fcntl covers processes *)
+}
+
+let magic = "XLIDX01\n"
+let header_bytes = 64
+let record_bytes = 64
+let default_slots = 65536
+let default_limit_mb = 1024
+let max_load_num = 7 (* evict slots past 7/8 occupancy *)
+let max_load_den = 8
+
+(* -- Raw field access ----------------------------------------------------- *)
+
+let get8 map off =
+  let v = ref 0 in
+  for i = 7 downto 0 do
+    v := (!v lsl 8) lor A.unsafe_get map (off + i)
+  done;
+  !v
+
+let set8 map off v =
+  let v = ref v in
+  for i = 0 to 7 do
+    A.unsafe_set map (off + i) (!v land 0xff);
+    v := !v lsr 8
+  done
+
+(* Header fields *)
+let h_nslots = 8
+let h_limit = 16
+let h_used = 24
+let h_gen = 32
+let h_hand = 40
+let h_evictions = 48
+let h_live = 56
+
+(* Record fields (relative to the record's base offset) *)
+let r_state = 0
+let r_ref = 1
+let r_tag = 2
+let r_key = 4
+let r_size = 36
+let r_gen = 44
+let r_sum = 52
+
+let key_len = 32
+
+let base _t slot = header_bytes + (slot * record_bytes)
+
+(* -- Checksum / hash ------------------------------------------------------ *)
+
+(* FNV-1a, 62-bit (stays in an OCaml int).  Used both as the record
+   checksum and, keyed differently, as the probe hash. *)
+let fnv_prime = 0x100000001b3
+let fnv_mask = (1 lsl 62) - 1
+
+let fnv_byte h b = ((h lxor b) * fnv_prime) land fnv_mask
+
+let fnv_string h s =
+  let h = ref h in
+  String.iter (fun c -> h := fnv_byte !h (Char.code c)) s;
+  !h
+
+let record_sum ~state ~tag ~key ~size ~gen =
+  (* FNV offset basis, truncated to the 62-bit working width. *)
+  let h = fnv_byte 0x0bf29ce484222325 state in
+  let h = fnv_byte h (Char.code tag) in
+  let h = fnv_string h key in
+  let h = fnv_byte h (size land 0xff) in (* mix the ints bytewise *)
+  let rec mix h v n = if n = 0 then h else mix (fnv_byte h (v land 0xff)) (v lsr 8) (n - 1) in
+  let h = mix h size 8 in
+  mix h gen 8
+
+let probe_start t ~key ~tag =
+  let h = fnv_string (fnv_byte 0x1234567 (Char.code tag)) key in
+  h mod t.nslots
+
+(* -- Open / create -------------------------------------------------------- *)
+
+let file_size nslots = header_bytes + (nslots * record_bytes)
+
+(* fcntl lock on byte 0: serializes writers (and creation) across
+   processes.  POSIX record locks are per-process, hence the mutex too. *)
+let with_lock_fd ~mu fd f =
+  Mutex.lock mu;
+  Fun.protect ~finally:(fun () -> Mutex.unlock mu) @@ fun () ->
+  ignore (Unix.lseek fd 0 Unix.SEEK_SET);
+  Unix.lockf fd Unix.F_LOCK 1;
+  Fun.protect
+    ~finally:(fun () ->
+        ignore (Unix.lseek fd 0 Unix.SEEK_SET);
+        Unix.lockf fd Unix.F_ULOCK 1)
+    f
+
+let with_file_lock t f = with_lock_fd ~mu:t.wmu t.fd f
+
+let map_fd fd nslots =
+  let gen =
+    Unix.map_file fd Bigarray.int8_unsigned Bigarray.c_layout true
+      [| file_size nslots |]
+  in
+  Bigarray.array1_of_genarray gen
+
+let read_magic fd =
+  let b = Bytes.create (String.length magic) in
+  ignore (Unix.lseek fd 0 Unix.SEEK_SET);
+  let n = Unix.read fd b 0 (Bytes.length b) in
+  if n = Bytes.length b then Some (Bytes.to_string b) else None
+
+let openf ?(slots = default_slots) ?limit_mb p =
+  if slots < 8 then invalid_arg "Cache_index.openf: slots must be >= 8";
+  let dir = Filename.dirname p in
+  if dir <> "" && not (Sys.file_exists dir) then begin
+    let rec mkdir_p d =
+      if not (Sys.file_exists d) then begin
+        let parent = Filename.dirname d in
+        if parent <> d then mkdir_p parent;
+        try Sys.mkdir d 0o755
+        with Sys_error _ when Sys.file_exists d -> ()
+      end
+    in
+    mkdir_p dir
+  end;
+  let fd = Unix.openfile p [ Unix.O_RDWR; Unix.O_CREAT ] 0o644 in
+  let wmu = Mutex.create () in
+  (* Creation races with other openers: decide under the file lock.
+     Note no mapping exists yet — [Unix.map_file] grows a too-short
+     file, which would corrupt the create-vs-open decision below. *)
+  let nslots =
+    with_lock_fd ~mu:wmu fd @@ fun () ->
+    let st = Unix.fstat fd in
+    if st.Unix.st_size < header_bytes then begin
+      Unix.ftruncate fd (file_size slots);
+      let map = map_fd fd slots in
+      String.iteri (fun i c -> A.set map i (Char.code c)) magic;
+      set8 map h_nslots slots;
+      set8 map h_limit
+        (Option.value limit_mb ~default:default_limit_mb * 1024 * 1024);
+      slots
+    end
+    else
+      match read_magic fd with
+      | Some m when String.equal m magic ->
+        let map = map_fd fd 1 in
+        let n = get8 map h_nslots in
+        if n < 8 || file_size n > st.Unix.st_size then
+          failwith (p ^ ": corrupt index header");
+        Option.iter
+          (fun mb -> set8 map h_limit (mb * 1024 * 1024))
+          limit_mb;
+        n
+      | _ -> failwith (p ^ ": not an xloops cache index")
+  in
+  { p; fd; map = map_fd fd nslots; nslots; wmu }
+
+let close t = try Unix.close t.fd with Unix.Unix_error _ -> ()
+let path t = t.p
+
+(* -- Record views --------------------------------------------------------- *)
+
+type entry = { e_slot : int; e_size : int; e_gen : int }
+
+let record_key t b =
+  String.init key_len (fun i -> Char.chr (A.unsafe_get t.map (b + r_key + i)))
+
+(* One consistent read of a slot: [Some (key, size, gen, tag)] iff the
+   slot is live and its checksum matches its fields right now. *)
+let read_live t slot =
+  let b = base t slot in
+  if A.unsafe_get t.map (b + r_state) <> 1 then None
+  else begin
+    let tag = Char.chr (A.unsafe_get t.map (b + r_tag)) in
+    let key = record_key t b in
+    let size = get8 t.map (b + r_size) in
+    let gen = get8 t.map (b + r_gen) in
+    let sum = get8 t.map (b + r_sum) in
+    if record_sum ~state:1 ~tag ~key ~size ~gen = sum
+       && A.unsafe_get t.map (b + r_state) = 1
+    then Some (key, size, gen, tag)
+    else None
+  end
+
+let state t slot = A.unsafe_get t.map (base t slot + r_state)
+
+(* -- Lookup --------------------------------------------------------------- *)
+
+let find t ~key ~tag =
+  let key = Digest_hex.to_hex key in
+  let start = probe_start t ~key ~tag in
+  let rec probe i =
+    if i >= t.nslots then None
+    else
+      let slot = (start + i) mod t.nslots in
+      match state t slot with
+      | 0 -> None                             (* empty stops the probe *)
+      | _ ->
+        (match read_live t slot with
+         | Some (k, size, gen, tg)
+           when Char.equal tg tag && String.equal k key ->
+           A.unsafe_set t.map (base t slot + r_ref) 1;
+           Some { e_slot = slot; e_size = size; e_gen = gen }
+         | _ -> probe (i + 1))               (* tomb, mismatch, or torn *)
+  in
+  probe 0
+
+let still_valid t ~key ~tag e =
+  match read_live t e.e_slot with
+  | Some (k, _, gen, tg) ->
+    Char.equal tg tag && String.equal k (Digest_hex.to_hex key)
+    && gen = e.e_gen
+  | None -> false
+
+(* -- Mutation (writer-locked) --------------------------------------------- *)
+
+let write_record t slot ~key ~tag ~size ~gen =
+  let b = base t slot in
+  A.unsafe_set t.map (b + r_state) 0;   (* invisible while we fill it *)
+  A.unsafe_set t.map (b + r_ref) 1;
+  A.unsafe_set t.map (b + r_tag) (Char.code tag);
+  String.iteri
+    (fun i c -> A.unsafe_set t.map (b + r_key + i) (Char.code c))
+    key;
+  set8 t.map (b + r_size) size;
+  set8 t.map (b + r_gen) gen;
+  set8 t.map (b + r_sum) (record_sum ~state:1 ~tag ~key ~size ~gen);
+  A.unsafe_set t.map (b + r_state) 1    (* publish *)
+
+let tombstone t slot =
+  A.unsafe_set t.map (base t slot + r_state) 2
+
+(* The clock sweep.  Called with the writer lock held. *)
+let sweep_locked t ~goal_bytes ~goal_slots ~protect ~evict =
+  let verdict =
+    Evict.second_chance ~nslots:t.nslots ~hand:(get8 t.map h_hand)
+      ~live:(fun s -> state t s = 1)
+      ~size:(fun s -> get8 t.map (base t s + r_size))
+      ~referenced:(fun s -> A.unsafe_get t.map (base t s + r_ref) = 1)
+      ~clear_ref:(fun s -> A.unsafe_set t.map (base t s + r_ref) 0)
+      ~goal_bytes ~goal_slots ~protect ()
+  in
+  List.iter
+    (fun slot ->
+       match read_live t slot with
+       | None -> ()
+       | Some (k, size, _, tag) ->
+         tombstone t slot;
+         set8 t.map h_used (max 0 (get8 t.map h_used - size));
+         set8 t.map h_live (max 0 (get8 t.map h_live - 1));
+         set8 t.map h_evictions (get8 t.map h_evictions + 1);
+         (* The key in a checksummed live record is hex by construction. *)
+         evict ~key:(Digest_hex.of_hex_exn k) ~tag)
+    verdict.Evict.cv_victims;
+  set8 t.map h_hand verdict.Evict.cv_hand;
+  if verdict.Evict.cv_victims <> [] then
+    set8 t.map h_gen (get8 t.map h_gen + 1)
+
+let insert t ~key ~tag ~size ~evict =
+  let hex = Digest_hex.to_hex key in
+  with_file_lock t @@ fun () ->
+  let start = probe_start t ~key:hex ~tag in
+  (* First pass: find the key if present, else the first reusable slot. *)
+  let slot = ref (-1) in
+  let existing = ref false in
+  (try
+     for i = 0 to t.nslots - 1 do
+       let s = (start + i) mod t.nslots in
+       match state t s with
+       | 0 ->
+         if !slot < 0 then slot := s;
+         raise Exit   (* empty terminates every probe chain *)
+       | 2 -> if !slot < 0 then slot := s
+       | _ ->
+         (match read_live t s with
+          | Some (k, _, _, tg) when Char.equal tg tag && String.equal k hex ->
+            slot := s; existing := true; raise Exit
+          | Some _ -> ()
+          | None ->
+            (* A non-live-checksum record under the writer lock is a
+               leftover from a crashed writer: reusable. *)
+            if !slot < 0 then slot := s)
+     done
+   with Exit -> ());
+  if !existing then
+    A.unsafe_set t.map (base t !slot + r_ref) 1
+  else begin
+    (if !slot < 0 then begin
+       (* Table completely full: free some slots first, then re-probe. *)
+       sweep_locked t ~goal_bytes:0 ~goal_slots:(t.nslots / 8) ~protect:(-1)
+         ~evict;
+       (try
+          for i = 0 to t.nslots - 1 do
+            let s = (start + i) mod t.nslots in
+            if state t s <> 1 then begin slot := s; raise Exit end
+          done
+        with Exit -> ())
+     end);
+    if !slot < 0 then failwith "Cache_index.insert: table full";
+    write_record t !slot ~key:hex ~tag ~size ~gen:(get8 t.map h_gen);
+    set8 t.map h_used (get8 t.map h_used + size);
+    set8 t.map h_live (get8 t.map h_live + 1);
+    let limit = get8 t.map h_limit in
+    let used = get8 t.map h_used in
+    let live = get8 t.map h_live in
+    let over_bytes = if limit > 0 && used > limit then used - limit else 0 in
+    let over_slots =
+      let bound = t.nslots * max_load_num / max_load_den in
+      if live > bound then live - bound else 0
+    in
+    if over_bytes > 0 || over_slots > 0 then
+      sweep_locked t ~goal_bytes:over_bytes ~goal_slots:over_slots
+        ~protect:!slot ~evict
+  end
+
+let delete t ~key ~tag =
+  with_file_lock t @@ fun () ->
+  match find t ~key ~tag with
+  | None -> ()
+  | Some e ->
+    (match read_live t e.e_slot with
+     | Some (_, size, _, _) ->
+       tombstone t e.e_slot;
+       set8 t.map h_used (max 0 (get8 t.map h_used - size));
+       set8 t.map h_live (max 0 (get8 t.map h_live - 1));
+       set8 t.map h_gen (get8 t.map h_gen + 1)
+     | None -> ())
+
+(* -- Introspection -------------------------------------------------------- *)
+
+let slots t = t.nslots
+let live_entries t = get8 t.map h_live
+let used_bytes t = get8 t.map h_used
+let limit_bytes t = get8 t.map h_limit
+let generation t = get8 t.map h_gen
+let evictions t = get8 t.map h_evictions
+
+let pp ppf t =
+  Fmt.pf ppf
+    "%s: %d/%d slot(s) live, %d/%d byte(s), generation %d, %d eviction(s)"
+    t.p (live_entries t) t.nslots (used_bytes t) (limit_bytes t)
+    (generation t) (evictions t)

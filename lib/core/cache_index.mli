@@ -1,0 +1,89 @@
+(** The shared cache tier's mmap'd index: a fixed-size open-addressed
+    hash table over the {!Run_cache} blob store, mapped into every
+    daemon of a simulation fleet so their caches coordinate without a
+    coordinator.
+
+    The file is a 64-byte header followed by [nslots] 64-byte records,
+    each carrying a {!Digest_hex.t} key, a blob tag ([.run]/[.meta]), the
+    blob's size, the generation it was inserted under, and a checksum
+    over all of those fields.  The concurrency discipline:
+
+    - {e Readers are lock-free.}  A lookup probes the slot array
+      straight off the shared mapping and validates each candidate
+      record's checksum; a record a writer is mid-way through (state
+      byte not yet live, or checksum not yet matching its fields) reads
+      as a miss, never as garbage.  Hits set the record's reference byte
+      — a single-byte write deliberately excluded from the checksum —
+      which is all the clock eviction policy needs from readers.
+    - {e Writers serialize on an [fcntl] file lock} (plus an in-process
+      mutex, since POSIX record locks do not exclude threads of one
+      process).  Inserts write the record fields first, the checksum
+      next, and flip the state byte live last, so the record becomes
+      visible atomically.
+    - {e Eviction is guarded by a generation counter.}  When the store
+      exceeds its byte bound (or the table its load factor), the writer
+      runs a second-chance clock sweep ({!Evict.second_chance}),
+      tombstones the victims, deletes their blobs through the caller's
+      callback, and bumps the header generation.  A reader that found an
+      entry before an eviction re-validates it ({!still_valid}) after
+      reading the blob; a vanished or re-written record reads as a miss
+      and the spec re-simulates — torn or evicted entries are never
+      served.  (The blobs themselves are additionally checksummed by
+      {!Run_cache}, so even a file truncated mid-read is caught.) *)
+
+type t
+
+val default_slots : int
+(** 65536 slots — a 4 MiB index file. *)
+
+val default_limit_mb : int
+(** 1024 MiB: the byte bound adopted when a fresh index is created
+    without an explicit limit. *)
+
+val openf : ?slots:int -> ?limit_mb:int -> string -> t
+(** Open (or create, racing safely against concurrent creators) the
+    index file at this path and map it.  [slots] applies only at
+    creation; an existing file keeps its geometry.  [limit_mb] updates
+    the shared byte bound — last opener wins; omitted, an existing
+    bound is kept.  Raises [Sys_error]/[Unix.Unix_error] on filesystem
+    trouble and [Failure] on a file that is not an index. *)
+
+val close : t -> unit
+val path : t -> string
+
+type entry = {
+  e_slot : int;   (** slot the record lives in *)
+  e_size : int;   (** blob bytes the record accounts for *)
+  e_gen : int;    (** generation the record was inserted under *)
+}
+
+val find : t -> key:Digest_hex.t -> tag:char -> entry option
+(** Lock-free lookup; a hit sets the reference byte (second chance). *)
+
+val still_valid : t -> key:Digest_hex.t -> tag:char -> entry -> bool
+(** Re-validate an entry after reading its blob: still live, same key,
+    same generation — i.e. not evicted or replaced meanwhile. *)
+
+val insert :
+  t -> key:Digest_hex.t -> tag:char -> size:int ->
+  evict:(key:Digest_hex.t -> tag:char -> unit) -> unit
+(** Register a freshly stored blob (idempotent on an already-live key).
+    If the accounted bytes exceed the limit, or live slots exceed the
+    load-factor bound, the clock sweep runs here: victims are
+    tombstoned, [evict] is called for each (delete the blob file), and
+    the generation advances.  The inserted entry itself is protected
+    from the sweep. *)
+
+val delete : t -> key:Digest_hex.t -> tag:char -> unit
+(** Drop an entry whose blob turned out corrupt or missing (quarantine
+    healing): tombstone it and release its accounted bytes. *)
+
+(** {1 Introspection} *)
+
+val slots : t -> int
+val live_entries : t -> int
+val used_bytes : t -> int
+val limit_bytes : t -> int
+val generation : t -> int
+val evictions : t -> int
+val pp : Format.formatter -> t -> unit

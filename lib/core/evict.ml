@@ -1,0 +1,52 @@
+(* Victim selection for bounded caches.  See evict.mli. *)
+
+type clock_verdict = {
+  cv_victims : int list;
+  cv_hand : int;
+  cv_freed : int;
+}
+
+let second_chance ~nslots ~hand ~live ~size ~referenced ~clear_ref
+    ~goal_bytes ?(goal_slots = 0) ?(protect = -1) () =
+  if nslots <= 0 then invalid_arg "Evict.second_chance: nslots";
+  let victims = ref [] in
+  let freed = ref 0 in
+  let slots_freed = ref 0 in
+  let hand = ref (((hand mod nslots) + nslots) mod nslots) in
+  let steps = ref 0 in
+  let max_steps = 2 * nslots in
+  let satisfied () = !freed >= goal_bytes && !slots_freed >= goal_slots in
+  while (not (satisfied ())) && !steps < max_steps do
+    let s = !hand in
+    (if s <> protect && live s then
+       if referenced s then clear_ref s
+       else begin
+         victims := s :: !victims;
+         freed := !freed + size s;
+         incr slots_freed
+       end);
+    hand := (s + 1) mod nslots;
+    incr steps
+  done;
+  { cv_victims = List.rev !victims; cv_hand = !hand; cv_freed = !freed }
+
+let lru ~items ~excess =
+  if excess <= 0 then []
+  else begin
+    let order = Array.init (Array.length items) Fun.id in
+    Array.sort
+      (fun a b ->
+         let (_, sa) = items.(a) and (_, sb) = items.(b) in
+         match compare sa sb with 0 -> compare a b | c -> c)
+      order;
+    let victims = ref [] in
+    let freed = ref 0 in
+    Array.iter
+      (fun i ->
+         if !freed < excess then begin
+           victims := i :: !victims;
+           freed := !freed + fst items.(i)
+         end)
+      order;
+    List.rev !victims
+  end

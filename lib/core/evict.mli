@@ -1,0 +1,42 @@
+(** Cache eviction policies, shared by the mmap'd fleet index
+    ({!Cache_index}) and the private on-disk cache's startup reap
+    ({!Run_cache.reap_over_limit}).
+
+    Both entry points are pure victim selectors: they never touch disk
+    themselves, they return {e which} entries to drop and leave the
+    deletion (blob unlink, index tombstone) to the caller, so the same
+    policy code serves a byte-addressed slot array and a directory
+    walk. *)
+
+type clock_verdict = {
+  cv_victims : int list;  (** slots to evict, in hand order *)
+  cv_hand : int;          (** where the clock hand stopped *)
+  cv_freed : int;         (** bytes the victims account for *)
+}
+
+val second_chance :
+  nslots:int ->
+  hand:int ->
+  live:(int -> bool) ->
+  size:(int -> int) ->
+  referenced:(int -> bool) ->
+  clear_ref:(int -> unit) ->
+  goal_bytes:int ->
+  ?goal_slots:int ->
+  ?protect:int ->
+  unit -> clock_verdict
+(** Classic clock / second-chance selection over a slot array: the hand
+    sweeps from [hand], giving every referenced live entry a second
+    chance (its reference bit is cleared in place via [clear_ref]) and
+    victimizing unreferenced ones, until at least [goal_bytes] bytes and
+    [goal_slots] slots (default 0) are freed or two full revolutions
+    have passed.  [protect] (a slot index) is never victimized — the
+    entry that triggered the sweep.  With every entry referenced, the
+    first revolution clears bits and the second evicts: the sweep always
+    terminates, and never selects a dead slot. *)
+
+val lru : items:(int * float) array -> excess:int -> int list
+(** Least-recently-stamped selection for the directory reap: [items] is
+    [(bytes, stamp)] per entry; returns the indices of the
+    oldest-stamped entries whose cumulative size reaches [excess], in
+    eviction order.  Ties break on index for determinism. *)

@@ -27,11 +27,14 @@ type t = {
   dir : string;
   version : int;
   chaos : Chaos.t option;
+  index : Cache_index.t option;   (* shared fleet index over this dir *)
+  limit_bytes : int option;       (* private-cache bound (reap_over_limit) *)
   mu : Mutex.t;
   mutable hits : int;
   mutable misses : int;      (* absent or stale — simply not usable *)
   mutable corrupt : int;     (* integrity failures, quarantined *)
   mutable stores : int;
+  mutable evictions : int;   (* blobs this handle deleted for space *)
 }
 
 let magic = "XLOOPS-CACHE"
@@ -56,9 +59,10 @@ let rec mkdir_p d =
     with Sys_error _ when Sys.file_exists d -> ()
   end
 
-let create ?(version = current_version) ?(dir = default_dir) ?chaos () =
-  { dir; version; chaos; mu = Mutex.create ();
-    hits = 0; misses = 0; corrupt = 0; stores = 0 }
+let create ?(version = current_version) ?(dir = default_dir) ?chaos ?index
+    ?limit_bytes () =
+  { dir; version; chaos; index; limit_bytes; mu = Mutex.create ();
+    hits = 0; misses = 0; corrupt = 0; stores = 0; evictions = 0 }
 
 let counted cache f =
   Mutex.lock cache.mu;
@@ -139,8 +143,54 @@ let write_blob cache ~key ~suffix payload =
   | Some c -> Chaos.after_store c p
   | None -> ()
 
+(* -- Shared-index integration --------------------------------------------- *)
+
+let tag_of_suffix = function ".run" -> 'r' | _ -> 'm'
+
+let blob_size p = try (Unix.stat p).Unix.st_size with Unix.Unix_error _ -> 0
+
+(* Deleting a victim's blob is the index's [evict] callback; the handle
+   doing the insert does the unlink and owns the count. *)
+let evict_blob cache ~key ~tag =
+  let suffix = if Char.equal tag 'r' then ".run" else ".meta" in
+  (try Sys.remove (path cache ~key ~suffix) with Sys_error _ -> ());
+  counted cache (fun () -> cache.evictions <- cache.evictions + 1)
+
+let index_insert cache ~key ~suffix =
+  match cache.index with
+  | None -> ()
+  | Some idx ->
+    let size = blob_size (path cache ~key ~suffix) in
+    Cache_index.insert idx ~key ~tag:(tag_of_suffix suffix) ~size
+      ~evict:(evict_blob cache)
+
 let find cache ~key ~suffix =
-  let verdict = read_blob cache ~key ~suffix in
+  let verdict =
+    match cache.index with
+    | None -> read_blob cache ~key ~suffix
+    | Some idx ->
+      let tag = tag_of_suffix suffix in
+      (match Cache_index.find idx ~key ~tag with
+       | None ->
+         (* Not indexed: a blob may still exist on disk (written before
+            the index did, or after a lost index file).  Adopt it. *)
+         (match read_blob cache ~key ~suffix with
+          | `Hit _ as hit -> index_insert cache ~key ~suffix; hit
+          | other -> other)
+       | Some entry ->
+         (match read_blob cache ~key ~suffix with
+          | `Hit _ as hit ->
+            (* Serve only if no eviction/replacement raced the read:
+               a concurrent writer may have recycled the slot while we
+               were reading a blob another daemon already deleted. *)
+            if Cache_index.still_valid idx ~key ~tag entry then hit
+            else `Absent
+          | `Absent ->
+            (* The index outlived the blob — heal the entry. *)
+            Cache_index.delete idx ~key ~tag; `Absent
+          | (`Stale | `Corrupt) as bad ->
+            Cache_index.delete idx ~key ~tag; bad))
+  in
   counted cache (fun () ->
       match verdict with
       | `Hit _ -> cache.hits <- cache.hits + 1
@@ -153,6 +203,7 @@ let find_run cache ~key : Run_spec.run_data option =
 
 let store_run cache ~key (rd : Run_spec.run_data) =
   write_blob cache ~key ~suffix:".run" rd;
+  index_insert cache ~key ~suffix:".run";
   counted cache (fun () -> cache.stores <- cache.stores + 1)
 
 let find_meta cache ~key : int array option =
@@ -160,6 +211,7 @@ let find_meta cache ~key : int array option =
 
 let store_meta cache ~key (m : int array) =
   write_blob cache ~key ~suffix:".meta" m;
+  index_insert cache ~key ~suffix:".meta";
   counted cache (fun () -> cache.stores <- cache.stores + 1)
 
 (* -- Startup hygiene ----------------------------------------------------- *)
@@ -195,6 +247,55 @@ let reap_tmp cache =
       (Sys.readdir vdir);
   !reaped
 
+(** Bound the private cache directory: when the version tree holds more
+    blob bytes than [limit_bytes], delete the least-recently-written
+    blobs ({!Evict.lru} over mtimes — without a shared index there is no
+    access record, so write age is the recency signal) until back under
+    the limit.  Returns how many blobs were removed.  No-ops when no
+    limit was configured or a shared index owns eviction. *)
+let reap_over_limit cache =
+  match cache.limit_bytes, cache.index with
+  | None, _ | _, Some _ -> 0
+  | Some limit, None ->
+    let vdir = version_dir cache in
+    if not (Sys.file_exists vdir && Sys.is_directory vdir) then 0
+    else begin
+      let blobs = ref [] in
+      let total = ref 0 in
+      Array.iter
+        (fun shard ->
+           let sdir = Filename.concat vdir shard in
+           if Sys.is_directory sdir then
+             Array.iter
+               (fun name ->
+                  if not (is_tmp_name name) then begin
+                    let p = Filename.concat sdir name in
+                    match Unix.stat p with
+                    | exception Unix.Unix_error _ -> ()
+                    | st ->
+                      total := !total + st.Unix.st_size;
+                      blobs :=
+                        (p, st.Unix.st_size, st.Unix.st_mtime) :: !blobs
+                  end)
+               (Sys.readdir sdir))
+        (Array.of_list (List.sort compare
+                          (Array.to_list (Sys.readdir vdir))));
+      if !total <= limit then 0
+      else begin
+        let arr = Array.of_list (List.rev !blobs) in
+        let items = Array.map (fun (_, sz, mt) -> (sz, mt)) arr in
+        let victims = Evict.lru ~items ~excess:(!total - limit) in
+        List.iter
+          (fun i ->
+             let (p, _, _) = arr.(i) in
+             try Sys.remove p with Sys_error _ -> ())
+          victims;
+        let n = List.length victims in
+        counted cache (fun () -> cache.evictions <- cache.evictions + n);
+        n
+      end
+    end
+
 let quarantined cache =
   let qdir = quarantine_dir cache in
   if Sys.file_exists qdir && Sys.is_directory qdir
@@ -205,6 +306,8 @@ let hits c = counted c (fun () -> c.hits)
 let misses c = counted c (fun () -> c.misses)
 let corrupt c = counted c (fun () -> c.corrupt)
 let stores c = counted c (fun () -> c.stores)
+let evictions c = counted c (fun () -> c.evictions)
+let index c = c.index
 
 let pp_counters ppf c =
   Fmt.pf ppf

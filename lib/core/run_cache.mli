@@ -22,11 +22,21 @@ val default_dir : string
 val quarantine_subdir : string
 (** ["quarantine"], under the cache [dir]. *)
 
-val create : ?version:int -> ?dir:string -> ?chaos:Chaos.t -> unit -> t
+val create :
+  ?version:int -> ?dir:string -> ?chaos:Chaos.t ->
+  ?index:Cache_index.t -> ?limit_bytes:int -> unit -> t
 (** A cache handle.  Nothing is touched on disk until the first store;
     [version] defaults to {!current_version} (override only to test
     invalidation).  [chaos] injects read errors and post-store blob
-    corruption for integrity testing. *)
+    corruption for integrity testing.
+
+    [index] attaches a shared mmap'd {!Cache_index} over [dir]: lookups
+    consult the index first (falling back to — and adopting — on-disk
+    blobs the index does not know), stores register their blob, entries
+    whose blobs turn out absent or corrupt are healed out of the index,
+    and the index's clock sweep bounds the store, deleting victim blobs
+    through this handle.  [limit_bytes] bounds a {e private} (index-less)
+    cache instead, enforced by {!reap_over_limit} at startup. *)
 
 val find_run : t -> key:Digest_hex.t -> Run_spec.run_data option
 val store_run : t -> key:Digest_hex.t -> Run_spec.run_data -> unit
@@ -41,6 +51,13 @@ val reap_tmp : t -> int
 (** Remove orphaned [*.tmp.*] files a killed writer left under this
     version's tree; returns the count.  Run at startup. *)
 
+val reap_over_limit : t -> int
+(** For a private cache with [limit_bytes]: delete least-recently-written
+    blobs until the version tree fits the limit; returns how many were
+    removed.  Recency is blob mtime — without a shared index there is no
+    access record.  Returns [0] with no limit, or when a shared [index]
+    owns eviction.  Run at startup, like {!reap_tmp}. *)
+
 val quarantined : t -> int
 (** Files currently in the quarantine directory. *)
 
@@ -53,5 +70,12 @@ val corrupt : t -> int
 
 val stores : t -> int
 (** Lookup/store counters for this handle (thread-safe). *)
+
+val evictions : t -> int
+(** Blobs this handle deleted for space — via the shared index's clock
+    sweep or {!reap_over_limit}. *)
+
+val index : t -> Cache_index.t option
+(** The shared index attached at {!create}, if any. *)
 
 val pp_counters : Format.formatter -> t -> unit

@@ -1,0 +1,176 @@
+(* Pure-OCaml LZSS blob compression for protocol v2 frames.
+
+   Stream format:
+
+     4 bytes   uncompressed length, big-endian (matches frame framing)
+     then repeating groups:
+       1 byte  flags, LSB first, one per following token
+       tokens  flag=0: one literal byte
+               flag=1: two bytes OFFSET/LENGTH — high 12 bits the
+                       backwards distance (1..4096), low 4 bits the
+                       match length minus [min_match] (3..18)
+
+   The window is 4096 bytes, matches are 3..18 bytes.  This is the
+   classic Storer–Szymanski layout chosen because the decoder is a
+   dozen lines and total: every input either decodes to exactly the
+   declared length with in-range offsets, or is rejected — the wire
+   layer treats a rejection like any other malformed frame.
+
+   Marshalled run_data blobs are full of repeated field headers and
+   zero runs, which is what the 16-entry-deep hash-chain matcher is
+   tuned for; this is a transport codec, not an archiver. *)
+
+let window = 4096
+let min_match = 3
+let max_match = 18
+
+let threshold = 4096
+(* Blobs below this many bytes ship uncompressed: framing overhead and
+   codec time exceed the savings on small payloads. *)
+
+(* -- Compression ---------------------------------------------------------- *)
+
+(* Greedy matcher over a 3-byte-hash head table with prev chains,
+   bounded probe depth.  Positions older than the window are skipped at
+   probe time rather than evicted. *)
+let hash_bits = 13
+let hash_size = 1 lsl hash_bits
+let chain_limit = 32
+
+let hash3 s i =
+  let b k = Char.code (String.unsafe_get s (i + k)) in
+  ((b 0 lsl 10) lxor (b 1 lsl 5) lxor b 2) land (hash_size - 1)
+
+let compress (s : string) : string =
+  let n = String.length s in
+  let buf = Buffer.create (n / 2 + 16) in
+  Buffer.add_uint8 buf ((n lsr 24) land 0xff);
+  Buffer.add_uint8 buf ((n lsr 16) land 0xff);
+  Buffer.add_uint8 buf ((n lsr 8) land 0xff);
+  Buffer.add_uint8 buf (n land 0xff);
+  let head = Array.make hash_size (-1) in
+  let prev = Array.make (max n 1) (-1) in
+  let insert_pos i =
+    if i + min_match <= n then begin
+      let h = hash3 s i in
+      prev.(i) <- head.(h);
+      head.(h) <- i
+    end
+  in
+  let match_len i j =
+    (* length of the common prefix of s[i..] and s[j..], capped *)
+    let cap = min max_match (n - i) in
+    let l = ref 0 in
+    while !l < cap
+          && Char.equal (String.unsafe_get s (i + !l))
+               (String.unsafe_get s (j + !l)) do incr l done;
+    !l
+  in
+  let best_match i =
+    if i + min_match > n then None
+    else begin
+      let best_len = ref 0 and best_off = ref 0 in
+      let cand = ref head.(hash3 s i) in
+      let probes = ref 0 in
+      while !cand >= 0 && !probes < chain_limit do
+        (if i - !cand <= window then begin
+           let l = match_len i !cand in
+           if l > !best_len then begin best_len := l; best_off := i - !cand end
+         end);
+        cand := prev.(!cand);
+        incr probes
+      done;
+      if !best_len >= min_match then Some (!best_off, !best_len) else None
+    end
+  in
+  (* Emit groups of up to 8 tokens prefixed by their flag byte. *)
+  let flags = ref 0 and nflags = ref 0 in
+  let pending = Buffer.create 17 in
+  let flush_group () =
+    if !nflags > 0 then begin
+      Buffer.add_uint8 buf !flags;
+      Buffer.add_buffer buf pending;
+      Buffer.clear pending;
+      flags := 0; nflags := 0
+    end
+  in
+  let token is_match =
+    if is_match then flags := !flags lor (1 lsl !nflags);
+    incr nflags;
+    if !nflags = 8 then flush_group ()
+  in
+  let i = ref 0 in
+  while !i < n do
+    (match best_match !i with
+     | Some (off, len) ->
+       let word = ((off - 1) lsl 4) lor (len - min_match) in
+       Buffer.add_uint8 pending ((word lsr 8) land 0xff);
+       Buffer.add_uint8 pending (word land 0xff);
+       token true;
+       for k = 0 to len - 1 do insert_pos (!i + k) done;
+       i := !i + len
+     | None ->
+       Buffer.add_char pending (String.unsafe_get s !i);
+       token false;
+       insert_pos !i;
+       incr i)
+  done;
+  flush_group ();
+  Buffer.contents buf
+
+(* -- Decompression -------------------------------------------------------- *)
+
+let decompress (z : string) : (string, string) result =
+  let zn = String.length z in
+  if zn < 4 then Error "compressed blob shorter than its length header"
+  else begin
+    let b k = Char.code (String.unsafe_get z k) in
+    let n = (b 0 lsl 24) lor (b 1 lsl 16) lor (b 2 lsl 8) lor b 3 in
+    let out = Bytes.create n in
+    let src = ref 4 and dst = ref 0 in
+    let err = ref None in
+    let fail m = err := Some m; src := zn; dst := n in
+    while !err = None && !dst < n do
+      if !src >= zn then fail "compressed blob truncated (flag byte)"
+      else begin
+        let flags = Char.code (String.unsafe_get z !src) in
+        incr src;
+        let f = ref 0 in
+        while !err = None && !f < 8 && !dst < n do
+          (if flags land (1 lsl !f) = 0 then begin
+             if !src >= zn then fail "compressed blob truncated (literal)"
+             else begin
+               Bytes.unsafe_set out !dst (String.unsafe_get z !src);
+               incr src; incr dst
+             end
+           end
+           else if !src + 1 >= zn then
+             fail "compressed blob truncated (match)"
+           else begin
+             let word =
+               (Char.code (String.unsafe_get z !src) lsl 8)
+               lor Char.code (String.unsafe_get z (!src + 1))
+             in
+             src := !src + 2;
+             let off = (word lsr 4) + 1 in
+             let len = (word land 0xf) + min_match in
+             if off > !dst then fail "match offset before start of output"
+             else if !dst + len > n then
+               fail "match overruns declared length"
+             else
+               (* byte-at-a-time: matches may overlap their source *)
+               for _ = 1 to len do
+                 Bytes.unsafe_set out !dst (Bytes.unsafe_get out (!dst - off));
+                 incr dst
+               done
+           end);
+          incr f
+        done
+      end
+    done;
+    match !err with
+    | Some m -> Error m
+    | None ->
+      if !src <> zn then Error "trailing bytes after declared length"
+      else Ok (Bytes.unsafe_to_string out)
+  end

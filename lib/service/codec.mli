@@ -1,0 +1,24 @@
+(** Pure-OCaml LZSS compression for protocol v2 result blobs.
+
+    Marshalled [run_data] blobs are highly repetitive (field headers,
+    zero runs), so a small sliding-window codec recovers most of the
+    wire bytes without any new dependency.  The format is 4 bytes of
+    big-endian uncompressed length followed by flag-grouped tokens:
+    literal bytes and 2-byte [(offset, length)] back-references into a
+    4096-byte window (match lengths 3..18).
+
+    {!decompress} is total and validating — truncated streams,
+    out-of-window offsets, overruns of the declared length and trailing
+    bytes are all [Error], never an exception or garbage — because its
+    input arrives off the network. *)
+
+val threshold : int
+(** 4096 bytes: blobs smaller than this ship uncompressed — framing
+    overhead and codec time exceed the savings. *)
+
+val compress : string -> string
+(** Never raises; output may exceed the input for incompressible data
+    (worst case 9/8 + 4 bytes), which is why callers compare sizes and
+    keep the plain encoding when compression does not pay. *)
+
+val decompress : string -> (string, string) result

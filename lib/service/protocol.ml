@@ -1,60 +1,36 @@
-(* Wire protocol v1: framing, message codec, and the failure-taxonomy
-   mapping.  See protocol.mli for the format contract. *)
+(* Wire protocol v2 (v1 still spoken): framing, message codec, and the
+   failure-taxonomy mapping.  See protocol.mli for the format contract. *)
 
 module Run_spec = Xloops.Run_spec
 module Failure = Xloops.Failure
 module Digest_hex = Xloops.Digest_hex
 
-let version = 1
+let version = 2
+let min_version = 1
 
 let max_frame_bytes = 64 * 1024 * 1024
 
 (* -- Addresses ------------------------------------------------------------ *)
 
-type addr =
+(* The address grammar is shared with every CLI ([--listen], [--server],
+   [--shard]), so the single parser lives in [Cli_common]; this module
+   re-exports it so protocol users need not depend on the CLI library's
+   name. *)
+
+type addr = Cli_common.addr =
   | Unix_path of string
   | Tcp of string * int
 
-let parse_addr s : (addr, string) result =
-  let port_of p =
-    match int_of_string_opt p with
-    (* 0 is allowed: the kernel picks a free port (tests, CI). *)
-    | Some n when n >= 0 && n < 65536 -> Ok n
-    | _ -> Error (Fmt.str "bad port %S in address %S" p s)
-  in
-  match String.index_opt s ':' with
-  | None -> Error (Fmt.str "bad address %S (want unix:PATH or HOST:PORT)" s)
-  | Some i ->
-    let scheme = String.sub s 0 i in
-    let rest = String.sub s (i + 1) (String.length s - i - 1) in
-    (match scheme with
-     | "unix" ->
-       if rest = "" then Error "empty unix socket path"
-       else Ok (Unix_path rest)
-     | "tcp" ->
-       (match String.rindex_opt rest ':' with
-        | None -> Error (Fmt.str "bad address %S (want tcp:HOST:PORT)" s)
-        | Some j ->
-          let host = String.sub rest 0 j in
-          let port = String.sub rest (j + 1) (String.length rest - j - 1) in
-          if host = "" then Error (Fmt.str "empty host in address %S" s)
-          else Result.map (fun p -> Tcp (host, p)) (port_of port))
-     | host when host <> "" -> Result.map (fun p -> Tcp (host, p)) (port_of rest)
-     | _ -> Error (Fmt.str "bad address %S" s))
+let parse_addr = Cli_common.parse_addr
+let pp_addr = Cli_common.pp_addr
+let sockaddr_of = Cli_common.sockaddr_of
 
-let pp_addr ppf = function
-  | Unix_path p -> Fmt.pf ppf "unix:%s" p
-  | Tcp (h, p) -> Fmt.pf ppf "tcp:%s:%d" h p
-
-let sockaddr_of = function
-  | Unix_path p -> Unix.ADDR_UNIX p
-  | Tcp (host, port) ->
-    let ip =
-      try (Unix.gethostbyname host).h_addr_list.(0)
-      with Not_found | Invalid_argument _ ->
-        Unix.inet_addr_of_string host
-    in
-    Unix.ADDR_INET (ip, port)
+(* The protocol is request/response with small frames; Nagle's
+   algorithm serializes those round trips against delayed ACKs and
+   can cost tens of ms per exchange.  No-op on AF_UNIX sockets. *)
+let set_nodelay fd =
+  try Unix.setsockopt fd Unix.TCP_NODELAY true
+  with Unix.Unix_error _ | Invalid_argument _ -> ()
 
 (* -- Errors -------------------------------------------------------------- *)
 
@@ -138,6 +114,39 @@ let pp_stats ppf s =
     (fun i w ->
        Fmt.pf ppf "; w%d: %d job(s) %d ms" i w.w_jobs w.w_busy_ms)
     s.per_worker
+
+(* Machine-readable stats for [--stats --json].  Every field is an
+   integer, so hand-rolled rendering is exact (no escaping, no float
+   formatting) and costs no dependency. *)
+let stats_to_json (s : stats) =
+  let b = Buffer.create 256 in
+  let field name v =
+    if Buffer.length b > 1 then Buffer.add_char b ',';
+    Buffer.add_string b (Fmt.str "%S:%d" name v)
+  in
+  Buffer.add_char b '{';
+  field "uptime_ms" s.uptime_ms;
+  field "workers" s.workers;
+  field "queue_depth" s.queue_depth;
+  field "queue_limit" s.queue_limit;
+  field "in_flight" s.in_flight;
+  field "accepted" s.accepted;
+  field "rejected_batches" s.rejected_batches;
+  field "dedup_hits" s.dedup_hits;
+  field "completed" s.completed;
+  field "failed" s.failed;
+  field "cache_hits" s.cache_hits;
+  field "cache_misses" s.cache_misses;
+  field "cache_stores" s.cache_stores;
+  Buffer.add_string b ",\"per_worker\":[";
+  List.iteri
+    (fun i w ->
+       if i > 0 then Buffer.add_char b ',';
+       Buffer.add_string b
+         (Fmt.str "{\"jobs\":%d,\"busy_ms\":%d}" w.w_jobs w.w_busy_ms))
+    s.per_worker;
+  Buffer.add_string b "]}";
+  Buffer.contents b
 
 (* -- Field codec --------------------------------------------------------- *)
 
@@ -308,6 +317,7 @@ type request =
       max_retries : int;
       specs : Run_spec.t list;
     }
+  | Cancel                                             (* v2 *)
   | Stats
   | Ping
   | Shutdown
@@ -319,6 +329,7 @@ type response =
       digest : Digest_hex.t;
       outcome : (Run_spec.run_data, error) result;
     }
+  | Progress of { index : int }                        (* v2 *)
   | Batch_done of { delivered : int }
   | Stats_reply of stats
   | Pong
@@ -336,6 +347,7 @@ let encode_request (r : request) =
      enc_int b max_retries;
      enc_int b (List.length specs);
      List.iter (fun spec -> enc_str b (Run_spec.encode spec)) specs
+   | Cancel -> Buffer.add_char b 'C'
    | Stats -> Buffer.add_char b 'T'
    | Ping -> Buffer.add_char b 'P'
    | Shutdown -> Buffer.add_char b 'Q');
@@ -362,6 +374,7 @@ let decode_request s : (request, string) result =
               raise (Bad (Fmt.str "spec %d of %d: %s" i n msg)))
       in
       finish c (Submit { deadline_ms; max_retries; specs })
+    | 'C' -> finish c Cancel
     | 'T' -> finish c Stats
     | 'P' -> finish c Ping
     | 'Q' -> finish c Shutdown
@@ -370,7 +383,8 @@ let decode_request s : (request, string) result =
   | req -> Ok req
   | exception Bad msg -> Error ("decode_request: " ^ msg)
 
-let encode_response (r : response) =
+let encode_response ?(version = version) ?(compress_threshold = Codec.threshold)
+    (r : response) =
   let b = Buffer.create 256 in
   (match r with
    | Welcome { version; ocaml; banner } ->
@@ -381,8 +395,21 @@ let encode_response (r : response) =
      enc_int b index;
      enc_str b (Digest_hex.to_hex digest);
      (match outcome with
-      | Ok rd -> Buffer.add_char b 'k'; enc_str b (bytes_of_run_data rd)
+      | Ok rd ->
+        let blob = bytes_of_run_data rd in
+        (* 'z' (LZSS) only to v2 peers, only above the threshold, and
+           only when compression actually pays. *)
+        let compressed =
+          if version >= 2 && String.length blob >= compress_threshold then
+            let z = Codec.compress blob in
+            if String.length z < String.length blob then Some z else None
+          else None
+        in
+        (match compressed with
+         | Some z -> Buffer.add_char b 'z'; enc_str b z
+         | None -> Buffer.add_char b 'k'; enc_str b blob)
       | Error e -> Buffer.add_char b 'e'; enc_error b e)
+   | Progress { index } -> Buffer.add_char b 'G'; enc_int b index
    | Batch_done { delivered } -> Buffer.add_char b 'D'; enc_int b delivered
    | Stats_reply st -> Buffer.add_char b 'A'; enc_stats b st
    | Pong -> Buffer.add_char b 'O'
@@ -412,10 +439,18 @@ let decode_response s : (response, string) result =
           (match run_data_of_bytes (dec_str c) with
            | Ok rd -> Ok rd
            | Error msg -> fail_at c msg)
+        | 'z' ->
+          (match Codec.decompress (dec_str c) with
+           | Error msg -> fail_at c msg
+           | Ok blob ->
+             (match run_data_of_bytes blob with
+              | Ok rd -> Ok rd
+              | Error msg -> fail_at c msg))
         | 'e' -> Error (dec_error c)
         | _ -> fail_at c "unknown outcome tag"
       in
       finish c (Result { index; digest; outcome })
+    | 'G' -> let index = dec_int c in finish c (Progress { index })
     | 'D' -> let delivered = dec_int c in finish c (Batch_done { delivered })
     | 'A' -> finish c (Stats_reply (dec_stats c))
     | 'O' -> finish c Pong

@@ -1,0 +1,68 @@
+(** The fleet balancer: one {!Protocol}-speaking front door over a
+    sharded fleet of {!Server} daemons.
+
+    The proxy speaks the same wire protocol on both faces.  Downstream
+    it is a server — handshake with version negotiation, one batch per
+    connection, completion-order [Result] streaming, [Batch_done] —
+    and upstream it is a v2 {!Client} of every shard in its
+    {!Shard.t} descriptor.
+
+    A [Submit] is partitioned by {!Shard.route} on each spec's digest
+    and fanned out; each shard's results are forwarded to the client as
+    they stream back, re-tagged with the spec's index in the {e
+    client's} batch, so the merged stream is exactly what a single big
+    daemon would produce (modulo completion order, which was never
+    deterministic).  [Progress] frames forward the same way to v2
+    clients.
+
+    Failure handling per shard mirrors {!Client.run_plan}: transient
+    refusals, transient per-spec errors and dropped connections are
+    retried with deterministic backoff up to [max_attempts] rounds,
+    resubmitting only unanswered specs; a shard that stays down is
+    {e failed over} — its specs execute locally through the proxy's
+    cache handle (the shared fleet cache, so nothing already computed
+    re-simulates) — unless failover is disabled, in which case its
+    specs are answered with transient [Io_error]s the client can retry.
+
+    [Cancel] from the client is forwarded to every shard session active
+    for that connection, and remaining unanswered specs are dropped at
+    the next round boundary.  [Stats] fans out and sums the shards'
+    replies ([per_worker] concatenates in shard order; unreachable
+    shards contribute nothing).  [Shutdown] stops the proxy only — the
+    fleet's daemons have their own lifecycles. *)
+
+module Run_cache = Xloops.Run_cache
+
+type config = {
+  addr : Protocol.addr;            (** where the proxy listens *)
+  shards : Shard.t;
+  chunk : int;                     (** specs per upstream [Submit] *)
+  max_attempts : int;              (** rounds per shard before failover *)
+  default_deadline_ms : int option;(** forwarded upstream when the
+                                       client's [Submit] carries none *)
+  default_max_retries : int;
+  failover : bool;                 (** execute locally when a shard
+                                       stays down *)
+  cache : Run_cache.t option;      (** for local failover execution *)
+  compress_threshold : int;        (** client-facing v2 compression *)
+  banner : string;
+  verbose : bool;
+}
+
+val config :
+  addr:Protocol.addr -> shards:Shard.t -> ?chunk:int ->
+  ?max_attempts:int -> ?deadline_ms:int -> ?max_retries:int ->
+  ?failover:bool -> ?cache:Run_cache.t -> ?compress_threshold:int ->
+  ?banner:string -> ?verbose:bool -> unit -> config
+(** Defaults: chunk 64, 5 attempts, no deadline, 0 retries, failover
+    on, no cache, {!Codec.threshold}, quiet. *)
+
+type t
+
+val start : config -> t
+val bound_addr : t -> Protocol.addr
+val stop : t -> unit
+val wait : t -> unit
+(** Same lifecycle contract as {!Server}. *)
+
+val run : config -> unit

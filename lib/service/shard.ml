@@ -1,0 +1,120 @@
+(* Digest-prefix sharding.  See shard.mli. *)
+
+module Digest_hex = Xloops.Digest_hex
+
+type shard = {
+  lo : int;
+  hi : int;
+  addr : Protocol.addr;
+}
+
+type t = {
+  ranges : shard array;
+  table : int array;   (* 256 prefix bytes -> index into [ranges] *)
+}
+
+let shards t = t.ranges
+
+let of_shards = function
+  | [] -> Error "shard map is empty"
+  | l ->
+    let ranges =
+      Array.of_list (List.sort (fun a b -> compare a.lo b.lo) l)
+    in
+    let table = Array.make 256 (-1) in
+    let err = ref None in
+    Array.iteri
+      (fun i s ->
+         if !err = None then
+           if s.lo < 0 || s.hi > 0xff || s.lo > s.hi then
+             err :=
+               Some (Fmt.str "shard %a: bad range %02x-%02x"
+                       Protocol.pp_addr s.addr s.lo s.hi)
+           else
+             for b = s.lo to s.hi do
+               if table.(b) >= 0 then
+                 err :=
+                   Some (Fmt.str "prefix %02x claimed by both %a and %a" b
+                           Protocol.pp_addr ranges.(table.(b)).addr
+                           Protocol.pp_addr s.addr)
+               else table.(b) <- i
+             done)
+      ranges;
+    (match !err with
+     | Some _ -> ()
+     | None ->
+       Array.iteri
+         (fun b i ->
+            if i < 0 && !err = None then
+              err := Some (Fmt.str "prefix %02x not covered by any shard" b))
+         table);
+    (match !err with Some m -> Error m | None -> Ok { ranges; table })
+
+let hex2 s =
+  if String.length s = 2 then
+    let d c =
+      match c with
+      | '0' .. '9' -> Some (Char.code c - Char.code '0')
+      | 'a' .. 'f' -> Some (Char.code c - Char.code 'a' + 10)
+      | _ -> None
+    in
+    match d s.[0], d s.[1] with
+    | Some h, Some l -> Some ((h lsl 4) lor l)
+    | _ -> None
+  else None
+
+let parse_spec s =
+  (* LO-HI=ADDR *)
+  match String.index_opt s '=' with
+  | None -> Error (Fmt.str "bad shard %S (want LO-HI=ADDR)" s)
+  | Some i ->
+    let range = String.sub s 0 i in
+    let addr = String.sub s (i + 1) (String.length s - i - 1) in
+    (match String.index_opt range '-' with
+     | Some 2 when String.length range = 5 ->
+       (match hex2 (String.sub range 0 2), hex2 (String.sub range 3 2) with
+        | Some lo, Some hi ->
+          Result.map (fun addr -> { lo; hi; addr }) (Protocol.parse_addr addr)
+        | _ ->
+          Error
+            (Fmt.str "bad prefix range %S in shard %S (want two lowercase \
+                      hex digits each side)" range s))
+     | _ -> Error (Fmt.str "bad prefix range %S in shard %S" range s))
+
+let of_specs specs =
+  let rec go acc = function
+    | [] -> of_shards (List.rev acc)
+    | s :: rest ->
+      (match parse_spec s with
+       | Ok sh -> go (sh :: acc) rest
+       | Error _ as e -> e)
+  in
+  go [] specs
+
+let even addrs =
+  let n = List.length addrs in
+  if n < 1 || n > 256 then
+    invalid_arg "Shard.even: need 1..256 addresses";
+  let ranges =
+    List.mapi
+      (fun i addr ->
+         { lo = i * 256 / n; hi = ((i + 1) * 256 / n) - 1; addr })
+      addrs
+  in
+  match of_shards ranges with
+  | Ok t -> t
+  | Error m -> invalid_arg ("Shard.even: " ^ m)   (* unreachable *)
+
+let route t d =
+  (* The digest's first two hex chars are its cache shard; hex2 cannot
+     fail on a Digest_hex (lowercase hex by construction). *)
+  match hex2 (Digest_hex.shard d) with
+  | Some b -> t.table.(b)
+  | None -> assert false
+
+let pp ppf t =
+  Array.iteri
+    (fun i s ->
+       if i > 0 then Fmt.pf ppf ", ";
+       Fmt.pf ppf "%02x-%02x=%a" s.lo s.hi Protocol.pp_addr s.addr)
+    t.ranges

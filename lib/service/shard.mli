@@ -1,0 +1,42 @@
+(** Digest-prefix sharding: the fleet descriptor mapping spec-digest
+    space onto daemons.
+
+    A spec's home shard is decided by the first byte of its
+    {!Xloops.Run_spec.digest} — the same two hex characters the result
+    cache uses as its shard subdirectory, so one shard's daemon touches
+    a disjoint slice of the blob tree.  A descriptor is a set of
+    inclusive prefix ranges, one per daemon, that must {e partition}
+    [00..ff]: full cover, no overlap.  Routing is a 256-entry table
+    lookup — total by construction, so "every digest routes to exactly
+    one shard" is a property of {!of_specs}'s validation, not of the
+    lookup. *)
+
+type shard = {
+  lo : int;             (** first owned prefix byte, 0x00..0xff *)
+  hi : int;             (** last owned prefix byte, inclusive *)
+  addr : Protocol.addr; (** the daemon serving this range *)
+}
+
+type t
+
+val of_shards : shard list -> (t, string) result
+(** Validate: at least one shard, every range well-formed
+    ([0 <= lo <= hi <= 0xff]), and the ranges partition [00..ff]
+    (any gap or overlap is an [Error] naming the first offending
+    prefix). *)
+
+val of_specs : string list -> (t, string) result
+(** Parse ["LO-HI=ADDR"] descriptors (two lowercase hex digits each
+    side, {!Protocol.parse_addr} grammar on the right — e.g.
+    ["00-7f=tcp:10.0.0.1:7777"]) and validate as {!of_shards}. *)
+
+val even : Protocol.addr list -> t
+(** Split [00..ff] into [n] near-equal contiguous ranges, one per
+    address in order.  Raises [Invalid_argument] on an empty list or
+    more than 256 addresses. *)
+
+val route : t -> Xloops.Digest_hex.t -> int
+(** The index (into {!shards}) of the digest's home shard. *)
+
+val shards : t -> shard array
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,707 @@
+(* Fleet-tier tests: the v2 blob codec (round-trip, tamper fuzz,
+   compression threshold boundary), digest-prefix shard routing (every
+   digest routes to exactly one shard; malformed descriptors rejected),
+   the mmap'd shared cache index (single-handle semantics, reopen,
+   sweeps, and a multi-domain torture run — concurrent writers and
+   lock-free readers must never observe a torn record), two Run_cache
+   handles coordinating through one index (adoption, healing), the
+   private-cache size reaper, address-grammar rejection in Cli_common,
+   and the balancer proxy end to end — result equality with local
+   execution, fleet stats summing, dead-shard failover, and the
+   no-failover transient-error path. *)
+
+module P = Xloops_service.Protocol
+module Codec = Xloops_service.Codec
+module Shard = Xloops_service.Shard
+module Proxy = Xloops_service.Proxy
+module Server = Xloops_service.Server
+module Client = Xloops_service.Client
+module Run_spec = Xloops.Run_spec
+module Run_cache = Xloops.Run_cache
+module Cache_index = Xloops.Cache_index
+module Digest_hex = Xloops.Digest_hex
+module Config = Xloops.Sim.Config
+module Machine = Xloops.Sim.Machine
+module Stats = Xloops.Sim.Stats
+
+let tmp_dir () =
+  Filename.concat (Filename.get_temp_dir_name ())
+    (Printf.sprintf "xloops_fleet_test_%d_%d" (Unix.getpid ())
+       (int_of_float (Unix.gettimeofday () *. 1e6) land 0xFFFFFF))
+
+let strip (rd : Run_spec.run_data) =
+  { rd with
+    Run_spec.stats =
+      { rd.Run_spec.stats with Stats.wall_ns = 0; cache_hits = 0;
+        cache_misses = 0 } }
+
+let spec ?fuel ?(cfg = Config.io_x) ?(mode = Machine.Specialized) name =
+  Run_spec.make ?fuel ~cfg ~mode name
+
+let spec_pool =
+  [ spec "war-uc";
+    spec ~mode:Machine.Traditional "war-uc";
+    spec ~cfg:Config.ooo2_x ~mode:Machine.Adaptive "war-uc";
+    spec ~fuel:123_456 ~cfg:Config.io ~mode:Machine.Traditional "kmeans-or" ]
+
+let key_of i = Digest_hex.of_digest (Digest.string (Printf.sprintf "k%d" i))
+
+let sample_rd = lazy (Run_spec.execute (List.hd spec_pool))
+
+(* -- Codec --------------------------------------------------------------- *)
+
+let roundtrip s =
+  match Codec.decompress (Codec.compress s) with
+  | Ok s' -> String.equal s s'
+  | Error e -> QCheck.Test.fail_reportf "decompress: %s" e
+
+let test_codec_basic () =
+  List.iter
+    (fun s ->
+       Alcotest.(check bool)
+         (Printf.sprintf "round-trip %d bytes" (String.length s)) true
+         (roundtrip s))
+    [ ""; "a"; "abc"; String.make 100_000 'x';
+      String.concat "" (List.init 500 (fun i -> Printf.sprintf "row %d;" i));
+      String.init 10_000 (fun i -> Char.chr (i * 7919 land 0xFF));
+      Marshal.to_string (Lazy.force sample_rd) [] ];
+  (* Marshalled run_data is what actually crosses the wire — it must
+     compress, or the v2 'z' path never pays. *)
+  let blob = Marshal.to_string (Lazy.force sample_rd) [] in
+  Alcotest.(check bool) "run_data blob compresses" true
+    (String.length (Codec.compress blob) < String.length blob);
+  let repetitive = String.make 65536 'q' in
+  Alcotest.(check bool) "repetitive input shrinks a lot" true
+    (String.length (Codec.compress repetitive) < 65536 / 4)
+
+(* Mix of random, repetitive and constant inputs — the interesting
+   compression regimes. *)
+let gen_blob =
+  QCheck.Gen.(
+    oneof
+      [ string_size (int_bound 2000);
+        map2
+          (fun s n -> String.concat "" (List.init (n + 1) (fun _ -> s)))
+          (string_size (int_bound 40)) (int_bound 100);
+        map (fun n -> String.make n 'x') (int_bound 8192) ])
+
+let prop_codec_roundtrip =
+  QCheck.Test.make ~name:"codec round-trips" ~count:300
+    (QCheck.make gen_blob) roundtrip
+
+(* Decompress consumes network bytes: any mutation must produce
+   [Ok]/[Error], never an exception or a crash. *)
+let prop_codec_tamper =
+  QCheck.Test.make ~name:"decompress never raises on tampered input"
+    ~count:300
+    QCheck.(triple (make gen_blob) small_nat small_nat)
+    (fun (s, pos, byte) ->
+       let c = Bytes.of_string (Codec.compress s) in
+       if Bytes.length c > 0 then
+         Bytes.set c (pos mod Bytes.length c) (Char.chr (byte land 0xFF));
+       (match Codec.decompress (Bytes.to_string c) with
+        | Ok _ | Error _ -> ());
+       true)
+
+let test_codec_truncation () =
+  let c = Codec.compress (String.concat "" (List.init 300 string_of_int)) in
+  for k = 0 to String.length c - 1 do
+    match Codec.decompress (String.sub c 0 k) with
+    | Ok _ -> Alcotest.failf "truncation to %d bytes decoded cleanly" k
+    | Error _ -> ()
+  done;
+  (* ...and bytes past the end of a valid stream are rejected too. *)
+  match Codec.decompress (c ^ "\x00") with
+  | Ok _ -> Alcotest.fail "trailing byte accepted"
+  | Error _ -> ()
+
+(* The encoder compresses exactly when the blob reaches the threshold
+   (and compression pays).  Binary-search the cutoff and check both
+   sides of the boundary. *)
+let test_codec_threshold_boundary () =
+  let rd = Lazy.force sample_rd in
+  let sp = List.hd spec_pool in
+  let resp = P.Result { index = 0; digest = Run_spec.digest sp;
+                        outcome = Ok rd } in
+  let plain = P.encode_response ~version:1 resp in
+  let z th = P.encode_response ~version:2 ~compress_threshold:th resp in
+  Alcotest.(check bool) "huge threshold ships plain bytes" true
+    (String.equal (z max_int) plain);
+  Alcotest.(check bool) "v1 encoding never compresses" true
+    (String.equal (P.encode_response ~version:1 ~compress_threshold:1 resp)
+       plain);
+  let compresses th = not (String.equal (z th) plain) in
+  Alcotest.(check bool) "tiny threshold compresses" true (compresses 1);
+  Alcotest.(check bool) "compressed frame is smaller" true
+    (String.length (z 1) < String.length plain);
+  (* smallest threshold that does NOT compress = blob length + 1 *)
+  let rec cutoff lo hi =
+    if hi - lo = 1 then hi
+    else
+      let mid = lo + ((hi - lo) / 2) in
+      if compresses mid then cutoff mid hi else cutoff lo mid
+  in
+  let cut = cutoff 1 max_int in
+  Alcotest.(check bool) "compresses at blob length" true (compresses (cut - 1));
+  Alcotest.(check bool) "plain one past blob length" true
+    (not (compresses cut));
+  (* Both spellings decode to the same response. *)
+  (match P.decode_response (z 1) with
+   | Error e -> Alcotest.failf "decode compressed: %s" e
+   | Ok r' ->
+     Alcotest.(check bool) "compressed decodes to the v1 value" true
+       (String.equal (P.encode_response ~version:1 r') plain))
+
+(* -- Shard routing ------------------------------------------------------- *)
+
+let addr s =
+  match P.parse_addr s with
+  | Ok a -> a
+  | Error e -> Alcotest.failf "addr %S: %s" s e
+
+let prefix_byte d = int_of_string ("0x" ^ Digest_hex.shard d)
+
+(* Exactly one shard owns each of the 256 prefixes — checked directly
+   on the descriptor, with no digests involved. *)
+let check_partition name t =
+  let ranges = Shard.shards t in
+  for b = 0 to 0xFF do
+    let owners =
+      Array.to_list ranges
+      |> List.filter (fun s -> s.Shard.lo <= b && b <= s.Shard.hi)
+      |> List.length
+    in
+    if owners <> 1 then
+      Alcotest.failf "%s: prefix %02x owned by %d shards" name b owners
+  done
+
+let test_shard_partition () =
+  check_partition "even/1" (Shard.even [ addr "tcp:a:1" ]);
+  check_partition "even/2" (Shard.even [ addr "tcp:a:1"; addr "tcp:b:2" ]);
+  check_partition "even/3"
+    (Shard.even [ addr "tcp:a:1"; addr "tcp:b:2"; addr "tcp:c:3" ]);
+  check_partition "even/7"
+    (Shard.even (List.init 7 (fun i -> addr (Printf.sprintf "tcp:h:%d" i))));
+  match
+    Shard.of_specs
+      [ "80-ff=tcp:b:2"; "00-10=unix:/a.sock"; "11-7f=tcp:a:1" ]
+  with
+  | Error e -> Alcotest.failf "valid shard map rejected: %s" e
+  | Ok t -> check_partition "of_specs" t
+
+let fleet3 =
+  lazy (Shard.even [ addr "tcp:a:1"; addr "tcp:b:2"; addr "tcp:c:3" ])
+
+let prop_shard_route =
+  QCheck.Test.make ~name:"every digest routes to exactly one shard"
+    ~count:500 QCheck.small_nat
+    (fun n ->
+       let t = Lazy.force fleet3 in
+       let d = Digest_hex.of_digest (Digest.string (string_of_int n)) in
+       let i = Shard.route t d in
+       let ranges = Shard.shards t in
+       if i < 0 || i >= Array.length ranges then
+         QCheck.Test.fail_reportf "route out of range: %d" i;
+       let s = ranges.(i) in
+       let b = prefix_byte d in
+       if not (s.Shard.lo <= b && b <= s.Shard.hi) then
+         QCheck.Test.fail_reportf "prefix %02x routed outside %02x-%02x" b
+           s.Shard.lo s.Shard.hi;
+       (* routing agrees with the cache's shard subdirectory *)
+       String.equal (Digest_hex.shard d) (Printf.sprintf "%02x" b))
+
+let test_shard_rejections () =
+  List.iter
+    (fun (what, specs) ->
+       match Shard.of_specs specs with
+       | Error _ -> ()
+       | Ok _ -> Alcotest.failf "%s accepted" what)
+    [ ("empty map", []);
+      ("gap", [ "00-7e=tcp:a:1"; "80-ff=tcp:b:2" ]);
+      ("overlap", [ "00-80=tcp:a:1"; "7f-ff=tcp:b:2" ]);
+      ("reversed range", [ "7f-00=tcp:a:1"; "80-ff=tcp:b:2" ]);
+      ("bad hex", [ "0g-ff=tcp:a:1" ]);
+      ("uppercase hex", [ "00-FF=tcp:a:1" ]);
+      ("short prefix", [ "0-ff=tcp:a:1" ]);
+      ("missing addr", [ "00-ff" ]);
+      ("bad addr", [ "00-ff=tcp:hostonly" ]) ]
+
+(* -- Cache_index: single handle ------------------------------------------ *)
+
+let no_evict ~key:_ ~tag:_ = Alcotest.fail "unexpected eviction"
+
+let test_index_basic () =
+  let path = Filename.concat (tmp_dir ()) "index" in
+  let t = Cache_index.openf ~slots:64 path in
+  let k1 = key_of 1 and k2 = key_of 2 in
+  Alcotest.(check bool) "fresh index misses" true
+    (Cache_index.find t ~key:k1 ~tag:'r' = None);
+  Cache_index.insert t ~key:k1 ~tag:'r' ~size:100 ~evict:no_evict;
+  Cache_index.insert t ~key:k2 ~tag:'m' ~size:50 ~evict:no_evict;
+  let e =
+    match Cache_index.find t ~key:k1 ~tag:'r' with
+    | Some e -> e
+    | None -> Alcotest.fail "inserted key not found"
+  in
+  Alcotest.(check int) "size recorded" 100 e.Cache_index.e_size;
+  Alcotest.(check bool) "entry validates" true
+    (Cache_index.still_valid t ~key:k1 ~tag:'r' e);
+  Alcotest.(check bool) "tag is part of the key" true
+    (Cache_index.find t ~key:k1 ~tag:'m' = None);
+  (* idempotent: same key+tag again does not double-account *)
+  Cache_index.insert t ~key:k1 ~tag:'r' ~size:100 ~evict:no_evict;
+  Alcotest.(check int) "re-insert keeps live count" 2
+    (Cache_index.live_entries t);
+  Alcotest.(check int) "re-insert keeps used bytes" 150
+    (Cache_index.used_bytes t);
+  let gen0 = Cache_index.generation t in
+  Cache_index.delete t ~key:k2 ~tag:'m';
+  Alcotest.(check bool) "deleted key misses" true
+    (Cache_index.find t ~key:k2 ~tag:'m' = None);
+  Alcotest.(check int) "delete releases bytes" 100 (Cache_index.used_bytes t);
+  Alcotest.(check bool) "delete bumps the generation" true
+    (Cache_index.generation t > gen0);
+  Alcotest.(check bool) "stale entry no longer validates" true
+    (not (Cache_index.still_valid t ~key:k1 ~tag:'r'
+            { e with Cache_index.e_gen = -1 }));
+  Cache_index.close t;
+  (* Reopen: contents and geometry persist ([slots] only applies at
+     creation). *)
+  let t' = Cache_index.openf ~slots:4096 path in
+  Alcotest.(check int) "geometry kept on reopen" 64 (Cache_index.slots t');
+  Alcotest.(check bool) "entries persist across reopen" true
+    (Cache_index.find t' ~key:k1 ~tag:'r' <> None);
+  Cache_index.close t';
+  match Cache_index.openf (Filename.concat (tmp_dir ()) "not-an-index") with
+  | exception _ -> Alcotest.fail "fresh path must create cleanly"
+  | t'' ->
+    Cache_index.close t'';
+    (* a non-index file of plausible size must be refused *)
+    let bogus = Filename.concat (tmp_dir ()) "bogus" in
+    (match Unix.mkdir (Filename.dirname bogus) 0o755 with
+     | () -> () | exception Unix.Unix_error (Unix.EEXIST, _, _) -> ());
+    let oc = open_out_bin bogus in
+    output_string oc (String.make 8192 'j');
+    close_out oc;
+    (match Cache_index.openf bogus with
+     | exception Failure _ -> ()
+     | _ -> Alcotest.fail "garbage file opened as an index")
+
+let test_index_load_factor_sweep () =
+  let path = Filename.concat (tmp_dir ()) "index" in
+  let t = Cache_index.openf ~slots:64 path in
+  let evicted = ref 0 in
+  for i = 0 to 99 do
+    Cache_index.insert t ~key:(key_of i) ~tag:'r' ~size:10
+      ~evict:(fun ~key:_ ~tag:_ -> incr evicted)
+  done;
+  Alcotest.(check bool) "sweep kept the table under the load bound" true
+    (Cache_index.live_entries t <= 64 * 7 / 8);
+  Alcotest.(check bool) "victims were evicted" true (!evicted > 0);
+  Alcotest.(check int) "eviction counter matches callbacks" !evicted
+    (Cache_index.evictions t);
+  (* every surviving entry still validates with its true size *)
+  for i = 0 to 99 do
+    match Cache_index.find t ~key:(key_of i) ~tag:'r' with
+    | None -> ()
+    | Some e -> Alcotest.(check int) "surviving size" 10 e.Cache_index.e_size
+  done;
+  Cache_index.close t
+
+let test_index_byte_limit_sweep () =
+  let path = Filename.concat (tmp_dir ()) "index" in
+  let t = Cache_index.openf ~slots:1024 ~limit_mb:1 path in
+  let evicted = ref 0 in
+  for i = 0 to 19 do
+    (* 20 × 100 KB = ~2 MiB against a 1 MiB bound *)
+    Cache_index.insert t ~key:(key_of i) ~tag:'r' ~size:100_000
+      ~evict:(fun ~key:_ ~tag:_ -> incr evicted)
+  done;
+  Alcotest.(check bool) "accounted bytes under the limit" true
+    (Cache_index.used_bytes t <= Cache_index.limit_bytes t);
+  Alcotest.(check bool) "byte pressure evicted" true (!evicted > 0);
+  Alcotest.(check bool) "some entries survived" true
+    (Cache_index.live_entries t > 0);
+  Cache_index.close t
+
+(* -- Cache_index: concurrent torture ------------------------------------- *)
+
+(* Two writer domains hammer inserts (with the byte bound forcing
+   constant eviction churn) while reader domains probe lock-free.  A
+   reader must only ever see a miss or a checksum-valid record whose
+   size is the one the key was inserted with — a torn record, a
+   half-swept slot, or a stale-generation ghost would fail the size
+   check. *)
+let test_index_torture () =
+  let path = Filename.concat (tmp_dir ()) "index" in
+  let t = Cache_index.openf ~slots:1024 ~limit_mb:1 path in
+  let nkeys = 1500 in
+  let size_of i = 4096 + (i mod 5) * 512 in
+  let bad = Atomic.make 0 in
+  let evictions = Atomic.make 0 in
+  let writer salt () =
+    let state = ref (salt * 2654435761) in
+    for _ = 1 to 3000 do
+      state := (!state * 1103515245 + 12345) land 0x3FFFFFFF;
+      let i = !state mod nkeys in
+      Cache_index.insert t ~key:(key_of i) ~tag:'r' ~size:(size_of i)
+        ~evict:(fun ~key:_ ~tag:_ -> Atomic.incr evictions)
+    done
+  in
+  let reader salt () =
+    let state = ref (salt * 48271) in
+    for _ = 1 to 30_000 do
+      state := (!state * 1103515245 + 12345) land 0x3FFFFFFF;
+      let i = !state mod nkeys in
+      match Cache_index.find t ~key:(key_of i) ~tag:'r' with
+      | None -> ()
+      | Some e -> if e.Cache_index.e_size <> size_of i then Atomic.incr bad
+    done
+  in
+  let domains =
+    [ Domain.spawn (writer 1); Domain.spawn (writer 2);
+      Domain.spawn (reader 3); Domain.spawn (reader 4);
+      Domain.spawn (reader 5) ]
+  in
+  List.iter Domain.join domains;
+  Alcotest.(check int) "no torn or stale reads" 0 (Atomic.get bad);
+  Alcotest.(check bool) "eviction churn happened" true
+    (Atomic.get evictions > 0);
+  Alcotest.(check bool) "quiescent bytes under the limit" true
+    (Cache_index.used_bytes t <= Cache_index.limit_bytes t);
+  (* quiescent state is fully self-consistent *)
+  for i = 0 to nkeys - 1 do
+    match Cache_index.find t ~key:(key_of i) ~tag:'r' with
+    | None -> ()
+    | Some e ->
+      Alcotest.(check int) "final size" (size_of i) e.Cache_index.e_size;
+      Alcotest.(check bool) "final entry validates" true
+        (Cache_index.still_valid t ~key:(key_of i) ~tag:'r' e)
+  done;
+  Cache_index.close t
+
+(* -- Run_cache over a shared index --------------------------------------- *)
+
+let rec walk acc p =
+  if Sys.is_directory p then
+    Array.fold_left
+      (fun acc f -> walk acc (Filename.concat p f))
+      acc (Sys.readdir p)
+  else p :: acc
+
+let run_blobs dir =
+  List.filter (fun p -> Filename.check_suffix p ".run") (walk [] dir)
+
+let test_shared_cache_two_handles () =
+  let dir = tmp_dir () in
+  let idx = Cache_index.openf (Filename.concat dir "index") in
+  let a = Run_cache.create ~dir ~index:idx () in
+  let b = Run_cache.create ~dir ~index:idx () in
+  let rd = Lazy.force sample_rd in
+  let k = key_of 100 in
+  Run_cache.store_run a ~key:k rd;
+  Alcotest.(check int) "store registered in the index" 1
+    (Cache_index.live_entries idx);
+  (match Run_cache.find_run b ~key:k with
+   | Some rd' ->
+     Alcotest.(check bool) "second handle reads the first's store" true
+       (strip rd' = strip rd)
+   | None -> Alcotest.fail "shared store invisible to second handle");
+  Alcotest.(check int) "hit counted on the reading handle" 1
+    (Run_cache.hits b);
+  (* Healing: delete the blob behind the index's back — the index entry
+     is live but the store is gone, so the lookup must miss and drop
+     the entry rather than error. *)
+  (match run_blobs dir with
+   | [ blob ] -> Sys.remove blob
+   | l -> Alcotest.failf "expected exactly one .run blob, found %d"
+            (List.length l));
+  Alcotest.(check bool) "vanished blob reads as a miss" true
+    (Run_cache.find_run b ~key:k = None);
+  Alcotest.(check int) "dangling index entry healed away" 0
+    (Cache_index.live_entries idx);
+  Cache_index.close idx
+
+let test_shared_cache_adoption () =
+  let dir = tmp_dir () in
+  let plain = Run_cache.create ~dir () in
+  let k = key_of 200 in
+  Run_cache.store_run plain ~key:k (Lazy.force sample_rd);
+  (* A fresh index over a dir with pre-existing blobs: the first lookup
+     falls back to disk and adopts the blob into the index. *)
+  let idx = Cache_index.openf (Filename.concat dir "index") in
+  let c = Run_cache.create ~dir ~index:idx () in
+  Alcotest.(check int) "index starts empty" 0 (Cache_index.live_entries idx);
+  Alcotest.(check bool) "pre-existing blob found through fallback" true
+    (Run_cache.find_run c ~key:k <> None);
+  Alcotest.(check int) "blob adopted into the index" 1
+    (Cache_index.live_entries idx);
+  Alcotest.(check bool) "adopted entry serves the next lookup" true
+    (Run_cache.find_run c ~key:k <> None);
+  Cache_index.close idx
+
+(* Eviction under byte pressure must only ever delete whole blobs —
+   whatever survives still round-trips with a clean checksum. *)
+let test_shared_cache_eviction_integrity () =
+  let dir = tmp_dir () in
+  let idx = Cache_index.openf ~slots:64 (Filename.concat dir "index") in
+  let c = Run_cache.create ~dir ~index:idx () in
+  let rd = Lazy.force sample_rd in
+  let n = 120 in
+  for i = 0 to n - 1 do
+    Run_cache.store_run c ~key:(key_of i) rd
+  done;
+  Alcotest.(check bool) "load factor forced evictions" true
+    (Run_cache.evictions c > 0);
+  let served = ref 0 in
+  for i = 0 to n - 1 do
+    match Run_cache.find_run c ~key:(key_of i) with
+    | None -> ()
+    | Some rd' ->
+      incr served;
+      if strip rd' <> strip rd then Alcotest.failf "blob %d corrupted" i
+  done;
+  Alcotest.(check bool) "survivors still served" true (!served > 0);
+  Alcotest.(check int) "no integrity failures" 0 (Run_cache.corrupt c);
+  Alcotest.(check int) "index live matches served blobs" !served
+    (Cache_index.live_entries idx);
+  Cache_index.close idx
+
+let test_reap_over_limit () =
+  let dir = tmp_dir () in
+  let seed = Run_cache.create ~dir () in
+  let rd = Lazy.force sample_rd in
+  let n = 8 in
+  for i = 0 to n - 1 do
+    Run_cache.store_run seed ~key:(key_of i) rd
+  done;
+  let size_of p = (Unix.stat p).Unix.st_size in
+  let total = List.fold_left (fun a p -> a + size_of p) 0 (run_blobs dir) in
+  let limit = total / 2 in
+  let c = Run_cache.create ~dir ~limit_bytes:limit () in
+  let removed = Run_cache.reap_over_limit c in
+  Alcotest.(check bool) "over-limit blobs reaped" true (removed > 0);
+  Alcotest.(check int) "reaps counted as evictions" removed
+    (Run_cache.evictions c);
+  let blobs = run_blobs dir in
+  Alcotest.(check int) "removed + surviving = stored" n
+    (removed + List.length blobs);
+  Alcotest.(check bool) "survivors fit the limit" true
+    (List.fold_left (fun a p -> a + size_of p) 0 blobs <= limit);
+  (* a second reap is a no-op; so is one without a limit *)
+  Alcotest.(check int) "reap is idempotent" 0 (Run_cache.reap_over_limit c);
+  Alcotest.(check int) "no limit, no reap" 0
+    (Run_cache.reap_over_limit (Run_cache.create ~dir ()))
+
+(* -- Cli_common.parse_addr ----------------------------------------------- *)
+
+let test_cli_parse_addr () =
+  let ok s exp =
+    match Cli_common.parse_addr s with
+    | Ok a -> Alcotest.(check string) s exp (Fmt.str "%a" Cli_common.pp_addr a)
+    | Error e -> Alcotest.failf "parse_addr %S: %s" s e
+  in
+  ok "unix:/tmp/x.sock" "unix:/tmp/x.sock";
+  ok "tcp:10.0.0.1:7501" "tcp:10.0.0.1:7501";
+  ok "localhost:0" "tcp:localhost:0";
+  ok "tcp:host:65535" "tcp:host:65535";
+  List.iter
+    (fun s ->
+       match Cli_common.parse_addr s with
+       | Error _ -> ()
+       | Ok a ->
+         Alcotest.failf "%S accepted as %s" s (Fmt.str "%a" Cli_common.pp_addr a))
+    [ ""; "noport"; "unix:"; "tcp:"; "tcp:host"; "tcp:host:notaport";
+      "tcp::7501"; "host:-1"; "host:65536"; "host:"; ":7501" ]
+
+(* -- The proxy, end to end ----------------------------------------------- *)
+
+let start_server ?cache () =
+  Server.start
+    (Server.config ~addr:(P.Tcp ("127.0.0.1", 0)) ?cache ~banner:"shard" ())
+
+(* A port with nothing listening: bind, read the port back, close. *)
+let dead_addr () =
+  let fd = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+  Unix.bind fd (Unix.ADDR_INET (Unix.inet_addr_loopback, 0));
+  let port =
+    match Unix.getsockname fd with
+    | Unix.ADDR_INET (_, p) -> p
+    | _ -> assert false
+  in
+  Unix.close fd;
+  P.Tcp ("127.0.0.1", port)
+
+let connect addr =
+  match Client.connect addr with
+  | Ok s -> s
+  | Error e -> Alcotest.failf "connect: %a" Client.pp_connect_error e
+
+let submit_all s specs =
+  let results = Array.make (List.length specs) None in
+  match
+    Client.submit s
+      ~on_result:(fun ~index ~digest:_ r -> results.(index) <- Some r)
+      specs
+  with
+  | Ok delivered -> (delivered, results)
+  | Error (Client.Submit_rejected e) ->
+    Alcotest.failf "batch rejected: %a" P.pp_error e
+  | Error (Client.Submit_conn m) -> Alcotest.failf "connection died: %s" m
+
+let check_matches_local plan results =
+  List.iteri
+    (fun i sp ->
+       match results.(i), Run_spec.execute_result sp with
+       | Some (Ok rd), Ok local ->
+         Alcotest.(check bool) (Printf.sprintf "spec %d equals local" i) true
+           (strip rd = strip local)
+       | Some (Error e), Error f ->
+         Alcotest.(check string) (Printf.sprintf "spec %d failure code" i)
+           (P.error_code_name (P.error_of_failure f).P.code)
+           (P.error_code_name e.P.code)
+       | Some (Ok _), Error _ | Some (Error _), Ok _ ->
+         Alcotest.failf "spec %d: proxy and local disagree" i
+       | None, _ -> Alcotest.failf "spec %d never answered" i)
+    plan
+
+let test_proxy_matches_local () =
+  let s1 = start_server () and s2 = start_server () in
+  let shards = Shard.even [ Server.bound_addr s1; Server.bound_addr s2 ] in
+  let px =
+    Proxy.start
+      (Proxy.config ~addr:(P.Tcp ("127.0.0.1", 0)) ~shards ~chunk:2
+         ~banner:"px" ())
+  in
+  Fun.protect
+    ~finally:(fun () -> Proxy.stop px; Server.stop s1; Server.stop s2)
+    (fun () ->
+       (* a failing spec and a duplicate ride along: failure frames and
+          dedupe must survive the fan-out/merge *)
+       let plan = spec_pool @ [ spec ~fuel:1 "war-uc"; List.hd spec_pool ] in
+       let s = connect (Proxy.bound_addr px) in
+       let delivered, results = submit_all s plan in
+       Alcotest.(check int) "every index answered" (List.length plan)
+         delivered;
+       check_matches_local plan results;
+       (* fleet stats: the shards' counters summed (1 worker each) *)
+       (match Client.stats s with
+        | Error _ -> Alcotest.fail "fleet stats failed"
+        | Ok st ->
+          Alcotest.(check int) "workers summed across fleet" 2 st.P.workers;
+          Alcotest.(check int) "per-worker rows concatenated" 2
+            (List.length st.P.per_worker);
+          Alcotest.(check bool) "fleet completed the batch" true
+            (st.P.completed >= 5));
+       Client.close s)
+
+let test_proxy_failover () =
+  let s1 = start_server () in
+  let dir = tmp_dir () in
+  let cache = Run_cache.create ~dir () in
+  let shards = Shard.even [ Server.bound_addr s1; dead_addr () ] in
+  let px =
+    Proxy.start
+      (Proxy.config ~addr:(P.Tcp ("127.0.0.1", 0)) ~shards ~max_attempts:2
+         ~failover:true ~cache ~banner:"px" ())
+  in
+  Fun.protect
+    ~finally:(fun () -> Proxy.stop px; Server.stop s1)
+    (fun () ->
+       let plan = spec_pool in
+       let s = connect (Proxy.bound_addr px) in
+       let delivered, results = submit_all s plan in
+       Client.close s;
+       Alcotest.(check int) "dead shard answered via failover"
+         (List.length plan) delivered;
+       check_matches_local plan results;
+       (* the dead shard's specs went through the proxy's own cache *)
+       Alcotest.(check bool) "failover populated the local cache" true
+         (Run_cache.stores cache > 0))
+
+let test_proxy_no_failover () =
+  let s1 = start_server () in
+  let dead = dead_addr () in
+  let shards = Shard.even [ Server.bound_addr s1; dead ] in
+  let px =
+    Proxy.start
+      (Proxy.config ~addr:(P.Tcp ("127.0.0.1", 0)) ~shards ~max_attempts:2
+         ~failover:false ~banner:"px" ())
+  in
+  Fun.protect
+    ~finally:(fun () -> Proxy.stop px; Server.stop s1)
+    (fun () ->
+       let plan = spec_pool in
+       let s = connect (Proxy.bound_addr px) in
+       let delivered, results = submit_all s plan in
+       Client.close s;
+       Alcotest.(check int) "every index answered" (List.length plan)
+         delivered;
+       (* routing is deterministic: exactly the dead shard's specs fail,
+          and they fail transiently (the client may retry) *)
+       let dead_count = ref 0 in
+       List.iteri
+         (fun i sp ->
+            let home = Shard.route shards (Run_spec.digest sp) in
+            let expect_dead =
+              (Shard.shards shards).(home).Shard.addr = dead
+            in
+            match results.(i) with
+            | Some (Error e) when expect_dead ->
+              incr dead_count;
+              Alcotest.(check string)
+                (Printf.sprintf "spec %d error code" i) "io"
+                (P.error_code_name e.P.code);
+              Alcotest.(check bool) (Printf.sprintf "spec %d transient" i)
+                true e.P.transient
+            | Some (Ok _) when not expect_dead -> ()
+            | Some (Ok _) ->
+              Alcotest.failf "spec %d: dead shard produced a result" i
+            | Some (Error e) ->
+              Alcotest.failf "spec %d: live shard failed: %a" i P.pp_error e
+            | None -> Alcotest.failf "spec %d never answered" i)
+         plan;
+       (* the pool's digests are fixed: at least one lands on each half *)
+       Alcotest.(check bool) "plan exercised the dead shard" true
+         (!dead_count > 0 && !dead_count < List.length plan))
+
+let () =
+  Alcotest.run "fleet"
+    [ ("codec",
+       [ Alcotest.test_case "round-trip corpus" `Quick test_codec_basic;
+         Alcotest.test_case "truncation rejected" `Quick
+           test_codec_truncation;
+         Alcotest.test_case "threshold boundary" `Quick
+           test_codec_threshold_boundary;
+         QCheck_alcotest.to_alcotest prop_codec_roundtrip;
+         QCheck_alcotest.to_alcotest prop_codec_tamper ]);
+      ("shard",
+       [ Alcotest.test_case "partition of 00..ff" `Quick
+           test_shard_partition;
+         Alcotest.test_case "malformed descriptors" `Quick
+           test_shard_rejections;
+         QCheck_alcotest.to_alcotest prop_shard_route ]);
+      ("cache-index",
+       [ Alcotest.test_case "basic operations" `Quick test_index_basic;
+         Alcotest.test_case "load-factor sweep" `Quick
+           test_index_load_factor_sweep;
+         Alcotest.test_case "byte-limit sweep" `Quick
+           test_index_byte_limit_sweep;
+         Alcotest.test_case "concurrent torture" `Slow test_index_torture ]);
+      ("shared-cache",
+       [ Alcotest.test_case "two handles, one index" `Quick
+           test_shared_cache_two_handles;
+         Alcotest.test_case "blob adoption" `Quick test_shared_cache_adoption;
+         Alcotest.test_case "eviction integrity" `Quick
+           test_shared_cache_eviction_integrity;
+         Alcotest.test_case "private reap_over_limit" `Quick
+           test_reap_over_limit ]);
+      ("cli",
+       [ Alcotest.test_case "parse_addr grammar" `Quick
+           test_cli_parse_addr ]);
+      ("proxy",
+       [ Alcotest.test_case "fleet equals local" `Quick
+           test_proxy_matches_local;
+         Alcotest.test_case "dead-shard failover" `Quick test_proxy_failover;
+         Alcotest.test_case "no-failover transient errors" `Quick
+           test_proxy_no_failover ]) ]

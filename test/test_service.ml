@@ -191,10 +191,11 @@ let test_error_of_failure () =
 
 (* -- The daemon, end to end ---------------------------------------------- *)
 
-let with_server ?workers ?max_queue ?cache ?chaos ?deadline_ms ?max_retries f =
+let with_server ?workers ?max_queue ?cache ?chaos ?deadline_ms ?max_retries
+    ?compress_threshold f =
   let cfg =
     Server.config ~addr:(P.Tcp ("127.0.0.1", 0)) ?workers ?max_queue ?cache
-      ?chaos ?deadline_ms ?max_retries ~banner:"test" ()
+      ?chaos ?deadline_ms ?max_retries ?compress_threshold ~banner:"test" ()
   in
   let t = Server.start cfg in
   Fun.protect ~finally:(fun () -> Server.stop t)
@@ -343,6 +344,131 @@ let test_run_plan_matches_local () =
            Alcotest.failf "spec %d: remote and local disagree" i)
       plan
 
+(* -- Protocol v2: negotiation, progress, cancel, compression ------------- *)
+
+(* A v1 client against a v2 server: the session must downgrade — same
+   results, no Progress frames, no compressed blobs, cancel refused. *)
+let test_v1_downgrade () =
+  (* threshold 1 would compress every blob on a v2 session — a v1
+     session must never see one *)
+  with_server ~compress_threshold:1 @@ fun _t addr ->
+  let s = connect ~version:1 addr in
+  Alcotest.(check int) "negotiated down to v1" 1
+    (Client.negotiated_version s);
+  let progress = ref [] in
+  let results = Array.make 2 None in
+  let batch = [ spec "war-uc"; spec ~mode:Machine.Traditional "war-uc" ] in
+  (match
+     Client.submit s
+       ~on_progress:(fun ~index -> progress := index :: !progress)
+       ~on_result:(fun ~index ~digest:_ r -> results.(index) <- Some r)
+       batch
+   with
+   | Ok delivered -> Alcotest.(check int) "batch delivered" 2 delivered
+   | Error _ -> Alcotest.fail "v1 session must still serve batches");
+  Alcotest.(check (list int)) "no progress frames on v1" [] !progress;
+  List.iteri
+    (fun i sp ->
+       match results.(i) with
+       | Some (Ok rd) ->
+         Alcotest.(check bool) (Printf.sprintf "spec %d equals local" i) true
+           (strip rd = strip (Run_spec.execute sp))
+       | _ -> Alcotest.failf "spec %d failed over v1" i)
+    batch;
+  (match Client.cancel s with
+   | Error (Client.Submit_rejected e) ->
+     Alcotest.(check string) "cancel refused on v1" "version-mismatch"
+       (P.error_code_name e.P.code)
+   | Ok () -> Alcotest.fail "cancel must be a v2 feature"
+   | Error (Client.Submit_conn m) -> Alcotest.failf "connection died: %s" m);
+  Client.close s
+
+(* Every job that starts announces itself to every waiter — including
+   both indexes of an in-batch duplicate. *)
+let test_progress_frames () =
+  with_server @@ fun _t addr ->
+  let s = connect addr in
+  Alcotest.(check int) "negotiated v2" P.version
+    (Client.negotiated_version s);
+  let a = List.nth spec_pool 0 and b = List.nth spec_pool 1 in
+  let progress = ref [] in
+  let delivered =
+    match
+      Client.submit s
+        ~on_progress:(fun ~index -> progress := index :: !progress)
+        ~on_result:(fun ~index:_ ~digest:_ _ -> ())
+        [ a; b; a ]
+    with
+    | Ok d -> d
+    | Error _ -> Alcotest.fail "submit failed"
+  in
+  Client.close s;
+  Alcotest.(check int) "all delivered" 3 delivered;
+  Alcotest.(check (list int)) "progress for every index, dupes included"
+    [ 0; 1; 2 ] (List.sort compare !progress)
+
+(* CANCEL drops the unstarted tail of a batch.  A chaos stall pins the
+   single worker inside job 0 (its PROGRESS is sent before the stall),
+   so the cancel provably races nothing: 1..3 are still queued. *)
+let test_cancel_unstarted () =
+  let chaos = Xloops.Chaos.explicit ~stall_ms:500 [ (0, Xloops.Chaos.Worker_stall) ] in
+  with_server ~workers:1 ~chaos @@ fun _t addr ->
+  let s = connect addr in
+  let batch =
+    [ spec "war-uc"; spec ~mode:Machine.Traditional "war-uc";
+      spec ~cfg:Config.ooo2_x "war-uc"; spec ~cfg:Config.ooo4_x "war-uc" ]
+  in
+  let results = Array.make 4 None in
+  let cancelled = ref false in
+  let delivered =
+    match
+      Client.submit s
+        ~on_progress:(fun ~index:_ ->
+          if not !cancelled then begin
+            cancelled := true;
+            match Client.cancel s with
+            | Ok () -> ()
+            | Error _ -> Alcotest.fail "cancel failed"
+          end)
+        ~on_result:(fun ~index ~digest:_ r -> results.(index) <- Some r)
+        batch
+    with
+    | Ok d -> d
+    | Error (Client.Submit_rejected e) ->
+      Alcotest.failf "batch rejected: %a" P.pp_error e
+    | Error (Client.Submit_conn m) -> Alcotest.failf "connection died: %s" m
+  in
+  Alcotest.(check int) "only the started job delivered" 1 delivered;
+  (match results.(0) with
+   | Some (Ok _) -> ()
+   | _ -> Alcotest.fail "the in-flight job must still complete");
+  for i = 1 to 3 do
+    if results.(i) <> None then
+      Alcotest.failf "cancelled spec %d was answered" i
+  done;
+  (* the session survives a cancel: a fresh batch runs normally *)
+  let delivered, _ = submit_all s [ spec ~cfg:Config.io "war-uc" ] in
+  Alcotest.(check int) "session reusable after cancel" 1 delivered;
+  Client.close s
+
+(* With the threshold floored, every result blob crosses the wire
+   LZSS-compressed — and must decode back to exactly the local run. *)
+let test_compressed_results () =
+  with_server ~compress_threshold:1 @@ fun _t addr ->
+  let s = connect addr in
+  let delivered, results = submit_all s spec_pool in
+  Client.close s;
+  Alcotest.(check int) "all delivered" (List.length spec_pool) delivered;
+  List.iteri
+    (fun i sp ->
+       match results.(i) with
+       | Some (Ok rd) ->
+         Alcotest.(check bool)
+           (Printf.sprintf "compressed spec %d equals local" i) true
+           (strip rd = strip (Run_spec.execute sp))
+       | _ -> Alcotest.failf "spec %d failed" i)
+    spec_pool
+
 let test_shutdown_request () =
   let cfg =
     Server.config ~addr:(P.Tcp ("127.0.0.1", 0)) ~banner:"test" ()
@@ -376,4 +502,11 @@ let () =
          Alcotest.test_case "run_plan vs local" `Quick
            test_run_plan_matches_local;
          Alcotest.test_case "shutdown request" `Quick
-           test_shutdown_request ]) ]
+           test_shutdown_request ]);
+      ("protocol-v2",
+       [ Alcotest.test_case "v1 client downgrade" `Quick test_v1_downgrade;
+         Alcotest.test_case "progress frames" `Quick test_progress_frames;
+         Alcotest.test_case "cancel unstarted tail" `Quick
+           test_cancel_unstarted;
+         Alcotest.test_case "compressed result blobs" `Quick
+           test_compressed_results ]) ]
